@@ -1,0 +1,1071 @@
+(* Experiment harness: regenerates every quantitative claim of
+
+     Kühn, "Analysis of a Database and Index Encryption Scheme —
+     Problems and Fixes" (SDM @ VLDB 2006)
+
+   One experiment per claim (see DESIGN.md §3 and EXPERIMENTS.md).  Usage:
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only EXP3  # one experiment
+     dune exec bench/main.exe -- --fast       # reduced workloads
+     dune exec bench/main.exe -- --list       # list experiments *)
+
+open Secdb_util
+module Value = Secdb_db.Value
+module Address = Secdb_db.Address
+module B = Secdb_index.Bptree
+module Einst = Secdb_schemes.Einst
+module PM = Secdb_attacks.Pattern_matching
+module Forgery = Secdb_attacks.Forgery
+module Sub = Secdb_attacks.Substitution
+module MacI = Secdb_attacks.Mac_interaction
+module KS = Secdb_attacks.Keystream_reuse
+module CW = Secdb_index.Client_walk
+
+let key = Xbytes.of_hex "000102030405060708090a0b0c0d0e0f"
+let key_mac = Xbytes.of_hex "ffeeddccbbaa99887766554433221100"
+let aes = Secdb_cipher.Aes.cipher ~key
+let aes_fast = Secdb_cipher.Aes_fast.cipher ~key
+let mu = Address.mu_sha1 ~width:16
+let e_cbc0 = Einst.cbc_zero_iv aes
+let append_scheme = Secdb_schemes.Cell_append.make ~e:e_cbc0 ~mu
+
+let fixed_scheme ?(mk = fun c -> Secdb_aead.Eax.make c) () =
+  Secdb_schemes.Fixed_cell.make ~aead:(mk aes)
+    ~nonce:(Secdb_aead.Nonce.counter ~size:(mk aes).Secdb_aead.Aead.nonce_size ()) ()
+
+let header fmt = Printf.printf ("\n" ^^ fmt ^^ "\n%!")
+let row fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ----------------------------------------------------------------- EXP1 *)
+
+let shared_prefix_workload rng ~n ~prefix_blocks =
+  let prefix = String.make (16 * prefix_blocks) 'P' in
+  List.init n (fun i ->
+      (i, if i mod 2 = 0 then prefix ^ Rng.ascii rng 20 else Rng.ascii rng (16 * prefix_blocks + 20)))
+
+let exp1 ~fast =
+  header "EXP1  Pattern matching on cell ciphertexts (paper Sect. 3.1)";
+  row "  workload: column of strings, half sharing a k-block prefix; CBC, zero IV";
+  row "  %-28s %6s %9s %9s %10s" "scheme" "k" "true" "detected" "correct";
+  let n = if fast then 16 else 40 in
+  List.iter
+    (fun prefix_blocks ->
+      let rng = Rng.create ~seed:101L () in
+      let w = shared_prefix_workload rng ~n ~prefix_blocks in
+      let r = PM.cells ~scheme:append_scheme ~block:16 ~table:1 ~col:0 w in
+      row "  %-28s %6d %9d %9d %10d" "append[cbc0]" prefix_blocks r.PM.true_pairs
+        r.PM.detected_pairs r.PM.true_positives;
+      let rf =
+        PM.cells ~scheme:(fixed_scheme ()) ~extract:PM.extract_fixed_cell ~block:16 ~table:1
+          ~col:0 w
+      in
+      row "  %-28s %6d %9d %9d %10d" "fixed[eax]" prefix_blocks rf.PM.true_pairs
+        rf.PM.detected_pairs rf.PM.true_positives)
+    [ 1; 2; 4 ];
+  row "  shape: broken scheme detects every prefix-sharing pair, fix detects none."
+
+(* ----------------------------------------------------------------- EXP2 *)
+
+let exp2 ~fast =
+  header "EXP2  Existential forgery on the Append-Scheme (paper Sect. 3.1)";
+  row "  attack: replace ciphertext block C_i, i <= s-1; address checksum survives";
+  let trials = if fast then 30 else 200 in
+  row "  %-28s %10s %14s" "scheme" "value-len" "success-rate";
+  List.iter
+    (fun value_len ->
+      let rng = Rng.create ~seed:102L () in
+      let rate s =
+        Forgery.success_rate ~scheme:s ~block:16 ~table:1 ~col:0 ~value_len ~trials ~rng
+      in
+      row "  %-28s %10d %14.3f" "append[cbc0]" value_len (rate append_scheme);
+      row "  %-28s %10d %14.3f" "fixed[eax]" value_len (rate (fixed_scheme ())))
+    [ 32; 64; 256 ];
+  row "  shape: 1.000 against the analysed scheme, 0.000 against the fix."
+
+(* ----------------------------------------------------------------- EXP3 *)
+
+let exp3 ~fast =
+  header "EXP3  XOR-Scheme substitution: partial collisions on mu (paper Sect. 3.1)";
+  row "  mu = SHA-1 truncated to 128 bits; condition: all 16 octet high bits agree";
+  let trials = if fast then 512 else 1024 in
+  row "  %-10s %10s %12s %10s" "trials" "pairs" "expected" "found";
+  List.iter
+    (fun t ->
+      let ex = Sub.collision_search ~mu ~table:5 ~col:2 ~trials:t in
+      row "  %-10d %10d %12.1f %10d" t (t * (t - 1) / 2) ex.Sub.expected
+        (List.length ex.Sub.collisions))
+    [ trials / 2; trials ];
+  row "  paper: 6 collisions among 1024 trial addresses (expectation 8.0).";
+  let ex = Sub.collision_search ~mu ~table:5 ~col:2 ~trials in
+  match ex.Sub.collisions with
+  | (r1, r2) :: _ ->
+      let xor_scheme =
+        Secdb_schemes.Cell_xor.make ~e:e_cbc0 ~mu ~validate:Xbytes.is_ascii7 ()
+      in
+      let v = "sixteen-byte str" in
+      let rel = Sub.relocate ~scheme:xor_scheme ~table:5 ~col:2 ~value:v ~from_row:r1 ~to_row:r2 in
+      let relf =
+        Sub.relocate ~scheme:(fixed_scheme ()) ~table:5 ~col:2 ~value:v ~from_row:r1 ~to_row:r2
+      in
+      row "  relocation row %d -> %d: xor-scheme accepted=%b, fixed accepted=%b" r1 r2
+        rel.Sub.accepted relf.Sub.accepted
+  | [] -> row "  (no collision found this run; probability < 0.1%%)"
+
+(* ------------------------------------------------------------- EXP4/5 *)
+
+let correlation_workload rng ~n codec =
+  let prefix = String.make 32 'P' in
+  let texts =
+    List.init n (fun i -> if i mod 4 = 0 then prefix ^ Rng.ascii rng 17 else Rng.ascii rng 49)
+  in
+  let tree = B.create ~order:4 ~id:1000 ~codec () in
+  List.iteri (fun i s -> B.insert tree (Value.Text s) ~table_row:i) texts;
+  (tree, List.mapi (fun i s -> (i, Value.encode (Value.Text s))) texts)
+
+let exp45 name descr codec extract cell_scheme ~fast =
+  header "%s" (name ^ "  " ^ descr);
+  let n = if fast then 12 else 32 in
+  let rng = Rng.create ~seed:104L () in
+  let tree, plaintexts = correlation_workload rng ~n codec in
+  let r =
+    PM.index_correlation ~cell_scheme ~tree ~payload_ciphertext:extract ~block:16 ~table:1
+      ~col:0 ~plaintexts
+  in
+  row "  index codec: %s" (B.codec tree).B.codec_name;
+  row "  (cell,entry) pairs sharing >=1 leading ciphertext block: %d (%d correct links)"
+    r.PM.total_links r.PM.correct_links
+
+let exp4 ~fast =
+  exp45 "EXP4" "Index<->table correlation, index scheme of [3] (paper Sect. 3.2)"
+    (Secdb_schemes.Index3.codec ~e:e_cbc0) PM.extract_index3 append_scheme ~fast;
+  row "  shape: every prefix-sharing (cell, index entry) pair is linkable."
+
+let exp5 ~fast =
+  exp45 "EXP5" "Correlation survives the appended randomness of [12] (paper Sect. 3.3)"
+    (Secdb_schemes.Index12.codec ~e:e_cbc0 ~mac_cipher:aes ~rng:(Rng.create ~seed:105L ())
+       ~indexed_table:1 ~indexed_col:0 ())
+    PM.extract_index12 append_scheme ~fast;
+  exp45 "EXP5b" "The fixed AEAD index shows no correlation (paper Sect. 4)"
+    (Secdb_schemes.Fixed_index.codec ~aead:(Secdb_aead.Eax.make aes)
+       ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+       ~indexed_table:1 ~indexed_col:0 ())
+    PM.extract_fixed (fixed_scheme ()) ~fast;
+  row "  shape: [12]'s randomness does not help (it only masks trailing blocks);";
+  row "  the AEAD fix produces zero links."
+
+(* ----------------------------------------------------------------- EXP6 *)
+
+let exp6 ~fast =
+  header "EXP6  Same-key encryption/OMAC interaction on [12] (paper Sect. 3.3)";
+  let trials = if fast then 10 else 100 in
+  let ctx = { B.index_table = 1000; node_row = 4; kind = B.Leaf } in
+  let run name mac_key_bytes =
+    let rng = Rng.create ~seed:106L () in
+    let codec =
+      Secdb_schemes.Index12.codec ~e:e_cbc0
+        ~mac_cipher:(Secdb_cipher.Aes.cipher ~key:mac_key_bytes)
+        ~rng ~indexed_table:1 ~indexed_col:0 ()
+    in
+    let ok = ref 0 in
+    for t = 1 to trials do
+      let value = Value.Text (Rng.ascii rng 47) in
+      match MacI.run ~codec ~ctx ~block:16 ~value ~table_row:t ~rng with
+      | Ok { MacI.accepted = true; value_changed = true; _ } -> incr ok
+      | Ok _ | Error _ -> ()
+    done;
+    row "  %-28s forged-and-accepted: %d/%d" name !ok trials
+  in
+  run "E and MAC under same key" key;
+  run "independent MAC key" key_mac;
+  row "  shape: the shared-key instantiation is fully forgeable; separating keys";
+  row "  stops this particular interaction (but not EXP5's leakage)."
+
+(* ----------------------------------------------------------------- EXP7 *)
+
+let exp7 ~fast:_ =
+  header "EXP7  Storage overhead of the fixed schemes (paper Sect. 4)";
+  row "  %-14s %8s %8s %12s | paper" "aead" "nonce" "tag" "per-cell";
+  List.iter
+    (fun (name, mk, paper) ->
+      let a : Secdb_aead.Aead.t = mk aes in
+      row "  %-14s %8d %8d %12d | %s" name a.Secdb_aead.Aead.nonce_size
+        a.Secdb_aead.Aead.tag_size
+        (Secdb_aead.Aead.stored_overhead a)
+        paper)
+    [
+      ("eax", (fun c -> Secdb_aead.Eax.make c), "32 octets");
+      ("ocb+pmac", (fun c -> Secdb_aead.Ocb.make c), "32 octets");
+      ("ccfb", Secdb_aead.Ccfb.make, "16 octets (96-bit nonce, 32-bit tag)");
+      ( "etm(hmac)",
+        (fun c -> Secdb_aead.Compose.encrypt_then_mac ~cipher:c ~mac_key:key_mac ()),
+        "- (not in paper)" );
+    ];
+  row "  (the cell layer adds 12 bytes of framing on top; the associated data --";
+  row "   the cell address -- is authenticated but never stored, as the fix requires)"
+
+(* ----------------------------------------------------------------- EXP8 *)
+
+let exp8 ~fast =
+  header "EXP8  Blockcipher invocations per encryption (paper Sect. 4)";
+  row "  n = plaintext blocks, m = associated-data blocks";
+  row "  %-10s %4s %4s %10s %18s" "aead" "n" "m" "measured" "paper formula";
+  let count mk n m =
+    let wrapped, counters = Secdb_cipher.Counting.wrap aes in
+    let a : Secdb_aead.Aead.t = mk wrapped in
+    Secdb_cipher.Counting.reset counters;
+    ignore
+      (Secdb_aead.Aead.encrypt a
+         ~nonce:(String.make a.Secdb_aead.Aead.nonce_size 'N')
+         ~ad:(String.make (16 * m) 'H')
+         (String.make (16 * n) 'M'));
+    counters.Secdb_cipher.Counting.enc_calls
+  in
+  let shapes = if fast then [ (1, 1); (4, 1) ] else [ (1, 1); (2, 1); (4, 1); (16, 1); (64, 2) ] in
+  List.iter
+    (fun (n, m) ->
+      row "  %-10s %4d %4d %10d %14d = 2n+m+1" "eax" n m (count (fun c -> Secdb_aead.Eax.make c) n m)
+        ((2 * n) + m + 1);
+      row "  %-10s %4d %4d %10d %14d = n+m+5 (ours: n+m+4)" "ocb+pmac" n m
+        (count (fun c -> Secdb_aead.Ocb.make c) n m) (n + m + 5);
+      row "  %-10s %4d %4d %10d %14d = ceil(16n/12)+m+3" "ccfb" n m
+        (count Secdb_aead.Ccfb.make n m)
+        (((16 * n) + 11) / 12 + m + 3))
+    shapes;
+  row "  shape: EAX costs two passes (2n), OCB one (n), CCFB 4/3 -- matching the";
+  row "  paper's ordering.  EAX hits the paper's formula exactly after its 6";
+  row "  precomputed calls; our OCB+PMAC shares one subkey derivation (-1 call)."
+
+(* ----------------------------------------------------------------- EXP9 *)
+
+let exp9 ~fast =
+  header "EXP9  Wall-clock encryption throughput (bechamel, T-table AES)";
+  let open Bechamel in
+  let sizes = if fast then [ 64; 1024 ] else [ 64; 256; 1024; 4096 ] in
+  let e_fast = Einst.cbc_zero_iv aes_fast in
+  let fixed_fast mk =
+    Secdb_schemes.Fixed_cell.make ~aead:(mk aes_fast)
+      ~nonce:(Secdb_aead.Nonce.counter ~size:(mk aes_fast).Secdb_aead.Aead.nonce_size ())
+      ()
+  in
+  let schemes =
+    [
+      ("append-cbc0", Secdb_schemes.Cell_append.make ~e:e_fast ~mu);
+      ("xor-cbc0", Secdb_schemes.Cell_xor.make ~e:e_fast ~mu ~validate:(fun _ -> true) ());
+      ("fixed-eax", fixed_fast (fun c -> Secdb_aead.Eax.make c));
+      ("fixed-ocb", fixed_fast (fun c -> Secdb_aead.Ocb.make c));
+      ("fixed-ccfb", fixed_fast Secdb_aead.Ccfb.make);
+      ("fixed-gcm", fixed_fast (fun c -> Secdb_aead.Gcm.make c));
+      ( "fixed-etm",
+        fixed_fast (fun c -> Secdb_aead.Compose.encrypt_then_mac ~cipher:c ~mac_key:key_mac ())
+      );
+      ( "siv-det",
+        Secdb_schemes.Fixed_cell.make
+          ~aead:(Secdb_aead.Siv.make (Secdb_cipher.Aes_fast.cipher ~key:key_mac) aes_fast)
+          ~nonce:(Secdb_aead.Nonce.fixed (String.make 16 '\000'))
+          () );
+    ]
+  in
+  let addr = Address.v ~table:1 ~row:7 ~col:0 in
+  let tests =
+    List.concat_map
+      (fun size ->
+        let value = String.make size 'v' in
+        List.map
+          (fun (name, scheme) ->
+            Test.make
+              ~name:(Printf.sprintf "%s/%dB" name size)
+              (Staged.stage (fun () ->
+                   ignore (Secdb_schemes.Cell_scheme.encrypt scheme addr value))))
+          schemes)
+      sizes
+  in
+  let grouped = Test.make_grouped ~name:"cell-encrypt" tests in
+  let quota = if fast then 0.05 else 0.25 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        match Analyze.OLS.estimates o with
+        | Some [ ns ] -> (name, ns) :: acc
+        | _ -> acc)
+      results []
+  in
+  row "  %-34s %14s %14s" "scheme/size" "ns/op" "MB/s";
+  List.iter
+    (fun (name, ns) ->
+      let size =
+        match String.split_on_char '/' name with
+        | [ _; _; s ] -> ( try Scanf.sscanf s "%dB" Fun.id with _ -> 0)
+        | _ -> 0
+      in
+      let mbps = if ns > 0.0 then float_of_int size /. ns *. 953.67 else 0.0 in
+      row "  %-34s %14.0f %14.1f" name ns mbps)
+    (List.sort compare rows);
+  row "  shape: one-pass OCB/CCFB/EtM beat two-pass EAX; all fixed schemes pay a";
+  row "  small constant over the broken CBC schemes for nonce+tag handling."
+
+(* ---------------------------------------------------------------- EXP10 *)
+
+let exp10 ~fast =
+  header "EXP10  Client-walk communication rounds (paper Remark 1)";
+  let n = if fast then 2_000 else 20_000 in
+  row "  %d keys, AEAD-fixed index; rounds ~ ceil(log_d N)" n;
+  row "  %6s %8s %8s %14s" "d" "height" "rounds" "bytes->client";
+  List.iter
+    (fun order ->
+      let codec =
+        Secdb_schemes.Fixed_index.codec ~aead:(Secdb_aead.Eax.make aes_fast)
+          ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+          ~indexed_table:1 ~indexed_col:0 ()
+      in
+      let t = B.create ~order ~id:1000 ~codec () in
+      for i = 0 to n - 1 do
+        B.insert t (Value.Int (Int64.of_int ((i * 7919) mod n))) ~table_row:i
+      done;
+      let _, stats = CW.find t (Value.Int (Int64.of_int (n / 3))) in
+      row "  %6d %8d %8d %14d" order (B.height t) stats.CW.rounds stats.CW.bytes_to_client)
+    (if fast then [ 2; 16 ] else [ 2; 4; 16; 64 ]);
+  row "  shape: logarithmically many rounds, falling with fan-out d -- the paper's";
+  row "  \"worthwhile if the index uses d-ary B+-trees with d >= 2\"."
+
+(* ---------------------------------------------------------------- EXP11 *)
+
+let exp11 ~fast:_ =
+  header "EXP11  Keystream reuse under CTR/OFB instantiations (paper footnote 2)";
+  let stream = Secdb_schemes.Cell_append.make ~e:(Einst.ctr_zero aes) ~mu in
+  let v1 = "public notice: visiting hours are 9am to 5pm daily" in
+  let v2 = "secret: patient 0231 diagnosed with hypertension.." in
+  let c1 = Secdb_schemes.Cell_scheme.encrypt stream (Address.v ~table:1 ~row:0 ~col:0) v1 in
+  let c2 = Secdb_schemes.Cell_scheme.encrypt stream (Address.v ~table:1 ~row:1 ~col:0) v2 in
+  let rec_ =
+    Xbytes.take (String.length v2)
+      (KS.crib_drag ~known:v1 ~xor:(KS.plaintext_xor_append ~ct_a:c1 ~ct_b:c2))
+  in
+  row "  one known cell decrypts its neighbours: recovered %d/%d bytes, exact=%b"
+    (String.length rec_) (String.length v2) (rec_ = v2);
+  let fixed = fixed_scheme () in
+  let c1f = Secdb_schemes.Cell_scheme.encrypt fixed (Address.v ~table:1 ~row:0 ~col:0) v1 in
+  let c2f = Secdb_schemes.Cell_scheme.encrypt fixed (Address.v ~table:1 ~row:1 ~col:0) v2 in
+  let xf = KS.plaintext_xor_append ~ct_a:c1f ~ct_b:c2f in
+  let recf = KS.crib_drag ~known:v1 ~xor:xf in
+  row "  against the fix the same attack yields noise: 8-byte match=%b"
+    (Xbytes.take 8 recf = Xbytes.take 8 v2)
+
+(* ---------------------------------------------------------------- EXP12 *)
+
+let exp12 ~fast =
+  header "EXP12  Leaf-level integrity bug in the [12] query pseudo-code (footnote 1)";
+  let n = if fast then 40 else 200 in
+  let run name codec =
+    let tree = B.create ~order:4 ~id:1000 ~codec () in
+    for i = 0 to n - 1 do
+      B.insert tree (Value.Int (Int64.of_int (i mod 16))) ~table_row:i
+    done;
+    let leaves = ref [] in
+    B.iter_nodes
+      (fun v ->
+        if v.B.node_kind = B.Leaf && Array.length v.B.payloads > 0 then leaves := v :: !leaves)
+      tree;
+    (match !leaves with
+    | a :: b :: _ -> B.set_payload tree ~row:a.B.row ~slot:0 b.B.payloads.(0)
+    | _ -> ());
+    let outcome mode =
+      match Secdb_query.Walker.range tree ~mode () with
+      | Ok a -> Printf.sprintf "silently returned %d results" (List.length a.results)
+      | Error _ -> "DETECTED"
+    in
+    row "  %-22s published: %-30s corrected: %s" name
+      (outcome Secdb_query.Walker.Published)
+      (outcome Secdb_query.Walker.Corrected)
+  in
+  run "index12 (same key)"
+    (Secdb_schemes.Index12.codec ~e:e_cbc0 ~mac_cipher:aes ~rng:(Rng.create ~seed:112L ())
+       ~indexed_table:1 ~indexed_col:0 ());
+  run "index3" (Secdb_schemes.Index3.codec ~e:e_cbc0);
+  run "fixed-eax"
+    (Secdb_schemes.Fixed_index.codec ~aead:(Secdb_aead.Eax.make aes)
+       ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+       ~indexed_table:1 ~indexed_col:0 ());
+  row "  shape: the published pseudo-code misses leaf tampering on the analysed";
+  row "  schemes; the AEAD fix cannot decrypt without verifying, so the bug is";
+  row "  unexpressible there."
+
+(* ---------------------------------------------------------------- EXP13 *)
+
+let exp13 ~fast =
+  header "EXP13  Ablation: index-maintenance cost of position binding";
+  row "  payloads are bound to their node row r_I, so splits/borrows/merges must";
+  row "  decode+re-encode every moved entry; codec operations per insert:";
+  let n = if fast then 500 else 5000 in
+  row "  %-22s %8s %10s %10s %14s" "codec" "order" "encodes" "decodes" "ops/insert";
+  List.iter
+    (fun order ->
+      List.iter
+        (fun (name, codec) ->
+          let wrapped, counters = Secdb_index.Codec_instr.wrap codec in
+          let tree = B.create ~order ~id:1000 ~codec:wrapped () in
+          let rng = Rng.create ~seed:113L () in
+          for i = 0 to n - 1 do
+            B.insert tree (Value.Int (Int64.of_int (Rng.int rng n))) ~table_row:i
+          done;
+          row "  %-22s %8d %10d %10d %14.2f" name order
+            counters.Secdb_index.Codec_instr.encodes counters.Secdb_index.Codec_instr.decodes
+            (float_of_int
+               (counters.Secdb_index.Codec_instr.encodes
+               + counters.Secdb_index.Codec_instr.decodes)
+            /. float_of_int n))
+        [
+          ("plain", B.plain_codec);
+          ("index3-cbc0", Secdb_schemes.Index3.codec ~e:e_cbc0);
+          ( "fixed-eax",
+            Secdb_schemes.Fixed_index.codec ~aead:(Secdb_aead.Eax.make aes)
+              ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+              ~indexed_table:1 ~indexed_col:0 () );
+        ])
+    (if fast then [ 4 ] else [ 4; 32 ]);
+  row "  shape: identical codec-call counts across schemes -- position binding";
+  row "  costs the same number of re-encodings whatever the cryptography; only";
+  row "  the per-call price differs (EXP9)."
+
+(* ---------------------------------------------------------------- EXP14 *)
+
+let exp14 ~fast =
+  header "EXP14  Frequency analysis of deterministic cell encryption";
+  row "  public value distribution; adversary ranks ciphertext buckets by count";
+  let scale = if fast then 1 else 4 in
+  let distribution =
+    [
+      (String.make 24 'A' ^ "very common value....", 40 * scale);
+      (String.make 24 'B' ^ "common value.........", 25 * scale);
+      (String.make 24 'C' ^ "occasional value.....", 12 * scale);
+      (String.make 24 'D' ^ "rare value...........", 5 * scale);
+      (String.make 24 'E' ^ "unique value.........", 1);
+    ]
+  in
+  let total = List.fold_left (fun a (_, c) -> a + c) 0 distribution in
+  row "  %-28s %10s %12s" "scheme" "buckets" "recovered";
+  let run name scheme extract =
+    let r =
+      Secdb_attacks.Frequency.attack ~scheme ?extract ~block:16 ~table:1 ~col:0
+        ~distribution (Rng.create ~seed:114L ())
+    in
+    row "  %-28s %10d %9d/%d" name r.Secdb_attacks.Frequency.buckets
+      r.Secdb_attacks.Frequency.recovered total
+  in
+  run "append[cbc0]" append_scheme None;
+  run "fixed[eax]" (fixed_scheme ()) (Some PM.extract_fixed_cell);
+  (* a Zipf-shaped column, the realistic case for e.g. diagnoses *)
+  let zipf_rng = Rng.create ~seed:116L () in
+  let zipf_dist =
+    List.map
+      (fun (rank, count) -> (Printf.sprintf "zipf value %03d %s" rank (String.make 24 'z'), count))
+      (Dist.counts_of_samples zipf_rng
+         ~sampler:(fun r -> Dist.zipf r ~n:30 ~s:1.1)
+         ~draws:(total * 2))
+  in
+  let zr =
+    Secdb_attacks.Frequency.attack ~scheme:append_scheme ~block:16 ~table:1 ~col:0
+      ~distribution:zipf_dist (Rng.create ~seed:114L ())
+  in
+  row "  %-28s %10d %9d/%d  (Zipf s=1.1 column)" "append[cbc0], zipf"
+    zr.Secdb_attacks.Frequency.buckets
+    zr.Secdb_attacks.Frequency.recovered
+    (List.fold_left (fun a (_, c) -> a + c) 0 zipf_dist);
+  row "  shape: determinism lets rank matching assign every cell its plaintext";
+  row "  (skewed columns recover the uniquely-ranked mass; ties stay ambiguous);";
+  row "  the randomised fix leaves one singleton bucket per cell (nothing to rank)."
+
+(* ---------------------------------------------------------------- EXP15 *)
+
+let exp15 ~fast =
+  header "EXP15  Ablation: deterministic-but-authenticated encryption (AES-SIV)";
+  row "  the analysed scheme wanted determinism for searchability; SIV with a";
+  row "  constant nonce keeps exact-equality search and loses every attack:";
+  let k2 = aes in
+  let k1 = Secdb_cipher.Aes.cipher ~key:key_mac in
+  let siv_det =
+    Secdb_schemes.Fixed_cell.make
+      ~ad_of:(fun addr ->
+        Xbytes.int_to_be_string ~width:8 addr.Address.table
+        ^ Xbytes.int_to_be_string ~width:8 addr.Address.col)
+      ~aead:(Secdb_aead.Siv.make k1 k2)
+      ~nonce:(Secdb_aead.Nonce.fixed (String.make 16 '\000'))
+      ()
+  in
+  let n = if fast then 16 else 40 in
+  let rng = Rng.create ~seed:115L () in
+  let w = shared_prefix_workload rng ~n ~prefix_blocks:2 in
+  (* add exact duplicates to measure equality leakage *)
+  let w = w @ List.map (fun (i, v) -> (i + n, v)) (List.filteri (fun i _ -> i < 4) w) in
+  row "  %-22s %12s %12s %10s  %s" "scheme" "prefix-leak" "eq-classes" "forgery" "relocation";
+  let analyse name scheme extract =
+    let r = PM.cells ~scheme ?extract ~block:16 ~table:1 ~col:0 w in
+    let classes = Hashtbl.create 32 in
+    List.iter
+      (fun (i, v) ->
+        let ct = scheme.Secdb_schemes.Cell_scheme.encrypt (Address.v ~table:1 ~row:i ~col:0) v in
+        (* equality classes over value-only storage: strip the address from
+           the comparison by bucketing on the decrypted-equal relation the
+           adversary can test — here raw bytes sans framing *)
+        let key = match extract with Some f -> f ct | None -> ct in
+        Hashtbl.replace classes key ())
+      w;
+    let forge =
+      Forgery.success_rate ~scheme ~block:16 ~table:1 ~col:0 ~value_len:64
+        ~trials:(if fast then 10 else 50) ~rng
+    in
+    let reloc =
+      let v = Rng.ascii rng 32 in
+      let ct = scheme.Secdb_schemes.Cell_scheme.encrypt (Address.v ~table:1 ~row:0 ~col:0) v in
+      let within =
+        match scheme.Secdb_schemes.Cell_scheme.decrypt (Address.v ~table:1 ~row:1 ~col:0) ct with
+        | Ok _ -> "in-col:accept"
+        | Error _ -> "in-col:reject"
+      in
+      let across =
+        match scheme.Secdb_schemes.Cell_scheme.decrypt (Address.v ~table:1 ~row:0 ~col:1) ct with
+        | Ok _ -> "x-col:accept"
+        | Error _ -> "x-col:reject"
+      in
+      within ^ " " ^ across
+    in
+    row "  %-22s %12d %12d %10.2f  %s" name r.PM.detected_pairs (Hashtbl.length classes)
+      forge reloc
+  in
+  analyse "append[cbc0]" append_scheme None;
+  analyse "fixed[eax]" (fixed_scheme ()) (Some PM.extract_fixed_cell);
+  analyse "siv-deterministic" siv_det (Some PM.extract_fixed_cell);
+  row "  shape: SIV-deterministic shows no prefix leak and no forgeries, and its";
+  row "  equality classes collapse the %d cells' duplicates -- the searchability"
+    (List.length w);
+  row "  the analysed scheme's determinism assumption was after, bought at the";
+  row "  price of within-column relocation (cross-column moves still rejected)."
+
+(* ---------------------------------------------------------------- EXP16 *)
+
+let exp16 ~fast =
+  header "EXP16  Substrate throughput (bechamel): primitives underpinning EXP9";
+  let open Bechamel in
+  let blk = String.make 16 'b' in
+  let msg = String.make 4096 'm' in
+  let des = Secdb_cipher.Des.cipher ~key:(String.make 8 'k') in
+  let des3 = Secdb_cipher.Des3.cipher ~key:(String.make 24 'k') in
+  let tests =
+    [
+      Test.make ~name:"aes128-byte/block" (Staged.stage (fun () -> ignore (aes.encrypt blk)));
+      Test.make ~name:"aes128-ttable/block"
+        (Staged.stage (fun () -> ignore (aes_fast.encrypt blk)));
+      Test.make ~name:"des/block"
+        (Staged.stage (fun () -> ignore (des.Secdb_cipher.Block.encrypt (String.make 8 'p'))));
+      Test.make ~name:"3des/block"
+        (Staged.stage (fun () -> ignore (des3.Secdb_cipher.Block.encrypt (String.make 8 'p'))));
+      Test.make ~name:"sha1/4KiB" (Staged.stage (fun () -> ignore (Secdb_hash.Sha1.digest msg)));
+      Test.make ~name:"sha256/4KiB"
+        (Staged.stage (fun () -> ignore (Secdb_hash.Sha256.digest msg)));
+      Test.make ~name:"md5/4KiB" (Staged.stage (fun () -> ignore (Secdb_hash.Md5.digest msg)));
+      Test.make ~name:"cmac/4KiB"
+        (Staged.stage (fun () -> ignore (Secdb_mac.Cmac.mac aes_fast msg)));
+      Test.make ~name:"pmac/4KiB"
+        (Staged.stage (fun () -> ignore (Secdb_mac.Pmac.mac aes_fast msg)));
+      Test.make ~name:"hmac-sha256/4KiB"
+        (Staged.stage (fun () ->
+             ignore (Secdb_hash.Hmac.mac Secdb_hash.Hmac.sha256 ~key:"k" msg)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"prim" tests in
+  let quota = if fast then 0.05 else 0.2 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        match Analyze.OLS.estimates o with Some [ ns ] -> (name, ns) :: acc | _ -> acc)
+      results []
+  in
+  row "  %-28s %14s" "primitive" "ns/op";
+  List.iter (fun (name, ns) -> row "  %-28s %14.0f" name ns) (List.sort compare rows);
+  row "  (the T-table AES is what the Encdb layer uses; the byte-wise reference";
+  row "   exists for cross-checking and the S-box derivation)"
+
+(* ---------------------------------------------------------------- EXP17 *)
+
+let exp17 ~fast =
+  header "EXP17  Padding-oracle decryption of CBC cells (Vaudenay 2002)";
+  row "  the Append-Scheme's failures are distinguishable (bad padding vs bad";
+  row "  address checksum): that alone decrypts every cell without the key";
+  let scheme = Secdb_schemes.Cell_append.make ~e:(Einst.cbc_zero_iv aes_fast) ~mu in
+  let addr = Address.v ~table:1 ~row:7 ~col:0 in
+  let secret =
+    if fast then "short secret....."
+    else "attn: patient is allergic to penicillin -- do not administer"
+  in
+  let ct = Secdb_schemes.Cell_scheme.encrypt scheme addr secret in
+  let calls = ref 0 in
+  let base = Secdb_attacks.Padding_oracle.oracle_of_scheme scheme addr in
+  let oracle c = incr calls; base c in
+  (match Secdb_attacks.Padding_oracle.decrypt_ciphertext ~oracle ~block:16 ct with
+  | Some plain ->
+      row "  recovered %d bytes with %d oracle calls; exact=%b (mu recovered too=%b)"
+        (String.length secret) !calls
+        (Xbytes.take (String.length secret) plain = secret)
+        (Xbytes.take 16 (Xbytes.drop (String.length secret) plain) = mu.Address.digest addr)
+  | None -> row "  attack failed (unexpected)");
+  let fixed = fixed_scheme () in
+  let rng = Rng.create ~seed:117L () in
+  row "  oracle exists: broken=%b, fixed=%b (AEAD returns one undistinguished error)"
+    (Secdb_attacks.Padding_oracle.oracle_exists scheme addr ~trials:300 ~rng)
+    (Secdb_attacks.Padding_oracle.oracle_exists fixed addr ~trials:300 ~rng)
+
+(* ---------------------------------------------------------------- EXP18 *)
+
+let exp18 ~fast =
+  header "EXP18  Chosen-record dictionary attack on deterministic cells";
+  let n = if fast then 20 else 100 in
+  let rng = Rng.create ~seed:118L () in
+  let universe =
+    Array.init 40 (fun i -> Printf.sprintf "candidate value %02d %s" i (Rng.ascii rng 20))
+  in
+  let victims = List.init n (fun row -> (row, Rng.pick rng universe)) in
+  let candidates = Array.to_list universe in
+  let run name scheme extract =
+    let r =
+      Secdb_attacks.Dictionary.attack ~scheme ?extract ~block:16 ~table:1 ~col:0 ~candidates
+        ~victims n
+    in
+    row "  %-28s recovered %d/%d victims with %d injected records" name
+      (List.length r.Secdb_attacks.Dictionary.recovered)
+      n r.Secdb_attacks.Dictionary.injected
+  in
+  run "append[cbc0]" append_scheme None;
+  run "fixed[eax]" (fixed_scheme ()) (Some PM.extract_fixed_cell);
+  row "  shape: no distributional knowledge needed -- determinism plus the power";
+  row "  to insert rows recovers every guessable value exactly."
+
+(* ---------------------------------------------------------------- EXP19 *)
+
+let exp19 ~fast =
+  header "EXP19  Ablation: bulk loading vs incremental index construction";
+  row "  codec operations to index an existing column of n rows:";
+  let sizes = if fast then [ 500; 2000 ] else [ 1000; 10_000; 50_000 ] in
+  row "  %8s %22s %22s" "n" "incremental (ops)" "bulk (ops)";
+  List.iter
+    (fun n ->
+      let rng = Rng.create ~seed:119L () in
+      let values = List.init n (fun i -> (Value.Int (Int64.of_int (Rng.int rng n)), i)) in
+      let count f =
+        let wrapped, counters = Secdb_index.Codec_instr.wrap B.plain_codec in
+        f wrapped;
+        counters.Secdb_index.Codec_instr.encodes + counters.Secdb_index.Codec_instr.decodes
+      in
+      let inc =
+        count (fun codec ->
+            let t = B.create ~order:8 ~id:1 ~codec () in
+            List.iter (fun (v, r) -> B.insert t v ~table_row:r) values)
+      in
+      let sorted = List.stable_sort (fun (a, _) (b, _) -> Value.compare a b) values in
+      let bulk = count (fun codec -> ignore (B.bulk_load ~order:8 ~id:1 ~codec sorted)) in
+      row "  %8d %17d %4.1f/n %17d %4.1f/n" n inc
+        (float_of_int inc /. float_of_int n)
+        bulk
+        (float_of_int bulk /. float_of_int n))
+    sizes;
+  row "  shape: bulk loading costs exactly one encode per entry; incremental";
+  row "  construction pays O(log n) decodes per insert plus split re-encoding --";
+  row "  which is why Encdb.create_index decrypts, sorts, and bulk-loads."
+
+(* ---------------------------------------------------------------- EXP20 *)
+
+let exp20 ~fast =
+  header "EXP20  Residual leak of the FIX: structure-preserving indexes leak order";
+  row "  a persistent adversary snapshots the (AEAD-protected) index around each";
+  row "  insert; the new entry's leaf-chain position is its rank among all values";
+  let n0 = if fast then 200 else 1000 in
+  let watches = if fast then 25 else 100 in
+  let range = 10_000 in
+  let rng = Rng.create ~seed:120L () in
+  let codec =
+    Secdb_schemes.Fixed_index.codec ~aead:(Secdb_aead.Eax.make aes_fast)
+      ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+      ~indexed_table:1 ~indexed_col:0 ()
+  in
+  let tree = B.create ~order:4 ~id:1000 ~codec () in
+  for i = 0 to n0 - 1 do
+    B.insert tree (Value.Int (Int64.of_int (Rng.int rng range))) ~table_row:i
+  done;
+  let errs = ref [] and missed = ref 0 in
+  for i = 0 to watches - 1 do
+    let secret = Rng.int rng range in
+    let before = B.snapshot tree in
+    B.insert tree (Value.Int (Int64.of_int secret)) ~table_row:(n0 + i);
+    (match Secdb_attacks.Structure_leak.observe_insert ~before ~after:(B.snapshot tree) with
+    | Some obs ->
+        let est =
+          Secdb_attacks.Structure_leak.estimate_uniform obs ~lo:0.0 ~hi:(float_of_int range)
+        in
+        errs := Float.abs (est -. float_of_int secret) :: !errs
+    | None -> incr missed)
+  done;
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (max 1 (List.length l)) in
+  row "  backdrop %d entries, %d watched inserts: all observed=%b" n0 watches (!missed = 0);
+  row "  mean |estimate - secret| = %.0f of range %d (blind guessing: ~%d)"
+    (mean !errs) range (range / 4);
+  row "  shape: AEAD protects contents and positions, but the paper's own design";
+  row "  goal -- \"preserve the structure of the index\" -- hands a persistent";
+  row "  adversary the rank of every inserted value.  Fixing THIS needs structure";
+  row "  hiding (oblivious indexes), outside the paper's design space."
+
+(* ---------------------------------------------------------------- EXP21 *)
+
+let exp21 ~fast =
+  header "EXP21  Leakage in one number: held-out guessing accuracy";
+  row "  adversary guesses a cell's value from its stored bytes (leading block),";
+  row "  majority rule trained on half the cells, evaluated on the other half";
+  let n = if fast then 200 else 1000 in
+  let rng = Rng.create ~seed:121L () in
+  let universe =
+    Array.init 8 (fun i -> Printf.sprintf "value %d %s" i (String.make 24 (Char.chr (65 + i))))
+  in
+  (* zipf-ish skew so the baseline is non-trivial *)
+  let secrets = List.init n (fun _ -> universe.(Dist.zipf rng ~n:8 ~s:1.0)) in
+  let k2 = Secdb_cipher.Aes_fast.cipher ~key:key_mac in
+  let siv_det =
+    Secdb_schemes.Fixed_cell.make
+      ~ad_of:(fun addr ->
+        Xbytes.int_to_be_string ~width:8 addr.Address.table
+        ^ Xbytes.int_to_be_string ~width:8 addr.Address.col)
+      ~aead:(Secdb_aead.Siv.make k2 aes_fast)
+      ~nonce:(Secdb_aead.Nonce.fixed (String.make 16 '\000'))
+      ()
+  in
+  let observables scheme extract =
+    List.mapi
+      (fun row secret ->
+        let ct = scheme.Secdb_schemes.Cell_scheme.encrypt (Address.v ~table:1 ~row ~col:0) secret in
+        (Xbytes.take 16 (match extract with Some f -> f ct | None -> ct), secret))
+      secrets
+  in
+  let h = Secdb_attacks.Leakage.entropy_of_counts
+      (List.map snd (Dist.histogram (List.map Hashtbl.hash secrets)))
+  in
+  row "  secret entropy H = %.2f bits over %d cells; baseline accuracy %.2f" h n
+    (Secdb_attacks.Leakage.baseline ~secrets);
+  let run name scheme extract =
+    let acc =
+      Secdb_attacks.Leakage.guessing_accuracy ~pairs:(observables scheme extract)
+        (Rng.create ~seed:122L ())
+    in
+    row "  %-28s accuracy %.2f" name acc
+  in
+  run "append[cbc0]" append_scheme None;
+  run "fixed[eax]" (fixed_scheme ()) (Some PM.extract_fixed_cell);
+  run "siv-deterministic" siv_det (Some PM.extract_fixed_cell);
+  row "  shape: the broken scheme is fully predictable (acc ~ 1.0); the";
+  row "  randomised fix collapses to the baseline; deterministic SIV equals the";
+  row "  broken scheme's EQUALITY leak (acc ~ 1.0 here) while stopping every";
+  row "  forgery -- the quantified version of EXP15's trade."
+
+(* ---------------------------------------------------------------- EXP22 *)
+
+let exp22 ~fast =
+  header "EXP22  Suppression/rollback: the gap above per-cell AEAD, and the anchor";
+  let n = if fast then 50 else 500 in
+  let db = Secdb.Encdb.create ~master:"anchor" ~profile:(Secdb.Encdb.Fixed Secdb.Encdb.Eax) () in
+  Secdb.Encdb.create_table db
+    (Secdb_db.Schema.v ~table_name:"t"
+       [
+         Secdb_db.Schema.column ~protection:Secdb_db.Schema.Clear "id" Value.Kint;
+         Secdb_db.Schema.column "v" Value.Ktext;
+       ]);
+  for i = 0 to n - 1 do
+    ignore
+      (Secdb.Encdb.insert db ~table:"t"
+         [ Value.Int (Int64.of_int i); Value.Text (Printf.sprintf "v%04d" i) ])
+  done;
+  Secdb.Encdb.create_index db ~table:"t" ~col:"v";
+  let anchor = Secdb.Encdb.digest db in
+  (* adversary suppresses a row + its index entry directly in storage *)
+  Secdb_query.Encrypted_table.delete_row (Secdb.Encdb.table db "t") ~row:(n / 2);
+  ignore
+    (B.delete (Secdb.Encdb.index db ~table:"t" ~col:"v")
+       (Value.Text (Printf.sprintf "v%04d" (n / 2)))
+       ~table_row:(n / 2));
+  let victim =
+    match Secdb.Encdb.select_eq db ~table:"t" ~col:"v" (Value.Text (Printf.sprintf "v%04d" (n / 2))) with
+    | Ok rows -> List.length rows
+    | Error _ -> -1
+  in
+  let others =
+    match Secdb.Encdb.select_eq db ~table:"t" ~col:"v" (Value.Text "v0001") with
+    | Ok rows -> List.length rows
+    | Error _ -> -1
+  in
+  row "  after suppressing one row: victim's record found %d time(s), other queries" victim;
+  row "  answer normally (%d result) -- every surviving cell still verifies." others;
+  row "  Merkle anchor (32 bytes kept with the master key): match=%b -> DETECTED"
+    (Secdb.Encdb.digest db = anchor);
+  row "  shape: per-cell authentication cannot see deletion or rollback; a";
+  row "  constant-size out-of-band digest over the stored representation can."
+
+(* ---------------------------------------------------------------- EXP23 *)
+
+let exp23 ~fast =
+  header "EXP23  Deployment trade-off: keys at the server vs the client walk";
+  row "  the paper's model hands keys to the DBMS for the session (one round per";
+  row "  query, server does all crypto); Remark 1 keeps keys at the client";
+  let n = if fast then 2_000 else 10_000 in
+  let ncols = 3 in
+  (* component-level build with instrumented codec and cell scheme *)
+  let codec, codec_counters =
+    Secdb_index.Codec_instr.wrap
+      (Secdb_schemes.Fixed_index.codec ~aead:(Secdb_aead.Eax.make aes_fast)
+         ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+         ~indexed_table:1 ~indexed_col:1 ())
+  in
+  let cell_decrypts = ref 0 in
+  let base_scheme =
+    Secdb_schemes.Fixed_cell.make ~aead:(Secdb_aead.Eax.make aes_fast)
+      ~nonce:(Secdb_aead.Nonce.counter ~size:16 ~start:1_000_000 ())
+      ()
+  in
+  let scheme =
+    {
+      base_scheme with
+      Secdb_schemes.Cell_scheme.decrypt =
+        (fun addr ct ->
+          incr cell_decrypts;
+          base_scheme.Secdb_schemes.Cell_scheme.decrypt addr ct);
+    }
+  in
+  let schema =
+    Secdb_db.Schema.v ~table_name:"t"
+      [
+        Secdb_db.Schema.column ~protection:Secdb_db.Schema.Clear "id" Value.Kint;
+        Secdb_db.Schema.column "k" Value.Kint;
+        Secdb_db.Schema.column "v" Value.Ktext;
+      ]
+  in
+  let tbl = Secdb_query.Encrypted_table.create ~id:1 schema ~scheme:(fun _ -> scheme) in
+  let rng = Rng.create ~seed:123L () in
+  let entries = ref [] in
+  for i = 0 to n - 1 do
+    let k = Rng.int rng n in
+    ignore
+      (Secdb_query.Encrypted_table.insert tbl
+         [ Value.Int (Int64.of_int i); Value.Int (Int64.of_int k); Value.Text (Rng.ascii rng 24) ]);
+    entries := (Value.Int (Int64.of_int k), i) :: !entries
+  done;
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> Value.compare a b) !entries in
+  let tree = B.bulk_load ~order:8 ~id:1000 ~codec sorted in
+  let lo = Value.Int (Int64.of_int (n / 4)) and hi = Value.Int (Int64.of_int (n / 4 + n / 20)) in
+  (* --- server-side: one request, one response with decrypted rows --- *)
+  Secdb_index.Codec_instr.reset codec_counters;
+  cell_decrypts := 0;
+  let results =
+    match Secdb_query.Walker.range tree ~mode:Secdb_query.Walker.Corrected ~lo ~hi () with
+    | Ok a -> a.Secdb_query.Walker.results
+    | Error e -> failwith e
+  in
+  let response_bytes =
+    List.fold_left
+      (fun acc (_, r) ->
+        List.fold_left
+          (fun acc c ->
+            acc + String.length (Value.encode (Secdb_query.Encrypted_table.get_exn tbl ~row:r ~col:c)))
+          acc
+          [ 0; 1; 2 ])
+      0 results
+  in
+  let server_ops = codec_counters.Secdb_index.Codec_instr.decodes + !cell_decrypts in
+  row "  %-14s %8s %14s %12s %12s" "mode" "rounds" "bytes->client" "server-ops" "client-ops";
+  row "  %-14s %8d %14d %12d %12d" "server-side" 2 response_bytes server_ops 0;
+  (* --- client walk: log-many rounds, zero server crypto --- *)
+  Secdb_index.Codec_instr.reset codec_counters;
+  cell_decrypts := 0;
+  let results', stats = CW.range tree ~lo ~hi () in
+  let fetch_rounds = ref 0 and fetch_bytes = ref 0 in
+  List.iter
+    (fun (_, r) ->
+      incr fetch_rounds;
+      for c = 0 to ncols - 1 do
+        match Secdb_query.Encrypted_table.raw_ciphertext tbl ~row:r ~col:c with
+        | Some ct ->
+            fetch_bytes := !fetch_bytes + String.length ct;
+            (* the client decrypts the fetched cell *)
+            ignore (Secdb_query.Encrypted_table.get_exn tbl ~row:r ~col:c)
+        | None -> fetch_bytes := !fetch_bytes + 9 (* clear int cell on the wire *)
+      done)
+    results';
+  let client_ops = codec_counters.Secdb_index.Codec_instr.decodes + !cell_decrypts in
+  row "  %-14s %8d %14d %12d %12d" "client-walk"
+    (stats.CW.rounds + !fetch_rounds)
+    (stats.CW.bytes_to_client + !fetch_bytes)
+    0 client_ops;
+  row "  (query: k in [%d, %d], %d results over %d rows; identical answers=%b)"
+    (n / 4) (n / 4 + n / 20) (List.length results) n (results = results');
+  row "  shape: handing keys to the server buys a 2-message protocol at the cost";
+  row "  of trusting it; the client walk trades ~log N + k extra rounds and raw";
+  row "  ciphertext on the wire for a server that never holds a key -- the";
+  row "  paper's Remark 1, quantified."
+
+(* ---------------------------------------------------------------- EXP24 *)
+
+let exp24 ~fast =
+  header "EXP24  Buffer-pool behaviour of encrypted index traversals";
+  row "  index nodes stored one-per-page; random lookups replayed through an";
+  row "  LRU buffer pool of varying capacity";
+  let n = if fast then 3_000 else 20_000 in
+  let queries = if fast then 500 else 3_000 in
+  row "  %6s %8s %12s %14s %12s" "d" "cache" "hit-rate" "disk-reads" "pages";
+  List.iter
+    (fun order ->
+      let codec =
+        Secdb_schemes.Fixed_index.codec ~aead:(Secdb_aead.Eax.make aes_fast)
+          ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+          ~indexed_table:1 ~indexed_col:0 ()
+      in
+      let rng = Rng.create ~seed:124L () in
+      let entries =
+        List.init n (fun i -> (Value.Int (Int64.of_int (Rng.int rng n)), i))
+        |> List.stable_sort (fun (a, _) (b, _) -> Value.compare a b)
+      in
+      let tree = B.bulk_load ~order ~id:1000 ~codec entries in
+      (* lay every node out on its own page *)
+      let path = Filename.concat (Filename.get_temp_dir_name ()) "secdb_exp24.pg" in
+      List.iter
+        (fun cache_pages ->
+          let pager =
+            Secdb_storage.Pager.create ~path ~page_size:4096 ~cache_pages ()
+          in
+          let page_of = Hashtbl.create 256 in
+          B.iter_nodes
+            (fun v ->
+              let page = Secdb_storage.Pager.alloc pager in
+              Secdb_storage.Pager.write pager page (String.make 64 'n');
+              Hashtbl.replace page_of v.B.row page)
+            tree;
+          Secdb_storage.Pager.flush pager;
+          Secdb_storage.Pager.reset_stats pager;
+          let qrng = Rng.create ~seed:125L () in
+          for _ = 1 to queries do
+            let probe = Value.Int (Int64.of_int (Rng.int qrng n)) in
+            List.iter
+              (fun node_row ->
+                ignore (Secdb_storage.Pager.read pager (Hashtbl.find page_of node_row)))
+              (B.path_to tree probe)
+          done;
+          let st = Secdb_storage.Pager.stats pager in
+          let total = st.Secdb_storage.Pager.cache_hits + st.Secdb_storage.Pager.cache_misses in
+          row "  %6d %8d %11.1f%% %14d %12d" order cache_pages
+            (100.0 *. float_of_int st.Secdb_storage.Pager.cache_hits /. float_of_int total)
+            st.Secdb_storage.Pager.disk_reads (B.nnodes tree);
+          Secdb_storage.Pager.close pager)
+        (if fast then [ 8; 128 ] else [ 8; 64; 512 ]))
+    (if fast then [ 4; 64 ] else [ 4; 16; 64 ]);
+  row "  shape: the classic B+-tree result, unchanged by encryption: fan-out";
+  row "  shrinks both the page count and the working set, so a small pool";
+  row "  already captures the root and inner levels; leaves dominate misses."
+
+(* ---------------------------------------------------------------- EXP25 *)
+
+let exp25 ~fast =
+  header "EXP25  The Ref_I gap: unauthenticated structure changes query answers";
+  let n = if fast then 300 else 2000 in
+  let build () =
+    let codec =
+      Secdb_schemes.Fixed_index.codec ~aead:(Secdb_aead.Eax.make aes_fast)
+        ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+        ~indexed_table:1 ~indexed_col:0 ()
+    in
+    let tree = B.create ~order:4 ~id:1000 ~codec () in
+    for i = 0 to n - 1 do
+      B.insert tree (Value.Int (Int64.of_int i)) ~table_row:i
+    done;
+    tree
+  in
+  let count_found tree =
+    let found = ref 0 in
+    for probe = 0 to n - 1 do
+      match Secdb_query.Walker.equal tree ~mode:Secdb_query.Walker.Corrected
+              (Value.Int (Int64.of_int probe)) with
+      | Ok a when List.length a.Secdb_query.Walker.results = 1 -> incr found
+      | Ok _ | Error _ -> ()
+    done;
+    !found
+  in
+  let tree = build () in
+  let anchor = Secdb_storage.Merkle.root (Secdb_storage.Storage.index_leaves tree) in
+  row "  baseline: %d/%d point lookups answered correctly (fixed AEAD index)"
+    (count_found tree) n;
+  ignore (Secdb_attacks.Ref_tamper.swap_root_children tree);
+  let after_swap = count_found tree in
+  let detected = ref 0 in
+  for probe = 0 to n - 1 do
+    match Secdb_query.Walker.equal tree ~mode:Secdb_query.Walker.Corrected
+            (Value.Int (Int64.of_int probe)) with
+    | Error _ -> incr detected
+    | Ok _ -> ()
+  done;
+  row "  after swapping the root's first two child pointers (no authenticated";
+  row "  byte touched):";
+  row "    correct answers %d/%d, integrity errors raised: %d" after_swap n !detected;
+  let tree2 = build () in
+  ignore (Secdb_attacks.Ref_tamper.cut_leaf_chain tree2);
+  let full =
+    match Secdb_query.Walker.range tree2 ~mode:Secdb_query.Walker.Corrected () with
+    | Ok a -> List.length a.Secdb_query.Walker.results
+    | Error _ -> -1
+  in
+  row "  after cutting one sibling link: full range scan silently returns %d/%d" full n;
+  row "  the Merkle anchor still catches both: match=%b"
+    (Secdb_storage.Merkle.root (Secdb_storage.Storage.index_leaves tree) = anchor);
+  row "  shape: [12] names Ref_I in its MAC but no implementable scheme (nor the";
+  row "  paper's fix) can authenticate references that rebalancing rewrites";
+  row "  without re-MACing whole nodes; structure needs its own integrity story";
+  row "  (the EXP22 anchor, or authenticated data structures)."
+
+(* ------------------------------------------------------------------ cli *)
+
+let experiments =
+  [
+    ("EXP1", exp1); ("EXP2", exp2); ("EXP3", exp3); ("EXP4", exp4); ("EXP5", exp5);
+    ("EXP6", exp6); ("EXP7", exp7); ("EXP8", exp8); ("EXP9", exp9); ("EXP10", exp10);
+    ("EXP11", exp11); ("EXP12", exp12); ("EXP13", exp13); ("EXP14", exp14);
+    ("EXP15", exp15); ("EXP16", exp16); ("EXP17", exp17); ("EXP18", exp18);
+    ("EXP19", exp19); ("EXP20", exp20); ("EXP21", exp21); ("EXP22", exp22);
+    ("EXP23", exp23); ("EXP24", exp24); ("EXP25", exp25);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let fast = List.mem "--fast" args in
+  if List.mem "--list" args then
+    List.iter (fun (name, _) -> print_endline name) experiments
+  else begin
+    let only =
+      let rec find = function
+        | "--only" :: x :: _ -> Some (String.uppercase_ascii x)
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find args
+    in
+    let selected =
+      match only with
+      | None -> experiments
+      | Some name -> List.filter (fun (n, _) -> n = name) experiments
+    in
+    if selected = [] then begin
+      prerr_endline "unknown experiment; use --list";
+      exit 1
+    end;
+    Printf.printf "secdb experiment harness -- reproducing Kuehn (SDM@VLDB 2006)%s\n"
+      (if fast then " [fast mode]" else "");
+    List.iter (fun (_, f) -> f ~fast) selected
+  end

@@ -1,0 +1,16 @@
+  $ secdb_cli encrypt "hello world" -p elovici-append -t 2 -r 7 -c 1
+  $ secdb_cli decrypt $(secdb_cli encrypt "hello world" -p elovici-append -t 2 -r 7 -c 1 | grep stored | cut -d' ' -f3) -p elovici-append -t 2 -r 7 -c 1
+  $ secdb_cli decrypt $(secdb_cli encrypt "hello world" -p elovici-append -t 2 -r 7 -c 1 | grep stored | cut -d' ' -f3) -p elovici-append -t 2 -r 8 -c 1
+  $ secdb_cli decrypt $(secdb_cli encrypt "top secret" -p fixed-eax -t 1 -r 0 -c 0 | grep stored | cut -d' ' -f3) -p fixed-eax -t 1 -r 0 -c 0
+  $ secdb_cli attack A3
+  $ secdb_cli mu -t 1 -r 2 -c 3
+  $ secdb_cli profiles
+  $ secdb_cli sql -e "CREATE TABLE t (id INT CLEAR, v TEXT)"
+  $ cat > script.sql <<'SQL'
+  > CREATE TABLE ledger (id INT CLEAR, amount INT);
+  > INSERT INTO ledger VALUES (0, 120);
+  > INSERT INTO ledger VALUES (1, 80);
+  > CREATE INDEX ON ledger (amount);
+  > SELECT count(*), sum(amount) FROM ledger WHERE amount >= 100;
+  > SQL
+  $ secdb_cli sql -f script.sql | tail -4

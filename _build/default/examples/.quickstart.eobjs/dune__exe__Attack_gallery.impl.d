@@ -1,0 +1,1 @@
+examples/attack_gallery.ml: Array Int64 List Printf Rng Secdb_aead Secdb_attacks Secdb_cipher Secdb_db Secdb_index Secdb_query Secdb_schemes Secdb_util String Xbytes

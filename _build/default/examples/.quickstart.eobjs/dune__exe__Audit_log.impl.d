@@ -1,0 +1,1 @@
+examples/audit_log.ml: Bytes Char Encdb Filename In_channel Int64 Oplog Out_channel Printf Secdb Secdb_aead Secdb_cipher Secdb_db Secdb_util String

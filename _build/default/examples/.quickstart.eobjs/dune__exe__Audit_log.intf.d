@@ -1,0 +1,1 @@
+examples/audit_log.mli:

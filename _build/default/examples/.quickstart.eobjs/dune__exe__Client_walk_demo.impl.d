@@ -1,0 +1,1 @@
+examples/client_walk_demo.ml: Int64 List Printf Secdb_aead Secdb_cipher Secdb_db Secdb_index Secdb_schemes String

@@ -1,0 +1,1 @@
+examples/client_walk_demo.mli:

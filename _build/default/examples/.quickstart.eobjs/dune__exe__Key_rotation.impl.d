@@ -1,0 +1,1 @@
+examples/key_rotation.ml: Encdb Filename Int64 Option Printf Secdb Secdb_db Secdb_query

@@ -1,0 +1,1 @@
+examples/key_rotation.mli:

@@ -1,0 +1,1 @@
+examples/medical_records.ml: Array Encdb Hashtbl Int64 List Printf Secdb Secdb_db Secdb_query Secdb_util

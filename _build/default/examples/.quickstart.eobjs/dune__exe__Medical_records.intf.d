@@ -1,0 +1,1 @@
+examples/medical_records.mli:

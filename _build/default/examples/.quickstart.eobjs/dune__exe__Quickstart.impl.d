@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Encdb Int64 List Printf Secdb Secdb_db Secdb_query

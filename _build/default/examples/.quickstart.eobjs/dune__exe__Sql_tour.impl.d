@@ -1,0 +1,1 @@
+examples/sql_tour.ml: Array Encdb Fmt List Printf Secdb Secdb_index Secdb_sql

@@ -1,0 +1,69 @@
+(* Audit log and disaster recovery.
+
+   Mutations stream into an encrypted, replay-protected operation log; the
+   32-byte Merkle anchor plus the log's record count are the only things
+   the operator keeps out of band (next to the master key).  The demo
+   destroys the primary, rebuilds it from the log, and then shows that a
+   doctored log does not replay.
+
+   Run with:  dune exec examples/audit_log.exe *)
+
+open Secdb
+module Value = Secdb_db.Value
+module Schema = Secdb_db.Schema
+
+let log_path = Filename.concat (Filename.get_temp_dir_name ()) "secdb_audit.log"
+
+let log_aead = Secdb_aead.Eax.make (Secdb_cipher.Aes_fast.cipher ~key:(String.make 16 'A'))
+
+let schema =
+  Schema.v ~table_name:"ledger"
+    [
+      Schema.column ~protection:Schema.Clear "id" Value.Kint;
+      Schema.column "entry" Value.Ktext;
+    ]
+
+let fresh () =
+  let db = Encdb.create ~master:"ledger master" ~profile:(Encdb.Fixed Encdb.Eax) () in
+  Encdb.create_table db schema;
+  Encdb.create_index db ~table:"ledger" ~col:"entry";
+  db
+
+let () =
+  let db = fresh () in
+  let w = Oplog.create ~path:log_path ~aead:log_aead ~nonce:(Secdb_aead.Nonce.counter ~size:16 ()) in
+  let mutate op =
+    (match Oplog.apply db op with Ok () -> () | Error e -> failwith e);
+    ignore (Oplog.append w op)
+  in
+  for i = 0 to 9 do
+    mutate (Oplog.Insert { table = "ledger";
+                           values = [ Value.Int (Int64.of_int i);
+                                      Value.Text (Printf.sprintf "entry %02d" i) ] })
+  done;
+  mutate (Oplog.Update { table = "ledger"; row = 3; col = "entry"; value = Value.Text "amended" });
+  mutate (Oplog.Delete { table = "ledger"; row = 8 });
+  let expected_count = Oplog.count w in
+  Oplog.close w;
+  Printf.printf "out-of-band state: %d log records, anchor %s...\n" expected_count
+    (String.sub (Secdb_util.Xbytes.to_hex (Encdb.digest db)) 0 16);
+
+  (* the primary burns down; rebuild from the log alone *)
+  let recovered = fresh () in
+  (match Oplog.replay_into recovered ~path:log_path ~aead:log_aead with
+  | Ok n when n = expected_count -> Printf.printf "recovered: replayed %d operations\n" n
+  | Ok n -> Printf.printf "SUSPICIOUS: log holds %d records, expected %d\n" n expected_count
+  | Error e -> Printf.printf "replay refused: %s\n" e);
+  (match Encdb.select_eq recovered ~table:"ledger" ~col:"entry" (Value.Text "amended") with
+  | Ok [ (3, _) ] -> print_endline "recovered database answers correctly"
+  | _ -> print_endline "UNEXPECTED recovery state");
+
+  (* an auditor-forger edits one byte of the log *)
+  let data = In_channel.with_open_bin log_path In_channel.input_all in
+  let b = Bytes.of_string data in
+  let pos = Bytes.length b / 2 in
+  Bytes.set b pos (Char.chr (Char.code data.[pos] lxor 0x80));
+  Out_channel.with_open_bin log_path (fun oc -> Out_channel.output_bytes oc b);
+  match Oplog.replay ~path:log_path ~aead:log_aead with
+  | Error e -> Printf.printf "tampered log rejected: %s\n" e
+  | Ok _ -> print_endline "UNEXPECTED: tampered log replayed"

@@ -1,0 +1,1 @@
+lib/aead/aead.mli:

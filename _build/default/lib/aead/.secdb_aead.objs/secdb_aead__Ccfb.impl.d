@@ -1,0 +1,1 @@
+lib/aead/ccfb.ml: Aead Buffer List Printf Secdb_cipher Secdb_mac Secdb_util String Xbytes

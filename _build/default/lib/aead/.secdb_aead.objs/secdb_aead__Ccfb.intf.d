@@ -1,0 +1,1 @@
+lib/aead/ccfb.mli: Aead Secdb_cipher

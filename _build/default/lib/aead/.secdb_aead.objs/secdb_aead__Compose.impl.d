@@ -1,0 +1,1 @@
+lib/aead/compose.ml: Aead Printf Secdb_cipher Secdb_hash Secdb_mac Secdb_modes Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+lib/aead/compose.mli: Aead Secdb_cipher

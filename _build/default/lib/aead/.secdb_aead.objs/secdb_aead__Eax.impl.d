@@ -1,0 +1,1 @@
+lib/aead/eax.ml: Aead Option Printf Secdb_cipher Secdb_mac Secdb_modes Secdb_util Xbytes

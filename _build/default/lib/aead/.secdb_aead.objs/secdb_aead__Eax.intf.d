@@ -1,0 +1,1 @@
+lib/aead/eax.mli: Aead Secdb_cipher

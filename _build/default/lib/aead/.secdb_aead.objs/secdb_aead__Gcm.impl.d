@@ -1,0 +1,1 @@
+lib/aead/gcm.ml: Aead Bytes Char Int64 List Printf Secdb_cipher Secdb_util String Xbytes

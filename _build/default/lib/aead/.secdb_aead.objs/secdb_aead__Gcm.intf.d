@@ -1,0 +1,1 @@
+lib/aead/gcm.mli: Aead Secdb_cipher

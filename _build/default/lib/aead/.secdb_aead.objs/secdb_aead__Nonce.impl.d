@@ -1,0 +1,1 @@
+lib/aead/nonce.ml: Secdb_util

@@ -1,0 +1,1 @@
+lib/aead/nonce.mli: Secdb_util

@@ -1,0 +1,1 @@
+lib/aead/ocb.ml: Aead Buffer Option Printf Secdb_cipher Secdb_mac Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+lib/aead/ocb.mli: Aead Secdb_cipher

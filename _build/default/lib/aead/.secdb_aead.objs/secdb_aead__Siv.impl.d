@@ -1,0 +1,1 @@
+lib/aead/siv.ml: Aead Bytes Char List Printf Secdb_cipher Secdb_mac Secdb_modes Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+lib/aead/siv.mli: Aead Secdb_cipher

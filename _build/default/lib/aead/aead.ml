@@ -1,0 +1,31 @@
+type invalid = Invalid
+
+type t = {
+  name : string;
+  nonce_size : int;
+  tag_size : int;
+  expansion : int;
+  encrypt : nonce:string -> ad:string -> string -> string * string;
+  decrypt : nonce:string -> ad:string -> tag:string -> string -> (string, invalid) result;
+}
+
+let check_nonce t nonce =
+  if String.length nonce <> t.nonce_size then
+    invalid_arg
+      (Printf.sprintf "%s: nonce must be %d bytes, got %d" t.name t.nonce_size
+         (String.length nonce))
+
+let encrypt t ~nonce ~ad m =
+  check_nonce t nonce;
+  t.encrypt ~nonce ~ad m
+
+let decrypt t ~nonce ~ad ~tag c =
+  if String.length nonce <> t.nonce_size || String.length tag <> t.tag_size then Error Invalid
+  else t.decrypt ~nonce ~ad ~tag c
+
+let decrypt_exn t ~nonce ~ad ~tag c =
+  match decrypt t ~nonce ~ad ~tag c with
+  | Ok m -> m
+  | Error Invalid -> failwith (t.name ^ ": AEAD decryption failed (invalid)")
+
+let stored_overhead t = t.nonce_size + t.tag_size + t.expansion

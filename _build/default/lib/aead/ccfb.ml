@@ -1,0 +1,58 @@
+open Secdb_util
+
+let payload_bytes_per_block (c : Secdb_cipher.Block.t) = c.block_size - (c.block_size / 4)
+
+let make (c : Secdb_cipher.Block.t) =
+  let bs = c.block_size in
+  if bs < 8 then invalid_arg "Ccfb.make: block size too small";
+  let tau = bs / 4 in
+  let l = bs - tau in
+  (* chain input: l bytes of previous ciphertext (10..0-padded if short)
+     followed by the tau-byte big-endian chunk counter *)
+  let chain_input prev i =
+    let prev_padded =
+      if String.length prev = l then prev
+      else prev ^ "\x80" ^ String.make (l - String.length prev - 1) '\000'
+    in
+    prev_padded ^ Xbytes.int_to_be_string ~width:tau i
+  in
+  let header_tag ad =
+    if ad = "" then String.make tau '\000'
+    else
+      (* domain separation: OMAC over a sentinel block unreachable by chain
+         inputs with fewer than 2^(8*tau - 8) chunks *)
+      let sentinel = String.make (bs - 1) '\xff' ^ "\x03" in
+      Xbytes.take tau (Secdb_mac.Cmac.mac c (sentinel ^ ad))
+  in
+  let core ~nonce ~ad ~decrypting msg =
+    let chunks = if msg = "" then [ "" ] else Xbytes.blocks l msg in
+    let acc_tag = ref (String.make tau '\000') in
+    let out = Buffer.create (String.length msg) in
+    let prev = ref nonce in
+    List.iteri
+      (fun idx chunk ->
+        let z = c.encrypt (chain_input !prev (idx + 1)) in
+        acc_tag := Xbytes.xor_exact !acc_tag (Xbytes.drop l z);
+        let co = Xbytes.xor_exact chunk (Xbytes.take (String.length chunk) z) in
+        Buffer.add_string out co;
+        prev := if decrypting then chunk else co)
+      chunks;
+    let nchunks = List.length chunks in
+    let z_final = c.encrypt (chain_input !prev (nchunks + 1)) in
+    let tag = Xbytes.xor_exact !acc_tag (Xbytes.drop l z_final) in
+    let tag = Xbytes.xor_exact tag (header_tag ad) in
+    (Buffer.contents out, tag)
+  in
+  let encrypt ~nonce ~ad m = core ~nonce ~ad ~decrypting:false m in
+  let decrypt ~nonce ~ad ~tag ct =
+    let pt, expected = core ~nonce ~ad ~decrypting:true ct in
+    if Xbytes.constant_time_equal expected tag then Ok pt else Error Aead.Invalid
+  in
+  {
+    Aead.name = Printf.sprintf "ccfb(%s)" c.name;
+    nonce_size = l;
+    tag_size = tau;
+    expansion = 0;
+    encrypt;
+    decrypt;
+  }

@@ -1,0 +1,60 @@
+open Secdb_util
+
+let frame ~nonce ~ad ct =
+  (* unambiguous concatenation: lengths are encoded *)
+  Xbytes.int_to_be_string ~width:4 (String.length nonce)
+  ^ nonce
+  ^ Xbytes.int_to_be_string ~width:4 (String.length ad)
+  ^ ad ^ ct
+
+let encrypt_then_mac ?(tag_size = 16) ~(cipher : Secdb_cipher.Block.t) ~mac_key () =
+  let hmac = Secdb_hash.Hmac.sha256 in
+  if tag_size < 1 || tag_size > hmac.Secdb_hash.Hmac.digest_size then
+    invalid_arg "Compose.encrypt_then_mac: tag size out of range";
+  (* keystream counter starts at E(nonce): arbitrary distinct nonces then
+     yield disjoint counter ranges except with negligible probability *)
+  let keystream nonce m = Secdb_modes.Mode.ctr_full cipher ~counter0:(cipher.encrypt nonce) m in
+  let encrypt ~nonce ~ad m =
+    let ct = keystream nonce m in
+    let tag = Secdb_hash.Hmac.mac_truncated hmac ~key:mac_key ~bytes:tag_size (frame ~nonce ~ad ct) in
+    (ct, tag)
+  in
+  let decrypt ~nonce ~ad ~tag ct =
+    if Secdb_hash.Hmac.verify hmac ~key:mac_key ~tag (frame ~nonce ~ad ct) then
+      Ok (keystream nonce ct)
+    else Error Aead.Invalid
+  in
+  {
+    Aead.name = Printf.sprintf "etm(ctr-%s,hmac-sha256)" cipher.name;
+    nonce_size = cipher.block_size;
+    tag_size;
+    expansion = 0;
+    encrypt;
+    decrypt;
+  }
+
+let encrypt_and_mac_insecure (c : Secdb_cipher.Block.t) =
+  let bs = c.block_size in
+  let iv = Secdb_cipher.Block.zero_block c in
+  let encrypt ~nonce:_ ~ad m =
+    let ct = Secdb_modes.Mode.cbc_encrypt c ~iv (Secdb_modes.Padding.pad ~block:bs m) in
+    let tag = Secdb_mac.Cmac.mac c (m ^ ad) in
+    (ct, tag)
+  in
+  let decrypt ~nonce:_ ~ad ~tag ct =
+    if String.length ct mod bs <> 0 || ct = "" then Error Aead.Invalid
+    else
+      match Secdb_modes.Padding.unpad ~block:bs (Secdb_modes.Mode.cbc_decrypt c ~iv ct) with
+      | Error _ -> Error Aead.Invalid
+      | Ok m ->
+          if Xbytes.constant_time_equal (Secdb_mac.Cmac.mac c (m ^ ad)) tag then Ok m
+          else Error Aead.Invalid
+  in
+  {
+    Aead.name = Printf.sprintf "eam-insecure(cbc0-%s,omac-same-key)" c.name;
+    nonce_size = bs;
+    tag_size = bs;
+    expansion = bs (* padding can add up to one block *);
+    encrypt;
+    decrypt;
+  }

@@ -1,0 +1,23 @@
+(** Generic compositions of encryption and authentication, after Krawczyk
+    (the paper's reference [6]).
+
+    {!encrypt_then_mac} is the provably sound generic composition: CTR
+    encryption under one key, a MAC over (nonce ∥ ad ∥ ciphertext) under an
+    {e independent} key.
+
+    {!encrypt_and_mac_insecure} is the flawed composition the improved
+    index scheme of [12] instantiates: the MAC is computed over the
+    {e plaintext} (so it can leak plaintext equality) and, in the paper's
+    counter-example, under the {e same key} as the encryption.  It is
+    provided so that the Section 3.3 attack can be demonstrated against a
+    clean, reusable artefact.  Never use it for protection. *)
+
+val encrypt_then_mac :
+  ?tag_size:int -> cipher:Secdb_cipher.Block.t -> mac_key:string -> unit -> Aead.t
+(** CTR + HMAC-SHA256 ([tag_size] defaults to 16 bytes). [mac_key] must be
+    independent of the cipher key. *)
+
+val encrypt_and_mac_insecure : Secdb_cipher.Block.t -> Aead.t
+(** CBC with zero IV under key k, plus OMAC under the {e same} k over
+    (plaintext ∥ ad).  Deterministic (ignores the nonce beyond storing it),
+    leaks equality, and falls to the Section 3.3 interaction attack. *)

@@ -1,0 +1,48 @@
+open Secdb_util
+
+let ctr_full c ~counter0 s = Secdb_modes.Mode.ctr_full c ~counter0 s
+
+let make ?tag_size (c : Secdb_cipher.Block.t) =
+  let tag_size = Option.value tag_size ~default:c.block_size in
+  if tag_size < 1 || tag_size > c.block_size then
+    invalid_arg "Eax.make: tag size out of range";
+  (* Precomputation, reusable across messages (the paper's "+6"): one call
+     for the OMAC subkeys and one per OMAC tweak prefix [t]_n, t = 0,1,2.
+     OMAC^t(M) = OMAC([t]_n || M) is then one blockcipher call per block of
+     M, continuing from the cached chain state. *)
+  let keyed = Secdb_mac.Cmac.keyed c in
+  let tweak_block t = Xbytes.int_to_be_string ~width:c.block_size t in
+  let tweak t = (tweak_block t, Secdb_mac.Cmac.chain_state keyed (tweak_block t)) in
+  let t0 = tweak 0 and t1 = tweak 1 and t2 = tweak 2 in
+  (* For an empty M the tweak block is itself OMAC's final (masked) block,
+     so the cached chain state does not apply. *)
+  let omac_t (block, state) msg =
+    if msg = "" then Secdb_mac.Cmac.mac_with keyed block
+    else Secdb_mac.Cmac.mac_with keyed ~init:state msg
+  in
+  let tag_parts ~nonce ~ad ct =
+    let n = omac_t t0 nonce in
+    let h = omac_t t1 ad in
+    let cmac = omac_t t2 ct in
+    (n, Xbytes.take tag_size (Xbytes.xor_exact (Xbytes.xor_exact n h) cmac))
+  in
+  let encrypt ~nonce ~ad m =
+    let n = omac_t t0 nonce in
+    let ct = ctr_full c ~counter0:n m in
+    let h = omac_t t1 ad in
+    let cmac = omac_t t2 ct in
+    (ct, Xbytes.take tag_size (Xbytes.xor_exact (Xbytes.xor_exact n h) cmac))
+  in
+  let decrypt ~nonce ~ad ~tag ct =
+    let n, expected = tag_parts ~nonce ~ad ct in
+    if Xbytes.constant_time_equal expected tag then Ok (ctr_full c ~counter0:n ct)
+    else Error Aead.Invalid
+  in
+  {
+    Aead.name = Printf.sprintf "eax(%s)" c.name;
+    nonce_size = c.block_size;
+    tag_size;
+    expansion = 0;
+    encrypt;
+    decrypt;
+  }

@@ -1,0 +1,16 @@
+(** EAX mode (Bellare, Rogaway, Wagner — FSE 2004; the paper's reference
+    [1]).
+
+    A two-pass AEAD: CTR encryption keyed by OMAC⁰(N), authenticated by
+    OMAC²(C) and OMAC¹(H), where OMACᵗ(x) = OMAC([t]ₙ ∥ x).  Proven secure
+    assuming the block cipher is a PRP; ciphertexts are indistinguishable
+    from random and (N, C, T, H) tampering is detected — the two properties
+    the paper's Section 4 requirements analysis demands.
+
+    Cost: 2n + m + 1 blockcipher calls for n plaintext and m header blocks
+    (plus 6 reusable precomputations), as stated in the paper's performance
+    analysis and measured by experiment EXP8. *)
+
+val make : ?tag_size:int -> Secdb_cipher.Block.t -> Aead.t
+(** EAX over the given cipher; nonce size = block size; [tag_size] defaults
+    to the block size, may be any value in [1, block size]. *)

@@ -1,0 +1,96 @@
+open Secdb_util
+
+(* GF(2^128) multiplication with GCM's reflected bit order: bit 0 of the
+   polynomial is the MSB of byte 0.  R = 11100001 || 0^120. *)
+let gf_mult x y =
+  let z = Bytes.make 16 '\000' in
+  let v = Bytes.of_string y in
+  let xor_into dst src =
+    for i = 0 to 15 do
+      Bytes.set dst i (Char.chr (Char.code (Bytes.get dst i) lxor Char.code (Bytes.get src i)))
+    done
+  in
+  let shift_right_one b =
+    let carry = ref 0 in
+    for i = 0 to 15 do
+      let c = Char.code (Bytes.get b i) in
+      Bytes.set b i (Char.chr ((c lsr 1) lor (!carry lsl 7)));
+      carry := c land 1
+    done;
+    !carry
+  in
+  for i = 0 to 127 do
+    let bit = (Char.code x.[i / 8] lsr (7 - (i mod 8))) land 1 in
+    if bit = 1 then xor_into z v;
+    let lsb = shift_right_one v in
+    if lsb = 1 then Bytes.set v 0 (Char.chr (Char.code (Bytes.get v 0) lxor 0xe1))
+  done;
+  Bytes.unsafe_to_string z
+
+let ghash ~h data =
+  if String.length data mod 16 <> 0 then
+    invalid_arg "Gcm.ghash: input must be a multiple of 16 bytes";
+  let y = ref (String.make 16 '\000') in
+  List.iter (fun blk -> y := gf_mult (Xbytes.xor_exact !y blk) h) (Xbytes.blocks 16 data);
+  !y
+
+let pad16 s =
+  let r = String.length s mod 16 in
+  if r = 0 then s else s ^ String.make (16 - r) '\000'
+
+let len64 s = Xbytes.int64_to_be_string (Int64.of_int (8 * String.length s))
+
+(* CTR with a 32-bit counter in the last 4 bytes of the block, starting
+   from inc32(j0) as GCM specifies. *)
+let gctr (c : Secdb_cipher.Block.t) ~icb s =
+  let ctr = ref (Xbytes.get_uint32_be icb 12) in
+  let prefix = String.sub icb 0 12 in
+  let next () =
+    let blk = Bytes.of_string (prefix ^ "\000\000\000\000") in
+    Xbytes.set_uint32_be blk 12 (!ctr land 0xffffffff);
+    ctr := !ctr + 1;
+    c.encrypt (Bytes.unsafe_to_string blk)
+  in
+  let out = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < String.length s do
+    let ks = next () in
+    let n = min 16 (String.length s - !off) in
+    Xbytes.xor_into ~src:(Xbytes.take n ks) ~dst:out ~dst_off:!off;
+    off := !off + n
+  done;
+  Bytes.unsafe_to_string out
+
+let make ?(tag_size = 16) (c : Secdb_cipher.Block.t) =
+  if c.block_size <> 16 then invalid_arg "Gcm.make: 16-byte block required";
+  if tag_size < 1 || tag_size > 16 then invalid_arg "Gcm.make: tag size out of range";
+  let h = c.encrypt (String.make 16 '\000') in
+  let j0 nonce = nonce ^ "\x00\x00\x00\x01" in
+  let tag_of ~j0:j ~ad ct =
+    let s = ghash ~h (pad16 ad ^ pad16 ct ^ len64 ad ^ len64 ct) in
+    Xbytes.take tag_size (Xbytes.xor_exact (c.encrypt j) s)
+  in
+  let encrypt ~nonce ~ad m =
+    let j = j0 nonce in
+    let icb = Bytes.of_string j in
+    Xbytes.set_uint32_be icb 12 ((Xbytes.get_uint32_be j 12 + 1) land 0xffffffff);
+    let ct = gctr c ~icb:(Bytes.unsafe_to_string icb) m in
+    (ct, tag_of ~j0:j ~ad ct)
+  in
+  let decrypt ~nonce ~ad ~tag ct =
+    let j = j0 nonce in
+    if not (Xbytes.constant_time_equal (tag_of ~j0:j ~ad ct) tag) then Error Aead.Invalid
+    else begin
+      let icb = Bytes.of_string j in
+      Xbytes.set_uint32_be icb 12 ((Xbytes.get_uint32_be j 12 + 1) land 0xffffffff);
+      Ok (gctr c ~icb:(Bytes.unsafe_to_string icb) ct)
+    end
+  in
+  {
+    Aead.name = Printf.sprintf "gcm(%s)" c.name;
+    nonce_size = 12;
+    tag_size;
+    expansion = 0;
+    encrypt;
+    decrypt;
+  }

@@ -1,0 +1,16 @@
+(** AES-GCM (NIST SP 800-38D).
+
+    The AEAD that won deployment in the years after the paper; included
+    under the paper's pointer to "recent developments regarding AEAD
+    schemes" and validated against the NIST reference vectors.  One
+    encryption pass plus one GHASH pass over ciphertext and associated
+    data; 12-byte nonces take the fast path, other lengths are GHASHed. *)
+
+val make : ?tag_size:int -> Secdb_cipher.Block.t -> Aead.t
+(** GCM over a 16-byte-block cipher; nonce size fixed at 12 bytes,
+    [tag_size] defaults to 16.
+    @raise Invalid_argument if the block size is not 16. *)
+
+val ghash : h:string -> string -> string
+(** The GHASH universal hash under hash key [h] (exposed for tests);
+    input length must be a multiple of 16. *)

@@ -1,0 +1,13 @@
+type t = unit -> string
+
+let counter ~size ?(start = 0) () =
+  let state = ref start in
+  let limit = if size >= 8 then max_int else (1 lsl (8 * size)) - 1 in
+  fun () ->
+    if !state >= limit then invalid_arg "Nonce.counter: exhausted";
+    let n = Secdb_util.Xbytes.int_to_be_string ~width:size !state in
+    incr state;
+    n
+
+let of_rng rng ~size () = Secdb_util.Rng.bytes rng size
+let fixed n () = n

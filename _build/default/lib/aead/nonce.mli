@@ -1,0 +1,20 @@
+(** Nonce sources for the AEAD schemes.
+
+    AEAD security needs {e unique} nonces per key; the schemes here never
+    require unpredictability.  The counter source gives the strongest
+    uniqueness guarantee and the smallest state; the PRNG source is
+    provided for workloads that want address-independent-looking storage. *)
+
+type t = unit -> string
+
+val counter : size:int -> ?start:int -> unit -> t
+(** Big-endian counter, one increment per call.
+    @raise Invalid_argument when the counter would wrap. *)
+
+val of_rng : Secdb_util.Rng.t -> size:int -> t
+(** Pseudorandom nonces from the given deterministic generator (collision
+    probability is birthday-bounded; fine for the experiment scales here). *)
+
+val fixed : string -> t
+(** Always the same nonce — deliberately broken, for tests that demonstrate
+    what nonce reuse does to the fixed schemes' privacy. *)

@@ -1,0 +1,72 @@
+open Secdb_util
+
+(* OCB1 (Rogaway et al., 2001).  Offsets: L = E_K(0), R = E_K(N xor L),
+   Z_1 = L xor R, Z_{i+1} = Z_i xor L*x^{ntz(i+1)}. *)
+
+let make ?tag_size (c : Secdb_cipher.Block.t) =
+  let tag_size = Option.value tag_size ~default:c.block_size in
+  if tag_size < 1 || tag_size > c.block_size then
+    invalid_arg "Ocb.make: tag size out of range";
+  let bs = c.block_size in
+  let core ~nonce ~decrypting msg =
+    let l = c.encrypt (Secdb_cipher.Block.zero_block c) in
+    let r = c.encrypt (Xbytes.xor_exact nonce l) in
+    let l_inv = Secdb_mac.Gf128.inv_dbl l in
+    let len = String.length msg in
+    let m = max 1 ((len + bs - 1) / bs) in
+    let z = ref (Xbytes.xor_exact l r) in
+    let out = Buffer.create len in
+    let checksum = ref (Secdb_cipher.Block.zero_block c) in
+    for i = 1 to m - 1 do
+      let blk = String.sub msg ((i - 1) * bs) bs in
+      if decrypting then begin
+        let p = Xbytes.xor_exact (c.decrypt (Xbytes.xor_exact blk !z)) !z in
+        Buffer.add_string out p;
+        checksum := Xbytes.xor_exact !checksum p
+      end
+      else begin
+        Buffer.add_string out (Xbytes.xor_exact (c.encrypt (Xbytes.xor_exact blk !z)) !z);
+        checksum := Xbytes.xor_exact !checksum blk
+      end;
+      z := Xbytes.xor_exact !z (Secdb_mac.Gf128.dbl_pow l (Secdb_mac.Gf128.ntz (i + 1)))
+    done;
+    let lastlen = len - ((m - 1) * bs) in
+    let lastlen = if lastlen < 0 then 0 else lastlen in
+    let last = if lastlen = 0 then "" else String.sub msg ((m - 1) * bs) lastlen in
+    (* X_m = len(M_m) xor L*x^{-1} xor Z_m ; Y_m = E_K(X_m) ;
+       C_m = M_m xor msb(Y_m)  (same formula in both directions). *)
+    let len_block = Xbytes.int_to_be_string ~width:bs (8 * lastlen) in
+    let x_m = Xbytes.xor_exact (Xbytes.xor_exact len_block l_inv) !z in
+    let y_m = c.encrypt x_m in
+    let out_last = Xbytes.xor_exact last (Xbytes.take lastlen y_m) in
+    Buffer.add_string out out_last;
+    (* Checksum folds in C_m 0* (the ciphertext side), per the OCB spec. *)
+    let ct_last = if decrypting then last else out_last in
+    let padded = ct_last ^ String.make (bs - lastlen) '\000' in
+    checksum := Xbytes.xor_exact (Xbytes.xor_exact !checksum padded) y_m;
+    let tag_full = c.encrypt (Xbytes.xor_exact !checksum !z) in
+    (Buffer.contents out, tag_full)
+  in
+  let with_header ~ad tag_full =
+    let tag_full =
+      if ad = "" then tag_full else Xbytes.xor_exact tag_full (Secdb_mac.Pmac.mac c ad)
+    in
+    Xbytes.take tag_size tag_full
+  in
+  let encrypt ~nonce ~ad m =
+    let ct, tag_full = core ~nonce ~decrypting:false m in
+    (ct, with_header ~ad tag_full)
+  in
+  let decrypt ~nonce ~ad ~tag ct =
+    let pt, tag_full = core ~nonce ~decrypting:true ct in
+    if Xbytes.constant_time_equal (with_header ~ad tag_full) tag then Ok pt
+    else Error Aead.Invalid
+  in
+  {
+    Aead.name = Printf.sprintf "ocb+pmac(%s)" c.name;
+    nonce_size = bs;
+    tag_size;
+    expansion = 0;
+    encrypt;
+    decrypt;
+  }

@@ -1,0 +1,58 @@
+open Secdb_util
+
+let xorend a b =
+  (* b xored into the last |b| bytes of a; requires |a| >= |b| *)
+  let la = String.length a and lb = String.length b in
+  String.sub a 0 (la - lb) ^ Xbytes.xor_exact (String.sub a (la - lb) lb) b
+
+let s2v (k1 : Secdb_cipher.Block.t) components =
+  match List.rev components with
+  | [] -> invalid_arg "Siv.s2v: at least one component required"
+  | last :: init_rev ->
+      let init = List.rev init_rev in
+      let keyed = Secdb_mac.Cmac.keyed k1 in
+      let mac m = Secdb_mac.Cmac.mac_with keyed m in
+      let d =
+        List.fold_left
+          (fun d s -> Xbytes.xor_exact (Secdb_mac.Gf128.dbl d) (mac s))
+          (mac (String.make 16 '\000'))
+          init
+      in
+      let t =
+        if String.length last >= 16 then xorend last d
+        else
+          Xbytes.xor_exact (Secdb_mac.Gf128.dbl d)
+            (last ^ "\x80" ^ String.make (15 - String.length last) '\000')
+      in
+      mac t
+
+let clear_ctr_bits v =
+  (* zero the MSB of bytes 8 and 12 (bits 63 and 31 of the IV) so the CTR
+     addition cannot carry across the 64-bit halves, per RFC 5297 *)
+  let b = Bytes.of_string v in
+  Bytes.set b 8 (Char.chr (Char.code v.[8] land 0x7f));
+  Bytes.set b 12 (Char.chr (Char.code v.[12] land 0x7f));
+  Bytes.unsafe_to_string b
+
+let make (k1 : Secdb_cipher.Block.t) (k2 : Secdb_cipher.Block.t) =
+  if k1.block_size <> 16 || k2.block_size <> 16 then
+    invalid_arg "Siv.make: 16-byte blocks required";
+  let components ~nonce ~ad = [ ad; nonce ] in
+  let encrypt ~nonce ~ad m =
+    let v = s2v k1 (components ~nonce ~ad @ [ m ]) in
+    let ct = Secdb_modes.Mode.ctr_full k2 ~counter0:(clear_ctr_bits v) m in
+    (ct, v)
+  in
+  let decrypt ~nonce ~ad ~tag ct =
+    let m = Secdb_modes.Mode.ctr_full k2 ~counter0:(clear_ctr_bits tag) ct in
+    let v = s2v k1 (components ~nonce ~ad @ [ m ]) in
+    if Xbytes.constant_time_equal v tag then Ok m else Error Aead.Invalid
+  in
+  {
+    Aead.name = Printf.sprintf "siv(%s)" k1.name;
+    nonce_size = 16;
+    tag_size = 16;
+    expansion = 0;
+    encrypt;
+    decrypt;
+  }

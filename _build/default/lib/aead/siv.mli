@@ -1,0 +1,24 @@
+(** AES-SIV (RFC 5297) — misuse-resistant AEAD.
+
+    The analysed scheme {e wanted} deterministic encryption (assumption (3))
+    so the server could search; the paper's fix buys security by giving
+    determinism up.  SIV is the principled middle ground that appeared in
+    the years after: with a fresh nonce it is a normal AEAD; with the nonce
+    held constant it degrades gracefully to {e deterministic authenticated
+    encryption} whose only leak is exact-duplicate equality — no prefix
+    patterns, no forgeries, no relocation.  Experiment EXP15 measures that
+    trade against the broken schemes and the randomised fix.
+
+    Construction: V = S2V(K1; AD, N, P) authenticates everything and seeds
+    AES-CTR under K2.  The synthetic IV doubles as the tag, stored in the
+    tag slot of the {!Aead.t} interface. *)
+
+val make : Secdb_cipher.Block.t -> Secdb_cipher.Block.t -> Aead.t
+(** [make k1_cipher k2_cipher]: S2V under the first cipher, CTR under the
+    second (RFC 5297 splits the key in halves; pass two independently keyed
+    AES instances).  Nonce size 16, tag size 16.
+    @raise Invalid_argument unless both block sizes are 16. *)
+
+val s2v : Secdb_cipher.Block.t -> string list -> string
+(** The S2V vector PRF (exposed for tests).
+    @raise Invalid_argument on an empty component list. *)

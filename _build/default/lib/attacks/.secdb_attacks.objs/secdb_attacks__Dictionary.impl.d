@@ -1,0 +1,1 @@
+lib/attacks/dictionary.ml: Fun Hashtbl List Secdb_db Secdb_schemes String

@@ -1,0 +1,1 @@
+lib/attacks/dictionary.mli: Secdb_schemes

@@ -1,0 +1,1 @@
+lib/attacks/forgery.ml: Rng Secdb_db Secdb_schemes Secdb_util String

@@ -1,0 +1,1 @@
+lib/attacks/forgery.mli: Secdb_db Secdb_schemes Secdb_util

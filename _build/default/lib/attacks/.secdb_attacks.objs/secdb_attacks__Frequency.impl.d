@@ -1,0 +1,1 @@
+lib/attacks/frequency.ml: Array Fun Hashtbl List Option Rng Secdb_db Secdb_schemes Secdb_util Xbytes

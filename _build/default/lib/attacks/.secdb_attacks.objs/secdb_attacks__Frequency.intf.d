@@ -1,0 +1,1 @@
+lib/attacks/frequency.mli: Secdb_schemes Secdb_util

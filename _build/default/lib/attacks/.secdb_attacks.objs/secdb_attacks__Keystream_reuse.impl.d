@@ -1,0 +1,1 @@
+lib/attacks/keystream_reuse.ml: Secdb_db Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+lib/attacks/keystream_reuse.mli: Secdb_db

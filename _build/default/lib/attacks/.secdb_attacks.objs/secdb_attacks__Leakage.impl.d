@@ -1,0 +1,1 @@
+lib/attacks/leakage.ml: Array Float Hashtbl List Option Secdb_util

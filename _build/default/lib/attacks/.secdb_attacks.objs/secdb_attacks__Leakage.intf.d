@@ -1,0 +1,1 @@
+lib/attacks/leakage.mli: Secdb_util

@@ -1,0 +1,1 @@
+lib/attacks/mac_interaction.ml: Rng Secdb_db Secdb_index Secdb_util String

@@ -1,0 +1,1 @@
+lib/attacks/mac_interaction.mli: Secdb_db Secdb_index Secdb_util

@@ -1,0 +1,1 @@
+lib/attacks/padding_oracle.ml: Bytes Char List Rng Secdb_schemes Secdb_util String Xbytes

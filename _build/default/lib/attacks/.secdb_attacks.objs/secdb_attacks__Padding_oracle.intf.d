@@ -1,0 +1,1 @@
+lib/attacks/padding_oracle.mli: Secdb_db Secdb_schemes Secdb_util

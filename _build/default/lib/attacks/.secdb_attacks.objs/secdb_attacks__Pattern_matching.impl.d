@@ -1,0 +1,1 @@
+lib/attacks/pattern_matching.ml: Array Fun List Secdb_db Secdb_index Secdb_schemes Secdb_util Xbytes

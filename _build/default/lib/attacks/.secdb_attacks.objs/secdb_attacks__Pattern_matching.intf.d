@@ -1,0 +1,1 @@
+lib/attacks/pattern_matching.mli: Secdb_index Secdb_schemes

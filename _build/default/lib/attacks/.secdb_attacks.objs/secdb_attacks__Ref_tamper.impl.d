@@ -1,0 +1,1 @@
+lib/attacks/ref_tamper.ml: Array List Secdb_index Secdb_util

@@ -1,0 +1,1 @@
+lib/attacks/ref_tamper.mli: Secdb_index Secdb_util

@@ -1,0 +1,1 @@
+lib/attacks/structure_leak.ml: Array Hashtbl List Secdb_index

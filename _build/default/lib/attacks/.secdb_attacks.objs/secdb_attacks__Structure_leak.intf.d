@@ -1,0 +1,1 @@
+lib/attacks/structure_leak.mli: Secdb_index

@@ -1,0 +1,1 @@
+lib/attacks/substitution.ml: Array Char List Secdb_db Secdb_schemes String

@@ -1,0 +1,1 @@
+lib/attacks/substitution.mli: Secdb_db Secdb_schemes

@@ -1,0 +1,50 @@
+module Address = Secdb_db.Address
+
+type report = {
+  recovered : (int * string) list;
+  missed : int;
+  injected : int;
+}
+
+let leading_blocks ~block s =
+  let n = String.length s / block * block in
+  String.sub s 0 n
+
+let attack ~(scheme : Secdb_schemes.Cell_scheme.t) ?(extract = Fun.id) ~block ~table ~col
+    ~candidates ~victims inject_from =
+  (* the adversary inserts one chosen record per candidate and reads back
+     the stored bytes of its own rows *)
+  let dictionary = Hashtbl.create (List.length candidates) in
+  List.iteri
+    (fun i candidate ->
+      let row = inject_from + i in
+      let ct = extract (scheme.encrypt (Address.v ~table ~row ~col) candidate) in
+      (* index by the ciphertext blocks fully determined by the value *)
+      let value_blocks = String.length candidate / block in
+      if value_blocks > 0 then
+        Hashtbl.replace dictionary
+          (String.sub ct 0 (value_blocks * block))
+          candidate)
+    candidates;
+  let recovered = ref [] and missed = ref 0 in
+  List.iter
+    (fun (row, secret) ->
+      let ct = extract (scheme.encrypt (Address.v ~table ~row ~col) secret) in
+      let prefix = leading_blocks ~block ct in
+      (* try the longest dictionary prefixes first *)
+      let rec try_len n =
+        if n <= 0 then None
+        else
+          match Hashtbl.find_opt dictionary (String.sub prefix 0 (n * block)) with
+          | Some candidate -> Some candidate
+          | None -> try_len (n - 1)
+      in
+      match try_len (String.length prefix / block) with
+      | Some candidate when candidate = secret -> recovered := (row, candidate) :: !recovered
+      | Some _ | None -> incr missed)
+    victims;
+  {
+    recovered = List.rev !recovered;
+    missed = !missed;
+    injected = List.length candidates;
+  }

@@ -1,0 +1,35 @@
+(** Chosen-record dictionary attack on deterministic cell encryption.
+
+    The paper's threat model lets the adversary read the storage; in any
+    real deployment (a hospital clerk, a web sign-up form) the adversary
+    can usually also cause {e chosen records} to be inserted.  Under the
+    deterministic schemes that upgrades equality leakage to full plaintext
+    recovery for any value from a guessable set: insert every candidate,
+    read back its stored leading blocks, and match them against the victim
+    cells — the address checksum only perturbs the ciphertext tail.
+
+    Unlike {!Frequency}, no distributional knowledge is needed and unique
+    values are recovered too. *)
+
+type report = {
+  recovered : (int * string) list;  (** (victim row, recovered value) *)
+  missed : int;  (** victims whose value was outside the candidate set *)
+  injected : int;  (** chosen records the adversary inserted *)
+}
+
+val attack :
+  scheme:Secdb_schemes.Cell_scheme.t ->
+  ?extract:(string -> string) ->
+  block:int ->
+  table:int ->
+  col:int ->
+  candidates:string list ->
+  victims:(int * string) list ->
+  int ->
+  report
+(** Victims are (row, secret value) pairs — the secret is used only to
+    encrypt their cells and to score the attack.  The final argument is
+    the first row number available to the adversary's chosen records.  A victim is recovered when its
+    stored leading blocks match exactly one candidate's.  Values shorter
+    than one cipher block cannot be matched this way (the address checksum
+    shares their first block) and count as missed. *)

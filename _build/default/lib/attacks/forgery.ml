@@ -1,0 +1,39 @@
+open Secdb_util
+module Address = Secdb_db.Address
+
+type outcome = {
+  accepted : bool;
+  changed : bool;
+  forged_value : string option;
+  modified_ct_block : int;
+}
+
+let replace_block ~block ct i replacement =
+  String.sub ct 0 (i * block) ^ replacement
+  ^ String.sub ct ((i + 1) * block) (String.length ct - ((i + 1) * block))
+
+let forge ~(scheme : Secdb_schemes.Cell_scheme.t) ~block ~addr ~value ~rng =
+  (* s = number of whole cipher blocks fully inside V; garbling hits blocks
+     i and i+1, so the last replaceable block is s-2 (0-based). *)
+  let s = String.length value / block in
+  if s < 2 then Error "forge: value must span at least two whole cipher blocks"
+  else begin
+    let ct = scheme.encrypt addr value in
+    let i = Rng.int rng (s - 1) in
+    let forged = replace_block ~block ct i (Rng.bytes rng block) in
+    match scheme.decrypt addr forged with
+    | Error _ -> Ok { accepted = false; changed = false; forged_value = None; modified_ct_block = i }
+    | Ok v ->
+        Ok { accepted = true; changed = v <> value; forged_value = Some v; modified_ct_block = i }
+  end
+
+let success_rate ~scheme ~block ~table ~col ~value_len ~trials ~rng =
+  let successes = ref 0 in
+  for trial = 1 to trials do
+    let value = Rng.ascii rng value_len in
+    let addr = Address.v ~table ~row:trial ~col in
+    match forge ~scheme ~block ~addr ~value ~rng with
+    | Ok { accepted = true; changed = true; _ } -> incr successes
+    | Ok _ | Error _ -> ()
+  done;
+  float_of_int !successes /. float_of_int trials

@@ -1,0 +1,42 @@
+(** Existential forgery against the Append-Scheme (paper Section 3.1,
+    "Attack on Authentication of the Append-Scheme").
+
+    Under CBC with a constant IV, replacing ciphertext blocks C_i with
+    1 ≤ i ≤ s−1 (blocks strictly before the last value-only block) garbles
+    only plaintext blocks inside V; the address-checksum blocks decrypt
+    unchanged because C_s … C_{s+u} are untouched and CBC error propagation
+    stops after one block.  The forged cell decrypts as {e valid} at its
+    original address with different content — a break of the scheme's
+    "data and position authentication" goal. *)
+
+type outcome = {
+  accepted : bool;  (** did the scheme accept the forged ciphertext? *)
+  changed : bool;  (** and decode to a different value? *)
+  forged_value : string option;
+  modified_ct_block : int;  (** 0-based index of the replaced block *)
+}
+
+val forge :
+  scheme:Secdb_schemes.Cell_scheme.t ->
+  block:int ->
+  addr:Secdb_db.Address.t ->
+  value:string ->
+  rng:Secdb_util.Rng.t ->
+  (outcome, string) result
+(** Encrypt [value] at [addr], replace one eligible ciphertext block with
+    random bytes, and try to decrypt.  [Error] if [value] is too short to
+    leave an eligible block (needs at least two cipher blocks of value
+    data).  Against the broken scheme [accepted && changed] holds; against
+    the AEAD fix [accepted] is false. *)
+
+val success_rate :
+  scheme:Secdb_schemes.Cell_scheme.t ->
+  block:int ->
+  table:int ->
+  col:int ->
+  value_len:int ->
+  trials:int ->
+  rng:Secdb_util.Rng.t ->
+  float
+(** Fraction of [trials] random cells for which {!forge} yields an accepted,
+    content-changing forgery. *)

@@ -1,0 +1,49 @@
+open Secdb_util
+module Address = Secdb_db.Address
+
+type report = { buckets : int; recovered : int; total : int }
+
+let attack ~(scheme : Secdb_schemes.Cell_scheme.t) ?(extract = Fun.id) ~block ~table ~col
+    ~distribution rng =
+  (* lay out the cells and shuffle the row order *)
+  let cells =
+    Array.of_list
+      (List.concat_map (fun (v, count) -> List.init count (fun _ -> v)) distribution)
+  in
+  Rng.shuffle rng cells;
+  let total = Array.length cells in
+  (* the adversary's view: leading cipher block of each stored cell *)
+  let buckets : (string, (string * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun row v ->
+      let ct = extract (scheme.encrypt (Address.v ~table ~row ~col) v) in
+      let key = Xbytes.take block ct in
+      match Hashtbl.find_opt buckets key with
+      | Some l -> l := (v, row) :: !l
+      | None -> Hashtbl.add buckets key (ref [ (v, row) ]))
+    cells;
+  (* rank buckets and the public distribution by frequency; match only
+     uniquely-ranked frequencies (ties are not credited) *)
+  let bucket_list =
+    Hashtbl.fold (fun _ members acc -> !members :: acc) buckets []
+    |> List.sort (fun a b -> compare (List.length b) (List.length a))
+  in
+  let dist_sorted = List.sort (fun (_, a) (_, b) -> compare b a) distribution in
+  let unique_counts l =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun c -> Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c))) l;
+    fun c -> Hashtbl.find_opt tbl c = Some 1
+  in
+  let bucket_count_unique = unique_counts (List.map List.length bucket_list) in
+  let dist_count_unique = unique_counts (List.map snd dist_sorted) in
+  let rec zip a b =
+    match (a, b) with x :: xs, y :: ys -> (x, y) :: zip xs ys | _ -> []
+  in
+  let recovered = ref 0 in
+  List.iter
+    (fun (members, (predicted, dcount)) ->
+      let bcount = List.length members in
+      if bcount = dcount && bucket_count_unique bcount && dist_count_unique dcount then
+        List.iter (fun (truth, _) -> if truth = predicted then incr recovered) members)
+    (zip bucket_list dist_sorted);
+  { buckets = Hashtbl.length buckets; recovered = !recovered; total }

@@ -1,0 +1,18 @@
+open Secdb_util
+
+let common_xor a b =
+  let n = min (String.length a) (String.length b) in
+  Xbytes.xor_exact (Xbytes.take n a) (Xbytes.take n b)
+
+let plaintext_xor_append ~ct_a ~ct_b = common_xor ct_a ct_b
+
+let plaintext_xor_xor_scheme ~(mu : Secdb_db.Address.mu) ~addr_a ~ct_a ~addr_b ~ct_b =
+  let d = common_xor ct_a ct_b in
+  let masks = Xbytes.xor (mu.digest addr_a) (mu.digest addr_b) in
+  Xbytes.xor_exact d (Xbytes.take (String.length d) (masks ^ String.make (String.length d) '\000'))
+
+let crib_drag ~known ~xor =
+  let n = min (String.length known) (String.length xor) in
+  Xbytes.xor_exact (Xbytes.take n known) (Xbytes.take n xor)
+
+let recover_keystream ~known ~ct = crib_drag ~known ~xor:ct

@@ -1,0 +1,30 @@
+(** Keystream reuse against stream-mode instantiations (paper footnote 2).
+
+    If E is instantiated with a stream cipher or a streaming block-cipher
+    mode (CTR, OFB) then determinism (assumption (3)) forces the same
+    keystream KS for every cell.  For the Append-Scheme,
+    C₁ ⊕ C₂ = V₁ ⊕ V₂ directly; for the XOR-Scheme the public µ values
+    peel off as well:  C₁ ⊕ C₂ ⊕ µ₁ ⊕ µ₂ = V₁ ⊕ V₂.  Any redundancy in
+    the attributes then breaks them — classic two-time-pad cryptanalysis. *)
+
+val plaintext_xor_append : ct_a:string -> ct_b:string -> string
+(** V₁ ⊕ V₂ on the common prefix, for Append-Scheme ciphertexts under a
+    streaming E. *)
+
+val plaintext_xor_xor_scheme :
+  mu:Secdb_db.Address.mu ->
+  addr_a:Secdb_db.Address.t ->
+  ct_a:string ->
+  addr_b:Secdb_db.Address.t ->
+  ct_b:string ->
+  string
+(** V₁ ⊕ V₂ for XOR-Scheme ciphertexts (µ is public: a hash of public
+    addresses). *)
+
+val crib_drag : known:string -> xor:string -> string
+(** Recover the other plaintext's prefix from one known plaintext. *)
+
+val recover_keystream : known:string -> ct:string -> string
+(** KS prefix from a known (plaintext, ciphertext) pair under streaming E
+    with Append-Scheme; decrypts {e every} cell in the column up to that
+    length. *)

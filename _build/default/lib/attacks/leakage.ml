@@ -1,0 +1,56 @@
+let entropy_of_counts counts =
+  let counts = List.filter (fun c -> c > 0) counts in
+  if counts = [] then invalid_arg "Leakage.entropy_of_counts: no mass";
+  let total = float_of_int (List.fold_left ( + ) 0 counts) in
+  List.fold_left
+    (fun acc c ->
+      let p = float_of_int c /. total in
+      acc -. (p *. (Float.log p /. Float.log 2.0)))
+    0.0 counts
+
+let majority l =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun x -> Hashtbl.replace tbl x (1 + Option.value ~default:0 (Hashtbl.find_opt tbl x)))
+    l;
+  Hashtbl.fold
+    (fun x c best ->
+      match best with Some (_, c') when c' >= c -> best | _ -> Some (x, c))
+    tbl None
+  |> Option.map fst
+
+let baseline ~secrets =
+  match majority secrets with
+  | None -> 0.0
+  | Some m ->
+      float_of_int (List.length (List.filter (( = ) m) secrets))
+      /. float_of_int (List.length secrets)
+
+let guessing_accuracy ~pairs rng =
+  if List.length pairs < 4 then invalid_arg "Leakage.guessing_accuracy: too few samples";
+  let arr = Array.of_list pairs in
+  Secdb_util.Rng.shuffle rng arr;
+  let n = Array.length arr in
+  let half = n / 2 in
+  let train = Array.sub arr 0 half and test = Array.sub arr half (n - half) in
+  (* observable -> list of secrets seen with it *)
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun (obs, secret) ->
+      match Hashtbl.find_opt seen obs with
+      | Some l -> l := secret :: !l
+      | None -> Hashtbl.add seen obs (ref [ secret ]))
+    train;
+  let fallback = majority (List.map snd (Array.to_list train)) in
+  let correct =
+    Array.fold_left
+      (fun acc (obs, secret) ->
+        let guess =
+          match Hashtbl.find_opt seen obs with
+          | Some l -> majority !l
+          | None -> fallback
+        in
+        if guess = Some secret then acc + 1 else acc)
+      0 test
+  in
+  float_of_int correct /. float_of_int (Array.length test)

@@ -1,0 +1,40 @@
+open Secdb_util
+module Bptree = Secdb_index.Bptree
+
+type outcome = { accepted : bool; value_changed : bool; modified_ct_block : int }
+
+let forge_payload ~block ~payload ~rng =
+  match Secdb_db.Codec.unframe3 payload with
+  | Error e -> Error e
+  | Ok (etilde, e_reft, tag) ->
+      let nblocks = String.length etilde / block in
+      (* plaintext layout: V || a || padding.  The final block holds a and
+         padding (rand_len < block); blocks 0 .. nblocks-2 hold V.  The
+         garbling of a replaced block i reaches block i+1, which must stay
+         inside V, and block 0 carries the value's type tag — so pick
+         1 <= i <= nblocks-3. *)
+      if nblocks < 4 then Error "forge_payload: value spans fewer than 3 whole blocks"
+      else begin
+        let i = 1 + Rng.int rng (nblocks - 3) in
+        let forged_etilde =
+          String.sub etilde 0 (i * block)
+          ^ Rng.bytes rng block
+          ^ String.sub etilde ((i + 1) * block) (String.length etilde - ((i + 1) * block))
+        in
+        Ok (Secdb_db.Codec.frame [ forged_etilde; e_reft; tag ], i)
+      end
+
+let run ~(codec : Bptree.codec) ~ctx ~block ~value ~table_row ~rng =
+  let payload = codec.encode ctx ~value ~table_row:(Some table_row) in
+  match forge_payload ~block ~payload ~rng with
+  | Error e -> Error e
+  | Ok (forged, i) -> (
+      match codec.decode ctx forged with
+      | Error _ -> Ok { accepted = false; value_changed = false; modified_ct_block = i }
+      | Ok (value', _) ->
+          Ok
+            {
+              accepted = true;
+              value_changed = not (Secdb_db.Value.equal value value');
+              modified_ct_block = i;
+            })

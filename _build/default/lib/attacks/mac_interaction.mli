@@ -1,0 +1,36 @@
+(** Encryption/MAC same-key interaction attack on the improved index
+    scheme of [12] (paper Section 3.3, "Unauthorised Modification").
+
+    With E = CBC under zero IV and the MAC an OMAC/CBC-MAC variant under
+    the {e same key}, the CBC-MAC chaining values over the plaintext blocks
+    of V coincide with the CBC ciphertext blocks.  Replacing ciphertext
+    blocks C_1 … C_{s−1} of Ẽ_k(V ∥ a) re-converges the chain at block s
+    (chain'_s = E(D(C_s) ⊕ C'_{s−1} ⊕ C'_{s−1}) = C_s), so the verifier —
+    who re-MACs the {e decrypted} V′ — computes the original tag.  The
+    stored MAC verifies although V′ ≠ V: authenticity is lost. *)
+
+type outcome = {
+  accepted : bool;  (** tampered payload passed the scheme's MAC check *)
+  value_changed : bool;
+  modified_ct_block : int;
+}
+
+val forge_payload :
+  block:int -> payload:string -> rng:Secdb_util.Rng.t -> (string * int, string) result
+(** Tamper an [Index12] payload: replace one eligible Ẽ-ciphertext block
+    (index ≥ 1 and ≤ s−2, keeping the value tag byte and the randomness
+    block intact) with fresh random bytes, leaving Ref_T and the MAC
+    untouched.  Returns the forged payload and the block index.  [Error]
+    if V spans fewer than 3 whole blocks (the paper's s > 2 condition). *)
+
+val run :
+  codec:Secdb_index.Bptree.codec ->
+  ctx:Secdb_index.Bptree.ctx ->
+  block:int ->
+  value:Secdb_db.Value.t ->
+  table_row:int ->
+  rng:Secdb_util.Rng.t ->
+  (outcome, string) result
+(** Encode an entry, forge it, decode the forgery. Against the same-key
+    Index12 instantiation [accepted && value_changed]; against the
+    independent-key variant or the AEAD fix, [accepted = false]. *)

@@ -1,0 +1,90 @@
+open Secdb_util
+
+type oracle = string -> [ `Padding_error | `Other ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let oracle_of_scheme (scheme : Secdb_schemes.Cell_scheme.t) addr : oracle =
+ fun ct ->
+  match scheme.decrypt addr ct with
+  | Ok _ -> `Other
+  | Error e -> if contains e "unpad" then `Padding_error else `Other
+
+(* Recover d = D_k(c) bytewise (Vaudenay).  R is chosen so that the forged
+   two-block ciphertext R || c decrypts its second block to d xor R; padding
+   p = block - j is valid iff R[j] = d[j] xor p once bytes j+1.. are forced
+   to p. *)
+let recover_decryption ~(oracle : oracle) ~block c =
+  let d = Bytes.make block '\000' in
+  let ok = ref true in
+  let j = ref (block - 1) in
+  while !ok && !j >= 0 do
+    let p = block - !j in
+    (* sweep every guess: a genuine padding oracle confirms exactly one;
+       a degenerate oracle (the AEAD fix reports a single failure class)
+       confirms all 256, which we must treat as "no oracle" *)
+    let candidates = ref [] in
+    for g = 0 to 255 do
+      let r = Bytes.make block '\000' in
+      for k = !j + 1 to block - 1 do
+        Bytes.set r k (Char.chr (Char.code (Bytes.get d k) lxor p))
+      done;
+      Bytes.set r !j (Char.chr g);
+      (* fixed filler before j avoids accidental structure *)
+      for k = 0 to !j - 1 do
+        Bytes.set r k (Char.chr ((17 * k) land 0xff))
+      done;
+      match oracle (Bytes.to_string r ^ c) with
+      | `Other ->
+          (* padding looks valid: when a longer run could also explain it
+             (only possible on the last byte), perturb the previous byte *)
+          let confirmed =
+            if !j < block - 1 then true
+            else begin
+              let r' = Bytes.copy r in
+              Bytes.set r' (block - 2)
+                (Char.chr (Char.code (Bytes.get r (block - 2)) lxor 0xff));
+              oracle (Bytes.to_string r' ^ c) = `Other
+            end
+          in
+          if confirmed then candidates := g :: !candidates
+      | `Padding_error -> ()
+    done;
+    (match !candidates with
+    | [ g ] -> Bytes.set d !j (Char.chr (g lxor p))
+    | _ -> ok := false);
+    decr j
+  done;
+  if !ok then Some (Bytes.to_string d) else None
+
+let decrypt_block ~oracle ~block ~prev c =
+  match recover_decryption ~oracle ~block c with
+  | None -> None
+  | Some d -> Some (Xbytes.xor_exact d prev)
+
+let decrypt_ciphertext ~oracle ~block ct =
+  if ct = "" || String.length ct mod block <> 0 then None
+  else begin
+    let blocks = Xbytes.blocks block ct in
+    let rec loop prev acc = function
+      | [] -> Some (String.concat "" (List.rev acc))
+      | c :: rest -> (
+          match decrypt_block ~oracle ~block ~prev c with
+          | None -> None
+          | Some p -> loop c (p :: acc) rest)
+    in
+    loop (String.make block '\000') [] blocks
+  end
+
+let oracle_exists (scheme : Secdb_schemes.Cell_scheme.t) addr ~trials ~rng =
+  let oracle = oracle_of_scheme scheme addr in
+  let saw_padding = ref false and saw_other = ref false in
+  for _ = 1 to trials do
+    match oracle (Rng.bytes rng 32) with
+    | `Padding_error -> saw_padding := true
+    | `Other -> saw_other := true
+  done;
+  !saw_padding && !saw_other

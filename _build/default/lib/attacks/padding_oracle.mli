@@ -1,0 +1,43 @@
+(** Padding-oracle decryption of CBC-instantiated cells (Vaudenay,
+    EUROCRYPT 2002 — "Security Flaws Induced by CBC Padding").
+
+    The analysed scheme's decryption fails in {e distinguishable} ways:
+    malformed PKCS#7 padding is reported differently from an address-
+    checksum mismatch (and, in a live system, at a different time).  That
+    difference is a decryption oracle: an adversary who can submit
+    ciphertexts and observe which error comes back recovers D_k(C) one
+    byte at a time, and with it the {e entire plaintext} of every cell —
+    no key required.
+
+    This completes the paper's Section 3 picture: beyond leaking equality
+    and forging cells, the CBC instantiation leaks full contents to any
+    active storage adversary.  The AEAD fix returns a single undifferen-
+    tiated [invalid] (paper Sect. 4: "There is no possibility to
+    distinguish which of these cases has occurred"), so the oracle does
+    not exist there — which {!oracle_exists} demonstrates. *)
+
+type oracle = string -> [ `Padding_error | `Other ]
+(** The adversary's view of one decryption attempt. *)
+
+val oracle_of_scheme :
+  Secdb_schemes.Cell_scheme.t -> Secdb_db.Address.t -> oracle
+(** Build the oracle from a scheme's error messages, as a storage adversary
+    in the paper's model would (submit, observe the failure class). *)
+
+val decrypt_block :
+  oracle:oracle -> block:int -> prev:string -> string -> string option
+(** [decrypt_block ~oracle ~block ~prev c] recovers the plaintext of the
+    single cipher block [c] whose CBC predecessor was [prev] (the zero
+    block for the first block), using only the oracle.  [None] if the
+    oracle never reports valid padding (i.e. it is not actually a padding
+    oracle — the fixed schemes). *)
+
+val decrypt_ciphertext :
+  oracle:oracle -> block:int -> string -> string option
+(** Recover the complete padded plaintext of a whole-cell ciphertext under
+    CBC with zero IV.  Costs at most 256·block oracle calls per block. *)
+
+val oracle_exists : Secdb_schemes.Cell_scheme.t -> Secdb_db.Address.t -> trials:int -> rng:Secdb_util.Rng.t -> bool
+(** Probe whether the scheme's failures are distinguishable at all: submit
+    random ciphertexts and check whether both failure classes occur.  True
+    for the CBC instantiations, false for the AEAD fix. *)

@@ -1,0 +1,136 @@
+open Secdb_util
+module Address = Secdb_db.Address
+
+type pair = { row_a : int; row_b : int; shared_ct_blocks : int; shared_pt_blocks : int }
+
+type report = {
+  scheme : string;
+  block : int;
+  pairs : pair list;
+  true_pairs : int;
+  detected_pairs : int;
+  true_positives : int;
+}
+
+let cells ~(scheme : Secdb_schemes.Cell_scheme.t) ?(extract = Fun.id) ~block ~table ~col
+    plaintexts =
+  let cts =
+    List.map
+      (fun (row, v) ->
+        (row, v, extract (scheme.encrypt (Address.v ~table ~row ~col) v)))
+      plaintexts
+  in
+  let pairs = ref [] and true_pairs = ref 0 and tp = ref 0 in
+  let rec walk = function
+    | [] -> ()
+    | (ra, va, ca) :: rest ->
+        List.iter
+          (fun (rb, vb, cb) ->
+            let pt = Xbytes.common_block_prefix ~block va vb in
+            let ct = Xbytes.common_block_prefix ~block ca cb in
+            if pt > 0 then incr true_pairs;
+            if ct > 0 then begin
+              if pt > 0 then incr tp;
+              pairs :=
+                { row_a = ra; row_b = rb; shared_ct_blocks = ct; shared_pt_blocks = pt }
+                :: !pairs
+            end)
+          rest;
+        walk rest
+  in
+  walk cts;
+  {
+    scheme = scheme.name;
+    block;
+    pairs = List.rev !pairs;
+    true_pairs = !true_pairs;
+    detected_pairs = List.length !pairs;
+    true_positives = !tp;
+  }
+
+type index_link = {
+  cell_row : int;
+  node_row : int;
+  slot : int;
+  shared_blocks : int;
+  truly_same_value : bool;
+}
+
+type index_report = {
+  index_scheme : string;
+  links : index_link list;
+  correct_links : int;
+  total_links : int;
+}
+
+let index_correlation ~(cell_scheme : Secdb_schemes.Cell_scheme.t) ~tree ~payload_ciphertext
+    ~block ~table ~col ~plaintexts =
+  let cells =
+    List.map
+      (fun (row, v) -> (row, v, cell_scheme.encrypt (Address.v ~table ~row ~col) v))
+      plaintexts
+  in
+  (* ground truth: which value does each index payload hold?  The adversary
+     does not know this; we recover it through the codec purely to score
+     the attack. *)
+  let truth (view : Secdb_index.Bptree.node_view) slot =
+    let ctx =
+      {
+        Secdb_index.Bptree.index_table = Secdb_index.Bptree.id tree;
+        node_row = view.row;
+        kind = view.node_kind;
+      }
+    in
+    match (Secdb_index.Bptree.codec tree).decode ctx view.payloads.(slot) with
+    | Ok (value, _) -> Some value
+    | Error _ -> None
+  in
+  let links = ref [] and correct = ref 0 in
+  Secdb_index.Bptree.iter_nodes
+    (fun view ->
+      Array.iteri
+        (fun slot payload ->
+          match payload_ciphertext payload with
+          | None -> ()
+          | Some ct ->
+              List.iter
+                (fun (cell_row, v, cell_ct) ->
+                  let shared = Xbytes.common_block_prefix ~block ct cell_ct in
+                  if shared > 0 then begin
+                    let same =
+                      match truth view slot with
+                      | Some value ->
+                          Xbytes.common_block_prefix ~block (Secdb_db.Value.encode value) v > 0
+                      | None -> false
+                    in
+                    if same then incr correct;
+                    links :=
+                      {
+                        cell_row;
+                        node_row = view.row;
+                        slot;
+                        shared_blocks = shared;
+                        truly_same_value = same;
+                      }
+                      :: !links
+                  end)
+                cells)
+        view.payloads)
+    tree;
+  {
+    index_scheme = (Secdb_index.Bptree.codec tree).codec_name;
+    links = List.rev !links;
+    correct_links = !correct;
+    total_links = List.length !links;
+  }
+
+let extract_index3 payload = Some payload
+
+let extract_index12 payload =
+  match Secdb_db.Codec.unframe3 payload with Ok (etilde, _, _) -> Some etilde | Error _ -> None
+
+let extract_fixed payload =
+  match Secdb_db.Codec.unframe3 payload with Ok (_, ct, _) -> Some ct | Error _ -> None
+
+let extract_fixed_cell stored =
+  match Secdb_db.Codec.unframe3 stored with Ok (_, ct, _) -> ct | Error _ -> stored

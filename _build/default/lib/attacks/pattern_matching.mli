@@ -1,0 +1,86 @@
+(** Pattern-matching attacks (paper Sections 3.1, 3.2, 3.3).
+
+    Under the deterministic CBC/zero-IV instantiation, plaintexts sharing a
+    prefix of whole blocks produce ciphertexts sharing the same number of
+    leading blocks.  An adversary who can only read the encrypted storage
+    thus learns equality relations between cell prefixes — and, when an
+    index encrypts the same attribute bytes, correlations between index
+    entries and table cells ("linkage leakage"). *)
+
+type pair = {
+  row_a : int;
+  row_b : int;
+  shared_ct_blocks : int;  (** leading ciphertext blocks in common *)
+  shared_pt_blocks : int;  (** ground truth: leading plaintext blocks in common *)
+}
+
+type report = {
+  scheme : string;
+  block : int;
+  pairs : pair list;  (** only pairs with at least one shared ciphertext block *)
+  true_pairs : int;  (** pairs sharing at least one plaintext block *)
+  detected_pairs : int;
+  true_positives : int;
+}
+
+val cells :
+  scheme:Secdb_schemes.Cell_scheme.t ->
+  ?extract:(string -> string) ->
+  block:int ->
+  table:int ->
+  col:int ->
+  (int * string) list ->
+  report
+(** Encrypt every (row, value) at its cell address with [scheme] and
+    compare all ciphertext pairs.  A perfect attack has
+    [detected_pairs = true_pairs = true_positives]; against the AEAD fix
+    [detected_pairs] is 0 (up to negligible chance).  [extract] isolates
+    the ciphertext component from the stored cell bytes before comparison
+    (default: identity); for the fixed AEAD scheme pass
+    {!extract_fixed_cell} so the attack matches on C rather than on the
+    public nonce/tag framing — nonces are public and their equality leaks
+    nothing. *)
+
+type index_link = {
+  cell_row : int;
+  node_row : int;
+  slot : int;
+  shared_blocks : int;
+  truly_same_value : bool;
+}
+
+type index_report = {
+  index_scheme : string;
+  links : index_link list;  (** (cell, index entry) pairs with ≥ 1 shared leading block *)
+  correct_links : int;
+  total_links : int;
+}
+
+val index_correlation :
+  cell_scheme:Secdb_schemes.Cell_scheme.t ->
+  tree:Secdb_index.Bptree.t ->
+  payload_ciphertext:(string -> string option) ->
+  block:int ->
+  table:int ->
+  col:int ->
+  plaintexts:(int * string) list ->
+  index_report
+(** Correlate stored cell ciphertexts with the encrypted component of index
+    payloads ([payload_ciphertext] extracts it; e.g. the identity for the
+    [3] scheme, the first framed field Ẽ_k(V) for the [12] scheme).  This
+    is the Section 3.2 / 3.3 linkage-leakage attack; the appended
+    randomness of [12] does not help because it only affects trailing
+    blocks. *)
+
+val extract_index3 : string -> string option
+(** [payload_ciphertext] for the [3] scheme: the payload itself. *)
+
+val extract_index12 : string -> string option
+(** [payload_ciphertext] for the [12] scheme: the Ẽ_k(V) component. *)
+
+val extract_fixed : string -> string option
+(** [payload_ciphertext] for the fixed AEAD scheme: the C component. *)
+
+val extract_fixed_cell : string -> string
+(** Ciphertext component of a fixed-scheme cell (the stored frame's C
+    field); identity on anything unframed. *)

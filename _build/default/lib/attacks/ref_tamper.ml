@@ -1,0 +1,44 @@
+module B = Secdb_index.Bptree
+
+let inner_nodes tree =
+  let acc = ref [] in
+  B.iter_nodes
+    (fun v -> if v.B.node_kind = B.Inner && Array.length v.B.children >= 2 then acc := v :: !acc)
+    tree;
+  !acc
+
+let swap_children tree ~rng =
+  match inner_nodes tree with
+  | [] -> false
+  | nodes ->
+      let v = List.nth nodes (Secdb_util.Rng.int rng (List.length nodes)) in
+      let children = Array.copy v.B.children in
+      let i = Secdb_util.Rng.int rng (Array.length children - 1) in
+      let tmp = children.(i) in
+      children.(i) <- children.(i + 1);
+      children.(i + 1) <- tmp;
+      B.set_children tree ~row:v.B.row children;
+      true
+
+let cut_leaf_chain tree =
+  let first = B.node_view tree (B.first_leaf tree) in
+  match first.B.next with
+  | None -> false
+  | Some second -> (
+      match (B.node_view tree second).B.next with
+      | None -> false
+      | Some third ->
+          B.set_next tree ~row:first.B.row (Some third);
+          true)
+
+let swap_root_children tree =
+  let root = B.node_view tree (B.root tree) in
+  if root.B.node_kind <> B.Inner || Array.length root.B.children < 2 then false
+  else begin
+    let children = Array.copy root.B.children in
+    let tmp = children.(0) in
+    children.(0) <- children.(1);
+    children.(1) <- tmp;
+    B.set_children tree ~row:root.B.row children;
+    true
+  end

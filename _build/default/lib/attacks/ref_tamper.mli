@@ -1,0 +1,30 @@
+(** Tampering with the unauthenticated structural references (the Ref_I
+    gap).
+
+    [12] writes Ref_I — the index-internal child/sibling references — into
+    its MAC input, but in a live B⁺-tree those references change on every
+    rebalance without the payloads being touched, so neither [12]-as-
+    implementable nor the paper's fix actually authenticates them (both
+    this reconstruction and the paper leave their maintenance
+    unspecified; see {!Secdb_schemes.Index12}).  This module demonstrates
+    the consequence: an adversary who swaps two child pointers, or cuts
+    the leaf chain, changes {e query results} without touching a single
+    authenticated byte.
+
+    Every payload still verifies; only a full structural {!val:
+    Secdb_index.Bptree.validate} (which real queries do not run) or a
+    database-level anchor ({!Secdb.Encdb.digest}, EXP22) notices.
+    Experiment EXP25. *)
+
+val swap_children : Secdb_index.Bptree.t -> rng:Secdb_util.Rng.t -> bool
+(** Swap two child pointers of a random inner node with ≥ 2 children;
+    [false] if the tree has no inner node. *)
+
+val swap_root_children : Secdb_index.Bptree.t -> bool
+(** Swap the root's first two children — the highest-impact variant: every
+    probe destined for the first subtree is misrouted. *)
+
+val cut_leaf_chain : Secdb_index.Bptree.t -> bool
+(** Make the first leaf's sibling pointer skip its successor, silently
+    dropping every entry in between from range scans; [false] if there are
+    fewer than three leaves. *)

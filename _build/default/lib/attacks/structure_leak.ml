@@ -1,0 +1,53 @@
+module B = Secdb_index.Bptree
+
+type observation = { lo_rank : int; hi_rank : int; total_before : int }
+
+(* Leaf-chain payloads of a snapshot, in order.  The chain start is the
+   leftmost leaf reached from the root through first children. *)
+let chain_payloads (snap : B.snapshot) =
+  let node row =
+    match snap.B.snap_slots.(row) with
+    | Some v -> v
+    | None -> invalid_arg "structure_leak: dangling node reference"
+  in
+  let rec descend row =
+    let v = node row in
+    match v.B.node_kind with
+    | B.Leaf -> v
+    | B.Inner -> descend v.B.children.(0)
+  in
+  let rec walk (v : B.node_view) acc =
+    let acc = List.rev_append (Array.to_list v.B.payloads) acc in
+    match v.B.next with Some nx -> walk (node nx) acc | None -> List.rev acc
+  in
+  walk (descend snap.B.snap_root) []
+
+let observe_insert ~before ~after =
+  let old_payloads = chain_payloads before in
+  let new_payloads = chain_payloads after in
+  if List.length new_payloads <> List.length old_payloads + 1 then None
+  else begin
+    let seen = Hashtbl.create (List.length old_payloads) in
+    List.iter (fun p -> Hashtbl.replace seen p ()) old_payloads;
+    let fresh =
+      List.filteri (fun _ _ -> true) new_payloads
+      |> List.mapi (fun i p -> (i, p))
+      |> List.filter (fun (_, p) -> not (Hashtbl.mem seen p))
+    in
+    match fresh with
+    | [] -> None
+    | (first, _) :: _ ->
+        let last = fst (List.nth fresh (List.length fresh - 1)) in
+        Some
+          {
+            lo_rank = first;
+            (* the window spans [first, last] positions in the new order;
+               ranks are positions among the old entries *)
+            hi_rank = min last (List.length old_payloads);
+            total_before = List.length old_payloads;
+          }
+  end
+
+let estimate_uniform obs ~lo ~hi =
+  let mid = float_of_int (obs.lo_rank + obs.hi_rank) /. 2.0 in
+  lo +. ((hi -. lo) *. ((mid +. 1.0) /. float_of_int (obs.total_before + 2)))

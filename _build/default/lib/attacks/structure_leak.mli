@@ -1,0 +1,38 @@
+(** Structural leakage of the (fixed!) encrypted index.
+
+    The analysed scheme — and the paper's AEAD fix — deliberately
+    "preserve the structure of the index": node layout, child pointers and
+    the leaf chain stay in clear so the server can manage the B⁺-tree.
+    AEAD makes every payload opaque and bound to its slot, but the
+    {e order} of entries along the leaf chain is the order of the indexed
+    values.  A {e persistent} storage adversary who snapshots the index
+    around a write therefore learns the {e rank} of each newly inserted
+    (AEAD-protected!) value among everything already present — and with
+    public knowledge of the column's distribution, an estimate of the
+    value itself.  (The snapshot-diff attack of the later encrypted-range-
+    index literature, instantiated against this scheme.)
+
+    This module quantifies that residual leak, which no choice of AEAD can
+    remove — only structure-hiding techniques (ORAM, oblivious indexes)
+    outside the paper's design space would.  Experiment EXP20. *)
+
+type observation = {
+  lo_rank : int;  (** lowest possible rank of the new entry *)
+  hi_rank : int;
+      (** highest possible rank: when the insert split a node, the moved
+          entries were re-encrypted too and the adversary sees a window of
+          fresh payloads rather than a single one *)
+  total_before : int;  (** entries present before the insert *)
+}
+
+val observe_insert :
+  before:Secdb_index.Bptree.snapshot ->
+  after:Secdb_index.Bptree.snapshot ->
+  observation option
+(** Diff two storage snapshots around a single insert and locate the new
+    payload's position in the leaf chain.  [None] if the diff does not
+    look like one insert (e.g. several writes were batched). *)
+
+val estimate_uniform : observation -> lo:float -> hi:float -> float
+(** Rank-to-value estimate under a publicly known Uniform(lo, hi)
+    distribution: the rank/(n+1) quantile. *)

@@ -1,0 +1,43 @@
+module Address = Secdb_db.Address
+
+type experiment = { trials : int; collisions : (int * int) list; expected : float }
+
+let high_bits_match a b =
+  String.length a = String.length b
+  && begin
+       let ok = ref true in
+       String.iteri
+         (fun i c -> if (Char.code c lxor Char.code b.[i]) land 0x80 <> 0 then ok := false)
+         a;
+       !ok
+     end
+
+let collision_search ~(mu : Address.mu) ~table ~col ~trials =
+  let digests =
+    Array.init trials (fun row -> mu.digest (Address.v ~table ~row ~col))
+  in
+  let collisions = ref [] in
+  for i = 0 to trials - 1 do
+    for j = i + 1 to trials - 1 do
+      if high_bits_match digests.(i) digests.(j) then collisions := (i, j) :: !collisions
+    done
+  done;
+  let npairs = float_of_int trials *. float_of_int (trials - 1) /. 2.0 in
+  {
+    trials;
+    collisions = List.rev !collisions;
+    expected = npairs /. (2.0 ** float_of_int mu.width);
+  }
+
+type relocation = {
+  from_row : int;
+  to_row : int;
+  accepted : bool;
+  recovered : string option;
+}
+
+let relocate ~(scheme : Secdb_schemes.Cell_scheme.t) ~table ~col ~value ~from_row ~to_row =
+  let ct = scheme.encrypt (Address.v ~table ~row:from_row ~col) value in
+  match scheme.decrypt (Address.v ~table ~row:to_row ~col) ct with
+  | Ok v -> { from_row; to_row; accepted = true; recovered = Some v }
+  | Error _ -> { from_row; to_row; accepted = false; recovered = None }

@@ -1,0 +1,44 @@
+(** Substitution attack on the XOR-Scheme (paper Section 3.1,
+    "Substitution Attack on the XOR-Scheme") and its experiment.
+
+    For b-byte blocks of ASCII data (high bit of every octet clear), moving
+    a ciphertext from cell (t,r,c) to (t,r',c) yields
+    V' = V ⊕ µ(t,r,c) ⊕ µ(t,r',c) after decryption, which passes the ASCII
+    redundancy check iff every octet of µ ⊕ µ' has its high bit clear — a
+    b-bit condition.  Partial collisions are found offline with ≈ 2·2^(b/2)
+    work; the paper's experiment scanned 1024 trial addresses (same t and
+    c, running r) with µ = SHA-1 truncated to 128 bits and found 6
+    collisions (the expectation is C(1024,2)·2⁻¹⁶ ≈ 8.0). *)
+
+type experiment = {
+  trials : int;
+  collisions : (int * int) list;  (** row pairs whose µ values collide on every high bit *)
+  expected : float;  (** binomial expectation C(trials,2) · 2^(−b) *)
+}
+
+val high_bits_match : string -> string -> bool
+(** All corresponding octets agree on their most significant bit. *)
+
+val collision_search :
+  mu:Secdb_db.Address.mu -> table:int -> col:int -> trials:int -> experiment
+(** The paper's experiment: addresses (table, 0..trials−1, col). *)
+
+type relocation = {
+  from_row : int;
+  to_row : int;
+  accepted : bool;
+  recovered : string option;  (** the value the victim now sees at the target cell *)
+}
+
+val relocate :
+  scheme:Secdb_schemes.Cell_scheme.t ->
+  table:int ->
+  col:int ->
+  value:string ->
+  from_row:int ->
+  to_row:int ->
+  relocation
+(** Encrypt [value] at [from_row], store the ciphertext at [to_row], and
+    report whether decryption there is accepted.  For a colliding row pair
+    from {!collision_search} the broken XOR-Scheme accepts; the AEAD fix
+    refuses every relocation. *)

@@ -1,0 +1,1 @@
+lib/cipher/aes.ml: Array Block Char Printf String

@@ -1,0 +1,1 @@
+lib/cipher/aes_fast.ml: Aes Array Block Bytes Printf Secdb_util String

@@ -1,0 +1,1 @@
+lib/cipher/aes_fast.mli: Block

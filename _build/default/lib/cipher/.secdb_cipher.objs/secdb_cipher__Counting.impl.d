@@ -1,0 +1,1 @@
+lib/cipher/counting.ml: Block

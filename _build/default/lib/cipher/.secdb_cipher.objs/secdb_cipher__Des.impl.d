@@ -1,0 +1,1 @@
+lib/cipher/des.ml: Array Block Bytes Fun Int64 List Secdb_util String

@@ -1,0 +1,1 @@
+lib/cipher/des.mli: Block

@@ -1,0 +1,31 @@
+(** AES (FIPS 197) — the Rijndael cipher with 128-bit blocks and 128-, 192-
+    or 256-bit keys.
+
+    The S-box is generated at start-up from its algebraic definition
+    (multiplicative inverse in GF(2⁸) followed by the affine map), which
+    avoids transcription errors in a 256-entry table; the FIPS 197 and
+    SP 800-38A test vectors in the test suite pin the result. *)
+
+type key
+
+val expand_key : string -> key
+(** Key schedule.  The key must be 16, 24 or 32 bytes.
+    @raise Invalid_argument otherwise. *)
+
+val encrypt_block : key -> string -> string
+(** Encrypt one 16-byte block. @raise Invalid_argument on wrong length. *)
+
+val decrypt_block : key -> string -> string
+(** Decrypt one 16-byte block. *)
+
+val cipher : key:string -> Block.t
+(** Package as a first-class {!Block.t}; name is ["aes-128"], ["aes-192"] or
+    ["aes-256"] according to the key length. *)
+
+val sbox : int array
+(** The 256-entry S-box (exposed for the test suite and {!Aes_fast}). *)
+
+val round_key_bytes : key -> int array
+(** The expanded key schedule as (rounds+1)·16 bytes (for {!Aes_fast}). *)
+
+val inv_sbox : int array

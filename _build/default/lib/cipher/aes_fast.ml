@@ -1,0 +1,158 @@
+(* 32-bit word formulation.  State: four big-endian words, one per column
+   (word c = input bytes 4c..4c+3, byte 0 = row 0).  Encryption round:
+
+     w'_c = Te0[b0(w_c)] ^ Te1[b1(w_{c+1})] ^ Te2[b2(w_{c+2})]
+            ^ Te3[b3(w_{c+3})] ^ rk_c
+
+   which fuses SubBytes, ShiftRows and MixColumns. *)
+
+let mask = 0xffffffff
+
+let xtime x =
+  let x2 = x lsl 1 in
+  if x land 0x80 <> 0 then (x2 lxor 0x1b) land 0xff else x2
+
+let gmul a b =
+  let rec loop a b acc =
+    if b = 0 then acc
+    else loop (xtime a) (b lsr 1) (if b land 1 <> 0 then acc lxor a else acc)
+  in
+  loop a b 0
+
+let rotr32 w n = ((w lsr n) lor (w lsl (32 - n))) land mask
+
+let te0, te1, te2, te3 =
+  let t0 = Array.make 256 0 in
+  for x = 0 to 255 do
+    let s = Aes.sbox.(x) in
+    t0.(x) <- (gmul s 2 lsl 24) lor (s lsl 16) lor (s lsl 8) lor gmul s 3
+  done;
+  (t0, Array.map (fun w -> rotr32 w 8) t0,
+   Array.map (fun w -> rotr32 w 16) t0,
+   Array.map (fun w -> rotr32 w 24) t0)
+
+let td0, td1, td2, td3 =
+  let t0 = Array.make 256 0 in
+  for x = 0 to 255 do
+    let s = Aes.inv_sbox.(x) in
+    t0.(x) <- (gmul s 14 lsl 24) lor (gmul s 9 lsl 16) lor (gmul s 13 lsl 8) lor gmul s 11
+  done;
+  (t0, Array.map (fun w -> rotr32 w 8) t0,
+   Array.map (fun w -> rotr32 w 16) t0,
+   Array.map (fun w -> rotr32 w 24) t0)
+
+let inv_mix_column w =
+  let b i = (w lsr (24 - (8 * i))) land 0xff in
+  let a0 = b 0 and a1 = b 1 and a2 = b 2 and a3 = b 3 in
+  let c0 = gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9 in
+  let c1 = gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13 in
+  let c2 = gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11 in
+  let c3 = gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14 in
+  (c0 lsl 24) lor (c1 lsl 16) lor (c2 lsl 8) lor c3
+
+type key = { ek : int array; dk : int array; rounds : int; bits : int }
+
+let expand_key key_str =
+  let base = Aes.expand_key key_str in
+  (* reuse the byte-wise schedule, repack into big-endian words *)
+  let bytes = Aes.round_key_bytes base in
+  let rounds = Array.length bytes / 16 - 1 in
+  let nwords = 4 * (rounds + 1) in
+  let word i =
+    (bytes.(4 * i) lsl 24) lor (bytes.((4 * i) + 1) lsl 16)
+    lor (bytes.((4 * i) + 2) lsl 8)
+    lor bytes.((4 * i) + 3)
+  in
+  let ek = Array.init nwords word in
+  (* decryption schedule: reversed rounds, InvMixColumns on the middle *)
+  let dk = Array.make nwords 0 in
+  for r = 0 to rounds do
+    for c = 0 to 3 do
+      let w = ek.((4 * (rounds - r)) + c) in
+      dk.((4 * r) + c) <- (if r = 0 || r = rounds then w else inv_mix_column w)
+    done
+  done;
+  { ek; dk; rounds; bits = String.length key_str * 8 }
+
+let load block =
+  if String.length block <> 16 then invalid_arg "Aes_fast: block must be 16 bytes";
+  Array.init 4 (fun c -> Secdb_util.Xbytes.get_uint32_be block (4 * c))
+
+let store w =
+  let b = Bytes.create 16 in
+  Array.iteri (fun c v -> Secdb_util.Xbytes.set_uint32_be b (4 * c) v) w;
+  Bytes.unsafe_to_string b
+
+let b0 w = (w lsr 24) land 0xff
+let b1 w = (w lsr 16) land 0xff
+let b2 w = (w lsr 8) land 0xff
+let b3 w = w land 0xff
+
+let encrypt_block k block =
+  let w = load block in
+  for c = 0 to 3 do
+    w.(c) <- w.(c) lxor k.ek.(c)
+  done;
+  let t = Array.make 4 0 in
+  for round = 1 to k.rounds - 1 do
+    let rk = 4 * round in
+    for c = 0 to 3 do
+      t.(c) <-
+        te0.(b0 w.(c))
+        lxor te1.(b1 w.((c + 1) land 3))
+        lxor te2.(b2 w.((c + 2) land 3))
+        lxor te3.(b3 w.((c + 3) land 3))
+        lxor k.ek.(rk + c)
+    done;
+    Array.blit t 0 w 0 4
+  done;
+  let rk = 4 * k.rounds in
+  let s = Aes.sbox in
+  for c = 0 to 3 do
+    t.(c) <-
+      (s.(b0 w.(c)) lsl 24)
+      lor (s.(b1 w.((c + 1) land 3)) lsl 16)
+      lor (s.(b2 w.((c + 2) land 3)) lsl 8)
+      lor s.(b3 w.((c + 3) land 3))
+      lxor k.ek.(rk + c)
+  done;
+  store t
+
+let decrypt_block k block =
+  let w = load block in
+  for c = 0 to 3 do
+    w.(c) <- w.(c) lxor k.dk.(c)
+  done;
+  let t = Array.make 4 0 in
+  for round = 1 to k.rounds - 1 do
+    let rk = 4 * round in
+    for c = 0 to 3 do
+      t.(c) <-
+        td0.(b0 w.(c))
+        lxor td1.(b1 w.((c + 3) land 3))
+        lxor td2.(b2 w.((c + 2) land 3))
+        lxor td3.(b3 w.((c + 1) land 3))
+        lxor k.dk.(rk + c)
+    done;
+    Array.blit t 0 w 0 4
+  done;
+  let rk = 4 * k.rounds in
+  let si = Aes.inv_sbox in
+  for c = 0 to 3 do
+    t.(c) <-
+      (si.(b0 w.(c)) lsl 24)
+      lor (si.(b1 w.((c + 3) land 3)) lsl 16)
+      lor (si.(b2 w.((c + 2) land 3)) lsl 8)
+      lor si.(b3 w.((c + 1) land 3))
+      lxor k.dk.(rk + c)
+  done;
+  store t
+
+let cipher ~key =
+  let k = expand_key key in
+  {
+    Block.name = Printf.sprintf "aes-%d-fast" k.bits;
+    block_size = 16;
+    encrypt = encrypt_block k;
+    decrypt = decrypt_block k;
+  }

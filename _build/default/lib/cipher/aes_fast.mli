@@ -1,0 +1,22 @@
+(** Table-driven AES (the classic 32-bit T-table formulation).
+
+    Computes the same permutation as {!Aes} — the test suite checks
+    byte-for-byte agreement on the FIPS vectors and random inputs — at
+    roughly an order of magnitude higher throughput, which keeps the
+    experiment harness honest about relative AEAD costs.  The tables are
+    derived at start-up from {!Aes.sbox}, not transcribed.
+
+    (T-table AES is famously subject to cache-timing side channels; for
+    this repository's purpose — reproducing a cryptanalysis paper on a
+    simulator — that is out of scope and documented here.) *)
+
+type key
+
+val expand_key : string -> key
+(** 16-, 24- or 32-byte key. *)
+
+val encrypt_block : key -> string -> string
+val decrypt_block : key -> string -> string
+
+val cipher : key:string -> Block.t
+(** Named ["aes-128-fast"] etc. *)

@@ -1,0 +1,15 @@
+type t = {
+  name : string;
+  block_size : int;
+  encrypt : string -> string;
+  decrypt : string -> string;
+}
+
+let check_block t s =
+  if String.length s <> t.block_size then
+    invalid_arg
+      (Printf.sprintf "%s: expected %d-byte block, got %d bytes" t.name
+         t.block_size (String.length s))
+
+let zero_block t = String.make t.block_size '\000'
+let map_name f t = { t with name = f t.name }

@@ -1,0 +1,22 @@
+(** First-class block-cipher values.
+
+    A {!t} bundles a keyed block cipher: its block size and the two
+    single-block permutations.  Modes, MACs and AEAD schemes are all
+    parameterised over this record, which lets the experiments swap AES for
+    DES, and wrap any cipher with the instrumentation of {!Counting}. *)
+
+type t = {
+  name : string;  (** e.g. ["aes-128"] *)
+  block_size : int;  (** in bytes *)
+  encrypt : string -> string;  (** one block; input length = [block_size] *)
+  decrypt : string -> string;  (** inverse permutation *)
+}
+
+val check_block : t -> string -> unit
+(** @raise Invalid_argument if the string is not exactly one block. *)
+
+val zero_block : t -> string
+(** A block of zero bytes. *)
+
+val map_name : (string -> string) -> t -> t
+(** Rename, keeping behaviour. *)

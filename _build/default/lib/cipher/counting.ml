@@ -1,0 +1,35 @@
+type counters = { mutable enc_calls : int; mutable dec_calls : int }
+
+let wrap (c : Block.t) =
+  let counters = { enc_calls = 0; dec_calls = 0 } in
+  let wrapped =
+    {
+      c with
+      Block.name = c.Block.name ^ "+counted";
+      encrypt =
+        (fun b ->
+          counters.enc_calls <- counters.enc_calls + 1;
+          c.Block.encrypt b);
+      decrypt =
+        (fun b ->
+          counters.dec_calls <- counters.dec_calls + 1;
+          c.Block.decrypt b);
+    }
+  in
+  (wrapped, counters)
+
+let reset c =
+  c.enc_calls <- 0;
+  c.dec_calls <- 0
+
+let total c = c.enc_calls + c.dec_calls
+
+let count_enc c f =
+  let wrapped, counters = wrap c in
+  let r = f wrapped in
+  (counters.enc_calls, r)
+
+let count_all c f =
+  let wrapped, counters = wrap c in
+  let r = f wrapped in
+  (total counters, r)

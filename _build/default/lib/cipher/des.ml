@@ -1,0 +1,157 @@
+(* Tables from FIPS 46-3.  All positions are 1-based as in the standard. *)
+
+let ip =
+  [| 58; 50; 42; 34; 26; 18; 10; 2; 60; 52; 44; 36; 28; 20; 12; 4;
+     62; 54; 46; 38; 30; 22; 14; 6; 64; 56; 48; 40; 32; 24; 16; 8;
+     57; 49; 41; 33; 25; 17; 9; 1; 59; 51; 43; 35; 27; 19; 11; 3;
+     61; 53; 45; 37; 29; 21; 13; 5; 63; 55; 47; 39; 31; 23; 15; 7 |]
+
+let fp =
+  [| 40; 8; 48; 16; 56; 24; 64; 32; 39; 7; 47; 15; 55; 23; 63; 31;
+     38; 6; 46; 14; 54; 22; 62; 30; 37; 5; 45; 13; 53; 21; 61; 29;
+     36; 4; 44; 12; 52; 20; 60; 28; 35; 3; 43; 11; 51; 19; 59; 27;
+     34; 2; 42; 10; 50; 18; 58; 26; 33; 1; 41; 9; 49; 17; 57; 25 |]
+
+let expansion =
+  [| 32; 1; 2; 3; 4; 5; 4; 5; 6; 7; 8; 9; 8; 9; 10; 11; 12; 13;
+     12; 13; 14; 15; 16; 17; 16; 17; 18; 19; 20; 21; 20; 21; 22; 23; 24; 25;
+     24; 25; 26; 27; 28; 29; 28; 29; 30; 31; 32; 1 |]
+
+let pbox =
+  [| 16; 7; 20; 21; 29; 12; 28; 17; 1; 15; 23; 26; 5; 18; 31; 10;
+     2; 8; 24; 14; 32; 27; 3; 9; 19; 13; 30; 6; 22; 11; 4; 25 |]
+
+let pc1 =
+  [| 57; 49; 41; 33; 25; 17; 9; 1; 58; 50; 42; 34; 26; 18;
+     10; 2; 59; 51; 43; 35; 27; 19; 11; 3; 60; 52; 44; 36;
+     63; 55; 47; 39; 31; 23; 15; 7; 62; 54; 46; 38; 30; 22;
+     14; 6; 61; 53; 45; 37; 29; 21; 13; 5; 28; 20; 12; 4 |]
+
+let pc2 =
+  [| 14; 17; 11; 24; 1; 5; 3; 28; 15; 6; 21; 10;
+     23; 19; 12; 4; 26; 8; 16; 7; 27; 20; 13; 2;
+     41; 52; 31; 37; 47; 55; 30; 40; 51; 45; 33; 48;
+     44; 49; 39; 56; 34; 53; 46; 42; 50; 36; 29; 32 |]
+
+let shifts = [| 1; 1; 2; 2; 2; 2; 2; 2; 1; 2; 2; 2; 2; 2; 2; 1 |]
+
+let sboxes =
+  [|
+    [| 14; 4; 13; 1; 2; 15; 11; 8; 3; 10; 6; 12; 5; 9; 0; 7;
+       0; 15; 7; 4; 14; 2; 13; 1; 10; 6; 12; 11; 9; 5; 3; 8;
+       4; 1; 14; 8; 13; 6; 2; 11; 15; 12; 9; 7; 3; 10; 5; 0;
+       15; 12; 8; 2; 4; 9; 1; 7; 5; 11; 3; 14; 10; 0; 6; 13 |];
+    [| 15; 1; 8; 14; 6; 11; 3; 4; 9; 7; 2; 13; 12; 0; 5; 10;
+       3; 13; 4; 7; 15; 2; 8; 14; 12; 0; 1; 10; 6; 9; 11; 5;
+       0; 14; 7; 11; 10; 4; 13; 1; 5; 8; 12; 6; 9; 3; 2; 15;
+       13; 8; 10; 1; 3; 15; 4; 2; 11; 6; 7; 12; 0; 5; 14; 9 |];
+    [| 10; 0; 9; 14; 6; 3; 15; 5; 1; 13; 12; 7; 11; 4; 2; 8;
+       13; 7; 0; 9; 3; 4; 6; 10; 2; 8; 5; 14; 12; 11; 15; 1;
+       13; 6; 4; 9; 8; 15; 3; 0; 11; 1; 2; 12; 5; 10; 14; 7;
+       1; 10; 13; 0; 6; 9; 8; 7; 4; 15; 14; 3; 11; 5; 2; 12 |];
+    [| 7; 13; 14; 3; 0; 6; 9; 10; 1; 2; 8; 5; 11; 12; 4; 15;
+       13; 8; 11; 5; 6; 15; 0; 3; 4; 7; 2; 12; 1; 10; 14; 9;
+       10; 6; 9; 0; 12; 11; 7; 13; 15; 1; 3; 14; 5; 2; 8; 4;
+       3; 15; 0; 6; 10; 1; 13; 8; 9; 4; 5; 11; 12; 7; 2; 14 |];
+    [| 2; 12; 4; 1; 7; 10; 11; 6; 8; 5; 3; 15; 13; 0; 14; 9;
+       14; 11; 2; 12; 4; 7; 13; 1; 5; 0; 15; 10; 3; 9; 8; 6;
+       4; 2; 1; 11; 10; 13; 7; 8; 15; 9; 12; 5; 6; 3; 0; 14;
+       11; 8; 12; 7; 1; 14; 2; 13; 6; 15; 0; 9; 10; 4; 5; 3 |];
+    [| 12; 1; 10; 15; 9; 2; 6; 8; 0; 13; 3; 4; 14; 7; 5; 11;
+       10; 15; 4; 2; 7; 12; 9; 5; 6; 1; 13; 14; 0; 11; 3; 8;
+       9; 14; 15; 5; 2; 8; 12; 3; 7; 0; 4; 10; 1; 13; 11; 6;
+       4; 3; 2; 12; 9; 5; 15; 10; 11; 14; 1; 7; 6; 0; 8; 13 |];
+    [| 4; 11; 2; 14; 15; 0; 8; 13; 3; 12; 9; 7; 5; 10; 6; 1;
+       13; 0; 11; 7; 4; 9; 1; 10; 14; 3; 5; 12; 2; 15; 8; 6;
+       1; 4; 11; 13; 12; 3; 7; 14; 10; 15; 6; 8; 0; 5; 9; 2;
+       6; 11; 13; 8; 1; 4; 10; 7; 9; 5; 0; 15; 14; 2; 3; 12 |];
+    [| 13; 2; 8; 4; 6; 15; 11; 1; 10; 9; 3; 14; 5; 0; 12; 7;
+       1; 15; 13; 8; 10; 3; 7; 4; 12; 5; 6; 11; 0; 14; 9; 2;
+       7; 11; 4; 1; 9; 12; 14; 2; 0; 6; 10; 13; 15; 3; 5; 8;
+       2; 1; 14; 7; 4; 10; 8; 13; 15; 12; 9; 0; 3; 5; 6; 11 |];
+  |]
+
+(* Bits as int64, bit 1 = MSB, following the standard's numbering. *)
+
+let get_bit v width pos = Int64.to_int (Int64.shift_right_logical v (width - pos)) land 1
+
+let permute v in_width table =
+  let out = ref 0L in
+  Array.iter
+    (fun pos -> out := Int64.logor (Int64.shift_left !out 1) (Int64.of_int (get_bit v in_width pos)))
+    table;
+  !out
+
+type key = { subkeys : int64 array (* 16 x 48-bit *) }
+
+let rotl28 v n = Int64.logand (Int64.logor (Int64.shift_left v n) (Int64.shift_right_logical v (28 - n))) 0xFFFFFFFL
+
+let expand_key key_str =
+  if String.length key_str <> 8 then invalid_arg "Des.expand_key: key must be 8 bytes";
+  let k64 = Secdb_util.Xbytes.get_uint64_be key_str 0 in
+  let cd = permute k64 64 pc1 in
+  let c = ref (Int64.logand (Int64.shift_right_logical cd 28) 0xFFFFFFFL) in
+  let d = ref (Int64.logand cd 0xFFFFFFFL) in
+  let subkeys =
+    Array.map
+      (fun s ->
+        c := rotl28 !c s;
+        d := rotl28 !d s;
+        let cd = Int64.logor (Int64.shift_left !c 28) !d in
+        permute cd 56 pc2)
+      shifts
+  in
+  { subkeys }
+
+let feistel r subkey =
+  (* r: 32 bits, subkey: 48 bits *)
+  let e = permute (Int64.of_int r) 32 expansion in
+  let x = Int64.logxor e subkey in
+  let out = ref 0 in
+  for i = 0 to 7 do
+    let six = Int64.to_int (Int64.shift_right_logical x (42 - (6 * i))) land 0x3f in
+    let row = ((six lsr 4) land 2) lor (six land 1) in
+    let col = (six lsr 1) land 0xf in
+    out := (!out lsl 4) lor sboxes.(i).((row * 16) + col)
+  done;
+  Int64.to_int (permute (Int64.of_int !out) 32 pbox)
+
+let crypt_block subkey_order key block =
+  if String.length block <> 8 then invalid_arg "Des: block must be 8 bytes";
+  let v = permute (Secdb_util.Xbytes.get_uint64_be block 0) 64 ip in
+  let l = ref (Int64.to_int (Int64.shift_right_logical v 32) land 0xffffffff) in
+  let r = ref (Int64.to_int v land 0xffffffff) in
+  List.iter
+    (fun i ->
+      let f = feistel !r key.subkeys.(i) in
+      let nl = !r in
+      r := !l lxor f;
+      l := nl)
+    subkey_order;
+  (* final swap: pre-output is R16 L16 *)
+  let pre = Int64.logor (Int64.shift_left (Int64.of_int !r) 32) (Int64.of_int !l) in
+  let out = permute pre 64 fp in
+  let b = Bytes.create 8 in
+  Secdb_util.Xbytes.set_uint64_be b 0 out;
+  Bytes.unsafe_to_string b
+
+let forward_order = List.init 16 Fun.id
+let reverse_order = List.rev forward_order
+
+let encrypt_block key block = crypt_block forward_order key block
+let decrypt_block key block = crypt_block reverse_order key block
+
+let cipher ~key =
+  let k = expand_key key in
+  {
+    Block.name = "des";
+    block_size = 8;
+    encrypt = encrypt_block k;
+    decrypt = decrypt_block k;
+  }
+
+let weak_keys =
+  List.map Secdb_util.Xbytes.of_hex
+    [ "0101010101010101"; "fefefefefefefefe"; "e0e0e0e0f1f1f1f1"; "1f1f1f1f0e0e0e0e" ]
+
+let is_weak_key k = List.mem k weak_keys

@@ -1,0 +1,23 @@
+(** DES (FIPS 46-3) — mentioned alongside AES in the analysed paper [3] as a
+    candidate instantiation of the deterministic encryption function E.
+
+    Single DES is cryptographically obsolete (56-bit key); it is provided
+    because the analysed scheme names it, and because the attacks in this
+    repository are independent of the block cipher's strength. *)
+
+type key
+
+val expand_key : string -> key
+(** 8-byte key (parity bits ignored).
+    @raise Invalid_argument on wrong length. *)
+
+val encrypt_block : key -> string -> string
+(** Encrypt one 8-byte block. *)
+
+val decrypt_block : key -> string -> string
+
+val cipher : key:string -> Block.t
+(** Package as a {!Block.t} named ["des"]; block size 8. *)
+
+val is_weak_key : string -> bool
+(** True for the four DES weak keys (for which encryption = decryption). *)

@@ -1,0 +1,11 @@
+(** Triple DES in EDE mode (FIPS 46-3 / SP 800-67).
+
+    The natural upgrade path from the single DES named in [3]: encrypt-
+    decrypt-encrypt under two or three independent 56-bit keys, keeping the
+    8-byte block.  Included to let the experiments instantiate E with a
+    64-bit-block cipher of non-trivial strength — the small block halves
+    every pattern-matching threshold (one shared block = 8 bytes). *)
+
+val cipher : key:string -> Block.t
+(** 16-byte key = 2-key EDE (K1,K2,K1); 24-byte key = 3-key EDE.
+    @raise Invalid_argument on other lengths. *)

@@ -1,0 +1,1 @@
+lib/core/encdb.ml: Array Filename Fun Hashtbl Int64 Keyring List Option Printf Result Rng Secdb_aead Secdb_cipher Secdb_db Secdb_index Secdb_query Secdb_schemes Secdb_storage Secdb_util String Sys

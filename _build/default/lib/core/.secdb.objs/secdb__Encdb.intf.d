@@ -1,0 +1,1 @@
+lib/core/encdb.mli: Keyring Secdb_db Secdb_index Secdb_query

@@ -1,0 +1,1 @@
+lib/core/keyring.ml: Printf Secdb_hash Secdb_util

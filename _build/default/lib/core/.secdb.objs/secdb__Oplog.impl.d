@@ -1,0 +1,1 @@
+lib/core/oplog.ml: Encdb Fmt In_channel List Printf Result Secdb_aead Secdb_db Secdb_util String

@@ -1,0 +1,1 @@
+lib/core/oplog.mli: Encdb Format Secdb_aead Secdb_db

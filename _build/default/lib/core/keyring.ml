@@ -1,0 +1,26 @@
+exception Session_closed
+
+type t = { mutable master : string option }
+
+let open_session ~master =
+  if master = "" then invalid_arg "Keyring.open_session: empty master key";
+  { master = Some master }
+
+let close_session t = t.master <- None
+let is_open t = t.master <> None
+
+let derive t ~label ~length =
+  if length > Secdb_hash.Sha256.digest_size then
+    invalid_arg "Keyring.derive: length exceeds one HMAC-SHA256 output";
+  match t.master with
+  | None -> raise Session_closed
+  | Some master ->
+      Secdb_util.Xbytes.take length
+        (Secdb_hash.Hmac.mac Secdb_hash.Hmac.sha256 ~key:master label)
+
+let scoped t purpose ~table ~col =
+  derive t ~label:(Printf.sprintf "secdb/%s/t=%d/c=%d" purpose table col) ~length:16
+
+let cell_key t ~table ~col = scoped t "cell" ~table ~col
+let index_key t ~table ~col = scoped t "index" ~table ~col
+let mac_key t ~table ~col = scoped t "mac" ~table ~col

@@ -1,0 +1,128 @@
+module Value = Secdb_db.Value
+module Codec = Secdb_db.Codec
+module Aead = Secdb_aead.Aead
+module Xbytes = Secdb_util.Xbytes
+
+type op =
+  | Insert of { table : string; values : Value.t list }
+  | Update of { table : string; row : int; col : string; value : Value.t }
+  | Delete of { table : string; row : int }
+
+let pp_op ppf = function
+  | Insert { table; values } ->
+      Fmt.pf ppf "INSERT %s (%a)" table (Fmt.list ~sep:Fmt.comma Value.pp) values
+  | Update { table; row; col; value } ->
+      Fmt.pf ppf "UPDATE %s row %d %s <- %a" table row col Value.pp value
+  | Delete { table; row } -> Fmt.pf ppf "DELETE %s row %d" table row
+
+let encode_op = function
+  | Insert { table; values } -> Codec.frame ("ins" :: table :: List.map Value.encode values)
+  | Update { table; row; col; value } ->
+      Codec.frame [ "upd"; table; Xbytes.int_to_be_string ~width:8 row; col; Value.encode value ]
+  | Delete { table; row } ->
+      Codec.frame [ "del"; table; Xbytes.int_to_be_string ~width:8 row ]
+
+let decode_op bytes =
+  let ( let* ) = Result.bind in
+  let* fields = Codec.unframe bytes in
+  match fields with
+  | "ins" :: table :: values ->
+      let* values =
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            let* value = Value.decode v in
+            Ok (value :: acc))
+          (Ok []) values
+        |> Result.map List.rev
+      in
+      Ok (Insert { table; values })
+  | [ "upd"; table; row; col; value ] ->
+      let* value = Value.decode value in
+      Ok (Update { table; row = Xbytes.be_string_to_int row; col; value })
+  | [ "del"; table; row ] -> Ok (Delete { table; row = Xbytes.be_string_to_int row })
+  | _ -> Error "oplog: unknown record shape"
+
+(* --- writer ------------------------------------------------------------- *)
+
+type writer = {
+  oc : out_channel;
+  aead : Aead.t;
+  nonce : Secdb_aead.Nonce.t;
+  mutable seq : int;
+  mutable open_ : bool;
+}
+
+let create ~path ~aead ~nonce =
+  { oc = open_out_bin path; aead; nonce; seq = 0; open_ = true }
+
+let append w op =
+  if not w.open_ then invalid_arg "Oplog.append: writer is closed";
+  let seq = w.seq in
+  let n = w.nonce () in
+  let ad = Xbytes.int_to_be_string ~width:8 seq in
+  let ct, tag = Aead.encrypt w.aead ~nonce:n ~ad (encode_op op) in
+  let record = Codec.frame [ ad; n; ct; tag ] in
+  output_string w.oc (Xbytes.int_to_be_string ~width:4 (String.length record));
+  output_string w.oc record;
+  w.seq <- seq + 1;
+  seq
+
+let count w = w.seq
+
+let close w =
+  if w.open_ then begin
+    close_out w.oc;
+    w.open_ <- false
+  end
+
+(* --- reader ------------------------------------------------------------- *)
+
+let replay ~path ~aead =
+  let ( let* ) = Result.bind in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let len = String.length data in
+  let rec loop off seq acc =
+    if off = len then Ok (List.rev acc)
+    else if off + 4 > len then Error "oplog: truncated record length"
+    else begin
+      let rlen = Xbytes.be_string_to_int (String.sub data off 4) in
+      if off + 4 + rlen > len then Error "oplog: truncated record"
+      else
+        let record = String.sub data (off + 4) rlen in
+        let* ad, n, ct, tag =
+          match Codec.unframe record with
+          | Ok [ a; b; c; d ] -> Ok (a, b, c, d)
+          | Ok _ | Error _ -> Error "oplog: malformed record"
+        in
+        if ad <> Xbytes.int_to_be_string ~width:8 seq then
+          Error (Printf.sprintf "oplog: record %d out of order or spliced" seq)
+        else
+          match Aead.decrypt aead ~nonce:n ~ad ~tag ct with
+          | Error Aead.Invalid ->
+              Error (Printf.sprintf "oplog: record %d failed authentication" seq)
+          | Ok bytes ->
+              let* op = decode_op bytes in
+              loop (off + 4 + rlen) (seq + 1) ((seq, op) :: acc)
+    end
+  in
+  loop 0 0 []
+
+let apply db = function
+  | Insert { table; values } -> (
+      match Encdb.insert db ~table values with
+      | (_ : int) -> Ok ()
+      | exception Invalid_argument e -> Error e
+      | exception Not_found -> Error ("oplog: unknown table " ^ table))
+  | Update { table; row; col; value } -> Encdb.update db ~table ~row ~col value
+  | Delete { table; row } -> Encdb.delete_row db ~table ~row
+
+let replay_into db ~path ~aead =
+  match replay ~path ~aead with
+  | Error e -> Error e
+  | Ok ops ->
+      let rec run = function
+        | [] -> Ok (List.length ops)
+        | (_, op) :: rest -> ( match apply db op with Ok () -> run rest | Error e -> Error e)
+      in
+      run ops

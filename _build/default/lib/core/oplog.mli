@@ -1,0 +1,43 @@
+(** Encrypted, replay-protected operation log.
+
+    The schemes protect data {e at rest}; a deployment also ships changes —
+    backups, replication, audit.  This module appends each mutation as an
+    AEAD record whose associated data is its sequence number, so records
+    cannot be reordered, spliced from another log, or modified; together
+    with the out-of-band record count (keep it with the master key, like
+    the {!Encdb.digest} anchor) truncation is caught too.  Replaying a
+    verified log into a fresh session rebuilds the exact database —
+    {!Encdb.digest} equality is checked in the tests. *)
+
+type op =
+  | Insert of { table : string; values : Secdb_db.Value.t list }
+  | Update of { table : string; row : int; col : string; value : Secdb_db.Value.t }
+  | Delete of { table : string; row : int }
+
+val pp_op : Format.formatter -> op -> unit
+
+(** {2 Writing} *)
+
+type writer
+
+val create : path:string -> aead:Secdb_aead.Aead.t -> nonce:Secdb_aead.Nonce.t -> writer
+(** Truncate and start a log at sequence 0. *)
+
+val append : writer -> op -> int
+(** Seal and append one operation; returns its sequence number. *)
+
+val count : writer -> int
+val close : writer -> unit
+
+(** {2 Reading} *)
+
+val replay : path:string -> aead:Secdb_aead.Aead.t -> ((int * op) list, string) result
+(** Read, verify and decode the whole log.  Fails on any modified,
+    reordered or foreign record; a truncated {e tail} parses as a shorter
+    valid log — compare the length against the out-of-band count. *)
+
+val apply : Encdb.t -> op -> (unit, string) result
+(** Apply one operation to a live session. *)
+
+val replay_into : Encdb.t -> path:string -> aead:Secdb_aead.Aead.t -> (int, string) result
+(** Verify and apply a whole log; returns the number of operations. *)

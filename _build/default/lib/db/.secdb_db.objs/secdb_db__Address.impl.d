@@ -1,0 +1,1 @@
+lib/db/address.ml: Fmt Int Printf Secdb_hash Secdb_util

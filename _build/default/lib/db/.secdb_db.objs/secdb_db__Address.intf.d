@@ -1,0 +1,1 @@
+lib/db/address.mli: Format

@@ -1,0 +1,1 @@
+lib/db/codec.ml: Buffer List Printf Secdb_util String Xbytes

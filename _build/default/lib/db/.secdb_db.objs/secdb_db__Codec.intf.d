@@ -1,0 +1,1 @@
+lib/db/codec.mli:

@@ -1,0 +1,1 @@
+lib/db/schema.ml: Array Fmt List Printf String Value

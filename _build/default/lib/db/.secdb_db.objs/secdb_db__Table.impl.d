@@ -1,0 +1,1 @@
+lib/db/table.ml: Address Array Fmt List Printf Schema Secdb_util Value Vec

@@ -1,0 +1,1 @@
+lib/db/table.mli: Address Format Schema Value

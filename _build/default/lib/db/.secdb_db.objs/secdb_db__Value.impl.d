@@ -1,0 +1,1 @@
+lib/db/value.ml: Bool Fmt Int Int64 Secdb_util String

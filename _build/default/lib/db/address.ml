@@ -1,0 +1,31 @@
+type t = { table : int; row : int; col : int }
+
+let v ~table ~row ~col = { table; row; col }
+let equal a b = a.table = b.table && a.row = b.row && a.col = b.col
+
+let compare a b =
+  match Int.compare a.table b.table with
+  | 0 -> ( match Int.compare a.row b.row with 0 -> Int.compare a.col b.col | c -> c)
+  | c -> c
+
+let pp ppf a = Fmt.pf ppf "(t=%d,r=%d,c=%d)" a.table a.row a.col
+
+let encode a =
+  let open Secdb_util.Xbytes in
+  int_to_be_string ~width:8 a.table ^ int_to_be_string ~width:8 a.row
+  ^ int_to_be_string ~width:8 a.col
+
+type mu = { name : string; width : int; digest : t -> string }
+
+let truncated name width h =
+  if width < 1 then invalid_arg "Address.mu: width must be positive";
+  {
+    name = Printf.sprintf "%s/%d" name (8 * width);
+    width;
+    digest = (fun a -> Secdb_util.Xbytes.take width (h (encode a)));
+  }
+
+let mu_sha1 ~width = truncated "sha1" (min width Secdb_hash.Sha1.digest_size) Secdb_hash.Sha1.digest
+let mu_sha256 ~width = truncated "sha256" (min width Secdb_hash.Sha256.digest_size) Secdb_hash.Sha256.digest
+let mu_md5 ~width = truncated "md5" (min width Secdb_hash.Md5.digest_size) Secdb_hash.Md5.digest
+let mu_identity = { name = "identity"; width = 24; digest = encode }

@@ -1,0 +1,33 @@
+(** Cell addresses and the address-conversion function µ.
+
+    A cell address is the triple (t, r, c) of table id, row and column the
+    analysed scheme feeds into the plaintext ((1), (2) of the paper).  The
+    function µ converts the triple into a fixed-width byte string; [3]
+    suggests a cryptographic hash for collision resistance, and the paper's
+    Section 3.1 experiment instantiates it with SHA-1 truncated to the
+    cipher's 128-bit block size. *)
+
+type t = { table : int; row : int; col : int }
+
+val v : table:int -> row:int -> col:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val encode : t -> string
+(** Canonical 24-byte encoding t ∥ r ∥ c (8-byte big-endian each) hashed by
+    the µ instantiations. *)
+
+(** An instantiation of µ. *)
+type mu = { name : string; width : int; digest : t -> string }
+
+val mu_sha1 : width:int -> mu
+(** SHA-1(t ∥ r ∥ c) truncated to [width] bytes — the paper's experimental
+    choice with [width = 16]. *)
+
+val mu_sha256 : width:int -> mu
+val mu_md5 : width:int -> mu
+
+val mu_identity : mu
+(** The naive non-hash µ: the raw 24-byte encoding (strawman showing why
+    [3] asks for collision resistance). *)

@@ -1,0 +1,33 @@
+open Secdb_util
+
+let frame fields =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Xbytes.int_to_be_string ~width:4 (String.length f));
+      Buffer.add_string buf f)
+    fields;
+  Buffer.contents buf
+
+let unframe s =
+  let rec loop off acc =
+    if off = String.length s then Ok (List.rev acc)
+    else if off + 4 > String.length s then Error "Codec.unframe: truncated length"
+    else
+      let len = Xbytes.be_string_to_int (String.sub s off 4) in
+      if off + 4 + len > String.length s then Error "Codec.unframe: truncated field"
+      else loop (off + 4 + len) (String.sub s (off + 4) len :: acc)
+  in
+  loop 0 []
+
+let unframe2 s =
+  match unframe s with
+  | Ok [ a; b ] -> Ok (a, b)
+  | Ok l -> Error (Printf.sprintf "Codec.unframe2: expected 2 fields, got %d" (List.length l))
+  | Error e -> Error e
+
+let unframe3 s =
+  match unframe s with
+  | Ok [ a; b; c ] -> Ok (a, b, c)
+  | Ok l -> Error (Printf.sprintf "Codec.unframe3: expected 3 fields, got %d" (List.length l))
+  | Error e -> Error e

@@ -1,0 +1,18 @@
+(** Unambiguous framing of byte-string sequences.
+
+    The schemes concatenate heterogeneous fields — V ∥ µ(t,r,c),
+    (V, r) ∥ r_I, V ∥ Ref_I ∥ Ref_T ∥ Ref_S — before encrypting or MACing.
+    Where the paper's analysis depends on raw concatenation (the attacks),
+    the scheme modules build the plaintext by hand; everywhere else this
+    length-prefixed framing avoids ambiguity bugs. *)
+
+val frame : string list -> string
+(** Each field is prefixed with its 4-byte big-endian length. *)
+
+val unframe : string -> (string list, string) result
+(** Inverse of {!frame}; rejects truncated or trailing data. *)
+
+val unframe2 : string -> (string * string, string) result
+(** {!unframe} specialised to exactly two fields. *)
+
+val unframe3 : string -> (string * string * string, string) result

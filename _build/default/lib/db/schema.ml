@@ -1,0 +1,39 @@
+type protection = Clear | Encrypted
+type column = { name : string; ty : Value.kind; protection : protection }
+type t = { table_name : string; columns : column array }
+
+let column ?(protection = Encrypted) name ty = { name; ty; protection }
+
+let v ~table_name columns =
+  if columns = [] then invalid_arg "Schema.v: a table needs at least one column";
+  let names = List.map (fun c -> c.name) columns in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg "Schema.v: duplicate column names";
+  { table_name; columns = Array.of_list columns }
+
+let ncols t = Array.length t.columns
+
+let col_index t name =
+  let rec loop i =
+    if i >= Array.length t.columns then raise Not_found
+    else if t.columns.(i).name = name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let col t i = t.columns.(i)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v2>table %s:@,%a@]" t.table_name
+    (Fmt.iter ~sep:Fmt.cut Array.iter (fun ppf c ->
+         Fmt.pf ppf "%s %s%s" c.name (Value.kind_name c.ty)
+           (match c.protection with Clear -> "" | Encrypted -> " [encrypted]")))
+    t.columns
+
+let check_value c v =
+  if v = Value.Null || Value.kind v = c.ty then Ok ()
+  else
+    Error
+      (Printf.sprintf "column %s expects %s, got %s" c.name (Value.kind_name c.ty)
+         (Value.kind_name (Value.kind v)))

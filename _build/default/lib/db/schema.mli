@@ -1,0 +1,29 @@
+(** Table schemas.
+
+    The analysed scheme is flexible about which columns are protected; a
+    column's [protection] records that choice, mirroring the paper's
+    "flexible with respect to which columns to protect or leave in clear". *)
+
+type protection =
+  | Clear  (** stored as plaintext *)
+  | Encrypted  (** cell encryption applies *)
+
+type column = { name : string; ty : Value.kind; protection : protection }
+
+type t = { table_name : string; columns : column array }
+
+val v : table_name:string -> column list -> t
+(** @raise Invalid_argument on duplicate column names or no columns. *)
+
+val column : ?protection:protection -> string -> Value.kind -> column
+(** Column constructor; default [protection] is [Encrypted]. *)
+
+val ncols : t -> int
+val col_index : t -> string -> int
+(** @raise Not_found if the column does not exist. *)
+
+val col : t -> int -> column
+val pp : Format.formatter -> t -> unit
+
+val check_value : column -> Value.t -> (unit, string) result
+(** A value fits a column if it is [Null] or has the column's kind. *)

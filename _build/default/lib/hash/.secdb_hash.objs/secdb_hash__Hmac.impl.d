@@ -1,0 +1,1 @@
+lib/hash/hmac.ml: Char Md5 Secdb_util Sha1 Sha256 String

@@ -1,0 +1,1 @@
+lib/hash/hmac.mli:

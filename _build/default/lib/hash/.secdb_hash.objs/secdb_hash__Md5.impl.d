@@ -1,0 +1,1 @@
+lib/hash/md5.ml: Array Bytes Float Int64 Secdb_util Sha1 String

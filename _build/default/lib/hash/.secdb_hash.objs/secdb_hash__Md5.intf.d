@@ -1,0 +1,1 @@
+lib/hash/md5.mli:

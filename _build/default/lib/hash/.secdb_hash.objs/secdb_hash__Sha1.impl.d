@@ -1,0 +1,1 @@
+lib/hash/sha1.ml: Array Buffer Bytes Char Int64 Secdb_util String

@@ -1,0 +1,1 @@
+lib/hash/sha1.mli:

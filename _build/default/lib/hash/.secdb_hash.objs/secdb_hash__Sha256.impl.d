@@ -1,0 +1,1 @@
+lib/hash/sha256.ml: Array Bytes Secdb_util Sha1 String

@@ -1,0 +1,1 @@
+lib/hash/sha256.mli:

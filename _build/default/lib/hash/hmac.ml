@@ -1,0 +1,33 @@
+type hash = {
+  name : string;
+  digest : string -> string;
+  digest_size : int;
+  block_size : int;
+}
+
+let sha1 =
+  { name = "sha1"; digest = Sha1.digest; digest_size = Sha1.digest_size; block_size = Sha1.block_size }
+
+let sha256 =
+  {
+    name = "sha256";
+    digest = Sha256.digest;
+    digest_size = Sha256.digest_size;
+    block_size = Sha256.block_size;
+  }
+
+let md5 =
+  { name = "md5"; digest = Md5.digest; digest_size = Md5.digest_size; block_size = Md5.block_size }
+
+let mac h ~key msg =
+  let key = if String.length key > h.block_size then h.digest key else key in
+  let key = key ^ String.make (h.block_size - String.length key) '\000' in
+  let ipad = String.map (fun c -> Char.chr (Char.code c lxor 0x36)) key in
+  let opad = String.map (fun c -> Char.chr (Char.code c lxor 0x5c)) key in
+  h.digest (opad ^ h.digest (ipad ^ msg))
+
+let mac_truncated h ~key ~bytes msg = Secdb_util.Xbytes.take bytes (mac h ~key msg)
+
+let verify h ~key ~tag msg =
+  let computed = Secdb_util.Xbytes.take (String.length tag) (mac h ~key msg) in
+  Secdb_util.Xbytes.constant_time_equal computed tag

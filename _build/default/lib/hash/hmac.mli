@@ -1,0 +1,21 @@
+(** HMAC (RFC 2104) over any of the hash modules in this library. *)
+
+type hash = {
+  name : string;
+  digest : string -> string;
+  digest_size : int;
+  block_size : int;
+}
+
+val sha1 : hash
+val sha256 : hash
+val md5 : hash
+
+val mac : hash -> key:string -> string -> string
+(** [mac h ~key msg] is the full-length HMAC tag. *)
+
+val mac_truncated : hash -> key:string -> bytes:int -> string -> string
+(** Tag truncated to the first [bytes] bytes. *)
+
+val verify : hash -> key:string -> tag:string -> string -> bool
+(** Constant-time verification of a (possibly truncated) tag. *)

@@ -1,0 +1,49 @@
+let digest_size = 16
+let block_size = 64
+
+let mask = 0xffffffff
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+(* K.(i) = floor(|sin(i+1)| * 2^32), computed rather than transcribed. *)
+let k =
+  Array.init 64 (fun i -> Int64.to_int (Int64.of_float (Float.abs (sin (float_of_int (i + 1))) *. 4294967296.0)))
+
+let s =
+  [| 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+     5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20;
+     4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+     6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21 |]
+
+let digest msg =
+  let data = Sha1.md_pad ~le:true msg in
+  let h = [| 0x67452301; 0xefcdab89; 0x98badcfe; 0x10325476 |] in
+  let m = Array.make 16 0 in
+  for blk = 0 to (String.length data / 64) - 1 do
+    let base = 64 * blk in
+    for t = 0 to 15 do
+      m.(t) <- Secdb_util.Xbytes.get_uint32_le data (base + (4 * t))
+    done;
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+    for i = 0 to 63 do
+      let f, g =
+        if i < 16 then ((!b land !c) lor (lnot !b land !d), i)
+        else if i < 32 then ((!d land !b) lor (lnot !d land !c), ((5 * i) + 1) mod 16)
+        else if i < 48 then (!b lxor !c lxor !d, ((3 * i) + 5) mod 16)
+        else (!c lxor (!b lor (lnot !d land mask)), (7 * i) mod 16)
+      in
+      let f = (f land mask + !a + k.(i) + m.(g)) land mask in
+      a := !d;
+      d := !c;
+      c := !b;
+      b := (!b + rotl f s.(i)) land mask
+    done;
+    h.(0) <- (h.(0) + !a) land mask;
+    h.(1) <- (h.(1) + !b) land mask;
+    h.(2) <- (h.(2) + !c) land mask;
+    h.(3) <- (h.(3) + !d) land mask
+  done;
+  let out = Bytes.create 16 in
+  Array.iteri (fun i v -> Secdb_util.Xbytes.set_uint32_le out (4 * i) v) h;
+  Bytes.unsafe_to_string out
+
+let hex msg = Secdb_util.Xbytes.to_hex (digest msg)

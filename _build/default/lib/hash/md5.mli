@@ -1,0 +1,12 @@
+(** MD5 (RFC 1321).  Included as a further µ instantiation with a 128-bit
+    output that needs no truncation; long broken for collision resistance,
+    which makes the paper's point about hash-based address checksums even
+    sharper. *)
+
+val digest : string -> string
+(** 16-byte digest. *)
+
+val hex : string -> string
+val digest_size : int (** 16 *)
+
+val block_size : int (** 64 *)

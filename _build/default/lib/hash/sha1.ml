@@ -1,0 +1,67 @@
+let digest_size = 20
+let block_size = 64
+
+let mask = 0xffffffff
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+(* Merkle–Damgård padding shared with the other hashes: 0x80, zeros, then
+   the 64-bit big-endian bit length. *)
+let md_pad ~le msg =
+  let len = String.length msg in
+  let bitlen = Int64.of_int (8 * len) in
+  let pad = ((55 - len) mod 64 + 64) mod 64 + 1 in
+  let b = Buffer.create (len + pad + 8) in
+  Buffer.add_string b msg;
+  Buffer.add_char b '\x80';
+  for _ = 2 to pad do
+    Buffer.add_char b '\x00'
+  done;
+  let lenbytes = Bytes.create 8 in
+  if le then
+    for i = 0 to 7 do
+      Bytes.set lenbytes i
+        (Char.chr (Int64.to_int (Int64.shift_right_logical bitlen (8 * i)) land 0xff))
+    done
+  else Secdb_util.Xbytes.set_uint64_be lenbytes 0 bitlen;
+  Buffer.add_bytes b lenbytes;
+  Buffer.contents b
+
+let digest msg =
+  let data = md_pad ~le:false msg in
+  let h = [| 0x67452301; 0xEFCDAB89; 0x98BADCFE; 0x10325476; 0xC3D2E1F0 |] in
+  let w = Array.make 80 0 in
+  let nblocks = String.length data / 64 in
+  for blk = 0 to nblocks - 1 do
+    let base = 64 * blk in
+    for t = 0 to 15 do
+      w.(t) <- Secdb_util.Xbytes.get_uint32_be data (base + (4 * t))
+    done;
+    for t = 16 to 79 do
+      w.(t) <- rotl (w.(t - 3) lxor w.(t - 8) lxor w.(t - 14) lxor w.(t - 16)) 1
+    done;
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) and e = ref h.(4) in
+    for t = 0 to 79 do
+      let f, k =
+        if t < 20 then ((!b land !c) lor (lnot !b land !d) land mask, 0x5A827999)
+        else if t < 40 then (!b lxor !c lxor !d, 0x6ED9EBA1)
+        else if t < 60 then ((!b land !c) lor (!b land !d) lor (!c land !d), 0x8F1BBCDC)
+        else (!b lxor !c lxor !d, 0xCA62C1D6)
+      in
+      let tmp = (rotl !a 5 + (f land mask) + !e + k + w.(t)) land mask in
+      e := !d;
+      d := !c;
+      c := rotl !b 30;
+      b := !a;
+      a := tmp
+    done;
+    h.(0) <- (h.(0) + !a) land mask;
+    h.(1) <- (h.(1) + !b) land mask;
+    h.(2) <- (h.(2) + !c) land mask;
+    h.(3) <- (h.(3) + !d) land mask;
+    h.(4) <- (h.(4) + !e) land mask
+  done;
+  let out = Bytes.create 20 in
+  Array.iteri (fun i v -> Secdb_util.Xbytes.set_uint32_be out (4 * i) v) h;
+  Bytes.unsafe_to_string out
+
+let hex msg = Secdb_util.Xbytes.to_hex (digest msg)

@@ -1,0 +1,23 @@
+(** SHA-1 (FIPS 180-4).
+
+    The analysed paper's experiment instantiates the address-conversion
+    function µ with SHA-1 truncated to the first 128 bits; this module is
+    that primitive.  SHA-1 is no longer collision resistant in general, but
+    the attack in Section 3.1 of the paper relies only on generic
+    birthday-style partial collisions, not on SHA-1's specific weaknesses. *)
+
+val digest : string -> string
+(** 20-byte digest of the input. *)
+
+val hex : string -> string
+(** Hexadecimal digest. *)
+
+val digest_size : int
+(** 20. *)
+
+val block_size : int
+(** 64 — for HMAC. *)
+
+val md_pad : le:bool -> string -> string
+(** Merkle–Damgård padding (0x80, zeros, 64-bit bit length) shared by the
+    MD5/SHA family; [le] selects a little-endian length field (MD5). *)

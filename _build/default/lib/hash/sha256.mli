@@ -1,0 +1,10 @@
+(** SHA-256 (FIPS 180-4). Alternative instantiation for the address digest µ
+    and the HMAC used by the encrypt-then-MAC AEAD composition. *)
+
+val digest : string -> string
+(** 32-byte digest. *)
+
+val hex : string -> string
+val digest_size : int (** 32 *)
+
+val block_size : int (** 64 *)

@@ -1,0 +1,1 @@
+lib/index/bptree.ml: Array Int List Option Printf Secdb_db Secdb_util String Vec Xbytes

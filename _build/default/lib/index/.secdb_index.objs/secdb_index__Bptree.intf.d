@@ -1,0 +1,1 @@
+lib/index/bptree.mli: Secdb_db

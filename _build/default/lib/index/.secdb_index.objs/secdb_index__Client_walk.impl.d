@@ -1,0 +1,1 @@
+lib/index/client_walk.ml: Array Bptree List Option Printf Secdb_db String

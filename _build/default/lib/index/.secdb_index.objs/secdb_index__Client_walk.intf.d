@@ -1,0 +1,1 @@
+lib/index/client_walk.mli: Bptree Secdb_db

@@ -1,0 +1,1 @@
+lib/index/codec_instr.mli: Bptree

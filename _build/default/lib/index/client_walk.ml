@@ -1,0 +1,130 @@
+module Value = Secdb_db.Value
+
+type stats = {
+  rounds : int;
+  nodes_fetched : int;
+  bytes_to_client : int;
+  bytes_to_server : int;
+}
+
+let payload_bytes (view : Bptree.node_view) =
+  Array.fold_left (fun acc p -> acc + String.length p) 0 view.payloads
+
+(* The "client": decodes one payload with the codec (it holds the key). *)
+let client_decode (t : Bptree.t) (view : Bptree.node_view) slot =
+  let ctx =
+    {
+      Bptree.index_table = Bptree.id t;
+      node_row = view.row;
+      kind = view.node_kind;
+    }
+  in
+  match (Bptree.codec t).decode ctx view.payloads.(slot) with
+  | Ok v -> v
+  | Error e ->
+      raise (Bptree.Integrity (Printf.sprintf "client-walk: node %d slot %d: %s" view.row slot e))
+
+let find t probe =
+  let rounds = ref 0 and fetched = ref 0 and to_client = ref 0 and to_server = ref 0 in
+  let fetch row =
+    let view = Bptree.node_view t row in
+    incr rounds;
+    incr fetched;
+    to_client := !to_client + payload_bytes view;
+    to_server := !to_server + 1;
+    view
+  in
+  (* descent: client answers with the child position to follow *)
+  let rec descend row =
+    let view = fetch row in
+    match view.node_kind with
+    | Bptree.Leaf -> view
+    | Bptree.Inner ->
+        let k = Array.length view.payloads in
+        let rec first_ge i =
+          if i < k && Value.compare probe (fst (client_decode t view i)) > 0 then first_ge (i + 1)
+          else i
+        in
+        descend view.children.(first_ge 0)
+  in
+  let rec collect (view : Bptree.node_view) acc =
+    let stop = ref false in
+    let acc = ref acc in
+    Array.iteri
+      (fun i _ ->
+        if not !stop then begin
+          let value, table_row = client_decode t view i in
+          let c = Value.compare value probe in
+          if c = 0 then (match table_row with Some r -> acc := r :: !acc | None -> ())
+          else if c > 0 then stop := true
+        end)
+      view.payloads;
+    if (not !stop) && view.next <> None then
+      collect (fetch (Option.get view.next)) !acc
+    else !acc
+  in
+  let leaf = descend (Bptree.root t) in
+  let rows = List.rev (collect leaf []) in
+  ( rows,
+    {
+      rounds = !rounds;
+      nodes_fetched = !fetched;
+      bytes_to_client = !to_client;
+      bytes_to_server = !to_server;
+    } )
+
+let range t ?lo ?hi () =
+  let rounds = ref 0 and fetched = ref 0 and to_client = ref 0 and to_server = ref 0 in
+  let fetch row =
+    let view = Bptree.node_view t row in
+    incr rounds;
+    incr fetched;
+    to_client := !to_client + payload_bytes view;
+    to_server := !to_server + 1;
+    view
+  in
+  let rec descend row =
+    let view = fetch row in
+    match view.Bptree.node_kind with
+    | Bptree.Leaf -> view
+    | Bptree.Inner ->
+        let k = Array.length view.Bptree.payloads in
+        let rec first_ge i =
+          if
+            i < k
+            &&
+            match lo with
+            | Some probe -> Value.compare probe (fst (client_decode t view i)) > 0
+            | None -> false
+          then first_ge (i + 1)
+          else i
+        in
+        descend view.Bptree.children.(first_ge 0)
+  in
+  let results = ref [] in
+  let rec scan (view : Bptree.node_view) =
+    let stop = ref false in
+    Array.iteri
+      (fun i _ ->
+        if not !stop then begin
+          let value, table_row = client_decode t view i in
+          let below = match lo with Some v -> Value.compare value v < 0 | None -> false in
+          let above = match hi with Some v -> Value.compare value v > 0 | None -> false in
+          if above then stop := true
+          else if not below then
+            match table_row with Some r -> results := (value, r) :: !results | None -> ()
+        end)
+      view.Bptree.payloads;
+    if not !stop then
+      match view.Bptree.next with Some nx -> scan (fetch nx) | None -> ()
+  in
+  scan (descend (Bptree.root t));
+  ( List.rev !results,
+    {
+      rounds = !rounds;
+      nodes_fetched = !fetched;
+      bytes_to_client = !to_client;
+      bytes_to_server = !to_server;
+    } )
+
+let expected_rounds t = Bptree.height t

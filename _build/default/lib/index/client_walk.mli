@@ -1,0 +1,36 @@
+(** The client-side tree walk of the paper's Remark 1.
+
+    Instead of handing the key to the DBMS server, the server ships each
+    visited node's (encrypted) payloads to the client; the client decrypts,
+    decides the direction, and answers with a child position — costing one
+    communication round per tree level, i.e. logarithmically many rounds,
+    "worthwhile if the index uses d-ary B⁺-trees with d ≥ 2".
+
+    This module simulates both parties over a {!Bptree.t} and accounts for
+    rounds and bytes on the wire, feeding experiment EXP10. *)
+
+type stats = {
+  rounds : int;  (** request/response pairs, one per visited node *)
+  nodes_fetched : int;
+  bytes_to_client : int;  (** payload bytes shipped to the client *)
+  bytes_to_server : int;  (** direction decisions (1 byte each) + probe-free *)
+}
+
+val find : Bptree.t -> Secdb_db.Value.t -> int list * stats
+(** Equality lookup executed via the client-walk protocol: returns the same
+    table rows as {!Bptree.find} (leaf-chain continuation included) plus
+    the communication statistics.  Decryption happens only through the
+    tree's codec — standing in for the client, the sole key holder. *)
+
+val range :
+  Bptree.t ->
+  ?lo:Secdb_db.Value.t ->
+  ?hi:Secdb_db.Value.t ->
+  unit ->
+  (Secdb_db.Value.t * int) list * stats
+(** Inclusive range query over the protocol: one descent plus one round per
+    additional leaf the answer spans — the paper's "list of right-sibling
+    references", fetched one message at a time. *)
+
+val expected_rounds : Bptree.t -> int
+(** Tree height = the number of rounds a single descent costs. *)

@@ -1,0 +1,16 @@
+(** Instrumented index codecs.
+
+    Wraps a {!Bptree.codec} so that every encode and decode is counted —
+    used by the ablation experiment on index-maintenance cost: because the
+    analysed schemes bind payloads to their node row r_I, every split,
+    borrow and merge forces decode+re-encode work that a position-free
+    encryption would not pay. *)
+
+type counters = {
+  mutable encodes : int;
+  mutable decodes : int;
+  mutable decode_failures : int;
+}
+
+val wrap : Bptree.codec -> Bptree.codec * counters
+val reset : counters -> unit

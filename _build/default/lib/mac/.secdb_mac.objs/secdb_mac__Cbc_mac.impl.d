@@ -1,0 +1,1 @@
+lib/mac/cbc_mac.ml: List Secdb_cipher Secdb_modes Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+lib/mac/cbc_mac.mli: Secdb_cipher

@@ -1,0 +1,1 @@
+lib/mac/cmac.ml: Gf128 Option Secdb_cipher Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+lib/mac/cmac.mli: Secdb_cipher

@@ -1,0 +1,1 @@
+lib/mac/gf128.ml: Bytes Char Printf String

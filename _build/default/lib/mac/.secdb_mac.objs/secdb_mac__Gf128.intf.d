@@ -1,0 +1,1 @@
+lib/mac/gf128.mli:

@@ -1,0 +1,1 @@
+lib/mac/pmac.ml: Gf128 Secdb_cipher Secdb_util String Xbytes

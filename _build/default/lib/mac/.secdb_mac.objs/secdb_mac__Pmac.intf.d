@@ -1,0 +1,1 @@
+lib/mac/pmac.mli: Secdb_cipher

@@ -1,0 +1,18 @@
+open Secdb_util
+
+let chain (c : Secdb_cipher.Block.t) msg =
+  if String.length msg mod c.block_size <> 0 then
+    invalid_arg "Cbc_mac: message length must be a multiple of the block size";
+  let prev = ref (Secdb_cipher.Block.zero_block c) in
+  List.map
+    (fun blk ->
+      prev := c.encrypt (Xbytes.xor_exact blk !prev);
+      !prev)
+    (Xbytes.blocks c.block_size msg)
+
+let mac c msg =
+  match List.rev (chain c msg) with
+  | last :: _ -> last
+  | [] -> c.encrypt (Secdb_cipher.Block.zero_block c)
+
+let mac_padded c msg = mac c (Secdb_modes.Padding.pad ~block:c.block_size msg)

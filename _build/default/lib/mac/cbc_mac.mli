@@ -1,0 +1,18 @@
+(** Raw CBC-MAC (zero IV, no length strengthening, no final transform).
+
+    Secure only for fixed-length messages; exposed because the paper's
+    Section 3.3 attack exploits precisely the structural identity between
+    CBC encryption with zero IV and the CBC-MAC chain when both run under
+    the same key.  Use {!Cmac} for a MAC that is actually secure for
+    variable-length inputs. *)
+
+val mac : Secdb_cipher.Block.t -> string -> string
+(** MAC of a message whose length must be a multiple of the block size.
+    @raise Invalid_argument otherwise. *)
+
+val mac_padded : Secdb_cipher.Block.t -> string -> string
+(** Convenience: PKCS#7-pad, then {!mac}. *)
+
+val chain : Secdb_cipher.Block.t -> string -> string list
+(** All intermediate chaining values C₁…Cₛ (exposed for the Section 3.3
+    analysis: these equal the CBC ciphertext blocks under the same key). *)

@@ -1,0 +1,50 @@
+open Secdb_util
+
+let subkeys (c : Secdb_cipher.Block.t) =
+  let l = c.encrypt (Secdb_cipher.Block.zero_block c) in
+  let k1 = Gf128.dbl l in
+  let k2 = Gf128.dbl k1 in
+  (k1, k2)
+
+type keyed = { cipher : Secdb_cipher.Block.t; k1 : string; k2 : string }
+
+let keyed (c : Secdb_cipher.Block.t) =
+  let k1, k2 = subkeys c in
+  { cipher = c; k1; k2 }
+
+let mac_with { cipher = c; k1; k2 } ?init msg =
+  let bs = c.block_size in
+  let init = Option.value init ~default:(Secdb_cipher.Block.zero_block c) in
+  let len = String.length msg in
+  let complete = len > 0 && len mod bs = 0 in
+  let nfull = if complete then (len / bs) - 1 else len / bs in
+  let prev = ref init in
+  for i = 0 to nfull - 1 do
+    prev := c.encrypt (Xbytes.xor_exact (String.sub msg (i * bs) bs) !prev)
+  done;
+  let last =
+    if complete then Xbytes.xor_exact (String.sub msg (nfull * bs) bs) k1
+    else
+      let rest = String.sub msg (nfull * bs) (len - (nfull * bs)) in
+      let padded = rest ^ "\x80" ^ String.make (bs - String.length rest - 1) '\000' in
+      Xbytes.xor_exact padded k2
+  in
+  c.encrypt (Xbytes.xor_exact last !prev)
+
+let chain_state { cipher = c; _ } prefix =
+  let bs = c.block_size in
+  if prefix = "" || String.length prefix mod bs <> 0 then
+    invalid_arg "Cmac.chain_state: prefix must be a positive multiple of the block size";
+  let prev = ref (Secdb_cipher.Block.zero_block c) in
+  String.iteri
+    (fun i _ -> if i mod bs = bs - 1 then
+        prev := c.encrypt (Xbytes.xor_exact (String.sub prefix (i - bs + 1) bs) !prev))
+    prefix;
+  !prev
+
+let mac (c : Secdb_cipher.Block.t) msg = mac_with (keyed c) msg
+
+let mac_truncated c ~bytes msg = Xbytes.take bytes (mac c msg)
+
+let verify c ~tag msg =
+  Xbytes.constant_time_equal (Xbytes.take (String.length tag) (mac c msg)) tag

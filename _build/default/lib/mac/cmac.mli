@@ -1,0 +1,42 @@
+(** CMAC / OMAC1 (Iwata–Kurosawa, cited by the paper as [5]; standardised in
+    NIST SP 800-38B, RFC 4493).
+
+    A CBC-MAC variant secure for variable-length messages: the last block is
+    masked with a subkey (K1 for complete, K2 for padded final blocks)
+    derived by GF(2ⁿ) doubling of E_K(0ⁿ).
+
+    The paper's Section 3.3 attack shows that even this secure MAC loses
+    authenticity when composed encrypt-and-MAC style with CBC encryption
+    under the {e same} key — the attack needs nothing beyond this module
+    and {!Secdb_modes.Mode.cbc_encrypt}. *)
+
+val mac : Secdb_cipher.Block.t -> string -> string
+(** Full-block tag of an arbitrary-length message. *)
+
+val mac_truncated : Secdb_cipher.Block.t -> bytes:int -> string -> string
+
+val verify : Secdb_cipher.Block.t -> tag:string -> string -> bool
+(** Constant-time check of a (possibly truncated) tag. *)
+
+val subkeys : Secdb_cipher.Block.t -> string * string
+(** The (K1, K2) pair, exposed for tests. *)
+
+(** Keyed instances amortise the subkey derivation (one blockcipher call)
+    across messages, and allow continuing from a precomputed chain state —
+    which is how EAX caches its three OMAC tweak prefixes to reach the
+    2n+m+1 per-message cost the analysed paper quotes. *)
+
+type keyed
+
+val keyed : Secdb_cipher.Block.t -> keyed
+(** Derive and cache the subkeys (1 blockcipher call). *)
+
+val mac_with : keyed -> ?init:string -> string -> string
+(** OMAC continued from chain state [init] (default: the zero block, i.e.
+    plain OMAC).  [mac_with k ~init:(chain-state-after P) M] equals
+    [mac c (P ^ M)] whenever [P] is a whole number of blocks and [M] is
+    non-empty. *)
+
+val chain_state : keyed -> string -> string
+(** CBC chain state after absorbing a whole-block prefix (no final-block
+    masking); input length must be a positive multiple of the block size. *)

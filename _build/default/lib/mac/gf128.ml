@@ -1,0 +1,45 @@
+let poly_const = function
+  | 16 -> 0x87
+  | 8 -> 0x1b
+  | n -> invalid_arg (Printf.sprintf "Gf128: unsupported block size %d" n)
+
+let dbl s =
+  let n = String.length s in
+  let c = poly_const n in
+  let out = Bytes.create n in
+  let carry = ref 0 in
+  for i = n - 1 downto 0 do
+    let v = (Char.code s.[i] lsl 1) lor !carry in
+    Bytes.set out i (Char.chr (v land 0xff));
+    carry := v lsr 8
+  done;
+  if !carry <> 0 then
+    Bytes.set out (n - 1) (Char.chr (Char.code (Bytes.get out (n - 1)) lxor c));
+  Bytes.unsafe_to_string out
+
+let inv_dbl s =
+  let n = String.length s in
+  let c = poly_const n in
+  let lsb = Char.code s.[n - 1] land 1 in
+  (* if lsb is set, add the reduction polynomial before halving *)
+  let src = if lsb = 1 then Bytes.of_string s else Bytes.of_string s in
+  if lsb = 1 then
+    Bytes.set src (n - 1) (Char.chr (Char.code s.[n - 1] lxor c));
+  let out = Bytes.create n in
+  let carry = ref lsb in
+  for i = 0 to n - 1 do
+    let v = Char.code (Bytes.get src i) in
+    Bytes.set out i (Char.chr (((v lsr 1) lor (!carry lsl 7)) land 0xff));
+    carry := v land 1
+  done;
+  (* the carry pushed out at the bottom was already folded via the lsb test *)
+  Bytes.unsafe_to_string out
+
+let dbl_pow l i =
+  let rec loop l i = if i = 0 then l else loop (dbl l) (i - 1) in
+  if i < 0 then invalid_arg "Gf128.dbl_pow: negative exponent" else loop l i
+
+let ntz n =
+  if n <= 0 then invalid_arg "Gf128.ntz: positive argument required";
+  let rec loop n acc = if n land 1 = 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0

@@ -1,0 +1,18 @@
+(** Doubling (multiplication by x) in GF(2ⁿ) on block-sized byte strings,
+    as used by CMAC/OMAC, PMAC and OCB subkey derivation.
+
+    For 128-bit blocks the reduction polynomial is x¹²⁸+x⁷+x²+x+1 (constant
+    0x87); for 64-bit blocks it is x⁶⁴+x⁴+x³+x+1 (constant 0x1b). *)
+
+val dbl : string -> string
+(** Multiply by x.  Accepts 8- or 16-byte strings.
+    @raise Invalid_argument otherwise. *)
+
+val inv_dbl : string -> string
+(** Multiply by x⁻¹ (the OCB "L/x" operation); inverse of {!dbl}. *)
+
+val dbl_pow : string -> int -> string
+(** [dbl_pow l i] is [l] multiplied by xⁱ. *)
+
+val ntz : int -> int
+(** Number of trailing zero bits of a positive integer. *)

@@ -1,0 +1,32 @@
+open Secdb_util
+
+(* Incremental Gray-code offsets: Z_1 = L, Z_{i+1} = Z_i xor L(ntz(i+1))
+   where L(j) = L * x^j.  Equivalent to Z_i = gamma_i * L. *)
+
+let mac (c : Secdb_cipher.Block.t) msg =
+  let bs = c.block_size in
+  let l = c.encrypt (Secdb_cipher.Block.zero_block c) in
+  let l_inv = Gf128.inv_dbl l in
+  let len = String.length msg in
+  let m = max 1 ((len + bs - 1) / bs) in
+  let sigma = ref (Secdb_cipher.Block.zero_block c) in
+  let z = ref l in
+  for i = 1 to m - 1 do
+    let blk = String.sub msg ((i - 1) * bs) bs in
+    sigma := Xbytes.xor_exact !sigma (c.encrypt (Xbytes.xor_exact blk !z));
+    z := Xbytes.xor_exact !z (Gf128.dbl_pow l (Gf128.ntz (i + 1)))
+  done;
+  let lastlen = len - ((m - 1) * bs) in
+  let final =
+    if lastlen = bs then
+      Xbytes.xor_exact (String.sub msg ((m - 1) * bs) bs) l_inv
+    else
+      let rest = if lastlen <= 0 then "" else String.sub msg ((m - 1) * bs) lastlen in
+      rest ^ "\x80" ^ String.make (bs - String.length rest - 1) '\000'
+  in
+  c.encrypt (Xbytes.xor_exact !sigma final)
+
+let mac_truncated c ~bytes msg = Xbytes.take bytes (mac c msg)
+
+let verify c ~tag msg =
+  Xbytes.constant_time_equal (Xbytes.take (String.length tag) (mac c msg)) tag

@@ -1,0 +1,16 @@
+(** PMAC (Rogaway), the parallelisable MAC used by the "OCB+PMAC" AEAD
+    composition the paper recommends (reference [10]).
+
+    Offsets are Gray-code multiples of L = E_K(0ⁿ); the i-th message block
+    is whitened with Z_i before encryption, the results are xored into a
+    checksum, and the final block is folded in unencrypted (masked by
+    L·x⁻¹ when it is a complete block).  Costs ⌈|M|/n⌉ blockcipher calls
+    plus the one-time L computation. *)
+
+val mac : Secdb_cipher.Block.t -> string -> string
+(** Full-block tag of an arbitrary-length message; [mac c "" ] is defined
+    (tag of the empty message). *)
+
+val mac_truncated : Secdb_cipher.Block.t -> bytes:int -> string -> string
+
+val verify : Secdb_cipher.Block.t -> tag:string -> string -> bool

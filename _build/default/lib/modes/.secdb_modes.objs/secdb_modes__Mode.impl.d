@@ -1,0 +1,1 @@
+lib/modes/mode.ml: Buffer Bytes Char Printf Secdb_cipher Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+lib/modes/mode.mli: Secdb_cipher

@@ -1,0 +1,1 @@
+lib/modes/padding.mli:

@@ -1,0 +1,134 @@
+open Secdb_util
+
+let check_aligned (c : Secdb_cipher.Block.t) s op =
+  if String.length s mod c.block_size <> 0 then
+    invalid_arg
+      (Printf.sprintf "Mode.%s: input length %d is not a multiple of the %d-byte block" op
+         (String.length s) c.block_size)
+
+let check_iv (c : Secdb_cipher.Block.t) iv op =
+  if String.length iv <> c.block_size then
+    invalid_arg (Printf.sprintf "Mode.%s: IV must be one block" op)
+
+let map_blocks c s f =
+  let bs = c.Secdb_cipher.Block.block_size in
+  let n = String.length s / bs in
+  let out = Buffer.create (String.length s) in
+  for i = 0 to n - 1 do
+    Buffer.add_string out (f (String.sub s (i * bs) bs))
+  done;
+  Buffer.contents out
+
+let ecb_encrypt (c : Secdb_cipher.Block.t) s =
+  check_aligned c s "ecb_encrypt";
+  map_blocks c s c.encrypt
+
+let ecb_decrypt (c : Secdb_cipher.Block.t) s =
+  check_aligned c s "ecb_decrypt";
+  map_blocks c s c.decrypt
+
+let cbc_encrypt (c : Secdb_cipher.Block.t) ~iv s =
+  check_aligned c s "cbc_encrypt";
+  check_iv c iv "cbc_encrypt";
+  let prev = ref iv in
+  map_blocks c s (fun p ->
+      let ct = c.encrypt (Xbytes.xor_exact p !prev) in
+      prev := ct;
+      ct)
+
+let cbc_decrypt (c : Secdb_cipher.Block.t) ~iv s =
+  check_aligned c s "cbc_decrypt";
+  check_iv c iv "cbc_decrypt";
+  let prev = ref iv in
+  map_blocks c s (fun ct ->
+      let p = Xbytes.xor_exact (c.decrypt ct) !prev in
+      prev := ct;
+      p)
+
+(* Generate a keystream of [len] bytes from successive cipher outputs. *)
+let keystream_apply (c : Secdb_cipher.Block.t) next s =
+  let bs = c.block_size in
+  let out = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < String.length s do
+    let ks = next () in
+    let n = min bs (String.length s - !off) in
+    Xbytes.xor_into ~src:(Xbytes.take n ks) ~dst:out ~dst_off:!off;
+    off := !off + n
+  done;
+  Bytes.unsafe_to_string out
+
+let ctr_full (c : Secdb_cipher.Block.t) ~counter0 s =
+  check_iv c counter0 "ctr_full";
+  let ctr = Bytes.of_string counter0 in
+  let incr_ctr () =
+    let rec bump i =
+      if i >= 0 then begin
+        let v = (Char.code (Bytes.get ctr i) + 1) land 0xff in
+        Bytes.set ctr i (Char.chr v);
+        if v = 0 then bump (i - 1)
+      end
+    in
+    bump (c.block_size - 1)
+  in
+  let next () =
+    let ks = c.encrypt (Bytes.to_string ctr) in
+    incr_ctr ();
+    ks
+  in
+  keystream_apply c next s
+
+let ctr (c : Secdb_cipher.Block.t) ~nonce s =
+  check_iv c nonce "ctr";
+  let counter = ref 0 in
+  let next () =
+    let blk = Bytes.of_string nonce in
+    Xbytes.set_uint32_be blk (c.block_size - 4) !counter;
+    incr counter;
+    c.encrypt (Bytes.unsafe_to_string blk)
+  in
+  keystream_apply c next s
+
+let ofb (c : Secdb_cipher.Block.t) ~iv s =
+  check_iv c iv "ofb";
+  let state = ref iv in
+  let next () =
+    state := c.encrypt !state;
+    !state
+  in
+  keystream_apply c next s
+
+let cfb_encrypt (c : Secdb_cipher.Block.t) ~iv s =
+  check_iv c iv "cfb_encrypt";
+  let bs = c.block_size in
+  let out = Buffer.create (String.length s) in
+  let prev = ref iv in
+  let off = ref 0 in
+  while !off < String.length s do
+    let n = min bs (String.length s - !off) in
+    let ks = c.encrypt !prev in
+    let ct = Xbytes.xor_exact (String.sub s !off n) (Xbytes.take n ks) in
+    Buffer.add_string out ct;
+    (* last segment may be partial; feedback uses the full previous block *)
+    if n = bs then prev := ct;
+    off := !off + n
+  done;
+  Buffer.contents out
+
+let cfb_decrypt (c : Secdb_cipher.Block.t) ~iv s =
+  check_iv c iv "cfb_decrypt";
+  let bs = c.block_size in
+  let out = Buffer.create (String.length s) in
+  let prev = ref iv in
+  let off = ref 0 in
+  while !off < String.length s do
+    let n = min bs (String.length s - !off) in
+    let ks = c.encrypt !prev in
+    let ct = String.sub s !off n in
+    Buffer.add_string out (Xbytes.xor_exact ct (Xbytes.take n ks));
+    if n = bs then prev := ct;
+    off := !off + n
+  done;
+  Buffer.contents out
+
+let zero_iv (c : Secdb_cipher.Block.t) = Secdb_cipher.Block.zero_block c

@@ -1,0 +1,43 @@
+(** Block-cipher modes of operation (NIST SP 800-38A).
+
+    All functions operate on whole messages.  [ecb] and [cbc] require the
+    input length to be a multiple of the block size (combine with
+    {!Padding}); the streaming modes ([ctr], [ofb], [cfb]) accept any
+    length.
+
+    The deterministic instantiation the analysed paper warns about is
+    [cbc ~iv:(zero block)]: the paper's counter-examples (Sect. 3) are built
+    on exactly this "CBC with constant zero IV" reading of the deterministic
+    encryption function E, and footnote 2 points out that the streaming
+    modes are even worse under determinism because the whole keystream
+    repeats (see {!Secdb_attacks.Keystream_reuse}). *)
+
+val ecb_encrypt : Secdb_cipher.Block.t -> string -> string
+val ecb_decrypt : Secdb_cipher.Block.t -> string -> string
+
+val cbc_encrypt : Secdb_cipher.Block.t -> iv:string -> string -> string
+val cbc_decrypt : Secdb_cipher.Block.t -> iv:string -> string -> string
+
+val ctr : Secdb_cipher.Block.t -> nonce:string -> string -> string
+(** Counter mode; the counter block is [nonce] with its last 4 bytes
+    replaced by a 32-bit big-endian block counter starting at 0.  Encryption
+    and decryption coincide.  Note that nonces differing only in their last
+    4 bytes collide — callers wanting arbitrary nonces should use
+    {!ctr_full} with a derived initial counter (as EAX and the
+    encrypt-then-MAC composition here do). *)
+
+val ctr_full : Secdb_cipher.Block.t -> counter0:string -> string -> string
+(** Counter mode over the whole block: the counter starts at [counter0] and
+    increments as a big-endian integer with wrap-around (the CTR variant
+    inside EAX).  Self-inverse. *)
+
+val ofb : Secdb_cipher.Block.t -> iv:string -> string -> string
+(** Output feedback; self-inverse. *)
+
+val cfb_encrypt : Secdb_cipher.Block.t -> iv:string -> string -> string
+(** Full-block cipher feedback. *)
+
+val cfb_decrypt : Secdb_cipher.Block.t -> iv:string -> string -> string
+
+val zero_iv : Secdb_cipher.Block.t -> string
+(** The all-zero IV used by the paper's counter-example instantiation. *)

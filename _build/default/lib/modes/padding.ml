@@ -1,0 +1,20 @@
+let pad ~block s =
+  if block < 1 || block > 255 then invalid_arg "Padding.pad: block size out of range";
+  let k = block - (String.length s mod block) in
+  s ^ String.make k (Char.chr k)
+
+let unpad ~block s =
+  let n = String.length s in
+  if n = 0 || n mod block <> 0 then Error "unpad: length not a positive multiple of the block size"
+  else
+    let k = Char.code s.[n - 1] in
+    if k < 1 || k > block then Error "unpad: padding byte out of range"
+    else
+      let ok = ref true in
+      for i = n - k to n - 1 do
+        if Char.code s.[i] <> k then ok := false
+      done;
+      if !ok then Ok (String.sub s 0 (n - k)) else Error "unpad: inconsistent padding bytes"
+
+let unpad_exn ~block s =
+  match unpad ~block s with Ok v -> v | Error e -> invalid_arg ("Padding." ^ e)

@@ -1,0 +1,14 @@
+(** PKCS#7 block padding (PKCS#5 is the 8-byte-block special case, as cited
+    by the paper [11]). *)
+
+val pad : block:int -> string -> string
+(** Append [k] bytes of value [k], where [1 <= k <= block], so that the
+    result length is a multiple of [block].  A full block of padding is
+    added when the input is already aligned.
+    @raise Invalid_argument if [block] is not in [1, 255]. *)
+
+val unpad : block:int -> string -> (string, string) result
+(** Validate and strip padding; [Error reason] on malformed padding. *)
+
+val unpad_exn : block:int -> string -> string
+(** @raise Invalid_argument on malformed padding. *)

@@ -1,0 +1,1 @@
+lib/query/encrypted_table.ml: Array List Option Printf Secdb_db Secdb_schemes Secdb_util String Vec

@@ -1,0 +1,1 @@
+lib/query/encrypted_table.mli: Secdb_db Secdb_schemes

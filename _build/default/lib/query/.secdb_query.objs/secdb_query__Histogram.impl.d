@@ -1,0 +1,1 @@
+lib/query/histogram.ml: Array Char Float Int64 List Option Secdb_db String

@@ -1,0 +1,1 @@
+lib/query/histogram.mli: Secdb_db

@@ -1,0 +1,1 @@
+lib/query/walker.ml: Array List Printf Secdb_db Secdb_index

@@ -1,0 +1,1 @@
+lib/query/walker.mli: Secdb_db Secdb_index

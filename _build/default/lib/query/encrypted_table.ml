@@ -1,0 +1,181 @@
+open Secdb_util
+module Value = Secdb_db.Value
+module Schema = Secdb_db.Schema
+module Address = Secdb_db.Address
+
+type cell = Clear of Value.t | Cipher of string
+
+type t = {
+  id : int;
+  schema : Schema.t;
+  schemes : Secdb_schemes.Cell_scheme.t array; (* one per column *)
+  rows : cell array option Vec.t; (* None = tombstoned row *)
+}
+
+let create ~id schema ~scheme =
+  { id; schema; schemes = Array.init (Schema.ncols schema) scheme; rows = Vec.create () }
+
+let id t = t.id
+let schema t = t.schema
+let scheme t ~col = t.schemes.(col)
+let nrows t = Vec.length t.rows
+
+let is_protected t col =
+  (Schema.col t.schema col).Schema.protection = Schema.Encrypted
+
+let encrypt_cell t ~row ~col value =
+  let addr = Address.v ~table:t.id ~row ~col in
+  Cipher (t.schemes.(col).encrypt addr (Value.encode value))
+
+let insert t values =
+  let n = Schema.ncols t.schema in
+  if List.length values <> n then
+    invalid_arg
+      (Printf.sprintf "Encrypted_table.insert: expected %d values, got %d" n
+         (List.length values));
+  List.iteri
+    (fun col v ->
+      match Schema.check_value (Schema.col t.schema col) v with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Encrypted_table.insert: " ^ e))
+    values;
+  let row = Vec.length t.rows in
+  let cells =
+    List.mapi
+      (fun col v -> if is_protected t col then encrypt_cell t ~row ~col v else Clear v)
+      values
+  in
+  Vec.push t.rows (Some (Array.of_list cells))
+
+let live_cells t row op =
+  match Vec.get t.rows row with
+  | Some cells -> cells
+  | None -> invalid_arg (Printf.sprintf "Encrypted_table.%s: row %d is deleted" op row)
+
+let is_live t ~row = Vec.get t.rows row <> None
+
+let get t ~row ~col =
+  match Vec.get t.rows row with
+  | None -> Error "row is deleted"
+  | Some cells -> (
+      match cells.(col) with
+      | Clear v -> Ok v
+      | Cipher ct -> (
+          let addr = Address.v ~table:t.id ~row ~col in
+          match t.schemes.(col).decrypt addr ct with
+          | Error e -> Error e
+          | Ok plain -> Value.decode plain))
+
+let get_exn t ~row ~col =
+  match get t ~row ~col with
+  | Ok v -> v
+  | Error e -> failwith (Printf.sprintf "cell (%d,%d,%d): %s" t.id row col e)
+
+let update t ~row ~col value =
+  (match Schema.check_value (Schema.col t.schema col) value with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Encrypted_table.update: " ^ e));
+  let cells = live_cells t row "update" in
+  cells.(col) <- (if is_protected t col then encrypt_cell t ~row ~col value else Clear value)
+
+let delete_row t ~row =
+  ignore (Vec.get t.rows row);
+  Vec.set t.rows row None
+
+let decrypt_row t row =
+  Array.init (Schema.ncols t.schema) (fun col -> get_exn t ~row ~col)
+
+let select t pred =
+  let acc = ref [] in
+  for row = 0 to nrows t - 1 do
+    if is_live t ~row then begin
+      let values = decrypt_row t row in
+      if pred values then acc := (row, values) :: !acc
+    end
+  done;
+  List.rev !acc
+
+let select_result t pred =
+  match select t pred with
+  | rows -> Ok rows
+  | exception Failure e -> Error e
+
+let raw_ciphertext t ~row ~col =
+  match Vec.get t.rows row with
+  | None -> None
+  | Some cells -> ( match cells.(col) with Clear _ -> None | Cipher ct -> Some ct)
+
+let set_raw t ~row ~col ct =
+  let cells = live_cells t row "set_raw" in
+  match cells.(col) with
+  | Clear _ -> invalid_arg "Encrypted_table.set_raw: column is not protected"
+  | Cipher _ -> cells.(col) <- Cipher ct
+
+let swap_cells t ~col ~row_a ~row_b =
+  match (raw_ciphertext t ~row:row_a ~col, raw_ciphertext t ~row:row_b ~col) with
+  | Some a, Some b ->
+      set_raw t ~row:row_a ~col b;
+      set_raw t ~row:row_b ~col a
+  | _ -> invalid_arg "Encrypted_table.swap_cells: column is not protected"
+
+let storage_bytes t ~col =
+  let acc = ref 0 in
+  for row = 0 to nrows t - 1 do
+    match raw_ciphertext t ~row ~col with
+    | Some ct -> acc := !acc + String.length ct
+    | None -> ()
+  done;
+  !acc
+
+let plaintext_bytes t ~col =
+  let acc = ref 0 in
+  for row = 0 to nrows t - 1 do
+    if is_live t ~row then
+      acc := !acc + String.length (Value.encode (get_exn t ~row ~col))
+  done;
+  !acc
+
+type stored_cell = Stored_clear of Value.t | Stored_cipher of string
+
+let dump_rows t =
+  List.init (nrows t) (fun row ->
+      Option.map
+        (Array.map (function Clear v -> Stored_clear v | Cipher ct -> Stored_cipher ct))
+        (Vec.get t.rows row))
+
+let restore ~id schema ~scheme ~rows =
+  let t = create ~id schema ~scheme in
+  let ncols = Schema.ncols schema in
+  let rec load i = function
+    | [] -> Ok t
+    | None :: rest ->
+        ignore (Vec.push t.rows None);
+        load (i + 1) rest
+    | Some row :: rest ->
+        if Array.length row <> ncols then
+          Error (Printf.sprintf "restore: row %d has %d cells, schema has %d columns" i
+                   (Array.length row) ncols)
+        else begin
+          let ok = ref (Ok ()) in
+          let cells =
+            Array.mapi
+              (fun col cell ->
+                match (cell, (Schema.col schema col).Schema.protection) with
+                | Stored_clear v, Schema.Clear -> Clear v
+                | Stored_cipher ct, Schema.Encrypted -> Cipher ct
+                | Stored_clear _, Schema.Encrypted ->
+                    ok := Error (Printf.sprintf "restore: row %d col %d should be encrypted" i col);
+                    Clear Value.Null
+                | Stored_cipher _, Schema.Clear ->
+                    ok := Error (Printf.sprintf "restore: row %d col %d should be clear" i col);
+                    Clear Value.Null)
+              row
+          in
+          match !ok with
+          | Error e -> Error e
+          | Ok () ->
+              ignore (Vec.push t.rows (Some cells));
+              load (i + 1) rest
+        end
+  in
+  load 0 rows

@@ -1,0 +1,94 @@
+module Bptree = Secdb_index.Bptree
+module Value = Secdb_db.Value
+
+type mode = Published | Corrected
+
+type answer = {
+  results : (Value.t * int) list;
+  inner_checked : int;
+  leaf_checked : int;
+  leaf_unchecked : int;
+}
+
+exception Stop of string
+
+let range tree ~mode ?lo ?hi () =
+  let codec = Bptree.codec tree in
+  let inner_checked = ref 0 and leaf_checked = ref 0 and leaf_unchecked = ref 0 in
+  let ctx_of (view : Bptree.node_view) =
+    { Bptree.index_table = Bptree.id tree; node_row = view.row; kind = view.node_kind }
+  in
+  let decode_inner view slot =
+    incr inner_checked;
+    match codec.decode (ctx_of view) view.payloads.(slot) with
+    | Ok (v, _) -> v
+    | Error e -> raise (Stop (Printf.sprintf "inner node %d slot %d: %s" view.row slot e))
+  in
+  let decode_leaf view slot =
+    match (mode, codec.decode_unverified) with
+    | Published, Some unverified -> (
+        incr leaf_unchecked;
+        match unverified (ctx_of view) view.payloads.(slot) with
+        | Ok r -> r
+        | Error e -> raise (Stop (Printf.sprintf "leaf node %d slot %d: %s" view.row slot e)))
+    | Published, None | Corrected, _ -> (
+        incr leaf_checked;
+        match codec.decode (ctx_of view) view.payloads.(slot) with
+        | Ok r -> r
+        | Error e -> raise (Stop (Printf.sprintf "leaf node %d slot %d: %s" view.row slot e)))
+  in
+  (* tree-walk to the starting leaf *)
+  let rec descend row =
+    let view = Bptree.node_view tree row in
+    match view.node_kind with
+    | Bptree.Leaf -> view
+    | Bptree.Inner ->
+        let k = Array.length view.payloads in
+        let rec first_ge i =
+          if
+            i < k
+            &&
+            match lo with
+            | Some probe -> Value.compare probe (decode_inner view i) > 0
+            | None -> false
+          then first_ge (i + 1)
+          else i
+        in
+        descend view.children.(first_ge 0)
+  in
+  (* scan the right-sibling chain *)
+  let results = ref [] in
+  let rec scan (view : Bptree.node_view) =
+    let stop = ref false in
+    Array.iteri
+      (fun slot _ ->
+        if not !stop then begin
+          let value, table_row = decode_leaf view slot in
+          let below = match lo with Some v -> Value.compare value v < 0 | None -> false in
+          let above = match hi with Some v -> Value.compare value v > 0 | None -> false in
+          if above then stop := true
+          else if not below then
+            match table_row with
+            | Some r -> results := (value, r) :: !results
+            | None -> ()
+        end)
+      view.payloads;
+    if not !stop then
+      match view.next with Some next -> scan (Bptree.node_view tree next) | None -> ()
+  in
+  match
+    let leaf = descend (Bptree.root tree) in
+    scan leaf
+  with
+  | () ->
+      Ok
+        {
+          results = List.rev !results;
+          inner_checked = !inner_checked;
+          leaf_checked = !leaf_checked;
+          leaf_unchecked = !leaf_unchecked;
+        }
+  | exception Stop e -> Error e
+  | exception Bptree.Integrity e -> Error e
+
+let equal tree ~mode probe = range tree ~mode ~lo:probe ~hi:probe ()

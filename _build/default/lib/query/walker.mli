@@ -1,0 +1,38 @@
+(** Query evaluation over an encrypted index, after the pseudo-code of
+    [12] — including its bugs.
+
+    The paper's footnote 1: "this code contains two bugs: While it checks
+    the integrity of the data in inner nodes during the tree-walk, it fails
+    to do so on the leaf-level, both for finding the right starting place
+    for the answer, and for generating the answer from the list of
+    right-sibling references."
+
+    [Published] reproduces that behaviour (inner nodes verified, leaf
+    payloads decoded without verification when the scheme permits);
+    [Corrected] applies the paper's easy fix and verifies everywhere.
+    For AEAD-fixed indexes the unverified path does not exist, so both
+    modes verify — misuse resistance by construction. *)
+
+type mode = Published | Corrected
+
+type answer = {
+  results : (Secdb_db.Value.t * int) list;  (** (value, table row) in leaf order *)
+  inner_checked : int;  (** integrity verifications during the tree walk *)
+  leaf_checked : int;
+  leaf_unchecked : int;  (** leaf payloads accepted without verification *)
+}
+
+val range :
+  Secdb_index.Bptree.t ->
+  mode:mode ->
+  ?lo:Secdb_db.Value.t ->
+  ?hi:Secdb_db.Value.t ->
+  unit ->
+  (answer, string) result
+(** Inclusive range query: tree-walk to the starting leaf, then scan the
+    right-sibling chain.  [Error] carries the first integrity failure
+    (tampering detected); in [Published] mode leaf tampering that the
+    scheme would have caught sails through into [results]. *)
+
+val equal :
+  Secdb_index.Bptree.t -> mode:mode -> Secdb_db.Value.t -> (answer, string) result

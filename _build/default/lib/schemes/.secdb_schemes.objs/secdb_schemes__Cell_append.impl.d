@@ -1,0 +1,1 @@
+lib/schemes/cell_append.ml: Cell_scheme Einst Printf Secdb_db Secdb_util String Xbytes

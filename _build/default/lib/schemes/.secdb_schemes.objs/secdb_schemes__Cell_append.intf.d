@@ -1,0 +1,1 @@
+lib/schemes/cell_append.mli: Cell_scheme Einst Secdb_db

@@ -1,0 +1,1 @@
+lib/schemes/cell_scheme.ml: Secdb_db

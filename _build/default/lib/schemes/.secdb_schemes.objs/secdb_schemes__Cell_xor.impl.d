@@ -1,0 +1,1 @@
+lib/schemes/cell_xor.ml: Cell_scheme Einst Printf Secdb_db Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+lib/schemes/cell_xor.mli: Cell_scheme Einst Secdb_db

@@ -1,0 +1,1 @@
+lib/schemes/einst.ml: Mode Padding Printf Secdb_cipher Secdb_modes Secdb_util String

@@ -1,0 +1,1 @@
+lib/schemes/einst.mli: Secdb_cipher Secdb_util

@@ -1,0 +1,1 @@
+lib/schemes/fixed_cell.ml: Cell_scheme Printf Secdb_aead Secdb_db

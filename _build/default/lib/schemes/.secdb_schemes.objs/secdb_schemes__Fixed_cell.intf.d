@@ -1,0 +1,1 @@
+lib/schemes/fixed_cell.mli: Cell_scheme Secdb_aead Secdb_db

@@ -1,0 +1,1 @@
+lib/schemes/fixed_index.ml: Printf Result Secdb_aead Secdb_db Secdb_index Secdb_util String Xbytes

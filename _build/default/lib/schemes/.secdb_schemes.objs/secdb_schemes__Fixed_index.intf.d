@@ -1,0 +1,1 @@
+lib/schemes/fixed_index.mli: Secdb_aead Secdb_index

@@ -1,0 +1,1 @@
+lib/schemes/index12.ml: Einst Printf Result Rng Secdb_db Secdb_index Secdb_mac Secdb_util String Xbytes

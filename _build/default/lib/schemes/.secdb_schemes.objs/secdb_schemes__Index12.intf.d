@@ -1,0 +1,1 @@
+lib/schemes/index12.mli: Einst Secdb_cipher Secdb_index Secdb_util

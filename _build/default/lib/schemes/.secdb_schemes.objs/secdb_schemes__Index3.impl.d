@@ -1,0 +1,1 @@
+lib/schemes/index3.ml: Einst Printf Result Secdb_db Secdb_index Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+lib/schemes/index3.mli: Einst Secdb_index

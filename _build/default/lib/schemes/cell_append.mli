@@ -1,0 +1,12 @@
+(** The Append-Scheme of [3] — eq. (2) of the paper:
+
+    {v C = E_k(V ∥ µ(t,r,c)) v}
+
+    used "whenever there is not enough redundancy in the allowed type of
+    data".  Decryption strips the trailing µ-sized address checksum and
+    compares it against µ of the actual address; a mismatch raises a
+    decryption error.  Under the CBC/zero-IV instantiation this falls to
+    the paper's Section 3.1 pattern-matching attack (EXP1) and to the
+    existential forgery by prefix-block substitution (EXP2). *)
+
+val make : e:Einst.t -> mu:Secdb_db.Address.mu -> Cell_scheme.t

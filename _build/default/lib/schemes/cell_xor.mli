@@ -1,0 +1,27 @@
+(** The XOR-Scheme of [3] — eq. (1) of the paper:
+
+    {v C = E_k(V ⊕ µ(t,r,c)) v}
+
+    with the shorter operand implicitly zero-extended.  Position binding is
+    purely statistical: decryption at the wrong address yields
+    V ⊕ µ ⊕ µ', detectable only through redundancy in the allowed data for
+    the column — the [validate] predicate.  The paper's Section 3.1
+    substitution attack defeats exactly this with partial collisions on the
+    high bits of µ (experiment EXP3). *)
+
+val make :
+  e:Einst.t ->
+  mu:Secdb_db.Address.mu ->
+  ?strip_zero_extension:bool ->
+  validate:(string -> bool) ->
+  unit ->
+  Cell_scheme.t
+(** [validate] models the column's data redundancy, e.g.
+    {!Secdb_util.Xbytes.is_ascii7} for ASCII attributes.
+
+    Values shorter than µ's width are implicitly zero-extended before
+    encryption (the paper's ⊕ convention), which loses the original length.
+    When the column's allowed data contains no NUL bytes the extension is
+    invertible: pass [strip_zero_extension:true] (default [false]) to strip
+    trailing NULs after decryption — [validate] then runs on the stripped
+    value and should reject embedded NULs to keep the scheme injective. *)

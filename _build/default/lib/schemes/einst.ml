@@ -1,0 +1,69 @@
+open Secdb_modes
+
+type t = {
+  name : string;
+  block_size : int;
+  deterministic : bool;
+  enc : string -> string;
+  dec : string -> (string, string) result;
+}
+
+let cbc_zero_iv (c : Secdb_cipher.Block.t) =
+  let iv = Mode.zero_iv c in
+  {
+    name = Printf.sprintf "cbc0(%s)" c.name;
+    block_size = c.block_size;
+    deterministic = true;
+    enc = (fun m -> Mode.cbc_encrypt c ~iv (Padding.pad ~block:c.block_size m));
+    dec =
+      (fun ct ->
+        if ct = "" || String.length ct mod c.block_size <> 0 then
+          Error "cbc0: ciphertext length is not a positive multiple of the block size"
+        else Padding.unpad ~block:c.block_size (Mode.cbc_decrypt c ~iv ct));
+  }
+
+let ecb (c : Secdb_cipher.Block.t) =
+  {
+    name = Printf.sprintf "ecb(%s)" c.name;
+    block_size = c.block_size;
+    deterministic = true;
+    enc = (fun m -> Mode.ecb_encrypt c (Padding.pad ~block:c.block_size m));
+    dec =
+      (fun ct ->
+        if ct = "" || String.length ct mod c.block_size <> 0 then
+          Error "ecb: ciphertext length is not a positive multiple of the block size"
+        else Padding.unpad ~block:c.block_size (Mode.ecb_decrypt c ct));
+  }
+
+let stream name f (c : Secdb_cipher.Block.t) =
+  {
+    name = Printf.sprintf "%s(%s)" name c.name;
+    block_size = c.block_size;
+    deterministic = true;
+    enc = f;
+    dec = (fun ct -> Ok (f ct));
+  }
+
+let ctr_zero c = stream "ctr0" (fun m -> Mode.ctr c ~nonce:(Mode.zero_iv c) m) c
+
+let ofb_zero c = stream "ofb0" (fun m -> Mode.ofb c ~iv:(Mode.zero_iv c) m) c
+
+let cbc_random_iv (c : Secdb_cipher.Block.t) rng =
+  let bs = c.block_size in
+  {
+    name = Printf.sprintf "cbc$(%s)" c.name;
+    block_size = bs;
+    deterministic = false;
+    enc =
+      (fun m ->
+        let iv = Secdb_util.Rng.bytes rng bs in
+        iv ^ Mode.cbc_encrypt c ~iv (Padding.pad ~block:bs m));
+    dec =
+      (fun ct ->
+        if String.length ct < 2 * bs || String.length ct mod bs <> 0 then
+          Error "cbc$: ciphertext too short"
+        else
+          let iv = String.sub ct 0 bs in
+          Padding.unpad ~block:bs
+            (Mode.cbc_decrypt c ~iv (String.sub ct bs (String.length ct - bs))));
+  }

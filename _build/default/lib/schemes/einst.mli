@@ -1,0 +1,36 @@
+(** Instantiations of the deterministic encryption function E_k.
+
+    The analysed scheme assumes a fully deterministic encryption function
+    (eq. (3) of the paper: x = y ⇔ E_k(x) = E_k(y)) able to process
+    arbitrary-length inputs.  The paper's counter-examples fix E to "AES in
+    the widely-used CBC mode with a constant zero IV"; this module provides
+    that instantiation plus the even-worse ECB and the keystream-reusing
+    CTR/OFB readings of footnote 2, all behind one record so schemes and
+    attacks can be run against each. *)
+
+type t = {
+  name : string;
+  block_size : int;
+  deterministic : bool;
+  enc : string -> string;  (** whole message, PKCS#7-padded internally where needed *)
+  dec : string -> (string, string) result;  (** inverse; may fail on bad padding *)
+}
+
+val cbc_zero_iv : Secdb_cipher.Block.t -> t
+(** The paper's counter-example: CBC, IV = 0ⁿ, PKCS#7 padding. *)
+
+val ecb : Secdb_cipher.Block.t -> t
+(** ECB with PKCS#7 padding — "even worse" (paper, Sect. 3). *)
+
+val ctr_zero : Secdb_cipher.Block.t -> t
+(** CTR with a constant zero counter start — the deterministic stream-mode
+    reading of footnote 2 (keystream reuse across all cells). *)
+
+val ofb_zero : Secdb_cipher.Block.t -> t
+(** OFB with zero IV; same keystream-reuse failure. *)
+
+val cbc_random_iv : Secdb_cipher.Block.t -> Secdb_util.Rng.t -> t
+(** CBC with a fresh random IV prepended to the ciphertext.  {e Not}
+    deterministic — violates assumption (3), so the analysed scheme's
+    search machinery breaks; provided to let tests demonstrate that
+    trade-off. *)

@@ -1,0 +1,23 @@
+(** The paper's fixed index encryption scheme (Section 4):
+
+    {v
+    (C, T) = AEAD-Enc_k(N, (V, Ref_T), (Ref_S, Ref_I))
+    Ref_S  = (t_I, t, c, r_I)
+    v}
+
+    stored as (Ref_I, (N, C, T)) — the structural references stay in clear
+    in the B⁺-tree, the payload framed as N ∥ C ∥ T.  The plaintext couples
+    the indexed value with its table reference; the associated data binds
+    the entry to its index position, so relocation, substitution or
+    modification of either payload or position is rejected by the AEAD tag.
+    The same Ref_I caveat as {!Index12} applies (and is shared by the
+    paper, which also leaves Ref_I maintenance unspecified): the node-kind
+    marker is authenticated in its place. *)
+
+val codec :
+  aead:Secdb_aead.Aead.t ->
+  nonce:Secdb_aead.Nonce.t ->
+  indexed_table:int ->
+  indexed_col:int ->
+  unit ->
+  Secdb_index.Bptree.codec

@@ -1,0 +1,36 @@
+(** The improved index encryption scheme of [12] (paper Section 2.4,
+    eqs. (6), (7)):
+
+    {v
+    entry = ( Ẽ_k(V), Ref_I, E'_k(Ref_T), MAC_k(V ∥ Ref_I ∥ Ref_T ∥ Ref_S) )
+    Ẽ_k(x) = E_k(x ∥ a),  a a fixed-size random number
+    v}
+
+    Structural references Ref_I are kept in clear by the B⁺-tree itself.
+    Ref_S is (t_I, t, c, r_I).  Following the paper's counter-example the
+    default instantiation uses the {e same key} for E and for the OMAC —
+    the "pathological but permitted-by-the-spec" reading that Section 3.3
+    breaks (EXP6); the appended randomness a also fails to stop prefix
+    pattern matching (EXP5) because E decomposes V ∥ a into blocks with V
+    first.
+
+    Note on Ref_I: in a live B⁺-tree the child pointers of a node change on
+    every rebalance without the payloads being touched, so MACing them
+    would force re-authentication of whole nodes on structural updates;
+    [12] does not address this, and this reconstruction authenticates
+    V ∥ Ref_T ∥ Ref_S (Ref_I contributes the empty string).  None of the
+    paper's attacks involve Ref_I.  DESIGN.md §4 records the substitution. *)
+
+val codec :
+  e:Einst.t ->
+  mac_cipher:Secdb_cipher.Block.t ->
+  ?rand_len:int ->
+  rng:Secdb_util.Rng.t ->
+  indexed_table:int ->
+  indexed_col:int ->
+  unit ->
+  Secdb_index.Bptree.codec
+(** [mac_cipher] keys the OMAC; pass the cipher underlying [e] to get the
+    paper's same-key counter-example, or an independently keyed cipher for
+    the repaired-keys variant.  [rand_len] is |a| in bytes, default 8
+    (the paper assumes |a| < 128 bits). *)

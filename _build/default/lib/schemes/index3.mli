@@ -1,0 +1,18 @@
+(** The index encryption scheme of [3] (paper Section 2.3, eqs. (4), (5)):
+
+    {v
+    inner node:  E_k(V ∥ r_I)
+    leaf node :  E_k((V, r) ∥ r_I)
+    v}
+
+    where r_I is the index-table row holding the entry and r the indexed
+    table's row.  The pair (V, r) is represented as V ∥ r (8-byte
+    big-endian row), which keeps V a plaintext prefix — the representation
+    choice under which, as the paper notes, the leaf level also falls to
+    the pattern-matching attack of Section 3.2 (EXP4).
+
+    Decoding recomputes r_I from the node position and rejects a mismatch;
+    that is the whole of the scheme's integrity story, and Section 3.2
+    shows it insufficient under CBC/zero-IV. *)
+
+val codec : e:Einst.t -> Secdb_index.Bptree.codec

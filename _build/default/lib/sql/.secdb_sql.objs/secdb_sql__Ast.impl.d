@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Buffer Fmt Int64 List Option Printf Secdb_db Secdb_util String

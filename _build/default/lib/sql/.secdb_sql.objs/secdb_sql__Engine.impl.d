@@ -1,0 +1,1 @@
+lib/sql/engine.ml: Array Ast Fmt Hashtbl Int64 List Option Parser Printf Result Secdb Secdb_db Secdb_query String

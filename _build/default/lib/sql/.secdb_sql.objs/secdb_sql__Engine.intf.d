@@ -1,0 +1,1 @@
+lib/sql/engine.mli: Ast Format Secdb Secdb_db Secdb_query

@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: Buffer Fmt Int64 List Printf Secdb_util String

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Fmt Int64 Lexer List Option Printf Secdb_db

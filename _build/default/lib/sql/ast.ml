@@ -1,0 +1,175 @@
+module Value = Secdb_db.Value
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Col of string
+  | Lit of Value.t
+  | Cmp of cmp * expr * expr
+  | Between of expr * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type order = Asc | Desc
+
+type agg_fn = Count | Sum | Min | Max | Avg
+
+type sel_item = Field of string | Aggregate of agg_fn * string option
+
+type select = {
+  items : sel_item list option;
+  table : string;
+  where : expr option;
+  group_by : string option;
+  order_by : (string * order) option;
+  limit : int option;
+}
+
+type column_def = {
+  col_name : string;
+  col_type : Value.kind;
+  col_protection : Secdb_db.Schema.protection;
+}
+
+type stmt =
+  | Select of select
+  | Explain of select
+  | Insert of { table : string; values : Value.t list }
+  | Update of { table : string; col : string; value : Value.t; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Create_table of { name : string; cols : column_def list }
+  | Create_index of { table : string; col : string }
+
+let cmp_name = function
+  | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp_expr ppf = function
+  | Col c -> Fmt.string ppf c
+  | Lit v -> Value.pp ppf v
+  | Cmp (op, a, b) -> Fmt.pf ppf "%a %s %a" pp_expr a (cmp_name op) pp_expr b
+  | Between (e, lo, hi) ->
+      Fmt.pf ppf "%a BETWEEN %a AND %a" pp_expr e pp_expr lo pp_expr hi
+  | And (a, b) -> Fmt.pf ppf "(%a AND %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp_expr a pp_expr b
+  | Not e -> Fmt.pf ppf "NOT (%a)" pp_expr e
+
+let pp_where ppf = function
+  | None -> ()
+  | Some e -> Fmt.pf ppf " WHERE %a" pp_expr e
+
+let agg_name = function
+  | Count -> "COUNT" | Sum -> "SUM" | Min -> "MIN" | Max -> "MAX" | Avg -> "AVG"
+
+let sel_item_name = function
+  | Field c -> c
+  | Aggregate (f, col) ->
+      Printf.sprintf "%s(%s)" (String.lowercase_ascii (agg_name f))
+        (Option.value col ~default:"*")
+
+let pp_select ppf s =
+  Fmt.pf ppf "SELECT %s FROM %s%a"
+    (match s.items with
+    | None -> "*"
+    | Some items -> String.concat ", " (List.map sel_item_name items))
+    s.table pp_where s.where;
+  (match s.group_by with Some c -> Fmt.pf ppf " GROUP BY %s" c | None -> ());
+  (match s.order_by with
+  | Some (c, Asc) -> Fmt.pf ppf " ORDER BY %s" c
+  | Some (c, Desc) -> Fmt.pf ppf " ORDER BY %s DESC" c
+  | None -> ());
+  match s.limit with Some n -> Fmt.pf ppf " LIMIT %d" n | None -> ()
+
+let pp_stmt ppf = function
+  | Select s -> pp_select ppf s
+  | Explain s -> Fmt.pf ppf "EXPLAIN %a" pp_select s
+  | Insert { table; values } ->
+      Fmt.pf ppf "INSERT INTO %s VALUES (%a)" table (Fmt.list ~sep:Fmt.comma Value.pp) values
+  | Update { table; col; value; where } ->
+      Fmt.pf ppf "UPDATE %s SET %s = %a%a" table col Value.pp value pp_where where
+  | Delete { table; where } -> Fmt.pf ppf "DELETE FROM %s%a" table pp_where where
+  | Create_table { name; cols } ->
+      Fmt.pf ppf "CREATE TABLE %s (%a)" name
+        (Fmt.list ~sep:Fmt.comma (fun ppf c ->
+             Fmt.pf ppf "%s %s%s" c.col_name
+               (String.uppercase_ascii (Value.kind_name c.col_type))
+               (match c.col_protection with
+               | Secdb_db.Schema.Clear -> " CLEAR"
+               | Secdb_db.Schema.Encrypted -> "")))
+        cols
+  | Create_index { table; col } -> Fmt.pf ppf "CREATE INDEX ON %s (%s)" table col
+
+let sql_literal = function
+  | Value.Null -> "NULL"
+  | Value.Bool true -> "TRUE"
+  | Value.Bool false -> "FALSE"
+  | Value.Int i -> Int64.to_string i
+  | Value.Text s ->
+      let b = Buffer.create (String.length s + 2) in
+      Buffer.add_char b '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c)
+        s;
+      Buffer.add_char b '\'';
+      Buffer.contents b
+  | Value.Bytes s -> "x'" ^ Secdb_util.Xbytes.to_hex s ^ "'"
+
+let rec expr_to_sql = function
+  | Col c -> c
+  | Lit v -> sql_literal v
+  | Cmp (op, a, b) ->
+      Printf.sprintf "%s %s %s" (expr_to_sql a) (cmp_name op) (expr_to_sql b)
+  | Between (e, lo, hi) ->
+      Printf.sprintf "%s BETWEEN %s AND %s" (expr_to_sql e) (expr_to_sql lo) (expr_to_sql hi)
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (expr_to_sql a) (expr_to_sql b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (expr_to_sql a) (expr_to_sql b)
+  | Not e -> Printf.sprintf "NOT (%s)" (expr_to_sql e)
+
+let select_to_sql s =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "SELECT ";
+  Buffer.add_string b
+    (match s.items with
+    | None -> "*"
+    | Some items -> String.concat ", " (List.map sel_item_name items));
+  Buffer.add_string b (" FROM " ^ s.table);
+  (match s.where with
+  | Some e -> Buffer.add_string b (" WHERE " ^ expr_to_sql e)
+  | None -> ());
+  (match s.group_by with
+  | Some c -> Buffer.add_string b (" GROUP BY " ^ c)
+  | None -> ());
+  (match s.order_by with
+  | Some (c, Asc) -> Buffer.add_string b (" ORDER BY " ^ c ^ " ASC")
+  | Some (c, Desc) -> Buffer.add_string b (" ORDER BY " ^ c ^ " DESC")
+  | None -> ());
+  (match s.limit with
+  | Some n -> Buffer.add_string b (" LIMIT " ^ string_of_int n)
+  | None -> ());
+  Buffer.contents b
+
+let to_sql = function
+  | Select s -> select_to_sql s
+  | Explain s -> "EXPLAIN " ^ select_to_sql s
+  | Insert { table; values } ->
+      Printf.sprintf "INSERT INTO %s VALUES (%s)" table
+        (String.concat ", " (List.map sql_literal values))
+  | Update { table; col; value; where } ->
+      Printf.sprintf "UPDATE %s SET %s = %s%s" table col (sql_literal value)
+        (match where with Some e -> " WHERE " ^ expr_to_sql e | None -> "")
+  | Delete { table; where } ->
+      Printf.sprintf "DELETE FROM %s%s" table
+        (match where with Some e -> " WHERE " ^ expr_to_sql e | None -> "")
+  | Create_table { name; cols } ->
+      Printf.sprintf "CREATE TABLE %s (%s)" name
+        (String.concat ", "
+           (List.map
+              (fun c ->
+                Printf.sprintf "%s %s %s" c.col_name
+                  (String.uppercase_ascii (Value.kind_name c.col_type))
+                  (match c.col_protection with
+                  | Secdb_db.Schema.Clear -> "CLEAR"
+                  | Secdb_db.Schema.Encrypted -> "ENCRYPTED"))
+              cols))
+  | Create_index { table; col } -> Printf.sprintf "CREATE INDEX ON %s (%s)" table col

@@ -1,0 +1,62 @@
+(** Abstract syntax of the SQL subset. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Col of string
+  | Lit of Secdb_db.Value.t
+  | Cmp of cmp * expr * expr
+  | Between of expr * expr * expr  (** e BETWEEN lo AND hi, inclusive *)
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+type order = Asc | Desc
+
+type agg_fn = Count | Sum | Min | Max | Avg
+
+type sel_item =
+  | Field of string
+  | Aggregate of agg_fn * string option
+      (** [Aggregate (Count, None)] is [COUNT] over whole rows (star form);
+          every other aggregate names a column *)
+
+type select = {
+  items : sel_item list option;  (** [None] = [*] *)
+  table : string;
+  where : expr option;
+  group_by : string option;
+  order_by : (string * order) option;
+  limit : int option;
+}
+
+type column_def = {
+  col_name : string;
+  col_type : Secdb_db.Value.kind;
+  col_protection : Secdb_db.Schema.protection;
+}
+
+type stmt =
+  | Select of select
+  | Explain of select
+  | Insert of { table : string; values : Secdb_db.Value.t list }
+  | Update of { table : string; col : string; value : Secdb_db.Value.t; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Create_table of { name : string; cols : column_def list }
+  | Create_index of { table : string; col : string }
+
+val sel_item_name : sel_item -> string
+(** Output column header for a select item, e.g. ["count"] of star. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+
+val to_sql : stmt -> string
+(** Serialise back to concrete syntax that {!Parser.parse} accepts — the
+    tests check [parse (to_sql s) = Ok s] on randomly generated statements.
+    @raise Invalid_argument for values with no SQL literal form (none
+    currently). *)
+
+val sql_literal : Secdb_db.Value.t -> string
+(** SQL literal syntax for a value: [42], ['it''s'], [x'00ff'], [TRUE],
+    [NULL]. *)

@@ -1,0 +1,449 @@
+module Value = Secdb_db.Value
+module Schema = Secdb_db.Schema
+module Etable = Secdb_query.Encrypted_table
+module Walker = Secdb_query.Walker
+module Encdb = Secdb.Encdb
+
+type outcome =
+  | Rows of { columns : string list; rows : Value.t list list }
+  | Affected of int
+  | Created
+  | Plan of string
+
+type plan =
+  | Full_scan
+  | Index_scan of { col : string; lo : Value.t option; hi : Value.t option; estimate : float }
+
+let ( let* ) = Result.bind
+
+(* --- predicate evaluation ------------------------------------------------ *)
+
+let eval_operand schema row = function
+  | Ast.Col c -> (
+      match Schema.col_index schema c with
+      | i -> Ok row.(i)
+      | exception Not_found -> Error (Printf.sprintf "unknown column %s" c))
+  | Ast.Lit v -> Ok v
+  | e -> Error (Fmt.str "expected a column or literal, got %a" Ast.pp_expr e)
+
+(* SQL-ish semantics: any comparison involving NULL is false *)
+let compare_values op a b =
+  if a = Value.Null || b = Value.Null then false
+  else
+    let c = Value.compare a b in
+    match op with
+    | Ast.Eq -> c = 0
+    | Ast.Ne -> c <> 0
+    | Ast.Lt -> c < 0
+    | Ast.Le -> c <= 0
+    | Ast.Gt -> c > 0
+    | Ast.Ge -> c >= 0
+
+let rec eval schema row = function
+  | Ast.Cmp (op, a, b) ->
+      let* va = eval_operand schema row a in
+      let* vb = eval_operand schema row b in
+      Ok (compare_values op va vb)
+  | Ast.Between (e, lo, hi) ->
+      let* v = eval_operand schema row e in
+      let* vlo = eval_operand schema row lo in
+      let* vhi = eval_operand schema row hi in
+      Ok (compare_values Ast.Ge v vlo && compare_values Ast.Le v vhi)
+  | Ast.And (a, b) ->
+      let* va = eval schema row a in
+      if va then eval schema row b else Ok false
+  | Ast.Or (a, b) ->
+      let* va = eval schema row a in
+      if va then Ok true else eval schema row b
+  | Ast.Not e ->
+      let* v = eval schema row e in
+      Ok (not v)
+  | (Ast.Col _ | Ast.Lit _) as e ->
+      Error (Fmt.str "not a predicate: %a" Ast.pp_expr e)
+
+(* --- planning ------------------------------------------------------------ *)
+
+let rec conjuncts = function
+  | Ast.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* lower/upper bounds a single conjunct puts on a column, if any; strict
+   bounds widen to inclusive ones (the residual filter re-tightens) *)
+let bounds_of = function
+  | Ast.Cmp (op, Ast.Col c, Ast.Lit v) -> (
+      match op with
+      | Ast.Eq -> Some (c, Some v, Some v)
+      | Ast.Le | Ast.Lt -> Some (c, None, Some v)
+      | Ast.Ge | Ast.Gt -> Some (c, Some v, None)
+      | Ast.Ne -> None)
+  | Ast.Cmp (op, Ast.Lit v, Ast.Col c) -> (
+      (* mirrored: v op c *)
+      match op with
+      | Ast.Eq -> Some (c, Some v, Some v)
+      | Ast.Ge | Ast.Gt -> Some (c, None, Some v)
+      | Ast.Le | Ast.Lt -> Some (c, Some v, None)
+      | Ast.Ne -> None)
+  | Ast.Between (Ast.Col c, Ast.Lit lo, Ast.Lit hi) -> Some (c, Some lo, Some hi)
+  | _ -> None
+
+let merge_bound cmp a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (if cmp (Value.compare a b) then a else b)
+
+let plan_of_select db (s : Ast.select) =
+  match s.Ast.where with
+  | None -> Full_scan
+  | Some where ->
+      (* accumulate bounds per indexed column, first indexed column wins *)
+      let tbl = (Hashtbl.create 4 : (string, Value.t option * Value.t option) Hashtbl.t) in
+      let order = ref [] in
+      List.iter
+        (fun conj ->
+          match bounds_of conj with
+          | Some (c, lo, hi) -> (
+              match Encdb.index db ~table:s.Ast.table ~col:c with
+              | _tree ->
+                  let plo, phi =
+                    Option.value (Hashtbl.find_opt tbl c) ~default:(None, None)
+                  in
+                  if not (Hashtbl.mem tbl c) then order := c :: !order;
+                  Hashtbl.replace tbl c
+                    (merge_bound (fun d -> d > 0) plo lo, merge_bound (fun d -> d < 0) phi hi)
+              | exception Not_found -> ())
+          | None -> ())
+        (conjuncts where);
+      (match List.rev !order with
+      | [] -> Full_scan
+      | candidates ->
+          (* most selective candidate first, per the maintained histograms *)
+          let scored =
+            List.map
+              (fun c ->
+                let lo, hi = Hashtbl.find tbl c in
+                let estimate =
+                  Option.value ~default:1.0
+                    (Encdb.index_selectivity db ~table:s.Ast.table ~col:c ~lo ~hi)
+                in
+                (estimate, c, lo, hi))
+              candidates
+          in
+          let estimate, c, lo, hi =
+            List.fold_left
+              (fun ((be, _, _, _) as best) ((e, _, _, _) as cand) ->
+                if e < be then cand else best)
+              (List.hd scored) (List.tl scored)
+          in
+          Index_scan { col = c; lo; hi; estimate })
+
+let pp_plan ppf = function
+  | Full_scan -> Fmt.string ppf "FULL SCAN (decrypt every row)"
+  | Index_scan { col; lo; hi; estimate } ->
+      Fmt.pf ppf "INDEX SCAN on %s [%a .. %a] (est. selectivity %.2f) + residual filter" col
+        (Fmt.option ~none:(Fmt.any "-inf") Value.pp)
+        lo
+        (Fmt.option ~none:(Fmt.any "+inf") Value.pp)
+        hi estimate
+
+(* --- projection and aggregation ------------------------------------------ *)
+
+let is_aggregate = function Ast.Aggregate _ -> true | Ast.Field _ -> false
+
+let col_index_res schema c =
+  match Schema.col_index schema c with
+  | i -> Ok i
+  | exception Not_found -> Error (Printf.sprintf "unknown column %s" c)
+
+(* fold an aggregate over a group of rows *)
+let aggregate schema fn col rows =
+  let* values =
+    match col with
+    | None -> Ok None
+    | Some c ->
+        let* i = col_index_res schema c in
+        Ok (Some (List.map (fun (_, vs) -> vs.(i)) rows))
+  in
+  match (fn, values) with
+  | Ast.Count, None -> Ok (Value.Int (Int64.of_int (List.length rows)))
+  | Ast.Count, Some vs ->
+      Ok (Value.Int (Int64.of_int (List.length (List.filter (fun v -> v <> Value.Null) vs))))
+  | (Ast.Sum | Ast.Avg | Ast.Min | Ast.Max), None ->
+      Error "aggregate requires a column"
+  | (Ast.Min | Ast.Max), Some vs -> (
+      let vs = List.filter (fun v -> v <> Value.Null) vs in
+      match vs with
+      | [] -> Ok Value.Null
+      | v :: rest ->
+          let pick cmp a b = if cmp (Value.compare a b) then a else b in
+          Ok
+            (List.fold_left
+               (pick (if fn = Ast.Min then fun d -> d < 0 else fun d -> d > 0))
+               v rest))
+  | (Ast.Sum | Ast.Avg), Some vs -> (
+      let ints =
+        List.filter_map (function Value.Int i -> Some i | _ -> None)
+          (List.filter (fun v -> v <> Value.Null) vs)
+      in
+      let non_int = List.exists (function Value.Null | Value.Int _ -> false | _ -> true) vs in
+      if non_int then Error "SUM/AVG require an INT column"
+      else
+        match (fn, ints) with
+        | _, [] -> Ok Value.Null
+        | Ast.Sum, ints -> Ok (Value.Int (List.fold_left Int64.add 0L ints))
+        | Ast.Avg, ints ->
+            Ok
+              (Value.Int
+                 (Int64.div (List.fold_left Int64.add 0L ints)
+                    (Int64.of_int (List.length ints))))
+        | _ -> assert false)
+
+(* final projection: plain fields, or aggregates (optionally grouped) *)
+let project schema (s : Ast.select) rows =
+  let items =
+    match s.Ast.items with
+    | None -> List.init (Schema.ncols schema) (fun i -> Ast.Field (Schema.col schema i).Schema.name)
+    | Some items -> items
+  in
+  let columns = List.map Ast.sel_item_name items in
+  if List.exists is_aggregate items then begin
+    let* groups =
+      match s.Ast.group_by with
+      | None -> Ok [ (Value.Null, rows) ]
+      | Some c ->
+          let* i = col_index_res schema c in
+          let tbl = Hashtbl.create 16 in
+          let order = ref [] in
+          List.iter
+            (fun (row, vs) ->
+              let k = vs.(i) in
+              match Hashtbl.find_opt tbl (Value.encode k) with
+              | Some l -> l := (row, vs) :: !l
+              | None ->
+                  Hashtbl.add tbl (Value.encode k) (ref [ (row, vs) ]);
+                  order := k :: !order)
+            rows;
+          Ok
+            (List.rev_map
+               (fun k -> (k, List.rev !(Hashtbl.find tbl (Value.encode k))))
+               !order
+            |> List.sort (fun (a, _) (b, _) -> Value.compare a b))
+    in
+    let* out =
+      List.fold_left
+        (fun acc (key, group) ->
+          let* acc = acc in
+          let* cells =
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                match item with
+                | Ast.Field c ->
+                    if s.Ast.group_by = Some c then Ok (key :: acc)
+                    else
+                      Error
+                        (Printf.sprintf "column %s must appear in GROUP BY or an aggregate" c)
+                | Ast.Aggregate (fn, col) ->
+                    let* v = aggregate schema fn col group in
+                    Ok (v :: acc))
+              (Ok []) items
+            |> Result.map List.rev
+          in
+          Ok (cells :: acc))
+        (Ok []) groups
+      |> Result.map List.rev
+    in
+    Ok (Rows { columns; rows = out })
+  end
+  else begin
+    let* col_ids =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match item with
+          | Ast.Field c ->
+              let* i = col_index_res schema c in
+              Ok (i :: acc)
+          | Ast.Aggregate _ -> assert false)
+        (Ok []) items
+      |> Result.map List.rev
+    in
+    if s.Ast.group_by <> None then Error "GROUP BY requires aggregates in the select list"
+    else
+      Ok
+        (Rows
+           {
+             columns;
+             rows = List.map (fun (_, values) -> List.map (fun i -> values.(i)) col_ids) rows;
+           })
+  end
+
+(* --- execution ------------------------------------------------------------ *)
+
+let candidate_rows db ~mode (s : Ast.select) plan =
+  match plan with
+  | Index_scan { col; lo; hi; estimate = _ } ->
+      Encdb.select_range db ~table:s.Ast.table ~col ~mode ?lo ?hi ()
+  | Full_scan -> (
+      let tbl = Encdb.table db s.Ast.table in
+      match Etable.select_result tbl (fun _ -> true) with
+      | Ok rows -> Ok rows
+      | Error e -> Error e)
+
+let run_select db ~mode (s : Ast.select) =
+  let* tbl =
+    match Encdb.table db s.Ast.table with
+    | t -> Ok t
+    | exception Not_found -> Error (Printf.sprintf "unknown table %s" s.Ast.table)
+  in
+  let schema = Etable.schema tbl in
+  let plan = plan_of_select db s in
+  let* candidates = candidate_rows db ~mode s plan in
+  (* residual filter: the full predicate, always *)
+  let* filtered =
+    match s.Ast.where with
+    | None -> Ok candidates
+    | Some where ->
+        List.fold_left
+          (fun acc (row, values) ->
+            let* acc = acc in
+            let* keep = eval schema values where in
+            Ok (if keep then (row, values) :: acc else acc))
+          (Ok []) candidates
+        |> Result.map List.rev
+  in
+  let* ordered =
+    match s.Ast.order_by with
+    | None -> Ok filtered
+    | Some (c, dir) -> (
+        match Schema.col_index schema c with
+        | i ->
+            let cmp (_, a) (_, b) =
+              let d = Value.compare a.(i) b.(i) in
+              match dir with Ast.Asc -> d | Ast.Desc -> -d
+            in
+            Ok (List.stable_sort cmp filtered)
+        | exception Not_found -> Error (Printf.sprintf "unknown column %s" c))
+  in
+  let limited =
+    match s.Ast.limit with
+    | None -> ordered
+    | Some n ->
+        let rec take k = function
+          | [] -> []
+          | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+        in
+        take n ordered
+  in
+  project schema s limited
+
+(* rows matching a WHERE clause, for UPDATE/DELETE *)
+let matching_rows db ~mode ~table where =
+  let s =
+    { Ast.items = None; table; where; group_by = None; order_by = None; limit = None }
+  in
+  let* tbl =
+    match Encdb.table db table with
+    | t -> Ok t
+    | exception Not_found -> Error (Printf.sprintf "unknown table %s" table)
+  in
+  let schema = Etable.schema tbl in
+  let* candidates = candidate_rows db ~mode s (plan_of_select db s) in
+  match where with
+  | None -> Ok (List.map fst candidates)
+  | Some w ->
+      List.fold_left
+        (fun acc (row, values) ->
+          let* acc = acc in
+          let* keep = eval schema values w in
+          Ok (if keep then row :: acc else acc))
+        (Ok []) candidates
+      |> Result.map List.rev
+
+let exec_stmt db ?(mode = Walker.Corrected) stmt =
+  let protect f =
+    try f () with
+    | Invalid_argument e | Failure e -> Error e
+    | Not_found -> Error "no such table or column"
+  in
+  match stmt with
+  | Ast.Select s -> protect (fun () -> run_select db ~mode s)
+  | Ast.Explain s ->
+      protect (fun () -> Ok (Plan (Fmt.str "%a" pp_plan (plan_of_select db s))))
+  | Ast.Insert { table; values } ->
+      protect (fun () ->
+          let _row = Encdb.insert db ~table values in
+          Ok (Affected 1))
+  | Ast.Update { table; col; value; where } ->
+      protect (fun () ->
+          let* rows = matching_rows db ~mode ~table where in
+          let* () =
+            List.fold_left
+              (fun acc row ->
+                let* () = acc in
+                Encdb.update db ~table ~row ~col value)
+              (Ok ()) rows
+          in
+          Ok (Affected (List.length rows)))
+  | Ast.Delete { table; where } ->
+      protect (fun () ->
+          let* rows = matching_rows db ~mode ~table where in
+          let* () =
+            List.fold_left
+              (fun acc row ->
+                let* () = acc in
+                Encdb.delete_row db ~table ~row)
+              (Ok ()) rows
+          in
+          Ok (Affected (List.length rows)))
+  | Ast.Create_table { name; cols } ->
+      protect (fun () ->
+          let columns =
+            List.map
+              (fun (c : Ast.column_def) ->
+                Schema.column ~protection:c.Ast.col_protection c.Ast.col_name c.Ast.col_type)
+              cols
+          in
+          Encdb.create_table db (Schema.v ~table_name:name columns);
+          Ok Created)
+  | Ast.Create_index { table; col } ->
+      protect (fun () ->
+          Encdb.create_index db ~table ~col;
+          Ok Created)
+
+let exec db ?mode input =
+  let* stmt = Parser.parse input in
+  exec_stmt db ?mode stmt
+
+let exec_script db ?mode input =
+  let* stmts = Parser.parse_many input in
+  List.fold_left
+    (fun acc stmt ->
+      let* acc = acc in
+      let* outcome = exec_stmt db ?mode stmt in
+      Ok ((stmt, outcome) :: acc))
+    (Ok []) stmts
+  |> Result.map List.rev
+
+let pp_result ppf = function
+  | Affected n -> Fmt.pf ppf "%d row(s) affected" n
+  | Created -> Fmt.string ppf "created"
+  | Plan p -> Fmt.pf ppf "plan: %s" p
+  | Rows { columns; rows } ->
+      let cell v = Fmt.str "%a" Value.pp v in
+      let table = List.map (List.map cell) rows in
+      let widths =
+        List.mapi
+          (fun i c ->
+            List.fold_left
+              (fun w row -> max w (String.length (List.nth row i)))
+              (String.length c) table)
+          columns
+      in
+      let pad s w = s ^ String.make (w - String.length s) ' ' in
+      let render_row cells =
+        String.concat " | " (List.map2 pad cells widths)
+      in
+      Fmt.pf ppf "%s@." (render_row columns);
+      Fmt.pf ppf "%s@." (String.concat "-+-" (List.map (fun w -> String.make w '-') widths));
+      List.iter (fun row -> Fmt.pf ppf "%s@." (render_row row)) table;
+      Fmt.pf ppf "(%d row(s))" (List.length rows)

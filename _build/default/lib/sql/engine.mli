@@ -1,0 +1,50 @@
+(** Planner and executor: SQL over the encrypted database.
+
+    The planner inspects the WHERE clause's top-level conjuncts for
+    sargable constraints (equality or range on a single column) on columns
+    that have an encrypted index; the first match becomes an index scan
+    through {!Secdb_query.Walker} and the full predicate is re-applied as a
+    residual filter.  Everything else decrypts and scans.
+
+    [EXPLAIN SELECT …] returns the chosen plan as text, which the tests pin
+    down (queries must not silently degrade to scans). *)
+
+type outcome =
+  | Rows of { columns : string list; rows : Secdb_db.Value.t list list }
+  | Affected of int  (** rows inserted / updated / deleted *)
+  | Created  (** table or index *)
+  | Plan of string  (** EXPLAIN output *)
+
+type plan =
+  | Full_scan
+  | Index_scan of {
+      col : string;
+      lo : Secdb_db.Value.t option;
+      hi : Secdb_db.Value.t option;
+      estimate : float;
+          (** estimated selectivity from the column's histogram
+              ({!Secdb.Encdb.index_selectivity}); 1.0 = no information.
+              When several indexed columns are constrained the planner
+              picks the smallest estimate. *)
+    }
+
+val plan_of_select : Secdb.Encdb.t -> Ast.select -> plan
+(** Exposed for tests. *)
+
+val exec_stmt :
+  Secdb.Encdb.t -> ?mode:Secdb_query.Walker.mode -> Ast.stmt -> (outcome, string) result
+
+val exec :
+  Secdb.Encdb.t -> ?mode:Secdb_query.Walker.mode -> string -> (outcome, string) result
+(** Parse and execute one statement.  [mode] selects the index walker's
+    integrity behaviour (default [Corrected]). *)
+
+val exec_script :
+  Secdb.Encdb.t ->
+  ?mode:Secdb_query.Walker.mode ->
+  string ->
+  ((Ast.stmt * outcome) list, string) result
+(** Execute a [;]-separated script, stopping at the first error. *)
+
+val pp_result : Format.formatter -> outcome -> unit
+(** Render rows as an aligned table, mutations as a count. *)

@@ -1,0 +1,94 @@
+type token =
+  | Ident of string
+  | Int of int64
+  | Str of string
+  | Blob of string
+  | Kw of string
+  | Sym of string
+  | Eof
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %s" s
+  | Int i -> Fmt.pf ppf "integer %Ld" i
+  | Str s -> Fmt.pf ppf "string %S" s
+  | Blob _ -> Fmt.string ppf "blob literal"
+  | Kw k -> Fmt.string ppf k
+  | Sym s -> Fmt.pf ppf "'%s'" s
+  | Eof -> Fmt.string ppf "end of input"
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "BETWEEN"; "INSERT"; "INTO"; "VALUES";
+    "UPDATE"; "SET"; "DELETE"; "CREATE"; "TABLE"; "INDEX"; "ON"; "LIMIT"; "ORDER"; "BY";
+    "ASC"; "DESC"; "TRUE"; "FALSE"; "NULL"; "INT"; "TEXT"; "BYTES"; "BOOL"; "ENCRYPTED";
+    "CLEAR"; "EXPLAIN"; "COUNT"; "SUM"; "MIN"; "MAX"; "AVG"; "GROUP";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokens input =
+  let n = String.length input in
+  let rec lex i acc =
+    if i >= n then Ok (List.rev (Eof :: acc))
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> lex (i + 1) acc
+      | '-' when i + 1 < n && input.[i + 1] = '-' ->
+          (* -- comment to end of line *)
+          let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+          lex (skip i) acc
+      | '(' | ')' | ',' | '*' | ';' -> lex (i + 1) (Sym (String.make 1 input.[i]) :: acc)
+      | '=' -> lex (i + 1) (Sym "=" :: acc)
+      | '!' when i + 1 < n && input.[i + 1] = '=' -> lex (i + 2) (Sym "!=" :: acc)
+      | '<' when i + 1 < n && input.[i + 1] = '>' -> lex (i + 2) (Sym "!=" :: acc)
+      | '<' when i + 1 < n && input.[i + 1] = '=' -> lex (i + 2) (Sym "<=" :: acc)
+      | '<' -> lex (i + 1) (Sym "<" :: acc)
+      | '>' when i + 1 < n && input.[i + 1] = '=' -> lex (i + 2) (Sym ">=" :: acc)
+      | '>' -> lex (i + 1) (Sym ">" :: acc)
+      | '\'' -> lex_string (i + 1) (Buffer.create 16) acc
+      | ('x' | 'X') when i + 1 < n && input.[i + 1] = '\'' -> lex_blob (i + 2) i acc
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1]) ->
+          let j = ref (i + 1) in
+          while !j < n && is_digit input.[!j] do
+            incr j
+          done;
+          (match Int64.of_string_opt (String.sub input i (!j - i)) with
+          | Some v -> lex !j (Int v :: acc)
+          | None -> Error (Printf.sprintf "invalid integer at offset %d" i))
+      | c when is_ident_start c ->
+          let j = ref (i + 1) in
+          while !j < n && is_ident_char input.[!j] do
+            incr j
+          done;
+          let word = String.sub input i (!j - i) in
+          let upper = String.uppercase_ascii word in
+          if List.mem upper keywords then lex !j (Kw upper :: acc)
+          else lex !j (Ident (String.lowercase_ascii word) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C at offset %d" c i)
+  and lex_string i buf acc =
+    if i >= n then Error "unterminated string literal"
+    else if input.[i] = '\'' then
+      if i + 1 < n && input.[i + 1] = '\'' then begin
+        Buffer.add_char buf '\'';
+        lex_string (i + 2) buf acc
+      end
+      else lex (i + 1) (Str (Buffer.contents buf) :: acc)
+    else begin
+      Buffer.add_char buf input.[i];
+      lex_string (i + 1) buf acc
+    end
+  and lex_blob i start acc =
+    let j = ref i in
+    while !j < n && input.[!j] <> '\'' do
+      incr j
+    done;
+    if !j >= n then Error "unterminated blob literal"
+    else
+      match Secdb_util.Xbytes.of_hex (String.sub input i (!j - i)) with
+      | blob -> lex (!j + 1) (Blob blob :: acc)
+      | exception Invalid_argument _ ->
+          Error (Printf.sprintf "invalid blob literal at offset %d" start)
+  in
+  lex 0 []

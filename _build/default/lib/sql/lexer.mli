@@ -1,0 +1,18 @@
+(** Tokeniser for the SQL subset (see {!Parser} for the grammar). *)
+
+type token =
+  | Ident of string  (** unquoted, lower-cased *)
+  | Int of int64
+  | Str of string  (** 'single quoted', with '' as the escape for ' *)
+  | Blob of string  (** x'68656c6c6f' hexadecimal blob literal *)
+  | Kw of string  (** recognised keyword, upper-cased *)
+  | Sym of string  (** punctuation or operator: ( ) , * ; = != < <= > >= *)
+  | Eof
+
+val pp_token : Format.formatter -> token -> unit
+
+val tokens : string -> (token list, string) result
+(** Tokenise a statement; the list always ends with [Eof]. *)
+
+val keywords : string list
+(** The recognised keywords (upper-case). *)

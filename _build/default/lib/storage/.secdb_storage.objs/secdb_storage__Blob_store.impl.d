@@ -1,0 +1,1 @@
+lib/storage/blob_store.ml: List Pager Printf Secdb_util String Xbytes

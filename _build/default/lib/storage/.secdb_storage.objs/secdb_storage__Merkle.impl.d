@@ -1,0 +1,1 @@
+lib/storage/merkle.ml: Array List Secdb_hash

@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Bytes Hashtbl Printf Secdb_util String Unix Xbytes

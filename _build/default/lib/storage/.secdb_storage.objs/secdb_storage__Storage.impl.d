@@ -1,0 +1,1 @@
+lib/storage/storage.ml: Array Fun List Printf Result Secdb_db Secdb_index Secdb_query Secdb_util String Xbytes

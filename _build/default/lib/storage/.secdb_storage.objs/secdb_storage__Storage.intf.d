@@ -1,0 +1,1 @@
+lib/storage/storage.mli: Secdb_db Secdb_index Secdb_query Secdb_schemes

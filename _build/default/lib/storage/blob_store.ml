@@ -1,0 +1,85 @@
+open Secdb_util
+
+type t = { pager : Pager.t }
+
+let attach pager = { pager }
+
+let header_size = 12 (* 8-byte next + 4-byte length *)
+let payload_capacity t = Pager.page_size t.pager - header_size
+
+let encode_page ~next ~chunk =
+  Xbytes.int_to_be_string ~width:8 next ^ Xbytes.int_to_be_string ~width:4 (String.length chunk)
+  ^ chunk
+
+let decode_page t page =
+  let raw = Pager.read t.pager page in
+  let next = Xbytes.be_string_to_int (String.sub raw 0 8) in
+  let len = Xbytes.be_string_to_int (String.sub raw 8 4) in
+  if len > payload_capacity t then Error (Printf.sprintf "blob: corrupt page %d" page)
+  else Ok (next, String.sub raw header_size len)
+
+let chunks t data =
+  let cap = payload_capacity t in
+  if data = "" then [ "" ] else Xbytes.blocks cap data
+
+(* write [chunks] into [pages] (allocating or freeing to match), return head *)
+let write_chain t pages chunks =
+  (* pair each chunk with a page, reusing the old chain, allocating extra
+     pages or freeing surplus ones as needed *)
+  let rec assign pages chunks acc =
+    match (pages, chunks) with
+    | ps, [] ->
+        List.iter (fun p -> Pager.free t.pager p) ps;
+        List.rev acc
+    | [], c :: cs -> assign [] cs ((Pager.alloc t.pager, c) :: acc)
+    | p :: ps, c :: cs -> assign ps cs ((p, c) :: acc)
+  in
+  let assigned = assign pages chunks [] in
+  let rec link = function
+    | [] -> ()
+    | [ (page, chunk) ] -> Pager.write t.pager page (encode_page ~next:0 ~chunk)
+    | (page, chunk) :: ((next_page, _) :: _ as rest) ->
+        Pager.write t.pager page (encode_page ~next:next_page ~chunk);
+        link rest
+  in
+  link assigned;
+  match assigned with (head, _) :: _ -> head | [] -> invalid_arg "blob: empty chain"
+
+let store t data = write_chain t [] (chunks t data)
+
+let pages_of t id =
+  let rec walk page acc seen =
+    if page = 0 then Ok (List.rev acc)
+    else if List.length acc > seen then Error "blob: chain too long (cycle?)"
+    else
+      match decode_page t page with
+      | Error e -> Error e
+      | Ok (next, _) -> walk next (page :: acc) seen
+  in
+  walk id [] (Pager.page_count t.pager)
+
+let load t id =
+  let rec walk page acc steps =
+    if page = 0 then Ok (String.concat "" (List.rev acc))
+    else if steps > Pager.page_count t.pager then Error "blob: chain too long (cycle?)"
+    else
+      match decode_page t page with
+      | Error e -> Error e
+      | Ok (next, chunk) -> walk next (chunk :: acc) (steps + 1)
+  in
+  walk id [] 0
+
+let overwrite t id data =
+  match pages_of t id with
+  | Error e -> invalid_arg ("Blob_store.overwrite: " ^ e)
+  | Ok pages ->
+      let head = write_chain t pages (chunks t data) in
+      if head <> id then
+        (* can only happen if the old chain was empty, which store prevents *)
+        invalid_arg "Blob_store.overwrite: head changed";
+      id
+
+let delete t id =
+  match pages_of t id with
+  | Error e -> invalid_arg ("Blob_store.delete: " ^ e)
+  | Ok pages -> List.iter (fun p -> Pager.free t.pager p) pages

@@ -1,0 +1,30 @@
+(** Arbitrary-length byte strings over {!Pager} pages.
+
+    A blob is a chain of pages: each page holds an 8-byte next-page id
+    (0 = end), a 4-byte payload length, and payload bytes.  Blob ids are
+    the chain's first page id.  Together with {!Pager} this gives the
+    encrypted artefacts a realistic home on disk: tables and indexes are
+    stored as blobs ({!save_table_paged} etc. in tests/experiments replay
+    access traces through the buffer pool). *)
+
+type t
+
+val attach : Pager.t -> t
+(** Use (and share) a pager; blobs from different stores over the same
+    pager coexist. *)
+
+val store : t -> string -> int
+(** Write a blob; returns its id. *)
+
+val load : t -> int -> (string, string) result
+(** Read a blob back; [Error] on a malformed chain. *)
+
+val overwrite : t -> int -> string -> int
+(** Replace blob [id] with new contents, reusing its chain where possible;
+    returns the (unchanged) id. *)
+
+val delete : t -> int -> unit
+(** Free the blob's pages. *)
+
+val pages_of : t -> int -> (int list, string) result
+(** The page chain of a blob (for trace experiments). *)

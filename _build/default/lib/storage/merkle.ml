@@ -1,0 +1,45 @@
+let h = Secdb_hash.Sha256.digest
+let leaf_hash l = h ("\x00" ^ l)
+let node_hash a b = h ("\x01" ^ a ^ b)
+let empty_root = h "\x02"
+
+type proof = (string * [ `Left | `Right ]) list
+
+let rec level = function
+  | [] -> []
+  | [ x ] -> [ x ]
+  | a :: b :: rest -> node_hash a b :: level rest
+
+let root leaves =
+  match leaves with
+  | [] -> empty_root
+  | leaves ->
+      let rec up = function [ r ] -> r | l -> up (level l) in
+      up (List.map leaf_hash leaves)
+
+let prove leaves ~index =
+  let n = List.length leaves in
+  if index < 0 || index >= n then invalid_arg "Merkle.prove: index out of range";
+  let rec walk hashes i acc =
+    match hashes with
+    | [ _ ] -> List.rev acc
+    | hashes ->
+        let arr = Array.of_list hashes in
+        let sibling, side =
+          if i mod 2 = 0 then
+            if i + 1 < Array.length arr then (Some arr.(i + 1), `Right) else (None, `Right)
+          else (Some arr.(i - 1), `Left)
+        in
+        let acc = match sibling with Some s -> (s, side) :: acc | None -> acc in
+        walk (level hashes) (i / 2) acc
+  in
+  walk (List.map leaf_hash leaves) index []
+
+let verify ~root:expected ~leaf proof =
+  let final =
+    List.fold_left
+      (fun acc (sibling, side) ->
+        match side with `Right -> node_hash acc sibling | `Left -> node_hash sibling acc)
+      (leaf_hash leaf) proof
+  in
+  final = expected

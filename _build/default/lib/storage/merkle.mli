@@ -1,0 +1,31 @@
+(** Merkle anchoring: database-level integrity on top of per-cell AEAD.
+
+    The paper's schemes (and their fix) authenticate each cell and index
+    entry {e in place} — but nothing authenticates the {e set}: a storage
+    adversary can tombstone a row, drop index entries, or roll the whole
+    database back to an older snapshot, and every surviving cell still
+    verifies.  (Experiment EXP22 demonstrates the suppression attack.)
+
+    The classical countermeasure is a Merkle tree over the stored
+    representation whose root the client keeps out of band (it is the only
+    piece of trusted storage the design needs, and it is constant-size).
+    This module builds SHA-256 Merkle trees over leaf byte-strings, and
+    produces/checks logarithmic inclusion proofs.
+
+    Domain separation: leaf hashes are H(0x00 ∥ leaf), inner hashes
+    H(0x01 ∥ left ∥ right) — the standard defence against
+    leaf/inner-node confusion.  Odd nodes are promoted unhashed. *)
+
+type proof = (string * [ `Left | `Right ]) list
+(** Sibling hashes from leaf to root, each tagged with its side. *)
+
+val root : string list -> string
+(** Merkle root of the leaf sequence (32 bytes).  The empty sequence has
+    the distinguished root H(0x02). *)
+
+val prove : string list -> index:int -> proof
+(** Inclusion proof for the [index]-th leaf.
+    @raise Invalid_argument if out of range. *)
+
+val verify : root:string -> leaf:string -> proof -> bool
+(** Check that [leaf] is included under [root] via [proof]. *)

@@ -1,0 +1,222 @@
+open Secdb_util
+
+let magic = "SECDBPG1"
+
+type stats = {
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable evictions : int;
+}
+
+type frame = { mutable data : bytes; mutable dirty : bool; mutable last_used : int }
+
+type t = {
+  fd : Unix.file_descr;
+  psize : int;
+  cache_pages : int;
+  cache : (int, frame) Hashtbl.t;
+  st : stats;
+  mutable npages : int; (* allocated pages, header excluded *)
+  mutable free_head : int; (* 0 = none *)
+  mutable clock : int;
+  mutable closed : bool;
+}
+
+let fresh_stats () =
+  { disk_reads = 0; disk_writes = 0; cache_hits = 0; cache_misses = 0; evictions = 0 }
+
+let check_open t = if t.closed then invalid_arg "Pager: file is closed"
+
+let seek t page = ignore (Unix.lseek t.fd (page * t.psize) Unix.SEEK_SET)
+
+let disk_read t page =
+  seek t page;
+  let buf = Bytes.make t.psize '\000' in
+  let rec fill off =
+    if off < t.psize then begin
+      let k = Unix.read t.fd buf off (t.psize - off) in
+      if k = 0 then () (* short file: rest stays zero *) else fill (off + k)
+    end
+  in
+  fill 0;
+  t.st.disk_reads <- t.st.disk_reads + 1;
+  buf
+
+let disk_write t page data =
+  seek t page;
+  let rec drain off =
+    if off < t.psize then drain (off + Unix.write t.fd data off (t.psize - off))
+  in
+  drain 0;
+  t.st.disk_writes <- t.st.disk_writes + 1
+
+let header_bytes t =
+  let b = Bytes.make t.psize '\000' in
+  Bytes.blit_string magic 0 b 0 8;
+  Xbytes.set_uint32_be b 8 t.psize;
+  Xbytes.set_uint32_be b 12 t.npages;
+  Xbytes.set_uint32_be b 16 t.free_head;
+  b
+
+let write_header t = disk_write t 0 (header_bytes t)
+
+(* --- cache ---------------------------------------------------------------- *)
+
+let touch t frame =
+  t.clock <- t.clock + 1;
+  frame.last_used <- t.clock
+
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun page frame ->
+      match !victim with
+      | Some (_, f) when f.last_used <= frame.last_used -> ()
+      | _ -> victim := Some (page, frame))
+    t.cache;
+  match !victim with
+  | None -> ()
+  | Some (page, frame) ->
+      if frame.dirty then disk_write t page frame.data;
+      Hashtbl.remove t.cache page;
+      t.st.evictions <- t.st.evictions + 1
+
+let frame_of t page =
+  match Hashtbl.find_opt t.cache page with
+  | Some f ->
+      t.st.cache_hits <- t.st.cache_hits + 1;
+      touch t f;
+      f
+  | None ->
+      t.st.cache_misses <- t.st.cache_misses + 1;
+      if Hashtbl.length t.cache >= t.cache_pages then evict_one t;
+      let f = { data = disk_read t page; dirty = false; last_used = 0 } in
+      touch t f;
+      Hashtbl.add t.cache page f;
+      f
+
+(* --- API ------------------------------------------------------------------ *)
+
+let create ~path ?(page_size = 4096) ?(cache_pages = 64) () =
+  if page_size < 64 then invalid_arg "Pager.create: page size too small";
+  if cache_pages < 1 then invalid_arg "Pager.create: cache must hold a page";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let t =
+    {
+      fd;
+      psize = page_size;
+      cache_pages;
+      cache = Hashtbl.create cache_pages;
+      st = fresh_stats ();
+      npages = 0;
+      free_head = 0;
+      clock = 0;
+      closed = false;
+    }
+  in
+  write_header t;
+  t
+
+let open_file ~path ?(cache_pages = 64) () =
+  match Unix.openfile path [ Unix.O_RDWR ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd ->
+      let head = Bytes.create 20 in
+      let n = Unix.read fd head 0 20 in
+      if n < 20 || Bytes.sub_string head 0 8 <> magic then begin
+        Unix.close fd;
+        Error "Pager.open_file: not a pager file"
+      end
+      else begin
+        let hs = Bytes.to_string head in
+        let psize = Xbytes.get_uint32_be hs 8 in
+        Ok
+          {
+            fd;
+            psize;
+            cache_pages;
+            cache = Hashtbl.create cache_pages;
+            st = fresh_stats ();
+            npages = Xbytes.get_uint32_be hs 12;
+            free_head = Xbytes.get_uint32_be hs 16;
+            clock = 0;
+            closed = false;
+          }
+      end
+
+let page_size t = t.psize
+let page_count t = t.npages
+
+let check_page t page op =
+  if page < 1 || page > t.npages then
+    invalid_arg (Printf.sprintf "Pager.%s: page %d out of range" op page)
+
+let read t page =
+  check_open t;
+  check_page t page "read";
+  Bytes.to_string (frame_of t page).data
+
+let write t page data =
+  check_open t;
+  check_page t page "write";
+  if String.length data > t.psize then invalid_arg "Pager.write: data exceeds the page size";
+  let f = frame_of t page in
+  let padded = Bytes.make t.psize '\000' in
+  Bytes.blit_string data 0 padded 0 (String.length data);
+  f.data <- padded;
+  f.dirty <- true
+
+let alloc t =
+  check_open t;
+  if t.free_head <> 0 then begin
+    let page = t.free_head in
+    let next = Xbytes.be_string_to_int (String.sub (read t page) 0 8) in
+    t.free_head <- next;
+    write t page "";
+    page
+  end
+  else begin
+    t.npages <- t.npages + 1;
+    let page = t.npages in
+    (* materialise the page in cache as zeros *)
+    if Hashtbl.length t.cache >= t.cache_pages then evict_one t;
+    let f = { data = Bytes.make t.psize '\000'; dirty = true; last_used = 0 } in
+    touch t f;
+    Hashtbl.replace t.cache page f;
+    page
+  end
+
+let free t page =
+  check_open t;
+  check_page t page "free";
+  write t page (Xbytes.int_to_be_string ~width:8 t.free_head);
+  t.free_head <- page
+
+let flush t =
+  check_open t;
+  Hashtbl.iter
+    (fun page frame ->
+      if frame.dirty then begin
+        disk_write t page frame.data;
+        frame.dirty <- false
+      end)
+    t.cache;
+  write_header t
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    Unix.close t.fd;
+    t.closed <- true
+  end
+
+let stats t = t.st
+
+let reset_stats t =
+  t.st.disk_reads <- 0;
+  t.st.disk_writes <- 0;
+  t.st.cache_hits <- 0;
+  t.st.cache_misses <- 0;
+  t.st.evictions <- 0

@@ -1,0 +1,56 @@
+(** Page-based file storage with a buffer pool.
+
+    The threat model's adversary owns "the machine or storage system
+    holding the actual data"; this module is that storage system: a single
+    file of fixed-size pages, a free list for recycling, and an LRU buffer
+    pool in front of it with hit/miss accounting (experiment EXP24 replays
+    index traversals through it).
+
+    Layout: page 0 is the header (magic, page size, page count, free-list
+    head); freed pages are chained through their first 8 bytes.  All page
+    ids are > 0.  No assumption of crash safety is made — journalling is
+    out of scope, and the adversary is allowed to edit the file anyway. *)
+
+type t
+
+type stats = {
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable evictions : int;
+}
+
+val create : path:string -> ?page_size:int -> ?cache_pages:int -> unit -> t
+(** Create (truncating any existing file).  [page_size] defaults to 4096
+    bytes (min 64), [cache_pages] to 64 (min 1). *)
+
+val open_file : path:string -> ?cache_pages:int -> unit -> (t, string) result
+(** Open an existing pager file; the page size comes from the header. *)
+
+val page_size : t -> int
+val page_count : t -> int
+(** Pages ever allocated (including freed ones), excluding the header. *)
+
+val alloc : t -> int
+(** A zeroed page, recycled from the free list when possible. *)
+
+val free : t -> int -> unit
+(** Return a page to the free list. @raise Invalid_argument on the header
+    page or out-of-range ids. *)
+
+val read : t -> int -> string
+(** Full page contents, through the cache. *)
+
+val write : t -> int -> string -> unit
+(** Replace a page's contents (padded with zeros if short).
+    @raise Invalid_argument if longer than a page. *)
+
+val flush : t -> unit
+(** Write back every dirty cached page and the header. *)
+
+val close : t -> unit
+(** Flush and release the file descriptor; further use raises. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/util/dist.ml: Array Float Hashtbl List Option Rng

@@ -1,0 +1,1 @@
+lib/util/xbytes.ml: Buffer Bytes Char Int64 List String

@@ -1,0 +1,1 @@
+lib/util/xbytes.mli: Bytes

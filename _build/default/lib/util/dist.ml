@@ -1,0 +1,28 @@
+let zipf_weights ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf_weights: n must be positive";
+  if s < 0.0 then invalid_arg "Dist.zipf_weights: s must be non-negative";
+  let raw = Array.init n (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  Array.map (fun w -> w /. total) raw
+
+(* inverse-CDF sampling over the precomputed weights *)
+let zipf rng ~n ~s =
+  let weights = zipf_weights ~n ~s in
+  let u = float_of_int (Rng.int rng 1_000_000) /. 1_000_000.0 in
+  let rec walk k acc =
+    if k >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(k) in
+      if u < acc then k else walk (k + 1) acc
+  in
+  walk 0 0.0
+
+let histogram samples =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun v -> Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+    samples;
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] |> List.sort compare
+
+let counts_of_samples rng ~sampler ~draws =
+  histogram (List.init draws (fun _ -> sampler rng))

@@ -1,0 +1,19 @@
+(** Synthetic workload distributions for the experiments.
+
+    Real columns are rarely uniform; the frequency-analysis and structural-
+    leakage experiments need skewed and shaped data to be meaningful. *)
+
+val zipf : Rng.t -> n:int -> s:float -> int
+(** Sample a rank in [\[0, n)] from a Zipf distribution with exponent [s]
+    (s = 0 is uniform; s ≈ 1 matches natural-language word frequencies).
+    @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val zipf_weights : n:int -> s:float -> float array
+(** The normalised probability of each rank (for expectations in tests). *)
+
+val histogram : int list -> (int * int) list
+(** Value → count, sorted by value. *)
+
+val counts_of_samples : Rng.t -> sampler:(Rng.t -> int) -> draws:int -> (int * int) list
+(** Draw and aggregate: the [(value, multiplicity)] list that e.g.
+    {!Secdb_attacks.Frequency} consumes. *)

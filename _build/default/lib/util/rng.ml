@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create ?(seed = 0x5DEECE66D_1234L) () = { state = seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 step (Steele, Lea, Flood 2014). *)
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let bytes t n =
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (next64 t) in
+    let k = min 8 (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set b (!i + j) (Char.chr (Int64.to_int !v land 0xff));
+      v := Int64.shift_right_logical !v 8
+    done;
+    i := !i + k
+  done;
+  Bytes.unsafe_to_string b
+
+let ascii t n = String.init n (fun _ -> Char.chr (32 + int t 95))
+let alpha t n = String.init n (fun _ -> Char.chr (Char.code 'a' + int t 26))
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

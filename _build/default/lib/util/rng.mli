@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random generator (SplitMix64).
+
+    Everything in this repository that needs randomness — nonces, the random
+    values [a] of the improved index scheme, synthetic workloads — draws from
+    an explicit, seedable generator so that tests, attacks and experiments
+    are exactly reproducible.  Not cryptographically secure; the security
+    analyses in the paper do not depend on the nonce generator's strength,
+    only on uniqueness, which a counter-based SplitMix64 stream provides. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh generator. Default seed is a fixed constant. *)
+
+val copy : t -> t
+(** Independent copy with the same state. *)
+
+val next64 : t -> int64
+(** Next 64 raw bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val bool : t -> bool
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte uniformly random string. *)
+
+val ascii : t -> int -> string
+(** [ascii t n] is an [n]-byte string of printable ASCII (codes 32–126),
+    i.e. satisfying {!Xbytes.is_ascii7}. *)
+
+val alpha : t -> int -> string
+(** [alpha t n] is an [n]-byte string of lowercase letters. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

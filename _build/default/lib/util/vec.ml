@@ -1,0 +1,48 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+
+let check t i name =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds (length %d)" name i t.len)
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i v =
+  check t i "set";
+  t.data.(i) <- v
+
+let grow t v =
+  let cap = Array.length t.data in
+  let ncap = max 8 (2 * cap) in
+  let ndata = Array.make ncap v in
+  Array.blit t.data 0 ndata 0 t.len;
+  t.data <- ndata
+
+let push t v =
+  if t.len = Array.length t.data then grow t v;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let of_list l =
+  let t = create () in
+  List.iter (fun v -> ignore (push t v)) l;
+  t

@@ -1,0 +1,22 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]).
+
+    Used for row storage in tables and node storage in the B⁺-tree, where
+    stable integer identifiers double as the paper's row numbers r and
+    index-row numbers r_I. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> int
+(** Append and return the new element's index. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t

@@ -1,0 +1,162 @@
+let xor a b =
+  let la = String.length a and lb = String.length b in
+  let n = max la lb in
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    let x = if i < la then Char.code a.[i] else 0
+    and y = if i < lb then Char.code b.[i] else 0 in
+    Bytes.unsafe_set out i (Char.unsafe_chr (x lxor y))
+  done;
+  Bytes.unsafe_to_string out
+
+let xor_exact a b =
+  if String.length a <> String.length b then
+    invalid_arg "Xbytes.xor_exact: length mismatch";
+  xor a b
+
+let xor_into ~src ~dst ~dst_off =
+  for i = 0 to String.length src - 1 do
+    let x = Char.code (Bytes.get dst (dst_off + i)) lxor Char.code src.[i] in
+    Bytes.set dst (dst_off + i) (Char.chr x)
+  done
+
+let hex_digit_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Xbytes.of_hex: invalid hex digit"
+
+let of_hex s =
+  let buf = Buffer.create (String.length s / 2) in
+  let pending = ref (-1) in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then ()
+      else begin
+        let v = hex_digit_value c in
+        if !pending < 0 then pending := v
+        else begin
+          Buffer.add_char buf (Char.chr ((!pending lsl 4) lor v));
+          pending := -1
+        end
+      end)
+    s;
+  if !pending >= 0 then invalid_arg "Xbytes.of_hex: odd number of digits";
+  Buffer.contents buf
+
+let to_hex s =
+  let digits = "0123456789abcdef" in
+  let out = Bytes.create (2 * String.length s) in
+  String.iteri
+    (fun i c ->
+      let b = Char.code c in
+      Bytes.set out (2 * i) digits.[b lsr 4];
+      Bytes.set out ((2 * i) + 1) digits.[b land 0xf])
+    s;
+  Bytes.unsafe_to_string out
+
+let take n s = if n >= String.length s then s else String.sub s 0 n
+
+let drop n s =
+  if n >= String.length s then "" else String.sub s n (String.length s - n)
+
+let blocks n s =
+  if n <= 0 then invalid_arg "Xbytes.blocks: block size must be positive";
+  let rec loop off acc =
+    if off >= String.length s then List.rev acc
+    else
+      let len = min n (String.length s - off) in
+      loop (off + len) (String.sub s off len :: acc)
+  in
+  loop 0 []
+
+let common_prefix_len a b =
+  let n = min (String.length a) (String.length b) in
+  let rec loop i = if i < n && a.[i] = b.[i] then loop (i + 1) else i in
+  loop 0
+
+let common_block_prefix ~block a b =
+  if block <= 0 then invalid_arg "Xbytes.common_block_prefix";
+  common_prefix_len a b / block
+
+let repeat n c = String.make n c
+
+let get_uint32_be s i =
+  (Char.code s.[i] lsl 24)
+  lor (Char.code s.[i + 1] lsl 16)
+  lor (Char.code s.[i + 2] lsl 8)
+  lor Char.code s.[i + 3]
+
+let get_uint32_le s i =
+  Char.code s.[i]
+  lor (Char.code s.[i + 1] lsl 8)
+  lor (Char.code s.[i + 2] lsl 16)
+  lor (Char.code s.[i + 3] lsl 24)
+
+let set_uint32_be b i v =
+  Bytes.set b i (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (i + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (i + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (i + 3) (Char.chr (v land 0xff))
+
+let set_uint32_le b i v =
+  Bytes.set b i (Char.chr (v land 0xff));
+  Bytes.set b (i + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (i + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (i + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_uint64_be s i =
+  let hi = get_uint32_be s i and lo = get_uint32_be s (i + 4) in
+  Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
+
+let set_uint64_be b i v =
+  set_uint32_be b i (Int64.to_int (Int64.shift_right_logical v 32) land 0xffffffff);
+  set_uint32_be b (i + 4) (Int64.to_int v land 0xffffffff)
+
+let int64_to_be_string v =
+  let b = Bytes.create 8 in
+  set_uint64_be b 0 v;
+  Bytes.unsafe_to_string b
+
+let int_to_be_string ~width n =
+  if n < 0 then invalid_arg "Xbytes.int_to_be_string: negative";
+  let b = Bytes.make width '\000' in
+  let rec loop i v =
+    if v > 0 then
+      if i < 0 then invalid_arg "Xbytes.int_to_be_string: overflow"
+      else begin
+        Bytes.set b i (Char.chr (v land 0xff));
+        loop (i - 1) (v lsr 8)
+      end
+  in
+  loop (width - 1) n;
+  Bytes.unsafe_to_string b
+
+let be_string_to_int s =
+  if String.length s > 8 then invalid_arg "Xbytes.be_string_to_int: too long";
+  let v =
+    String.fold_left (fun acc c -> (acc lsl 8) lor Char.code c) 0 s
+  in
+  if v < 0 then invalid_arg "Xbytes.be_string_to_int: overflow";
+  v
+
+let is_ascii_printable s =
+  String.for_all (fun c -> Char.code c >= 0x20 && Char.code c <= 0x7e) s
+
+let is_ascii7 s = String.for_all (fun c -> Char.code c <= 0x7f) s
+
+let constant_time_equal a b =
+  let la = String.length a and lb = String.length b in
+  let acc = ref (la lxor lb) in
+  for i = 0 to min la lb - 1 do
+    acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+  done;
+  !acc = 0
+
+let flip_bit s i =
+  let byte = i / 8 and bit = i mod 8 in
+  if byte >= String.length s then invalid_arg "Xbytes.flip_bit: out of range";
+  let b = Bytes.of_string s in
+  Bytes.set b byte (Char.chr (Char.code s.[byte] lxor (0x80 lsr bit)));
+  Bytes.unsafe_to_string b

@@ -1,0 +1,80 @@
+(** Byte-string utilities shared by the whole code base.
+
+    Conventions: immutable data travels as [string]; scratch buffers are
+    [bytes].  All functions are pure unless stated otherwise. *)
+
+val xor : string -> string -> string
+(** [xor a b] is the bitwise exclusive-or of [a] and [b].  Following the
+    paper's notation, if the lengths differ the shorter operand is implicitly
+    extended with zero bytes, so the result has the length of the longer
+    operand. *)
+
+val xor_exact : string -> string -> string
+(** [xor_exact a b] xors two strings of equal length.
+    @raise Invalid_argument if lengths differ. *)
+
+val xor_into : src:string -> dst:Bytes.t -> dst_off:int -> unit
+(** [xor_into ~src ~dst ~dst_off] xors [src] into [dst] starting at
+    [dst_off]. *)
+
+val of_hex : string -> string
+(** Decode a hexadecimal string (case-insensitive, optional whitespace).
+    @raise Invalid_argument on malformed input. *)
+
+val to_hex : string -> string
+(** Encode as lowercase hexadecimal. *)
+
+val take : int -> string -> string
+(** [take n s] is the first [n] bytes of [s] (all of [s] if shorter). *)
+
+val drop : int -> string -> string
+(** [drop n s] is [s] without its first [n] bytes ([""] if shorter). *)
+
+val blocks : int -> string -> string list
+(** [blocks n s] splits [s] into consecutive chunks of [n] bytes; the last
+    chunk may be shorter.  [blocks n "" = []]. *)
+
+val common_prefix_len : string -> string -> int
+(** Length in bytes of the longest common prefix. *)
+
+val common_block_prefix : block:int -> string -> string -> int
+(** Number of leading whole [block]-sized chunks on which the two strings
+    agree. *)
+
+val repeat : int -> char -> string
+(** [repeat n c] is the string of [n] copies of [c]. *)
+
+val get_uint32_be : string -> int -> int
+val get_uint32_le : string -> int -> int
+val set_uint32_be : Bytes.t -> int -> int -> unit
+val set_uint32_le : Bytes.t -> int -> int -> unit
+(** 32-bit big/little-endian accessors; values are masked to 32 bits. *)
+
+val get_uint64_be : string -> int -> int64
+val set_uint64_be : Bytes.t -> int -> int64 -> unit
+
+val int64_to_be_string : int64 -> string
+(** 8-byte big-endian encoding. *)
+
+val int_to_be_string : width:int -> int -> string
+(** [int_to_be_string ~width n] is the [width]-byte big-endian encoding of
+    the non-negative integer [n].
+    @raise Invalid_argument if [n] does not fit or is negative. *)
+
+val be_string_to_int : string -> int
+(** Inverse of {!int_to_be_string} for values that fit in an OCaml [int].
+    @raise Invalid_argument if the string is longer than 8 bytes or the
+    value overflows. *)
+
+val is_ascii_printable : string -> bool
+(** True iff every byte is in the range [0x20, 0x7e]. *)
+
+val is_ascii7 : string -> bool
+(** True iff every byte has its most significant bit clear (0 ≤ b ≤ 127) —
+    the redundancy condition used by the paper's XOR-scheme attack. *)
+
+val constant_time_equal : string -> string -> bool
+(** Timing-balanced comparison of two strings (also length-sensitive). *)
+
+val flip_bit : string -> int -> string
+(** [flip_bit s i] flips bit [i] (bit 0 = MSB of byte 0) of a copy of [s]. *)

@@ -1,0 +1,1 @@
+test/suite_aead.ml: Alcotest List Printf QCheck2 QCheck_alcotest Rng Secdb_aead Secdb_cipher Secdb_util String Xbytes

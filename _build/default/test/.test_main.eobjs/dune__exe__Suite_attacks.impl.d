@@ -1,0 +1,1 @@
+test/suite_attacks.ml: Alcotest Array Float Int64 List Printf Rng Secdb_aead Secdb_attacks Secdb_cipher Secdb_db Secdb_index Secdb_query Secdb_schemes Secdb_storage Secdb_util String Xbytes

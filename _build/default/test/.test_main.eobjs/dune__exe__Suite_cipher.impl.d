@@ -1,0 +1,1 @@
+test/suite_cipher.ml: Alcotest Array Char Fun List QCheck2 QCheck_alcotest Secdb_cipher Secdb_util String Xbytes

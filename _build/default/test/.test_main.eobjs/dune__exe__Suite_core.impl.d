@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array Encdb Int64 Keyring List Option QCheck2 QCheck_alcotest Secdb Secdb_db Secdb_index Secdb_query String

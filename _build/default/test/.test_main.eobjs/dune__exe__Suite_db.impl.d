@@ -1,0 +1,1 @@
+test/suite_db.ml: Alcotest Array Fmt Int64 List QCheck2 QCheck_alcotest Secdb_db Secdb_util String Xbytes

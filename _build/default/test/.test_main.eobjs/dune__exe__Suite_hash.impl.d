@@ -1,0 +1,1 @@
+test/suite_hash.ml: Alcotest Int64 List QCheck2 QCheck_alcotest Secdb_hash Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+test/suite_index.ml: Alcotest Array Int64 List Printf QCheck2 QCheck_alcotest Secdb_db Secdb_index

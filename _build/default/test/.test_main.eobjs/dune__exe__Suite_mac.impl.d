@@ -1,0 +1,1 @@
+test/suite_mac.ml: Alcotest List Printf QCheck2 QCheck_alcotest Rng Secdb_cipher Secdb_mac Secdb_modes Secdb_util String Xbytes

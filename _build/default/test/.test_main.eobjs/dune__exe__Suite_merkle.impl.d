@@ -1,0 +1,1 @@
+test/suite_merkle.ml: Alcotest Encdb Filename In_channel Int64 List Out_channel Printf QCheck2 QCheck_alcotest Secdb Secdb_db Secdb_index Secdb_query Secdb_schemes Secdb_storage Secdb_util String

@@ -1,0 +1,1 @@
+test/suite_modes.ml: Alcotest Bytes Char List Printf QCheck2 QCheck_alcotest Rng Secdb_cipher Secdb_modes Secdb_util String Xbytes

@@ -1,0 +1,1 @@
+test/suite_oplog.ml: Alcotest Bytes Char Encdb Filename In_channel Int64 List Oplog Out_channel Printf Secdb Secdb_aead Secdb_cipher Secdb_db Secdb_query Secdb_util String Unix

@@ -1,0 +1,1 @@
+test/suite_pager.ml: Alcotest Filename List Out_channel Printf QCheck2 QCheck_alcotest Secdb_aead Secdb_cipher Secdb_db Secdb_query Secdb_schemes Secdb_storage Secdb_util String

@@ -1,0 +1,1 @@
+test/suite_props.ml: Encdb Fun Hashtbl Int64 List QCheck2 QCheck_alcotest Secdb Secdb_aead Secdb_cipher Secdb_db Secdb_index Secdb_query Secdb_schemes Secdb_storage Secdb_util String

@@ -1,0 +1,1 @@
+test/suite_query.ml: Alcotest Array Float Int64 List Option Rng Secdb_aead Secdb_cipher Secdb_db Secdb_index Secdb_query Secdb_schemes Secdb_util String Xbytes

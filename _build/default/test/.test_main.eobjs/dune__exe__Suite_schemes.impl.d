@@ -1,0 +1,1 @@
+test/suite_schemes.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Rng Secdb_aead Secdb_cipher Secdb_db Secdb_index Secdb_schemes Secdb_util String Xbytes

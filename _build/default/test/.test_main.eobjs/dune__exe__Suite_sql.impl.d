@@ -1,0 +1,1 @@
+test/suite_sql.ml: Alcotest Array Encdb Fmt Int64 List Option Printf QCheck2 QCheck_alcotest Secdb Secdb_db Secdb_index Secdb_sql String

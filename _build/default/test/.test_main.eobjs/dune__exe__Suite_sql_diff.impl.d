@@ -1,0 +1,1 @@
+test/suite_sql_diff.ml: Array Encdb Int64 List Option Printf QCheck2 QCheck_alcotest Secdb Secdb_db Secdb_sql

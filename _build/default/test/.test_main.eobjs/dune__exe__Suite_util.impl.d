@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Bytes Dist Float Fun List QCheck2 QCheck_alcotest Rng Secdb_util String Vec Xbytes

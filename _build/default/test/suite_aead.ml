@@ -1,0 +1,323 @@
+open Secdb_util
+module Aead = Secdb_aead.Aead
+module Nonce = Secdb_aead.Nonce
+
+let hex = Xbytes.of_hex
+let aes k = Secdb_cipher.Aes.cipher ~key:(hex k)
+let base = aes "2b7e151628aed2a6abf7158809cf4f3c"
+
+let base2 = aes "603deb1015ca71be2b73aef0857d7781"
+
+let all_aeads =
+  [
+    Secdb_aead.Eax.make base;
+    Secdb_aead.Ocb.make base;
+    Secdb_aead.Ccfb.make base;
+    Secdb_aead.Compose.encrypt_then_mac ~cipher:base ~mac_key:"independent mac key!" ();
+    Secdb_aead.Gcm.make base;
+    Secdb_aead.Siv.make base2 base;
+  ]
+
+(* EAX paper, appendix test vectors 1 and 2 *)
+let test_eax_paper_vectors () =
+  let eax1 = Secdb_aead.Eax.make (aes "233952DEE4D5ED5F9B9C6D6FF80FF478") in
+  let ct, tag =
+    Aead.encrypt eax1
+      ~nonce:(hex "62EC67F9C3A4A407FCB2A8C49031A8B3")
+      ~ad:(hex "6BFB914FD07EAE6B") ""
+  in
+  Alcotest.(check string) "vec1 ct" "" ct;
+  Alcotest.(check string) "vec1 tag" "e037830e8389f27b025a2d6527e79d01" (Xbytes.to_hex tag);
+  let eax2 = Secdb_aead.Eax.make (aes "91945D3F4DCBEE0BF45EF52255F095A4") in
+  let ct, tag =
+    Aead.encrypt eax2
+      ~nonce:(hex "BECAF043B0A23D843194BA972C66DEBD")
+      ~ad:(hex "FA3BFD4806EB53FA") (hex "F7FB")
+  in
+  Alcotest.(check string) "vec2 ct" "19dd" (Xbytes.to_hex ct);
+  Alcotest.(check string) "vec2 tag" "5c4c9331049d0bdab0277408f67967e5" (Xbytes.to_hex tag);
+  (* decrypt the official vector *)
+  match
+    Aead.decrypt eax2
+      ~nonce:(hex "BECAF043B0A23D843194BA972C66DEBD")
+      ~ad:(hex "FA3BFD4806EB53FA") ~tag (hex "19DD")
+  with
+  | Ok pt -> Alcotest.(check string) "vec2 pt" "f7fb" (Xbytes.to_hex pt)
+  | Error Aead.Invalid -> Alcotest.fail "official vector rejected"
+
+(* NIST GCM reference vectors (SP 800-38D test cases 1, 2) *)
+let test_gcm_nist_vectors () =
+  let g = Secdb_aead.Gcm.make (aes "00000000000000000000000000000000") in
+  let zero_nonce = String.make 12 '\000' in
+  let ct, tag = Aead.encrypt g ~nonce:zero_nonce ~ad:"" "" in
+  Alcotest.(check string) "tc1 ct" "" ct;
+  Alcotest.(check string) "tc1 tag" "58e2fccefa7e3061367f1d57a4e7455a" (Xbytes.to_hex tag);
+  let ct, tag = Aead.encrypt g ~nonce:zero_nonce ~ad:"" (String.make 16 '\000') in
+  Alcotest.(check string) "tc2 ct" "0388dace60b6a392f328c2b971b2fe78" (Xbytes.to_hex ct);
+  Alcotest.(check string) "tc2 tag" "ab6e47d42cec13bdf53a67b21257bddf" (Xbytes.to_hex tag);
+  (* ghash of a single zero block under H = E(0) is gf_mult(0,H) = 0 *)
+  let h = base.Secdb_cipher.Block.encrypt (String.make 16 '\000') in
+  Alcotest.(check string) "ghash zero block" (String.make 32 '0')
+    (Xbytes.to_hex (Secdb_aead.Gcm.ghash ~h (String.make 16 '\000')))
+
+(* RFC 5297 appendix A.1 (deterministic S2V + CTR) *)
+let test_siv_rfc5297 () =
+  let k1 = aes "fffefdfcfbfaf9f8f7f6f5f4f3f2f1f0" in
+  let k2 = aes "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff" in
+  let ad = hex "101112131415161718191a1b1c1d1e1f2021222324252627" in
+  let p = hex "112233445566778899aabbccddee" in
+  Alcotest.(check string) "S2V" "85632d07c6e8f37f950acd320a2ecc93"
+    (Xbytes.to_hex (Secdb_aead.Siv.s2v k1 [ ad; p ]));
+  (* full SIV with our (ad, nonce) framing degenerates to the RFC shape
+     when the nonce component equals the RFC's second vector input; here we
+     check the AEAD interface end to end instead *)
+  let siv = Secdb_aead.Siv.make k1 k2 in
+  let nonce = String.make 16 'n' in
+  let ct, tag = Aead.encrypt siv ~nonce ~ad p in
+  (match Aead.decrypt siv ~nonce ~ad ~tag ct with
+  | Ok m -> Alcotest.(check string) "roundtrip" (Xbytes.to_hex p) (Xbytes.to_hex m)
+  | Error Aead.Invalid -> Alcotest.fail "siv rejected own ciphertext");
+  (* misuse resistance: nonce reuse leaks only exact equality *)
+  let c1, t1 = Aead.encrypt siv ~nonce ~ad p in
+  let c2, t2 = Aead.encrypt siv ~nonce ~ad p in
+  Alcotest.(check string) "deterministic under fixed nonce (ct)" c1 c2;
+  Alcotest.(check string) "deterministic under fixed nonce (tag)" t1 t2;
+  let c3, _ = Aead.encrypt siv ~nonce ~ad (hex "112233445566778899aabbccddef") in
+  Alcotest.(check bool) "different plaintext, unrelated ciphertext" false
+    (Xbytes.take 4 c1 = Xbytes.take 4 c3)
+
+let sizes = [ 0; 1; 11; 12; 15; 16; 17; 32; 33; 95; 96; 100; 255 ]
+
+let test_roundtrips () =
+  let rng = Rng.create ~seed:41L () in
+  List.iter
+    (fun (a : Aead.t) ->
+      List.iter
+        (fun n ->
+          let m = Rng.bytes rng n in
+          let ad = Rng.bytes rng (n mod 24) in
+          let nonce = Rng.bytes rng a.Aead.nonce_size in
+          let ct, tag = Aead.encrypt a ~nonce ~ad m in
+          Alcotest.(check int)
+            (a.Aead.name ^ " expansion")
+            (String.length m + a.Aead.expansion)
+            (String.length ct + a.Aead.expansion);
+          Alcotest.(check int) (a.Aead.name ^ " tag size") a.Aead.tag_size (String.length tag);
+          match Aead.decrypt a ~nonce ~ad ~tag ct with
+          | Ok m' when m' = m -> ()
+          | Ok _ -> Alcotest.fail (a.Aead.name ^ ": wrong plaintext")
+          | Error Aead.Invalid -> Alcotest.fail (a.Aead.name ^ ": own ciphertext rejected"))
+        sizes)
+    all_aeads
+
+let test_tamper_rejection () =
+  let rng = Rng.create ~seed:43L () in
+  List.iter
+    (fun (a : Aead.t) ->
+      for _ = 1 to 40 do
+        let m = Rng.bytes rng (1 + Rng.int rng 80) in
+        let ad = Rng.bytes rng (1 + Rng.int rng 30) in
+        let nonce = Rng.bytes rng a.Aead.nonce_size in
+        let ct, tag = Aead.encrypt a ~nonce ~ad m in
+        let reject label = function
+          | Error Aead.Invalid -> ()
+          | Ok _ -> Alcotest.fail (Printf.sprintf "%s: %s accepted" a.Aead.name label)
+        in
+        reject "flipped ciphertext"
+          (Aead.decrypt a ~nonce ~ad ~tag (Xbytes.flip_bit ct (Rng.int rng (8 * String.length ct))));
+        reject "flipped tag"
+          (Aead.decrypt a ~nonce ~ad ~tag:(Xbytes.flip_bit tag (Rng.int rng (8 * String.length tag))) ct);
+        reject "flipped nonce"
+          (Aead.decrypt a ~nonce:(Xbytes.flip_bit nonce 0) ~ad ~tag ct);
+        reject "flipped ad" (Aead.decrypt a ~nonce ~ad:(Xbytes.flip_bit ad 5) ~tag ct);
+        reject "dropped ad" (Aead.decrypt a ~nonce ~ad:"" ~tag ct);
+        reject "truncated ct"
+          (Aead.decrypt a ~nonce ~ad ~tag (String.sub ct 0 (String.length ct - 1)))
+      done)
+    all_aeads
+
+let test_nonce_respected () =
+  List.iter
+    (fun (a : Aead.t) ->
+      Alcotest.check_raises
+        (a.Aead.name ^ " rejects short nonce")
+        (Invalid_argument
+           (Printf.sprintf "%s: nonce must be %d bytes, got 3" a.Aead.name a.Aead.nonce_size))
+        (fun () -> ignore (Aead.encrypt a ~nonce:"abc" ~ad:"" "m"));
+      (* decryption with a wrong-size nonce is Invalid, not an exception *)
+      match Aead.decrypt a ~nonce:"abc" ~ad:"" ~tag:(String.make a.Aead.tag_size 't') "ct" with
+      | Error Aead.Invalid -> ()
+      | Ok _ -> Alcotest.fail "wrong-size nonce accepted")
+    all_aeads
+
+let test_storage_overheads () =
+  (* the paper's Section 4 storage analysis: 32 octets for EAX and OCB+PMAC
+     (nonce 16 + tag 16), 16 octets for CCFB (nonce 12 + tag 4) *)
+  let overhead mk = Aead.stored_overhead (mk base) in
+  Alcotest.(check int) "eax" 32 (overhead Secdb_aead.Eax.make);
+  Alcotest.(check int) "ocb" 32 (overhead Secdb_aead.Ocb.make);
+  Alcotest.(check int) "ccfb" 16 (overhead Secdb_aead.Ccfb.make);
+  Alcotest.(check int) "ccfb payload/block" 12 (Secdb_aead.Ccfb.payload_bytes_per_block base)
+
+let test_invocation_formulas () =
+  (* the paper's Section 4 performance analysis, in blockcipher calls *)
+  let count mk n m =
+    let wrapped, counters = Secdb_cipher.Counting.wrap base in
+    let a = mk wrapped in
+    Secdb_cipher.Counting.reset counters;
+    ignore
+      (Aead.encrypt a
+         ~nonce:(String.make a.Aead.nonce_size 'N')
+         ~ad:(String.make (16 * m) 'H')
+         (String.make (16 * n) 'M'));
+    counters.enc_calls
+  in
+  List.iter
+    (fun (n, m) ->
+      Alcotest.(check int)
+        (Printf.sprintf "eax 2n+m+1 at n=%d m=%d" n m)
+        ((2 * n) + m + 1)
+        (count Secdb_aead.Eax.make n m);
+      (* our OCB+PMAC costs n+m+4 (the paper counts n+m+5; one L-derivation
+         is shared between OCB and PMAC here) *)
+      Alcotest.(check int)
+        (Printf.sprintf "ocb n+m+4 at n=%d m=%d" n m)
+        (n + m + 4)
+        (count Secdb_aead.Ocb.make n m))
+    [ (1, 1); (2, 1); (4, 2); (16, 1); (64, 4) ]
+
+let test_nonce_reuse_leaks_and_uniqueness_restores () =
+  (* determinism under nonce reuse: same (N, M) -> same C, the failure mode
+     the fixed schemes avoid by drawing unique nonces *)
+  List.iter
+    (fun (a : Aead.t) ->
+      let nonce = String.make a.Aead.nonce_size 'n' in
+      let c1, _ = Aead.encrypt a ~nonce ~ad:"" "attribute value" in
+      let c2, _ = Aead.encrypt a ~nonce ~ad:"" "attribute value" in
+      Alcotest.(check string) (a.Aead.name ^ " nonce reuse is deterministic") c1 c2;
+      let fresh = Nonce.counter ~size:a.Aead.nonce_size () in
+      let c3, _ = Aead.encrypt a ~nonce:(fresh ()) ~ad:"" "attribute value" in
+      let c4, _ = Aead.encrypt a ~nonce:(fresh ()) ~ad:"" "attribute value" in
+      Alcotest.(check bool) (a.Aead.name ^ " fresh nonces differ") false (c3 = c4))
+    all_aeads
+
+let test_nonce_sources () =
+  let c = Nonce.counter ~size:4 () in
+  Alcotest.(check string) "counter 0" "\x00\x00\x00\x00" (c ());
+  Alcotest.(check string) "counter 1" "\x00\x00\x00\x01" (c ());
+  let c2 = Nonce.counter ~size:1 ~start:254 () in
+  ignore (c2 ());
+  Alcotest.check_raises "exhaustion" (Invalid_argument "Nonce.counter: exhausted") (fun () ->
+      ignore (c2 ()));
+  let f = Nonce.fixed "iv" in
+  Alcotest.(check string) "fixed" "iv" (f ());
+  let r = Nonce.of_rng (Rng.create ~seed:1L ()) ~size:12 in
+  Alcotest.(check int) "rng size" 12 (String.length (r ()));
+  Alcotest.(check bool) "rng changes" false (r () = r ())
+
+let test_eam_is_broken_by_design () =
+  let eam = Secdb_aead.Compose.encrypt_and_mac_insecure base in
+  let nonce = String.make eam.Aead.nonce_size '0' in
+  let c1, t1 = Aead.encrypt eam ~nonce ~ad:"ad" "hello" in
+  let c2, t2 = Aead.encrypt eam ~nonce ~ad:"ad" "hello" in
+  Alcotest.(check string) "deterministic ciphertext" c1 c2;
+  Alcotest.(check string) "deterministic tag" t1 t2;
+  (* still round-trips *)
+  match Aead.decrypt eam ~nonce ~ad:"ad" ~tag:t1 c1 with
+  | Ok "hello" -> ()
+  | _ -> Alcotest.fail "eam roundtrip broken"
+
+let qc = QCheck_alcotest.to_alcotest
+
+let prop_all_roundtrip =
+  QCheck2.Test.make ~name:"aead roundtrip (random sizes)" ~count:150
+    QCheck2.Gen.(triple (string_size (int_range 0 120)) (string_size (int_range 0 40)) (int_range 0 5))
+    (fun (m, ad, which) ->
+      let a = List.nth all_aeads which in
+      let nonce = String.make a.Aead.nonce_size 'x' in
+      Aead.decrypt a ~nonce ~ad
+        ~tag:(snd (Aead.encrypt a ~nonce ~ad m))
+        (fst (Aead.encrypt a ~nonce ~ad m))
+      = Ok m)
+
+let prop_ciphertexts_differ_across_aeads =
+  QCheck2.Test.make ~name:"schemes are distinct" ~count:50
+    QCheck2.Gen.(string_size (int_range 16 64))
+    (fun m ->
+      let encs =
+        List.map
+          (fun (a : Aead.t) ->
+            fst (Aead.encrypt a ~nonce:(String.make a.Aead.nonce_size 'x') ~ad:"" m))
+          all_aeads
+      in
+      List.length (List.sort_uniq compare encs) = List.length encs)
+
+let suites =
+  [
+    ( "aead:vectors",
+      [
+        Alcotest.test_case "EAX paper vectors" `Quick test_eax_paper_vectors;
+        Alcotest.test_case "GCM NIST vectors" `Quick test_gcm_nist_vectors;
+        Alcotest.test_case "SIV RFC 5297" `Quick test_siv_rfc5297;
+      ] );
+    ( "aead:properties",
+      [
+        Alcotest.test_case "roundtrips across sizes" `Quick test_roundtrips;
+        Alcotest.test_case "tamper rejection (N,C,T,AD)" `Quick test_tamper_rejection;
+        Alcotest.test_case "nonce size enforcement" `Quick test_nonce_respected;
+        Alcotest.test_case "nonce reuse vs fresh nonces" `Quick
+          test_nonce_reuse_leaks_and_uniqueness_restores;
+        qc prop_all_roundtrip;
+        qc prop_ciphertexts_differ_across_aeads;
+      ] );
+    ( "aead:paper-costs",
+      [
+        Alcotest.test_case "storage overhead (Sect. 4)" `Quick test_storage_overheads;
+        Alcotest.test_case "blockcipher invocation counts (Sect. 4)" `Quick
+          test_invocation_formulas;
+      ] );
+    ( "aead:compositions",
+      [
+        Alcotest.test_case "nonce sources" `Quick test_nonce_sources;
+        Alcotest.test_case "encrypt-and-MAC is deterministic (broken)" `Quick
+          test_eam_is_broken_by_design;
+      ] );
+  ]
+
+(* tags never transfer between schemes, keys, or roles *)
+let test_cross_scheme_rejection () =
+  let m = "the same plaintext everywhere" and ad = "shared ad" in
+  let seal (a : Aead.t) =
+    let nonce = String.make a.Aead.nonce_size 'n' in
+    let ct, tag = Aead.encrypt a ~nonce ~ad m in
+    (a, nonce, ct, tag)
+  in
+  let sealed = List.map seal all_aeads in
+  List.iteri
+    (fun i (_, _, ct_i, tag_i) ->
+      List.iteri
+        (fun j (a_j, nonce_j, _, _) ->
+          if i <> j then
+            match
+              Aead.decrypt a_j ~nonce:(Xbytes.take a_j.Aead.nonce_size (nonce_j ^ String.make 16 'n'))
+                ~ad ~tag:(Xbytes.take a_j.Aead.tag_size (tag_i ^ String.make 16 '0'))
+                ct_i
+            with
+            | Error Aead.Invalid -> ()
+            | Ok _ -> Alcotest.fail "cross-scheme ciphertext accepted")
+        sealed)
+    sealed;
+  (* same scheme, different key *)
+  let a = Secdb_aead.Eax.make base and b = Secdb_aead.Eax.make base2 in
+  let nonce = String.make 16 'n' in
+  let ct, tag = Aead.encrypt a ~nonce ~ad m in
+  match Aead.decrypt b ~nonce ~ad ~tag ct with
+  | Error Aead.Invalid -> ()
+  | Ok _ -> Alcotest.fail "wrong key accepted"
+
+let suites =
+  suites
+  @ [
+      ( "aead:isolation",
+        [ Alcotest.test_case "no cross-scheme/key acceptance" `Quick test_cross_scheme_rejection ] );
+    ]

@@ -1,0 +1,527 @@
+open Secdb_util
+module Value = Secdb_db.Value
+module Address = Secdb_db.Address
+module B = Secdb_index.Bptree
+module Einst = Secdb_schemes.Einst
+module PM = Secdb_attacks.Pattern_matching
+module Forgery = Secdb_attacks.Forgery
+module Sub = Secdb_attacks.Substitution
+module MacI = Secdb_attacks.Mac_interaction
+module KS = Secdb_attacks.Keystream_reuse
+
+let hex = Xbytes.of_hex
+let key = hex "000102030405060708090a0b0c0d0e0f"
+let aes k = Secdb_cipher.Aes.cipher ~key:k
+let mu = Address.mu_sha1 ~width:16
+let e_cbc0 () = Einst.cbc_zero_iv (aes key)
+let append_scheme () = Secdb_schemes.Cell_append.make ~e:(e_cbc0 ()) ~mu
+
+let fixed_scheme () =
+  Secdb_schemes.Fixed_cell.make
+    ~aead:(Secdb_aead.Eax.make (aes key))
+    ~nonce:(Secdb_aead.Nonce.counter ~size:16 ()) ()
+
+(* A1: pattern matching on cells *)
+
+let workload rng =
+  let prefix = String.make 32 'P' in
+  List.init 24 (fun i ->
+      (i, if i mod 2 = 0 then prefix ^ Rng.ascii rng 20 else Rng.ascii rng 52))
+
+let test_a1_pattern_matching_broken () =
+  let rng = Rng.create ~seed:31L () in
+  let r = PM.cells ~scheme:(append_scheme ()) ~block:16 ~table:1 ~col:0 (workload rng) in
+  Alcotest.(check int) "ground truth pairs" 66 r.PM.true_pairs;
+  (* 12 prefix-sharing rows -> C(12,2) pairs *)
+  Alcotest.(check int) "all detected" 66 r.PM.detected_pairs;
+  Alcotest.(check int) "no false positives" 66 r.PM.true_positives;
+  List.iter
+    (fun (p : PM.pair) ->
+      Alcotest.(check bool) "even rows only" true (p.PM.row_a mod 2 = 0 && p.PM.row_b mod 2 = 0);
+      Alcotest.(check bool) "shared blocks >= 2" true (p.PM.shared_ct_blocks >= 2))
+    r.PM.pairs
+
+let test_a1_pattern_matching_fixed () =
+  let rng = Rng.create ~seed:31L () in
+  let r =
+    PM.cells ~scheme:(fixed_scheme ()) ~extract:PM.extract_fixed_cell ~block:16 ~table:1
+      ~col:0 (workload rng)
+  in
+  Alcotest.(check int) "AEAD hides everything" 0 r.PM.detected_pairs
+
+let test_a1_ecb_even_worse () =
+  (* ECB leaks not only prefixes but all equal blocks; prefix detection
+     still reports every true pair *)
+  let rng = Rng.create ~seed:32L () in
+  let scheme = Secdb_schemes.Cell_append.make ~e:(Einst.ecb (aes key)) ~mu in
+  let r = PM.cells ~scheme ~block:16 ~table:1 ~col:0 (workload rng) in
+  Alcotest.(check int) "ecb detects all" r.PM.true_pairs r.PM.detected_pairs
+
+(* A2: forgery *)
+
+let test_a2_forgery () =
+  let rng = Rng.create ~seed:33L () in
+  Alcotest.(check (float 0.0)) "broken scheme: always forgeable" 1.0
+    (Forgery.success_rate ~scheme:(append_scheme ()) ~block:16 ~table:1 ~col:0 ~value_len:64
+       ~trials:40 ~rng);
+  Alcotest.(check (float 0.0)) "fixed scheme: never" 0.0
+    (Forgery.success_rate ~scheme:(fixed_scheme ()) ~block:16 ~table:1 ~col:0 ~value_len:64
+       ~trials:40 ~rng)
+
+let test_a2_forgery_details () =
+  let rng = Rng.create ~seed:34L () in
+  let addr = Address.v ~table:1 ~row:3 ~col:0 in
+  (match Forgery.forge ~scheme:(append_scheme ()) ~block:16 ~addr ~value:(Rng.ascii rng 48) ~rng with
+  | Ok o ->
+      Alcotest.(check bool) "accepted" true o.Forgery.accepted;
+      Alcotest.(check bool) "changed" true o.Forgery.changed;
+      Alcotest.(check bool) "eligible block" true
+        (o.Forgery.modified_ct_block >= 0 && o.Forgery.modified_ct_block <= 1);
+      (* forged value has the original length: only V blocks were garbled *)
+      (match o.Forgery.forged_value with
+      | Some v -> Alcotest.(check int) "length preserved" 48 (String.length v)
+      | None -> Alcotest.fail "no forged value")
+  | Error e -> Alcotest.fail e);
+  (* too-short values leave no eligible block *)
+  match Forgery.forge ~scheme:(append_scheme ()) ~block:16 ~addr ~value:"short" ~rng with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short value accepted"
+
+(* A3: substitution / the paper's 1024-address experiment *)
+
+let test_a3_experiment () =
+  let ex = Sub.collision_search ~mu ~table:5 ~col:2 ~trials:1024 in
+  Alcotest.(check int) "expected about 8" 8 (int_of_float (Float.round ex.Sub.expected));
+  (* binomial(523776, 2^-16): P(count in [1..25]) > 1 - 1e-6 *)
+  let n = List.length ex.Sub.collisions in
+  Alcotest.(check bool) (Printf.sprintf "plausible collision count (%d)" n) true
+    (n >= 1 && n <= 25);
+  (* each reported pair really collides on every high bit *)
+  List.iter
+    (fun (r1, r2) ->
+      let d1 = mu.Address.digest (Address.v ~table:5 ~row:r1 ~col:2) in
+      let d2 = mu.Address.digest (Address.v ~table:5 ~row:r2 ~col:2) in
+      Alcotest.(check bool) "high bits match" true (Sub.high_bits_match d1 d2))
+    ex.Sub.collisions
+
+let test_a3_relocation () =
+  let scheme =
+    Secdb_schemes.Cell_xor.make ~e:(e_cbc0 ()) ~mu ~validate:Xbytes.is_ascii7 ()
+  in
+  let ex = Sub.collision_search ~mu ~table:5 ~col:2 ~trials:1024 in
+  match ex.Sub.collisions with
+  | (r1, r2) :: _ ->
+      let v = "exactly 16 chars" in
+      let rel = Sub.relocate ~scheme ~table:5 ~col:2 ~value:v ~from_row:r1 ~to_row:r2 in
+      Alcotest.(check bool) "colliding pair accepted" true rel.Sub.accepted;
+      (match rel.Sub.recovered with
+      | Some v' ->
+          Alcotest.(check bool) "content changed" true (v' <> v);
+          Alcotest.(check bool) "still valid ascii" true (Xbytes.is_ascii7 v')
+      | None -> Alcotest.fail "no recovered value");
+      (* the AEAD fix refuses the same relocation *)
+      let relf =
+        Sub.relocate ~scheme:(fixed_scheme ()) ~table:5 ~col:2 ~value:v ~from_row:r1
+          ~to_row:r2
+      in
+      Alcotest.(check bool) "fixed scheme rejects" false relf.Sub.accepted
+  | [] -> Alcotest.fail "no collisions in 1024 trials (p < 1e-3)"
+
+let test_a3_high_bits_match () =
+  Alcotest.(check bool) "same" true (Sub.high_bits_match "\x00\x7f" "\x7f\x00");
+  Alcotest.(check bool) "differ" false (Sub.high_bits_match "\x80" "\x00");
+  Alcotest.(check bool) "length mismatch" false (Sub.high_bits_match "\x00" "\x00\x00")
+
+(* A4/A5: index correlation *)
+
+let correlation codec_of_e =
+  let rng = Rng.create ~seed:35L () in
+  let prefix = String.make 32 'P' in
+  let texts =
+    List.init 16 (fun i -> if i mod 4 = 0 then prefix ^ Rng.ascii rng 17 else Rng.ascii rng 49)
+  in
+  let tree = B.create ~order:4 ~id:1000 ~codec:codec_of_e () in
+  List.iteri (fun i s -> B.insert tree (Value.Text s) ~table_row:i) texts;
+  let plaintexts = List.mapi (fun i s -> (i, Value.encode (Value.Text s))) texts in
+  (tree, plaintexts)
+
+let test_a4_index3_correlation () =
+  let tree, plaintexts = correlation (Secdb_schemes.Index3.codec ~e:(e_cbc0 ())) in
+  let r =
+    PM.index_correlation ~cell_scheme:(append_scheme ()) ~tree
+      ~payload_ciphertext:PM.extract_index3 ~block:16 ~table:1 ~col:0 ~plaintexts
+  in
+  Alcotest.(check bool) "links found" true (r.PM.total_links > 0);
+  Alcotest.(check int) "all links correct" r.PM.total_links r.PM.correct_links
+
+let test_a5_index12_correlation () =
+  let codec =
+    Secdb_schemes.Index12.codec ~e:(e_cbc0 ()) ~mac_cipher:(aes key)
+      ~rng:(Rng.create ~seed:36L ()) ~indexed_table:1 ~indexed_col:0 ()
+  in
+  let tree, plaintexts = correlation codec in
+  let r =
+    PM.index_correlation ~cell_scheme:(append_scheme ()) ~tree
+      ~payload_ciphertext:PM.extract_index12 ~block:16 ~table:1 ~col:0 ~plaintexts
+  in
+  Alcotest.(check bool) "randomness does not stop linkage" true (r.PM.total_links > 0);
+  Alcotest.(check int) "all links correct" r.PM.total_links r.PM.correct_links
+
+let test_a5_fixed_index_no_correlation () =
+  let codec =
+    Secdb_schemes.Fixed_index.codec
+      ~aead:(Secdb_aead.Eax.make (aes key))
+      ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+      ~indexed_table:1 ~indexed_col:0 ()
+  in
+  let tree, plaintexts = correlation codec in
+  let r =
+    PM.index_correlation ~cell_scheme:(fixed_scheme ()) ~tree
+      ~payload_ciphertext:PM.extract_fixed ~block:16 ~table:1 ~col:0 ~plaintexts
+  in
+  Alcotest.(check int) "no linkage" 0 r.PM.total_links
+
+(* A6: same-key CBC-MAC interaction *)
+
+let test_a6_mac_interaction () =
+  let rng = Rng.create ~seed:37L () in
+  let ctx = { B.index_table = 1000; node_row = 4; kind = B.Leaf } in
+  let e = e_cbc0 () in
+  let same_key =
+    Secdb_schemes.Index12.codec ~e ~mac_cipher:(aes key) ~rng ~indexed_table:1 ~indexed_col:0 ()
+  in
+  let indep =
+    Secdb_schemes.Index12.codec ~e ~mac_cipher:(aes (hex "00112233445566778899aabbccddeeff"))
+      ~rng ~indexed_table:1 ~indexed_col:0 ()
+  in
+  for trial = 1 to 15 do
+    (* |Value.encode v| = 1 + 47 = 48 bytes = 3 whole blocks (s = 3 > 2) *)
+    let value = Value.Text (Rng.ascii rng 47) in
+    (match MacI.run ~codec:same_key ~ctx ~block:16 ~value ~table_row:trial ~rng with
+    | Ok o ->
+        Alcotest.(check bool) "same key: accepted" true o.MacI.accepted;
+        Alcotest.(check bool) "same key: changed" true o.MacI.value_changed
+    | Error e -> Alcotest.fail e);
+    match MacI.run ~codec:indep ~ctx ~block:16 ~value ~table_row:trial ~rng with
+    | Ok o -> Alcotest.(check bool) "independent keys: rejected" false o.MacI.accepted
+    | Error e -> Alcotest.fail e
+  done;
+  (* the paper's s > 2 requirement *)
+  match
+    MacI.run ~codec:same_key ~ctx ~block:16 ~value:(Value.Text "tiny") ~table_row:0 ~rng
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short value accepted"
+
+(* A7: keystream reuse *)
+
+let test_a7_keystream_reuse () =
+  let scheme = Secdb_schemes.Cell_append.make ~e:(Einst.ctr_zero (aes key)) ~mu in
+  let v1 = "known plaintext attack: this string is public....." in
+  let v2 = "secret: patient diagnosed with hypertension stage2" in
+  let a1 = Address.v ~table:1 ~row:0 ~col:0 and a2 = Address.v ~table:1 ~row:1 ~col:0 in
+  let c1 = Secdb_schemes.Cell_scheme.encrypt scheme a1 v1 in
+  let c2 = Secdb_schemes.Cell_scheme.encrypt scheme a2 v2 in
+  let x = KS.plaintext_xor_append ~ct_a:c1 ~ct_b:c2 in
+  let recovered = Xbytes.take (String.length v2) (KS.crib_drag ~known:v1 ~xor:x) in
+  Alcotest.(check string) "full recovery from one crib" v2 recovered;
+  (* keystream recovery decrypts a third cell *)
+  let v3 = "another secret value in the same column 12345678" in
+  let c3 = Secdb_schemes.Cell_scheme.encrypt scheme (Address.v ~table:1 ~row:2 ~col:0) v3 in
+  let ks = KS.recover_keystream ~known:v1 ~ct:c1 in
+  Alcotest.(check string) "third cell decrypted" v3
+    (Xbytes.take (String.length v3) (KS.crib_drag ~known:ks ~xor:c3));
+  (* ofb behaves identically *)
+  let scheme_ofb = Secdb_schemes.Cell_append.make ~e:(Einst.ofb_zero (aes key)) ~mu in
+  let c1' = Secdb_schemes.Cell_scheme.encrypt scheme_ofb a1 v1 in
+  let c2' = Secdb_schemes.Cell_scheme.encrypt scheme_ofb a2 v2 in
+  Alcotest.(check string) "ofb leaks the same xor"
+    (Xbytes.to_hex (Xbytes.take 40 (KS.plaintext_xor_append ~ct_a:c1 ~ct_b:c2)))
+    (Xbytes.to_hex (Xbytes.take 40 (KS.plaintext_xor_append ~ct_a:c1' ~ct_b:c2')))
+
+let test_a7_xor_scheme_variant () =
+  let scheme = Secdb_schemes.Cell_xor.make ~e:(Einst.ctr_zero (aes key)) ~mu
+      ~validate:(fun _ -> true) () in
+  let v1 = "known plaintext!" and v2 = "hidden secret!!!" in
+  let a1 = Address.v ~table:1 ~row:0 ~col:0 and a2 = Address.v ~table:1 ~row:1 ~col:0 in
+  let c1 = Secdb_schemes.Cell_scheme.encrypt scheme a1 v1 in
+  let c2 = Secdb_schemes.Cell_scheme.encrypt scheme a2 v2 in
+  let x = KS.plaintext_xor_xor_scheme ~mu ~addr_a:a1 ~ct_a:c1 ~addr_b:a2 ~ct_b:c2 in
+  Alcotest.(check string) "v1^v2 recovered despite mu masking"
+    (Xbytes.to_hex (Xbytes.xor_exact v1 v2))
+    (Xbytes.to_hex (Xbytes.take 16 x))
+
+(* fixed schemes survive the whole gauntlet *)
+
+let test_fix_verification_summary () =
+  let rng = Rng.create ~seed:39L () in
+  List.iter
+    (fun mk ->
+      let aead : Secdb_aead.Aead.t = mk (aes key) in
+      let scheme =
+        Secdb_schemes.Fixed_cell.make ~aead
+          ~nonce:(Secdb_aead.Nonce.of_rng (Rng.create ~seed:40L ()) ~size:aead.Secdb_aead.Aead.nonce_size)
+          ()
+      in
+      let r = PM.cells ~scheme ~extract:PM.extract_fixed_cell ~block:16 ~table:1 ~col:0 (workload rng) in
+      Alcotest.(check int) (aead.Secdb_aead.Aead.name ^ " pattern") 0 r.PM.detected_pairs;
+      Alcotest.(check (float 0.0)) (aead.Secdb_aead.Aead.name ^ " forgery") 0.0
+        (Forgery.success_rate ~scheme ~block:16 ~table:1 ~col:0 ~value_len:64 ~trials:20 ~rng))
+    [ Secdb_aead.Eax.make; Secdb_aead.Ocb.make; Secdb_aead.Ccfb.make ]
+
+let suites =
+  [
+    ( "attacks:pattern-matching",
+      [
+        Alcotest.test_case "A1 broken append scheme" `Quick test_a1_pattern_matching_broken;
+        Alcotest.test_case "A1 fixed scheme immune" `Quick test_a1_pattern_matching_fixed;
+        Alcotest.test_case "A1 ECB instantiation" `Quick test_a1_ecb_even_worse;
+      ] );
+    ( "attacks:forgery",
+      [
+        Alcotest.test_case "A2 success rates" `Quick test_a2_forgery;
+        Alcotest.test_case "A2 forgery anatomy" `Quick test_a2_forgery_details;
+      ] );
+    ( "attacks:substitution",
+      [
+        Alcotest.test_case "A3 the 1024-address experiment" `Quick test_a3_experiment;
+        Alcotest.test_case "A3 ciphertext relocation" `Quick test_a3_relocation;
+        Alcotest.test_case "A3 high-bit matching" `Quick test_a3_high_bits_match;
+      ] );
+    ( "attacks:index-correlation",
+      [
+        Alcotest.test_case "A4 index scheme of [3]" `Quick test_a4_index3_correlation;
+        Alcotest.test_case "A5 improved scheme of [12]" `Quick test_a5_index12_correlation;
+        Alcotest.test_case "A5 fixed index immune" `Quick test_a5_fixed_index_no_correlation;
+      ] );
+    ( "attacks:mac-interaction",
+      [ Alcotest.test_case "A6 same-key OMAC forgery" `Quick test_a6_mac_interaction ] );
+    ( "attacks:keystream-reuse",
+      [
+        Alcotest.test_case "A7 append scheme under CTR/OFB" `Quick test_a7_keystream_reuse;
+        Alcotest.test_case "A7 XOR scheme variant" `Quick test_a7_xor_scheme_variant;
+      ] );
+    ( "attacks:fix-verification",
+      [ Alcotest.test_case "all fixes survive the gauntlet" `Quick test_fix_verification_summary ] );
+  ]
+
+(* --- padding oracle (Vaudenay) ------------------------------------------ *)
+
+let test_padding_oracle_recovers_plaintext () =
+  let scheme = append_scheme () in
+  let addr = Address.v ~table:2 ~row:9 ~col:1 in
+  let secret = "oracle-recoverable secret!" in
+  let ct = Secdb_schemes.Cell_scheme.encrypt scheme addr secret in
+  let oracle = Secdb_attacks.Padding_oracle.oracle_of_scheme scheme addr in
+  (match Secdb_attacks.Padding_oracle.decrypt_ciphertext ~oracle ~block:16 ct with
+  | Some plain ->
+      Alcotest.(check string) "plaintext recovered" secret
+        (Xbytes.take (String.length secret) plain);
+      (* the recovered padded plaintext also contains the address digest *)
+      Alcotest.(check string) "mu recovered" (Xbytes.to_hex (mu.Address.digest addr))
+        (Xbytes.to_hex (Xbytes.take 16 (Xbytes.drop (String.length secret) plain)))
+  | None -> Alcotest.fail "oracle attack failed against the broken scheme");
+  (* single-block decryption agrees with CBC semantics *)
+  let first_block = String.sub ct 0 16 in
+  match
+    Secdb_attacks.Padding_oracle.decrypt_block ~oracle ~block:16
+      ~prev:(String.make 16 '\000') first_block
+  with
+  | Some p -> Alcotest.(check string) "first block" (String.sub secret 0 16) p
+  | None -> Alcotest.fail "block decryption failed"
+
+let test_padding_oracle_absent_on_fix () =
+  let rng = Rng.create ~seed:61L () in
+  let addr = Address.v ~table:2 ~row:9 ~col:1 in
+  Alcotest.(check bool) "broken scheme leaks an oracle" true
+    (Secdb_attacks.Padding_oracle.oracle_exists (append_scheme ()) addr ~trials:300 ~rng);
+  Alcotest.(check bool) "fixed scheme does not" false
+    (Secdb_attacks.Padding_oracle.oracle_exists (fixed_scheme ()) addr ~trials:300 ~rng);
+  (* and running the full attack against the fix returns None *)
+  let fixed = fixed_scheme () in
+  let ct = Secdb_schemes.Cell_scheme.encrypt fixed addr "unreachable" in
+  let oracle = Secdb_attacks.Padding_oracle.oracle_of_scheme fixed addr in
+  match
+    Secdb_attacks.Padding_oracle.decrypt_ciphertext ~oracle ~block:16
+      (Xbytes.take 32 (ct ^ String.make 32 'x'))
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "oracle attack succeeded against AEAD"
+
+(* --- dictionary ----------------------------------------------------------- *)
+
+let test_dictionary_attack () =
+  let rng = Rng.create ~seed:62L () in
+  let universe = Array.init 20 (fun i -> Printf.sprintf "diagnosis %02d %s" i (Rng.ascii rng 10)) in
+  let victims = List.init 30 (fun row -> (row, Rng.pick rng universe)) in
+  let r =
+    Secdb_attacks.Dictionary.attack ~scheme:(append_scheme ()) ~block:16 ~table:1 ~col:0
+      ~candidates:(Array.to_list universe) ~victims 30
+  in
+  Alcotest.(check int) "all victims recovered" 30 (List.length r.Secdb_attacks.Dictionary.recovered);
+  Alcotest.(check int) "none missed" 0 r.Secdb_attacks.Dictionary.missed;
+  List.iter
+    (fun (row, v) ->
+      Alcotest.(check string) "correct value" (List.assoc row victims) v)
+    r.Secdb_attacks.Dictionary.recovered;
+  (* out-of-dictionary victims are missed, not misattributed *)
+  let r2 =
+    Secdb_attacks.Dictionary.attack ~scheme:(append_scheme ()) ~block:16 ~table:1 ~col:0
+      ~candidates:(Array.to_list universe)
+      ~victims:[ (0, "a value nobody guessed, full block!") ]
+      10
+  in
+  Alcotest.(check int) "unknown value missed" 1 r2.Secdb_attacks.Dictionary.missed;
+  (* the fix resists *)
+  let r3 =
+    Secdb_attacks.Dictionary.attack ~scheme:(fixed_scheme ())
+      ~extract:PM.extract_fixed_cell ~block:16 ~table:1 ~col:0
+      ~candidates:(Array.to_list universe) ~victims 30
+  in
+  Alcotest.(check int) "fix recovers nothing" 0
+    (List.length r3.Secdb_attacks.Dictionary.recovered)
+
+let suites =
+  suites
+  @ [
+      ( "attacks:padding-oracle",
+        [
+          Alcotest.test_case "full plaintext recovery" `Quick
+            test_padding_oracle_recovers_plaintext;
+          Alcotest.test_case "no oracle against the fix" `Quick
+            test_padding_oracle_absent_on_fix;
+        ] );
+      ( "attacks:dictionary",
+        [ Alcotest.test_case "chosen-record recovery" `Quick test_dictionary_attack ] );
+    ]
+
+(* --- structural leakage of the fix --------------------------------------- *)
+
+let test_structure_leak () =
+  let codec =
+    Secdb_schemes.Fixed_index.codec ~aead:(Secdb_aead.Eax.make (aes key))
+      ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+      ~indexed_table:1 ~indexed_col:0 ()
+  in
+  let tree = B.create ~order:4 ~id:1000 ~codec () in
+  let rng = Rng.create ~seed:63L () in
+  for i = 0 to 199 do
+    B.insert tree (Value.Int (Int64.of_int (Rng.int rng 1000))) ~table_row:i
+  done;
+  (* a very small secret must land near the chain head, a very large one
+     near its tail *)
+  let watch secret =
+    let before = B.snapshot tree in
+    B.insert tree (Value.Int (Int64.of_int secret)) ~table_row:(1000 + secret);
+    match Secdb_attacks.Structure_leak.observe_insert ~before ~after:(B.snapshot tree) with
+    | Some obs -> obs
+    | None -> Alcotest.fail "insert not observed"
+  in
+  let low = watch 0 in
+  Alcotest.(check bool) "rank of minimum ~ 0" true (low.Secdb_attacks.Structure_leak.hi_rank <= 4);
+  let high = watch 999 in
+  Alcotest.(check bool) "rank of maximum ~ n" true
+    (high.Secdb_attacks.Structure_leak.lo_rank >= high.Secdb_attacks.Structure_leak.total_before - 4);
+  (* quantile estimates land in the right half of the range *)
+  let mid = watch 500 in
+  let est = Secdb_attacks.Structure_leak.estimate_uniform mid ~lo:0.0 ~hi:1000.0 in
+  Alcotest.(check bool) "median estimate near 500" true (est > 350.0 && est < 650.0);
+  (* a batched write (two inserts between snapshots) is not misreported *)
+  let before = B.snapshot tree in
+  B.insert tree (Value.Int 1L) ~table_row:5000;
+  B.insert tree (Value.Int 2L) ~table_row:5001;
+  match Secdb_attacks.Structure_leak.observe_insert ~before ~after:(B.snapshot tree) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "batched write misread as one insert"
+
+let suites =
+  suites
+  @ [
+      ( "attacks:structure-leak",
+        [ Alcotest.test_case "rank leakage from snapshots" `Quick test_structure_leak ] );
+    ]
+
+(* --- leakage metrics ------------------------------------------------------- *)
+
+let test_leakage_metrics () =
+  let ec = Secdb_attacks.Leakage.entropy_of_counts in
+  Alcotest.(check (float 1e-9)) "uniform 4" 2.0 (ec [ 1; 1; 1; 1 ]);
+  Alcotest.(check (float 1e-9)) "point mass" 0.0 (ec [ 7 ]);
+  Alcotest.(check (float 1e-9)) "half-half" 1.0 (ec [ 5; 5; 0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Leakage.entropy_of_counts: no mass")
+    (fun () -> ignore (ec [ 0 ]));
+  Alcotest.(check (float 1e-9)) "baseline" 0.6
+    (Secdb_attacks.Leakage.baseline ~secrets:[ "a"; "a"; "a"; "b"; "b" ]);
+  (* a perfectly revealing observable scores ~1; a constant observable
+     scores ~the baseline *)
+  let rng = Rng.create ~seed:64L () in
+  let secrets = List.init 100 (fun i -> string_of_int (i mod 3)) in
+  let revealing = List.map (fun s -> ("obs-" ^ s, s)) secrets in
+  let blind = List.map (fun s -> ("same", s)) secrets in
+  Alcotest.(check (float 0.01)) "revealing" 1.0
+    (Secdb_attacks.Leakage.guessing_accuracy ~pairs:revealing rng);
+  Alcotest.(check bool) "blind near baseline" true
+    (Secdb_attacks.Leakage.guessing_accuracy ~pairs:blind rng < 0.5);
+  Alcotest.check_raises "too few" (Invalid_argument "Leakage.guessing_accuracy: too few samples")
+    (fun () -> ignore (Secdb_attacks.Leakage.guessing_accuracy ~pairs:[ ("a", "b") ] rng))
+
+let suites =
+  suites
+  @ [
+      ( "attacks:leakage-metrics",
+        [ Alcotest.test_case "entropy and guessing accuracy" `Quick test_leakage_metrics ] );
+    ]
+
+(* --- structural-reference tampering (the Ref_I gap) ----------------------- *)
+
+let test_ref_tamper () =
+  let build () =
+    let codec =
+      Secdb_schemes.Fixed_index.codec ~aead:(Secdb_aead.Eax.make (aes key))
+        ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+        ~indexed_table:1 ~indexed_col:0 ()
+    in
+    let tree = B.create ~order:4 ~id:1000 ~codec () in
+    for i = 0 to 199 do
+      B.insert tree (Value.Int (Int64.of_int i)) ~table_row:i
+    done;
+    tree
+  in
+  (* swapping root children silently misroutes lookups *)
+  let tree = build () in
+  Alcotest.(check bool) "swap applied" true (Secdb_attacks.Ref_tamper.swap_root_children tree);
+  let silent_misses = ref 0 and errors = ref 0 in
+  for probe = 0 to 199 do
+    match Secdb_query.Walker.equal tree ~mode:Secdb_query.Walker.Corrected
+            (Value.Int (Int64.of_int probe)) with
+    | Ok a -> if a.Secdb_query.Walker.results = [] then incr silent_misses
+    | Error _ -> incr errors
+  done;
+  Alcotest.(check int) "no integrity errors raised" 0 !errors;
+  Alcotest.(check bool) "silent misses" true (!silent_misses > 10);
+  (* validate catches it, as does the Merkle anchor *)
+  (match B.validate tree with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "validate missed swapped children");
+  (* cutting the chain silently shrinks range answers *)
+  let tree2 = build () in
+  let anchor = Secdb_storage.Merkle.root (Secdb_storage.Storage.index_leaves tree2) in
+  Alcotest.(check bool) "cut applied" true (Secdb_attacks.Ref_tamper.cut_leaf_chain tree2);
+  (match Secdb_query.Walker.range tree2 ~mode:Secdb_query.Walker.Corrected () with
+  | Ok a -> Alcotest.(check bool) "entries dropped" true
+      (List.length a.Secdb_query.Walker.results < 200)
+  | Error _ -> Alcotest.fail "cut chain raised (walker saw nothing wrong to raise)");
+  Alcotest.(check bool) "anchor moved" false
+    (Secdb_storage.Merkle.root (Secdb_storage.Storage.index_leaves tree2) = anchor);
+  (* hooks validate their inputs *)
+  let leaf = B.first_leaf tree2 in
+  Alcotest.check_raises "set_children on leaf"
+    (Invalid_argument "Bptree.set_children: not an inner node") (fun () ->
+      B.set_children tree2 ~row:leaf [| 1; 2 |])
+
+let suites =
+  suites
+  @ [
+      ( "attacks:ref-tamper",
+        [ Alcotest.test_case "unauthenticated structure (EXP25)" `Quick test_ref_tamper ] );
+    ]

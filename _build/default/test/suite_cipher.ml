@@ -1,0 +1,197 @@
+open Secdb_util
+module Block = Secdb_cipher.Block
+module Aes = Secdb_cipher.Aes
+module Des = Secdb_cipher.Des
+
+let hex = Xbytes.of_hex
+let check_hex msg expected got = Alcotest.(check string) msg expected (Xbytes.to_hex got)
+
+(* FIPS 197 appendix C vectors *)
+let fips_plain = "00112233445566778899aabbccddeeff"
+
+let fips_vectors =
+  [
+    ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a", "aes-128");
+    ("000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191", "aes-192");
+    ( "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+      "8ea2b7ca516745bfeafc49904b496089",
+      "aes-256" );
+  ]
+
+let test_aes_fips () =
+  List.iter
+    (fun (key, ct, name) ->
+      let c = Aes.cipher ~key:(hex key) in
+      Alcotest.(check string) "cipher name" name c.Block.name;
+      check_hex (name ^ " encrypt") ct (c.Block.encrypt (hex fips_plain));
+      check_hex (name ^ " decrypt") fips_plain (c.Block.decrypt (hex ct)))
+    fips_vectors
+
+(* NIST SP 800-38A F.1.1: AES-128-ECB blockwise *)
+let sp800_key = "2b7e151628aed2a6abf7158809cf4f3c"
+
+let sp800_blocks =
+  [
+    ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97");
+    ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf");
+    ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688");
+    ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4");
+  ]
+
+let test_aes_sp800 () =
+  let c = Aes.cipher ~key:(hex sp800_key) in
+  List.iter
+    (fun (pt, ct) ->
+      check_hex "sp800-38a enc" ct (c.Block.encrypt (hex pt));
+      check_hex "sp800-38a dec" pt (c.Block.decrypt (hex ct)))
+    sp800_blocks
+
+let test_aes_sbox () =
+  Alcotest.(check int) "S(0x00)" 0x63 Aes.sbox.(0x00);
+  Alcotest.(check int) "S(0x01)" 0x7c Aes.sbox.(0x01);
+  Alcotest.(check int) "S(0x53)" 0xed Aes.sbox.(0x53);
+  Alcotest.(check int) "S(0xff)" 0x16 Aes.sbox.(0xff);
+  (* bijection and inverse *)
+  let seen = Array.make 256 false in
+  Array.iter (fun v -> seen.(v) <- true) Aes.sbox;
+  Alcotest.(check bool) "bijection" true (Array.for_all Fun.id seen);
+  for b = 0 to 255 do
+    if Aes.inv_sbox.(Aes.sbox.(b)) <> b then Alcotest.fail "inv_sbox not inverse"
+  done
+
+let test_aes_errors () =
+  Alcotest.check_raises "bad key length" (Invalid_argument "Aes.expand_key: bad key length 5")
+    (fun () -> ignore (Aes.expand_key "12345"));
+  let c = Aes.cipher ~key:(hex sp800_key) in
+  Alcotest.check_raises "bad block" (Invalid_argument "Aes: block must be 16 bytes") (fun () ->
+      ignore (c.Block.encrypt "short"))
+
+(* classic DES vector *)
+let test_des_vector () =
+  let c = Des.cipher ~key:(hex "133457799BBCDFF1") in
+  check_hex "des encrypt" "85e813540f0ab405" (c.Block.encrypt (hex "0123456789abcdef"));
+  check_hex "des decrypt" "0123456789abcdef" (c.Block.decrypt (hex "85e813540f0ab405"))
+
+let test_des_weak_keys () =
+  Alcotest.(check bool) "0101.. weak" true (Des.is_weak_key (hex "0101010101010101"));
+  Alcotest.(check bool) "fefe.. weak" true (Des.is_weak_key (hex "fefefefefefefefe"));
+  Alcotest.(check bool) "normal not weak" false (Des.is_weak_key (hex "133457799BBCDFF1"));
+  (* weak key: encryption is an involution *)
+  let c = Des.cipher ~key:(hex "0101010101010101") in
+  let pt = hex "0123456789abcdef" in
+  Alcotest.(check string) "E(E(p)) = p" pt (c.Block.encrypt (c.Block.encrypt pt))
+
+(* complementation property: DES(~k, ~p) = ~DES(k, p) *)
+let complement s = String.map (fun c -> Char.chr (lnot (Char.code c) land 0xff)) s
+
+let qc = QCheck_alcotest.to_alcotest
+
+let prop_des_complement =
+  QCheck2.Test.make ~name:"DES complementation property" ~count:50
+    QCheck2.Gen.(pair (string_size (return 8)) (string_size (return 8)))
+    (fun (key, pt) ->
+      let c = Des.cipher ~key and c' = Des.cipher ~key:(complement key) in
+      c'.Block.encrypt (complement pt) = complement (c.Block.encrypt pt))
+
+let prop_aes_roundtrip =
+  QCheck2.Test.make ~name:"AES roundtrip" ~count:100
+    QCheck2.Gen.(pair (string_size (return 16)) (string_size (return 16)))
+    (fun (key, pt) ->
+      let c = Aes.cipher ~key in
+      c.Block.decrypt (c.Block.encrypt pt) = pt)
+
+let prop_des_roundtrip =
+  QCheck2.Test.make ~name:"DES roundtrip" ~count:100
+    QCheck2.Gen.(pair (string_size (return 8)) (string_size (return 8)))
+    (fun (key, pt) ->
+      let c = Des.cipher ~key in
+      c.Block.decrypt (c.Block.encrypt pt) = pt)
+
+let test_counting () =
+  let c = Aes.cipher ~key:(hex sp800_key) in
+  let wrapped, counters = Secdb_cipher.Counting.wrap c in
+  let pt = hex fips_plain in
+  let ct = wrapped.Block.encrypt pt in
+  ignore (wrapped.Block.encrypt pt);
+  ignore (wrapped.Block.decrypt ct);
+  Alcotest.(check int) "enc calls" 2 counters.enc_calls;
+  Alcotest.(check int) "dec calls" 1 counters.dec_calls;
+  Alcotest.(check int) "total" 3 (Secdb_cipher.Counting.total counters);
+  Alcotest.(check string) "behaviour unchanged" (Xbytes.to_hex (c.Block.encrypt pt))
+    (Xbytes.to_hex ct);
+  Secdb_cipher.Counting.reset counters;
+  Alcotest.(check int) "reset" 0 (Secdb_cipher.Counting.total counters);
+  let n, ct2 = Secdb_cipher.Counting.count_enc c (fun c -> c.Block.encrypt pt) in
+  Alcotest.(check int) "count_enc" 1 n;
+  Alcotest.(check string) "count_enc result" ct ct2
+
+let test_block_helpers () =
+  let c = Aes.cipher ~key:(hex sp800_key) in
+  Alcotest.(check string) "zero block" (String.make 16 '\000') (Block.zero_block c);
+  Alcotest.check_raises "check_block"
+    (Invalid_argument "aes-128: expected 16-byte block, got 3 bytes") (fun () ->
+      Block.check_block c "abc");
+  let renamed = Block.map_name (fun n -> n ^ "!") c in
+  Alcotest.(check string) "map_name" "aes-128!" renamed.Block.name
+
+let suites =
+  [
+    ( "cipher:aes",
+      [
+        Alcotest.test_case "FIPS 197 vectors" `Quick test_aes_fips;
+        Alcotest.test_case "SP 800-38A ECB vectors" `Quick test_aes_sp800;
+        Alcotest.test_case "S-box structure" `Quick test_aes_sbox;
+        Alcotest.test_case "errors" `Quick test_aes_errors;
+        qc prop_aes_roundtrip;
+      ] );
+    ( "cipher:des",
+      [
+        Alcotest.test_case "classic vector" `Quick test_des_vector;
+        Alcotest.test_case "weak keys" `Quick test_des_weak_keys;
+        qc prop_des_complement;
+        qc prop_des_roundtrip;
+      ] );
+    ( "cipher:instrumentation",
+      [
+        Alcotest.test_case "counting wrapper" `Quick test_counting;
+        Alcotest.test_case "block helpers" `Quick test_block_helpers;
+      ] );
+  ]
+
+(* --- table-driven AES agrees with the byte-wise reference --------------- *)
+
+let test_aes_fast_vectors () =
+  List.iter
+    (fun (key, ct, _) ->
+      let c = Secdb_cipher.Aes_fast.cipher ~key:(hex key) in
+      check_hex "fast encrypt" ct (c.Block.encrypt (hex fips_plain));
+      check_hex "fast decrypt" fips_plain (c.Block.decrypt (hex ct)))
+    fips_vectors;
+  let c = Secdb_cipher.Aes_fast.cipher ~key:(hex sp800_key) in
+  Alcotest.(check string) "name" "aes-128-fast" c.Block.name
+
+let prop_aes_fast_agrees =
+  QCheck2.Test.make ~name:"Aes_fast = Aes on random keys and blocks" ~count:300
+    QCheck2.Gen.(pair (string_size (return 16)) (string_size (return 16)))
+    (fun (key, pt) ->
+      let slow = Aes.cipher ~key and fast = Secdb_cipher.Aes_fast.cipher ~key in
+      let ct = slow.Block.encrypt pt in
+      fast.Block.encrypt pt = ct && fast.Block.decrypt ct = pt)
+
+let prop_aes_fast_agrees_256 =
+  QCheck2.Test.make ~name:"Aes_fast = Aes (256-bit keys)" ~count:100
+    QCheck2.Gen.(pair (string_size (return 32)) (string_size (return 16)))
+    (fun (key, pt) ->
+      let slow = Aes.cipher ~key and fast = Secdb_cipher.Aes_fast.cipher ~key in
+      fast.Block.encrypt pt = slow.Block.encrypt pt)
+
+let suites =
+  suites
+  @ [
+      ( "cipher:aes-fast",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_aes_fast_vectors;
+          qc prop_aes_fast_agrees;
+          qc prop_aes_fast_agrees_256;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+open Secdb
+module Value = Secdb_db.Value
+module Schema = Secdb_db.Schema
+module B = Secdb_index.Bptree
+module Walker = Secdb_query.Walker
+
+let schema =
+  Schema.v ~table_name:"patients"
+    [
+      Schema.column ~protection:Schema.Clear "id" Value.Kint;
+      Schema.column "name" Value.Ktext;
+      Schema.column "diagnosis" Value.Ktext;
+      Schema.column "age" Value.Kint;
+    ]
+
+let patients =
+  [
+    ("alice", "hypertension stage two with complications....", 54);
+    ("bob", "type 2 diabetes mellitus without complications", 61);
+    ("carol", "hypertension stage two with secondary issues.", 47);
+    ("dave", "seasonal allergic rhinitis due to pollen......", 33);
+    ("erin", "type 2 diabetes mellitus without complications", 58);
+  ]
+
+let make_db profile =
+  let db = Encdb.create ~master:"test master key" ~profile () in
+  Encdb.create_table db schema;
+  List.iteri
+    (fun i (n, d, a) ->
+      ignore
+        (Encdb.insert db ~table:"patients"
+           [ Value.Int (Int64.of_int i); Value.Text n; Value.Text d; Value.Int (Int64.of_int a) ]))
+    patients;
+  Encdb.create_index db ~table:"patients" ~col:"diagnosis";
+  Encdb.create_index db ~table:"patients" ~col:"age";
+  db
+
+(* --- keyring ------------------------------------------------------------ *)
+
+let test_keyring () =
+  let k = Keyring.open_session ~master:"hunter2" in
+  Alcotest.(check bool) "open" true (Keyring.is_open k);
+  let c1 = Keyring.cell_key k ~table:1 ~col:0 in
+  Alcotest.(check int) "16-byte keys" 16 (String.length c1);
+  Alcotest.(check string) "deterministic" c1 (Keyring.cell_key k ~table:1 ~col:0);
+  Alcotest.(check bool) "purposes separated" false (c1 = Keyring.index_key k ~table:1 ~col:0);
+  Alcotest.(check bool) "mac key separated" false (c1 = Keyring.mac_key k ~table:1 ~col:0);
+  Alcotest.(check bool) "tables separated" false (c1 = Keyring.cell_key k ~table:2 ~col:0);
+  Alcotest.(check bool) "columns separated" false (c1 = Keyring.cell_key k ~table:1 ~col:1);
+  let k2 = Keyring.open_session ~master:"hunter2" in
+  Alcotest.(check string) "same master, same keys" c1 (Keyring.cell_key k2 ~table:1 ~col:0);
+  let k3 = Keyring.open_session ~master:"other" in
+  Alcotest.(check bool) "different master" false (c1 = Keyring.cell_key k3 ~table:1 ~col:0);
+  Keyring.close_session k;
+  Alcotest.(check bool) "closed" false (Keyring.is_open k);
+  Alcotest.check_raises "use after close" Keyring.Session_closed (fun () ->
+      ignore (Keyring.cell_key k ~table:1 ~col:0));
+  Alcotest.check_raises "empty master"
+    (Invalid_argument "Keyring.open_session: empty master key") (fun () ->
+      ignore (Keyring.open_session ~master:""));
+  Alcotest.check_raises "overlong derive"
+    (Invalid_argument "Keyring.derive: length exceeds one HMAC-SHA256 output") (fun () ->
+      ignore (Keyring.derive k2 ~label:"x" ~length:64))
+
+(* --- end-to-end per profile --------------------------------------------- *)
+
+let diabetes = Value.Text "type 2 diabetes mellitus without complications"
+
+let test_profile profile () =
+  let db = make_db profile in
+  (* equality via encrypted index *)
+  (match Encdb.select_eq db ~table:"patients" ~col:"diagnosis" diabetes with
+  | Ok rows ->
+      Alcotest.(check int) "eq count" 2 (List.length rows);
+      List.iter
+        (fun (_, vs) ->
+          Alcotest.(check bool) "full row decrypted" true
+            (Value.equal vs.(2) diabetes))
+        rows
+  | Error e -> Alcotest.fail e);
+  (* range over ints *)
+  (match
+     Encdb.select_range db ~table:"patients" ~col:"age" ~lo:(Value.Int 40L)
+       ~hi:(Value.Int 60L) ()
+   with
+  | Ok rows ->
+      Alcotest.(check (list string)) "range names" [ "carol"; "alice"; "erin" ]
+        (List.map (fun (_, vs) -> Value.text_exn vs.(1)) rows)
+  | Error e -> Alcotest.fail e);
+  (* full-scan fallback on an unindexed column *)
+  (match Encdb.select_eq db ~table:"patients" ~col:"name" (Value.Text "dave") with
+  | Ok [ (3, _) ] -> ()
+  | Ok _ -> Alcotest.fail "fallback scan wrong"
+  | Error e -> Alcotest.fail e);
+  (* insert maintains indexes *)
+  ignore
+    (Encdb.insert db ~table:"patients"
+       [ Value.Int 5L; Value.Text "flora"; diabetes; Value.Int 29L ]);
+  (match Encdb.select_eq db ~table:"patients" ~col:"diagnosis" diabetes with
+  | Ok rows -> Alcotest.(check int) "index maintained" 3 (List.length rows)
+  | Error e -> Alcotest.fail e);
+  (* the underlying tree is structurally valid *)
+  (match B.validate (Encdb.index db ~table:"patients" ~col:"diagnosis") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* close wipes keys *)
+  Encdb.close db;
+  match
+    Encdb.insert db ~table:"patients"
+      [ Value.Int 6L; Value.Text "x"; Value.Text "y"; Value.Int 1L ]
+  with
+  | exception Keyring.Session_closed -> ()
+  | _ -> Alcotest.fail "insert after close succeeded"
+
+let test_tamper_detection profile ~published_detects () =
+  let db = make_db profile in
+  let tree = Encdb.index db ~table:"patients" ~col:"diagnosis" in
+  (* relocate a leaf payload *)
+  let leaves = ref [] in
+  B.iter_nodes
+    (fun v -> if v.B.node_kind = B.Leaf && Array.length v.B.payloads > 0 then leaves := v :: !leaves)
+    tree;
+  (match !leaves with
+  | a :: b :: _ -> B.set_payload tree ~row:a.B.row ~slot:0 b.B.payloads.(0)
+  | _ -> Alcotest.fail "not enough leaves");
+  (match Encdb.select_range db ~table:"patients" ~col:"diagnosis" ~mode:Walker.Corrected () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrected walker missed tampering");
+  match Encdb.select_range db ~table:"patients" ~col:"diagnosis" ~mode:Walker.Published () with
+  | Error _ ->
+      Alcotest.(check bool) "published detects (AEAD only)" true published_detects
+  | Ok _ -> Alcotest.(check bool) "published misses (broken schemes)" false published_detects
+
+let test_admin_errors () =
+  let db = make_db Encdb.Elovici_append in
+  Alcotest.check_raises "duplicate table"
+    (Invalid_argument "Encdb.create_table: table patients already exists") (fun () ->
+      Encdb.create_table db schema);
+  Alcotest.check_raises "duplicate index"
+    (Invalid_argument "Encdb.create_index: index on patients.age already exists") (fun () ->
+      Encdb.create_index db ~table:"patients" ~col:"age");
+  Alcotest.check_raises "unknown table" Not_found (fun () -> ignore (Encdb.table db "nope"));
+  Alcotest.check_raises "unknown index" Not_found (fun () ->
+      ignore (Encdb.index db ~table:"patients" ~col:"name"));
+  match Encdb.select_range db ~table:"patients" ~col:"name" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "range without index"
+
+let test_profile_names () =
+  let names = List.map Encdb.profile_name Encdb.all_profiles in
+  Alcotest.(check int) "11 profiles" 11 (List.length names);
+  Alcotest.(check int) "distinct names" 11 (List.length (List.sort_uniq compare names))
+
+let test_cross_profile_isolation () =
+  (* same data, same master key: different profiles produce different storage *)
+  let storage profile =
+    let db = make_db profile in
+    let t = Encdb.table db "patients" in
+    Option.get (Secdb_query.Encrypted_table.raw_ciphertext t ~row:0 ~col:2)
+  in
+  let a = storage Encdb.Elovici_append in
+  let b = storage (Encdb.Fixed Encdb.Eax) in
+  Alcotest.(check bool) "distinct representations" false (a = b)
+
+let profile_case profile =
+  Alcotest.test_case (Encdb.profile_name profile) `Quick (test_profile profile)
+
+let tamper_case profile ~published_detects =
+  Alcotest.test_case
+    (Encdb.profile_name profile ^ " tampering")
+    `Quick
+    (test_tamper_detection profile ~published_detects)
+
+let suites =
+  [
+    ("core:keyring", [ Alcotest.test_case "session key management" `Quick test_keyring ]);
+    ("core:encdb", List.map profile_case Encdb.all_profiles);
+    ( "core:tampering",
+      [
+        tamper_case Encdb.Elovici_append ~published_detects:false;
+        tamper_case Encdb.Shmueli_improved ~published_detects:false;
+        tamper_case Encdb.Shmueli_repaired_keys ~published_detects:false;
+        tamper_case (Encdb.Fixed Encdb.Eax) ~published_detects:true;
+        tamper_case (Encdb.Fixed Encdb.Ocb) ~published_detects:true;
+        tamper_case (Encdb.Fixed Encdb.Ccfb) ~published_detects:true;
+        tamper_case (Encdb.Fixed Encdb.Etm) ~published_detects:true;
+        tamper_case (Encdb.Fixed Encdb.Gcm) ~published_detects:true;
+        tamper_case (Encdb.Fixed Encdb.Siv) ~published_detects:true;
+        tamper_case Encdb.Siv_deterministic ~published_detects:true;
+      ] );
+    ( "core:admin",
+      [
+        Alcotest.test_case "administration errors" `Quick test_admin_errors;
+        Alcotest.test_case "profile names" `Quick test_profile_names;
+        Alcotest.test_case "cross-profile isolation" `Quick test_cross_profile_isolation;
+      ] );
+  ]
+
+(* --- mutation and key rotation ------------------------------------------ *)
+
+let test_update_and_delete () =
+  let db = make_db (Encdb.Fixed Encdb.Ocb) in
+  (* update bob's diagnosis; the index follows *)
+  (match Encdb.update db ~table:"patients" ~row:1 ~col:"diagnosis"
+           (Value.Text "fully recovered...............................") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Encdb.select_eq db ~table:"patients" ~col:"diagnosis" diabetes with
+  | Ok rows -> Alcotest.(check (list int)) "old value de-indexed" [ 4 ] (List.map fst rows)
+  | Error e -> Alcotest.fail e);
+  (match Encdb.select_eq db ~table:"patients" ~col:"diagnosis"
+           (Value.Text "fully recovered...............................") with
+  | Ok [ (1, _) ] -> ()
+  | Ok _ -> Alcotest.fail "new value not indexed"
+  | Error e -> Alcotest.fail e);
+  (* delete carol; queries stop returning her and the index is clean *)
+  (match Encdb.delete_row db ~table:"patients" ~row:2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Encdb.select_range db ~table:"patients" ~col:"age" ~lo:(Value.Int 40L)
+       ~hi:(Value.Int 60L) ()
+   with
+  | Ok rows ->
+      Alcotest.(check (list string)) "carol gone" [ "alice"; "erin" ]
+        (List.map (fun (_, vs) -> Value.text_exn vs.(1)) rows)
+  | Error e -> Alcotest.fail e);
+  (match B.validate (Encdb.index db ~table:"patients" ~col:"age") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* the tombstoned row is unreadable but the numbering is stable *)
+  let tbl = Encdb.table db "patients" in
+  Alcotest.(check bool) "row dead" false (Secdb_query.Encrypted_table.is_live tbl ~row:2);
+  match Secdb_query.Encrypted_table.get tbl ~row:2 ~col:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "deleted row readable"
+
+let test_key_rotation () =
+  let db = make_db (Encdb.Fixed Encdb.Eax) in
+  ignore (Encdb.delete_row db ~table:"patients" ~row:3);
+  let old_tbl_ct = Secdb_query.Encrypted_table.raw_ciphertext (Encdb.table db "patients") ~row:0 ~col:2 in
+  let db' = Encdb.rotate_master db ~new_master:"rotated master key" in
+  (* old session closed *)
+  Alcotest.(check bool) "old session closed" false (Keyring.is_open (Encdb.keyring db));
+  (* data identical under the new keys *)
+  (match Encdb.select_eq db' ~table:"patients" ~col:"diagnosis" diabetes with
+  | Ok rows -> Alcotest.(check int) "eq count preserved" 2 (List.length rows)
+  | Error e -> Alcotest.fail e);
+  (* ciphertexts actually changed *)
+  let new_tbl_ct = Secdb_query.Encrypted_table.raw_ciphertext (Encdb.table db' "patients") ~row:0 ~col:2 in
+  Alcotest.(check bool) "ciphertext re-encrypted" false (old_tbl_ct = new_tbl_ct);
+  (* tombstone preserved with stable numbering *)
+  Alcotest.(check bool) "tombstone preserved" false
+    (Secdb_query.Encrypted_table.is_live (Encdb.table db' "patients") ~row:3);
+  match B.validate (Encdb.index db' ~table:"patients" ~col:"age") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let suites =
+  suites
+  @ [
+      ( "core:mutation",
+        [
+          Alcotest.test_case "update and delete with index maintenance" `Quick
+            test_update_and_delete;
+          Alcotest.test_case "key rotation" `Quick test_key_rotation;
+        ] );
+    ]
+
+let qc = QCheck_alcotest.to_alcotest
+
+let prop_keyring_labels_independent =
+  QCheck2.Test.make ~name:"distinct derivation labels give distinct keys" ~count:200
+    QCheck2.Gen.(pair (string_size (int_range 0 30)) (string_size (int_range 0 30)))
+    (fun (a, b) ->
+      let k = Keyring.open_session ~master:"prop master" in
+      a = b || Keyring.derive k ~label:a ~length:16 <> Keyring.derive k ~label:b ~length:16)
+
+let prop_keyring_masters_independent =
+  QCheck2.Test.make ~name:"distinct masters give distinct keys" ~count:200
+    QCheck2.Gen.(pair (string_size (int_range 1 30)) (string_size (int_range 1 30)))
+    (fun (a, b) ->
+      a = b
+      || Keyring.cell_key (Keyring.open_session ~master:a) ~table:1 ~col:0
+         <> Keyring.cell_key (Keyring.open_session ~master:b) ~table:1 ~col:0)
+
+let suites =
+  suites
+  @ [
+      ( "core:keyring-props",
+        [ qc prop_keyring_labels_independent; qc prop_keyring_masters_independent ] );
+    ]

@@ -1,0 +1,245 @@
+open Secdb_util
+module Value = Secdb_db.Value
+module Address = Secdb_db.Address
+module Schema = Secdb_db.Schema
+module Table = Secdb_db.Table
+module Codec = Secdb_db.Codec
+
+let test_value_encode_decode () =
+  let cases =
+    [
+      Value.Null;
+      Value.Bool true;
+      Value.Bool false;
+      Value.Int 0L;
+      Value.Int (-1L);
+      Value.Int Int64.max_int;
+      Value.Text "";
+      Value.Text "hello";
+      Value.Text (String.make 1000 '\xff');
+      Value.Bytes "\x00\x01\x02";
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Value.decode (Value.encode v) with
+      | Ok v' when Value.equal v v' -> ()
+      | _ -> Alcotest.fail ("roundtrip failed for " ^ Value.to_string v))
+    cases
+
+let test_value_decode_errors () =
+  let reject s =
+    match Value.decode s with
+    | Error _ -> ()
+    | Ok v -> Alcotest.fail ("accepted " ^ Value.to_string v)
+  in
+  reject "";
+  reject "N trailing";
+  reject "b\002";
+  reject "b";
+  reject "i1234567";
+  (* 7 bytes *)
+  reject "i123456789";
+  (* 9 bytes *)
+  reject "?unknown"
+
+let test_value_ordering () =
+  let lt a b =
+    Alcotest.(check bool)
+      (Value.to_string a ^ " < " ^ Value.to_string b)
+      true (Value.compare a b < 0)
+  in
+  lt Value.Null (Value.Bool false);
+  lt (Value.Bool true) (Value.Int (-5L));
+  lt (Value.Int 1L) (Value.Int 2L);
+  lt (Value.Int 100L) (Value.Text "a");
+  lt (Value.Text "abc") (Value.Text "abd");
+  lt (Value.Text "zzz") (Value.Bytes "\x00")
+
+let test_value_accessors () =
+  Alcotest.(check string) "text_exn" "x" (Value.text_exn (Value.Text "x"));
+  Alcotest.(check int64) "int_exn" 5L (Value.int_exn (Value.Int 5L));
+  Alcotest.check_raises "text_exn wrong kind" (Invalid_argument "Value.text_exn: 5")
+    (fun () -> ignore (Value.text_exn (Value.Int 5L)));
+  Alcotest.(check string) "pp text" "\"hi\"" (Value.to_string (Value.Text "hi"));
+  Alcotest.(check string) "pp bytes" "x'00ff'" (Value.to_string (Value.Bytes "\x00\xff"));
+  Alcotest.(check string) "pp null" "NULL" (Value.to_string Value.Null)
+
+let test_address () =
+  let a = Address.v ~table:3 ~row:7 ~col:1 in
+  Alcotest.(check bool) "equal" true (Address.equal a (Address.v ~table:3 ~row:7 ~col:1));
+  Alcotest.(check bool) "not equal" false (Address.equal a (Address.v ~table:3 ~row:8 ~col:1));
+  Alcotest.(check int) "encode width" 24 (String.length (Address.encode a));
+  Alcotest.(check bool) "compare by table first" true
+    (Address.compare (Address.v ~table:1 ~row:9 ~col:9) a < 0);
+  Alcotest.(check string) "pp" "(t=3,r=7,c=1)" (Fmt.str "%a" Address.pp a)
+
+let test_mu () =
+  let a = Address.v ~table:1 ~row:2 ~col:3 in
+  let m16 = Address.mu_sha1 ~width:16 in
+  Alcotest.(check int) "width respected" 16 (String.length (m16.Address.digest a));
+  Alcotest.(check string) "name" "sha1/128" m16.Address.name;
+  Alcotest.(check string) "deterministic"
+    (Xbytes.to_hex (m16.Address.digest a))
+    (Xbytes.to_hex (m16.Address.digest a));
+  (* truncation prefix property *)
+  let m8 = Address.mu_sha1 ~width:8 in
+  Alcotest.(check string) "truncation is a prefix"
+    (Xbytes.to_hex (m8.Address.digest a))
+    (Xbytes.to_hex (Xbytes.take 8 (m16.Address.digest a)));
+  (* differs across addresses *)
+  Alcotest.(check bool) "address-sensitive" false
+    (m16.Address.digest a = m16.Address.digest (Address.v ~table:1 ~row:2 ~col:4));
+  (* other hash choices *)
+  Alcotest.(check int) "sha256 width cap" 32
+    (String.length ((Address.mu_sha256 ~width:64).Address.digest a));
+  Alcotest.(check int) "md5 width" 16
+    (String.length ((Address.mu_md5 ~width:16).Address.digest a));
+  Alcotest.(check string) "identity mu" (Address.encode a) (Address.mu_identity.Address.digest a)
+
+let schema () =
+  Schema.v ~table_name:"t"
+    [
+      Schema.column ~protection:Schema.Clear "id" Value.Kint;
+      Schema.column "name" Value.Ktext;
+      Schema.column "blob" Value.Kbytes;
+    ]
+
+let test_schema () =
+  let s = schema () in
+  Alcotest.(check int) "ncols" 3 (Schema.ncols s);
+  Alcotest.(check int) "col_index" 1 (Schema.col_index s "name");
+  Alcotest.check_raises "unknown col" Not_found (fun () -> ignore (Schema.col_index s "nope"));
+  Alcotest.check_raises "duplicate columns"
+    (Invalid_argument "Schema.v: duplicate column names") (fun () ->
+      ignore (Schema.v ~table_name:"x" [ Schema.column "a" Value.Kint; Schema.column "a" Value.Ktext ]));
+  Alcotest.check_raises "empty schema"
+    (Invalid_argument "Schema.v: a table needs at least one column") (fun () ->
+      ignore (Schema.v ~table_name:"x" []));
+  (match Schema.check_value (Schema.col s 1) (Value.Text "ok") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "text rejected");
+  (match Schema.check_value (Schema.col s 1) Value.Null with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "null rejected");
+  match Schema.check_value (Schema.col s 1) (Value.Int 3L) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "int accepted in text column"
+
+let test_table () =
+  let t = Table.create ~id:9 (schema ()) in
+  Alcotest.(check int) "id" 9 (Table.id t);
+  let r0 = Table.insert t [ Value.Int 1L; Value.Text "alice"; Value.Bytes "a" ] in
+  let r1 = Table.insert t [ Value.Int 2L; Value.Text "bob"; Value.Bytes "b" ] in
+  Alcotest.(check int) "rows are append-ordered" 0 r0;
+  Alcotest.(check int) "second row" 1 r1;
+  Alcotest.(check int) "nrows" 2 (Table.nrows t);
+  Alcotest.(check string) "get" "bob" (Value.text_exn (Table.get t ~row:1 ~col:1));
+  Table.set t ~row:1 ~col:1 (Value.Text "robert");
+  Alcotest.(check string) "set" "robert" (Value.text_exn (Table.get t ~row:1 ~col:1));
+  Alcotest.(check bool) "address" true
+    (Address.equal (Table.address t ~row:1 ~col:2) (Address.v ~table:9 ~row:1 ~col:2));
+  Alcotest.(check (list int)) "find_rows" [ 1 ]
+    (Table.find_rows t (fun vs -> Value.equal vs.(1) (Value.Text "robert")));
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.insert: expected 3 values, got 1") (fun () ->
+      ignore (Table.insert t [ Value.Int 1L ]));
+  (match Table.insert t [ Value.Text "wrong"; Value.Text "x"; Value.Bytes "" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "type mismatch accepted");
+  let row = Table.row t 0 in
+  row.(0) <- Value.Int 99L;
+  Alcotest.(check int64) "row returns a copy" 1L (Value.int_exn (Table.get t ~row:0 ~col:0))
+
+let test_codec_framing () =
+  let fields = [ ""; "a"; String.make 300 'x' ] in
+  (match Codec.unframe (Codec.frame fields) with
+  | Ok fs when fs = fields -> ()
+  | _ -> Alcotest.fail "frame roundtrip");
+  (match Codec.unframe2 (Codec.frame [ "a"; "b" ]) with
+  | Ok ("a", "b") -> ()
+  | _ -> Alcotest.fail "unframe2");
+  (match Codec.unframe3 (Codec.frame [ "a"; "b"; "c" ]) with
+  | Ok ("a", "b", "c") -> ()
+  | _ -> Alcotest.fail "unframe3");
+  (match Codec.unframe2 (Codec.frame [ "a" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unframe2 arity");
+  (match Codec.unframe "\x00\x00\x00\x05ab" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated field accepted");
+  match Codec.unframe "\x00\x00" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated length accepted"
+
+let qc = QCheck_alcotest.to_alcotest
+
+let gen_value =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int (Int64.of_int i)) int;
+        map (fun s -> Value.Text s) string;
+        map (fun s -> Value.Bytes s) string;
+      ])
+
+let prop_value_roundtrip =
+  QCheck2.Test.make ~name:"value encode/decode roundtrip" ~count:500 gen_value (fun v ->
+      Value.decode (Value.encode v) = Ok v)
+
+let prop_value_order_antisym =
+  QCheck2.Test.make ~name:"value compare antisymmetric" ~count:300
+    QCheck2.Gen.(pair gen_value gen_value)
+    (fun (a, b) -> Value.compare a b = -Value.compare b a)
+
+let prop_value_order_transitive =
+  QCheck2.Test.make ~name:"value compare transitive" ~count:300
+    QCheck2.Gen.(triple gen_value gen_value gen_value)
+    (fun (a, b, c) ->
+      let l = List.sort Value.compare [ a; b; c ] in
+      match l with
+      | [ x; y; z ] -> Value.compare x y <= 0 && Value.compare y z <= 0 && Value.compare x z <= 0
+      | _ -> false)
+
+let prop_frame_roundtrip =
+  QCheck2.Test.make ~name:"codec frame roundtrip" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 6) string)
+    (fun fields -> Codec.unframe (Codec.frame fields) = Ok fields)
+
+let prop_mu_collision_free_locally =
+  QCheck2.Test.make ~name:"mu distinct on distinct small addresses" ~count:200
+    QCheck2.Gen.(pair (int_bound 1000) (int_bound 1000))
+    (fun (r1, r2) ->
+      let mu = Address.mu_sha1 ~width:16 in
+      r1 = r2
+      || mu.Address.digest (Address.v ~table:1 ~row:r1 ~col:0)
+         <> mu.Address.digest (Address.v ~table:1 ~row:r2 ~col:0))
+
+let suites =
+  [
+    ( "db:value",
+      [
+        Alcotest.test_case "encode/decode cases" `Quick test_value_encode_decode;
+        Alcotest.test_case "decode rejects malformed" `Quick test_value_decode_errors;
+        Alcotest.test_case "ordering" `Quick test_value_ordering;
+        Alcotest.test_case "accessors and printing" `Quick test_value_accessors;
+        qc prop_value_roundtrip;
+        qc prop_value_order_antisym;
+        qc prop_value_order_transitive;
+      ] );
+    ( "db:address",
+      [
+        Alcotest.test_case "addresses" `Quick test_address;
+        Alcotest.test_case "mu instantiations" `Quick test_mu;
+        qc prop_mu_collision_free_locally;
+      ] );
+    ( "db:schema-table",
+      [
+        Alcotest.test_case "schema" `Quick test_schema;
+        Alcotest.test_case "table" `Quick test_table;
+      ] );
+    ( "db:codec",
+      [ Alcotest.test_case "framing" `Quick test_codec_framing; qc prop_frame_roundtrip ] );
+  ]

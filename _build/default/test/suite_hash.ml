@@ -1,0 +1,113 @@
+open Secdb_util
+module Sha1 = Secdb_hash.Sha1
+module Sha256 = Secdb_hash.Sha256
+module Md5 = Secdb_hash.Md5
+module Hmac = Secdb_hash.Hmac
+
+let check = Alcotest.(check string)
+
+let test_sha1_vectors () =
+  check "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (Sha1.hex "");
+  check "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (Sha1.hex "abc");
+  check "two blocks" "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (Sha1.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check "million a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Sha1.hex (String.make 1_000_000 'a'))
+
+let test_sha256_vectors () =
+  check "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex "");
+  check "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex "abc");
+  check "two blocks" "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_md5_vectors () =
+  (* RFC 1321 appendix A.5 test suite *)
+  check "empty" "d41d8cd98f00b204e9800998ecf8427e" (Md5.hex "");
+  check "a" "0cc175b9c0f1b6a831c399e269772661" (Md5.hex "a");
+  check "abc" "900150983cd24fb0d6963f7d28e17f72" (Md5.hex "abc");
+  check "message digest" "f96b697d7cb7938d525a2f31aaf161d0" (Md5.hex "message digest");
+  check "alphabet" "c3fcd3d76192e4007dfb496cca67e13b" (Md5.hex "abcdefghijklmnopqrstuvwxyz");
+  check "alnum" "d174ab98d277d9f5a5611c2c9f419d9f"
+    (Md5.hex "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789");
+  check "digits" "57edf4a22be3c955ac49da2e2107b67a"
+    (Md5.hex "12345678901234567890123456789012345678901234567890123456789012345678901234567890")
+
+let test_md_pad () =
+  (* padded length is a whole number of blocks, 0x80 right after the data *)
+  List.iter
+    (fun n ->
+      let msg = String.make n 'x' in
+      let padded = Sha1.md_pad ~le:false msg in
+      if String.length padded mod 64 <> 0 then Alcotest.fail "not block aligned";
+      if padded.[n] <> '\x80' then Alcotest.fail "0x80 missing";
+      let bitlen = Xbytes.get_uint64_be padded (String.length padded - 8) in
+      Alcotest.(check int64) "bit length" (Int64.of_int (8 * n)) bitlen)
+    [ 0; 1; 54; 55; 56; 63; 64; 65; 119; 120; 128 ]
+
+let test_hmac_rfc2202 () =
+  (* HMAC-SHA1, RFC 2202 *)
+  check "case 1" "b617318655057264e28bc0b6fb378c8ef146be00"
+    (Xbytes.to_hex (Hmac.mac Hmac.sha1 ~key:(String.make 20 '\x0b') "Hi There"));
+  check "case 2" "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+    (Xbytes.to_hex (Hmac.mac Hmac.sha1 ~key:"Jefe" "what do ya want for nothing?"));
+  check "case 3" "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+    (Xbytes.to_hex
+       (Hmac.mac Hmac.sha1 ~key:(String.make 20 '\xaa') (String.make 50 '\xdd')))
+
+let test_hmac_rfc4231 () =
+  (* HMAC-SHA256, RFC 4231 *)
+  check "case 1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Xbytes.to_hex (Hmac.mac Hmac.sha256 ~key:(String.make 20 '\x0b') "Hi There"));
+  check "case 2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Xbytes.to_hex (Hmac.mac Hmac.sha256 ~key:"Jefe" "what do ya want for nothing?"));
+  (* case 6: key longer than the block size *)
+  check "case 6 long key" "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Xbytes.to_hex
+       (Hmac.mac Hmac.sha256 ~key:(String.make 131 '\xaa')
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_truncation_verify () =
+  let key = "secret key" and msg = "authenticate me" in
+  let short = Hmac.mac_truncated Hmac.sha256 ~key ~bytes:8 msg in
+  Alcotest.(check int) "truncated length" 8 (String.length short);
+  Alcotest.(check bool) "verify truncated" true (Hmac.verify Hmac.sha256 ~key ~tag:short msg);
+  Alcotest.(check bool) "verify full" true
+    (Hmac.verify Hmac.sha256 ~key ~tag:(Hmac.mac Hmac.sha256 ~key msg) msg);
+  Alcotest.(check bool) "reject wrong msg" false
+    (Hmac.verify Hmac.sha256 ~key ~tag:short "other message");
+  Alcotest.(check bool) "reject wrong key" false
+    (Hmac.verify Hmac.sha256 ~key:"other" ~tag:short msg)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let prop_digest_sizes =
+  QCheck2.Test.make ~name:"digest sizes" ~count:200 QCheck2.Gen.string (fun s ->
+      String.length (Sha1.digest s) = 20
+      && String.length (Sha256.digest s) = 32
+      && String.length (Md5.digest s) = 16)
+
+let prop_sha256_sensitivity =
+  QCheck2.Test.make ~name:"single-bit flip changes SHA-256" ~count:200
+    QCheck2.Gen.(string_size (int_range 1 200))
+    (fun s -> Sha256.digest (Xbytes.flip_bit s 0) <> Sha256.digest s)
+
+let suites =
+  [
+    ( "hash:vectors",
+      [
+        Alcotest.test_case "SHA-1 FIPS vectors" `Quick test_sha1_vectors;
+        Alcotest.test_case "SHA-256 FIPS vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "MD5 RFC 1321 suite" `Quick test_md5_vectors;
+        Alcotest.test_case "Merkle-Damgard padding" `Quick test_md_pad;
+      ] );
+    ( "hash:hmac",
+      [
+        Alcotest.test_case "HMAC-SHA1 RFC 2202" `Quick test_hmac_rfc2202;
+        Alcotest.test_case "HMAC-SHA256 RFC 4231" `Quick test_hmac_rfc4231;
+        Alcotest.test_case "truncation and verify" `Quick test_hmac_truncation_verify;
+        qc prop_digest_sizes;
+        qc prop_sha256_sensitivity;
+      ] );
+  ]

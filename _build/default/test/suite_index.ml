@@ -1,0 +1,269 @@
+module Value = Secdb_db.Value
+module B = Secdb_index.Bptree
+module CW = Secdb_index.Client_walk
+
+let iv i = Value.Int (Int64.of_int i)
+
+let fill ?(order = 4) n =
+  let t = B.create ~order ~id:1 ~codec:B.plain_codec () in
+  for i = 0 to n - 1 do
+    B.insert t (iv ((i * 37) mod n)) ~table_row:i
+  done;
+  t
+
+let test_empty_tree () =
+  let t = B.create ~id:1 ~codec:B.plain_codec () in
+  Alcotest.(check int) "size" 0 (B.size t);
+  Alcotest.(check int) "height" 1 (B.height t);
+  Alcotest.(check (list int)) "find" [] (B.find t (iv 3));
+  Alcotest.(check int) "range" 0 (List.length (B.range t ()));
+  (match B.validate t with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "delete on empty" false (B.delete t (iv 3) ~table_row:0)
+
+let test_single () =
+  let t = B.create ~id:1 ~codec:B.plain_codec () in
+  B.insert t (iv 5) ~table_row:42;
+  Alcotest.(check (list int)) "find" [ 42 ] (B.find t (iv 5));
+  Alcotest.(check (list int)) "miss" [] (B.find t (iv 6));
+  Alcotest.(check bool) "delete" true (B.delete t (iv 5) ~table_row:42);
+  Alcotest.(check int) "empty again" 0 (B.size t)
+
+let test_duplicates () =
+  let t = B.create ~order:3 ~id:1 ~codec:B.plain_codec () in
+  for i = 0 to 30 do
+    B.insert t (iv (i mod 3)) ~table_row:i
+  done;
+  let rows = B.find t (iv 1) in
+  Alcotest.(check int) "all duplicates found" 10 (List.length rows);
+  Alcotest.(check bool) "rows correct" true (List.for_all (fun r -> r mod 3 = 1) rows);
+  (match B.validate t with Ok () -> () | Error e -> Alcotest.fail e);
+  (* delete one specific duplicate *)
+  Alcotest.(check bool) "delete (1, 13)" true (B.delete t (iv 1) ~table_row:13);
+  Alcotest.(check bool) "gone" true (not (List.mem 13 (B.find t (iv 1))));
+  Alcotest.(check int) "others remain" 9 (List.length (B.find t (iv 1)))
+
+let test_range_scans () =
+  let t = fill 200 in
+  let all = B.range t () in
+  Alcotest.(check int) "full range" 200 (List.length all);
+  let keys = List.map fst all in
+  Alcotest.(check bool) "sorted" true
+    (List.for_all2 (fun a b -> Value.compare a b <= 0)
+       (List.filteri (fun i _ -> i < List.length keys - 1) keys)
+       (List.tl keys));
+  let sub = B.range t ~lo:(iv 50) ~hi:(iv 60) () in
+  Alcotest.(check int) "inclusive bounds" 11 (List.length sub);
+  Alcotest.(check int) "lo only" 150 (List.length (B.range t ~lo:(iv 50) ()));
+  Alcotest.(check int) "hi only" 50 (List.length (B.range t ~hi:(iv 49) ()));
+  Alcotest.(check int) "empty window" 0 (List.length (B.range t ~lo:(iv 60) ~hi:(iv 50) ()))
+
+let test_structure () =
+  let t = fill ~order:4 500 in
+  (match B.validate t with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "height logarithmic" true (B.height t <= 7);
+  Alcotest.(check int) "path length = height" (B.height t)
+    (List.length (B.path_to t (iv 123)));
+  (* deep tree at order 2 *)
+  let t2 = fill ~order:2 500 in
+  Alcotest.(check bool) "order-2 deeper" true (B.height t2 > B.height t);
+  match B.validate t2 with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_delete_to_empty () =
+  let t = fill ~order:3 120 in
+  for i = 0 to 119 do
+    let v = iv ((i * 37) mod 120) in
+    if not (B.delete t v ~table_row:i) then Alcotest.fail "delete missed";
+    match B.validate t with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Printf.sprintf "invalid after delete %d: %s" i e)
+  done;
+  Alcotest.(check int) "empty" 0 (B.size t);
+  Alcotest.(check int) "root collapsed" 1 (B.height t)
+
+let test_tamper_detection_via_plain_codec () =
+  (* plain codec has no integrity, but garbage payloads still fail decode *)
+  let t = fill 50 in
+  let leaf = B.node_view t (B.first_leaf t) in
+  B.set_payload t ~row:leaf.B.row ~slot:0 "garbage!";
+  match B.find t (iv 0) with
+  | exception B.Integrity _ -> ()
+  | _ -> Alcotest.fail "garbage payload survived decode"
+
+let test_node_views () =
+  let t = fill 100 in
+  let nodes = ref 0 and leaves = ref 0 and entries = ref 0 in
+  B.iter_nodes
+    (fun v ->
+      incr nodes;
+      if v.B.node_kind = B.Leaf then begin
+        incr leaves;
+        entries := !entries + Array.length v.B.payloads
+      end
+      else
+        Alcotest.(check int) "inner fanout" (Array.length v.B.payloads + 1)
+          (Array.length v.B.children))
+    t;
+  Alcotest.(check int) "nnodes consistent" !nodes (B.nnodes t);
+  Alcotest.(check int) "leaf entries = size" 100 !entries;
+  (* leaf chain covers all leaves *)
+  let chain = ref 0 in
+  let rec walk row =
+    incr chain;
+    match (B.node_view t row).B.next with Some n -> walk n | None -> ()
+  in
+  walk (B.first_leaf t);
+  Alcotest.(check int) "chain covers leaves" !leaves !chain
+
+let test_client_walk () =
+  let t = fill ~order:4 300 in
+  for probe = 0 to 20 do
+    let rows, stats = CW.find t (iv probe) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "client walk agrees with find (%d)" probe)
+      (B.find t (iv probe)) rows;
+    Alcotest.(check bool) "rounds >= height" true (stats.CW.rounds >= B.height t);
+    Alcotest.(check bool) "rounds bounded" true (stats.CW.rounds <= B.height t + 3);
+    Alcotest.(check bool) "bytes to client positive" true (stats.CW.bytes_to_client > 0);
+    Alcotest.(check int) "one decision byte per round" stats.CW.rounds stats.CW.bytes_to_server
+  done;
+  Alcotest.(check int) "expected_rounds = height" (B.height t) (CW.expected_rounds t)
+
+let test_create_errors () =
+  Alcotest.check_raises "order too small" (Invalid_argument "Bptree.create: order must be >= 2")
+    (fun () -> ignore (B.create ~order:1 ~id:1 ~codec:B.plain_codec ()))
+
+(* model-based property test *)
+
+let prop_model ~order =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "model equivalence (order %d)" order)
+    ~count:30
+    QCheck2.Gen.(list_size (int_range 0 400) (pair (int_range 0 9) (int_bound 50)))
+    (fun ops ->
+      let t = B.create ~order ~id:1 ~codec:B.plain_codec () in
+      let model = ref [] in
+      let row = ref 0 in
+      List.iter
+        (fun (op, k) ->
+          if op < 7 then begin
+            incr row;
+            B.insert t (iv k) ~table_row:!row;
+            model := (k, !row) :: !model
+          end
+          else
+            match List.find_opt (fun (k', _) -> k' = k) !model with
+            | Some (_, r) ->
+                if not (B.delete t (iv k) ~table_row:r) then failwith "delete missed";
+                let removed = ref false in
+                model :=
+                  List.filter
+                    (fun (k', r') ->
+                      if (not !removed) && k' = k && r' = r then begin
+                        removed := true;
+                        false
+                      end
+                      else true)
+                    !model
+            | None -> ())
+        ops;
+      (match B.validate t with Ok () -> () | Error e -> failwith e);
+      (* compare a few probes and a range against the model *)
+      List.for_all
+        (fun k ->
+          List.sort compare (B.find t (iv k))
+          = List.sort compare (List.filter_map (fun (k', r) -> if k' = k then Some r else None) !model))
+        [ 0; 1; 25; 50 ]
+      && List.length (B.range t ()) = List.length !model)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "index:bptree",
+      [
+        Alcotest.test_case "empty tree" `Quick test_empty_tree;
+        Alcotest.test_case "single entry" `Quick test_single;
+        Alcotest.test_case "duplicate keys" `Quick test_duplicates;
+        Alcotest.test_case "range scans" `Quick test_range_scans;
+        Alcotest.test_case "structure invariants" `Quick test_structure;
+        Alcotest.test_case "delete to empty" `Quick test_delete_to_empty;
+        Alcotest.test_case "garbage payload detected" `Quick
+          test_tamper_detection_via_plain_codec;
+        Alcotest.test_case "node views and leaf chain" `Quick test_node_views;
+        Alcotest.test_case "creation errors" `Quick test_create_errors;
+        qc (prop_model ~order:2);
+        qc (prop_model ~order:3);
+        qc (prop_model ~order:4);
+        qc (prop_model ~order:8);
+      ] );
+    ( "index:client-walk",
+      [ Alcotest.test_case "protocol simulation (Remark 1)" `Quick test_client_walk ] );
+  ]
+
+(* --- bulk loading --------------------------------------------------------- *)
+
+let test_bulk_load_basics () =
+  let entries = List.init 100 (fun i -> (iv (i / 3), i)) in
+  let t = B.bulk_load ~order:4 ~id:1 ~codec:B.plain_codec entries in
+  (match B.validate t with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "size" 100 (B.size t);
+  Alcotest.(check (list int)) "duplicates found" [ 30; 31; 32 ] (B.find t (iv 10));
+  Alcotest.(check int) "range" 100 (List.length (B.range t ()));
+  (* still mutable afterwards *)
+  B.insert t (iv 7) ~table_row:777;
+  Alcotest.(check bool) "insert works" true (List.mem 777 (B.find t (iv 7)));
+  Alcotest.(check bool) "delete works" true (B.delete t (iv 7) ~table_row:777);
+  match B.validate t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_bulk_load_rejects_unsorted () =
+  Alcotest.check_raises "unsorted input"
+    (Invalid_argument "Bptree.bulk_load: input not sorted") (fun () ->
+      ignore (B.bulk_load ~id:1 ~codec:B.plain_codec [ (iv 2, 0); (iv 1, 1) ]))
+
+let prop_bulk_equals_incremental =
+  QCheck2.Test.make ~name:"bulk load = incremental inserts" ~count:60
+    QCheck2.Gen.(pair (int_range 2 9) (list_size (int_range 0 300) (int_bound 40)))
+    (fun (order, keys) ->
+      let entries = List.mapi (fun i k -> (iv k, i)) keys in
+      let sorted = List.stable_sort (fun (a, _) (b, _) -> Secdb_db.Value.compare a b) entries in
+      let bulk = B.bulk_load ~order ~id:1 ~codec:B.plain_codec sorted in
+      let inc = B.create ~order ~id:1 ~codec:B.plain_codec () in
+      List.iter (fun (v, r) -> B.insert inc v ~table_row:r) entries;
+      (match B.validate bulk with Ok () -> () | Error e -> failwith e);
+      B.size bulk = B.size inc
+      && List.for_all
+           (fun k ->
+             List.sort compare (B.find bulk (iv k)) = List.sort compare (B.find inc (iv k)))
+           (List.sort_uniq compare keys)
+      && B.range bulk () = B.range inc ())
+
+let suites =
+  suites
+  @ [
+      ( "index:bulk-load",
+        [
+          Alcotest.test_case "basics" `Quick test_bulk_load_basics;
+          Alcotest.test_case "rejects unsorted" `Quick test_bulk_load_rejects_unsorted;
+          qc prop_bulk_equals_incremental;
+        ] );
+    ]
+
+let test_client_walk_range () =
+  let t = fill ~order:4 300 in
+  let lo = iv 40 and hi = iv 90 in
+  let results, stats = CW.range t ~lo ~hi () in
+  Alcotest.(check bool) "matches Bptree.range" true (results = B.range t ~lo ~hi ());
+  Alcotest.(check bool) "costs descent + extra leaves" true
+    (stats.CW.rounds >= B.height t && stats.CW.nodes_fetched = stats.CW.rounds);
+  (* unbounded scan touches the whole chain *)
+  let all, stats_all = CW.range t () in
+  Alcotest.(check int) "full scan" 300 (List.length all);
+  Alcotest.(check bool) "more rounds for bigger answers" true
+    (stats_all.CW.rounds > stats.CW.rounds)
+
+let suites =
+  suites
+  @ [
+      ( "index:client-walk-range",
+        [ Alcotest.test_case "range over the protocol" `Quick test_client_walk_range ] );
+    ]

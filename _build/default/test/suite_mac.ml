@@ -1,0 +1,174 @@
+open Secdb_util
+module Cmac = Secdb_mac.Cmac
+module Cbc_mac = Secdb_mac.Cbc_mac
+module Pmac = Secdb_mac.Pmac
+module Gf128 = Secdb_mac.Gf128
+module Mode = Secdb_modes.Mode
+
+let hex = Xbytes.of_hex
+let aes = Secdb_cipher.Aes.cipher ~key:(hex "2b7e151628aed2a6abf7158809cf4f3c")
+
+let rfc4493_msg =
+  hex
+    "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"
+
+let test_cmac_rfc4493 () =
+  let check msg expected input =
+    Alcotest.(check string) msg expected (Xbytes.to_hex (Cmac.mac aes input))
+  in
+  check "empty" "bb1d6929e95937287fa37d129b756746" "";
+  check "16 bytes" "070a16b46b4d4144f79bdd9dd04a287c" (String.sub rfc4493_msg 0 16);
+  check "40 bytes" "dfa66747de9ae63030ca32611497c827" (String.sub rfc4493_msg 0 40);
+  check "64 bytes" "51f0bebf7e3b9d92fc49741779363cfe" rfc4493_msg
+
+let test_cmac_subkeys () =
+  (* RFC 4493 subkey generation example *)
+  let k1, k2 = Cmac.subkeys aes in
+  Alcotest.(check string) "K1" "fbeed618357133667c85e08f7236a8de" (Xbytes.to_hex k1);
+  Alcotest.(check string) "K2" "f7ddac306ae266ccf90bc11ee46d513b" (Xbytes.to_hex k2)
+
+let test_cmac_keyed_chain () =
+  (* mac_with ~init:(chain state over P) M = mac (P ^ M) for block-aligned P *)
+  let keyed = Cmac.keyed aes in
+  let rng = Rng.create ~seed:17L () in
+  for _ = 1 to 20 do
+    let p = Rng.bytes rng (16 * (1 + Rng.int rng 4)) in
+    let m = Rng.bytes rng (1 + Rng.int rng 50) in
+    let direct = Cmac.mac aes (p ^ m) in
+    let chained = Cmac.mac_with keyed ~init:(Cmac.chain_state keyed p) m in
+    if direct <> chained then Alcotest.fail "chain-state composition broken"
+  done;
+  Alcotest.check_raises "chain_state unaligned"
+    (Invalid_argument "Cmac.chain_state: prefix must be a positive multiple of the block size")
+    (fun () -> ignore (Cmac.chain_state keyed "abc"))
+
+let test_cbc_mac_equals_cbc () =
+  (* the identity at the heart of the paper's Section 3.3 attack: raw
+     CBC-MAC chaining values = CBC-encryption blocks under zero IV *)
+  let rng = Rng.create ~seed:23L () in
+  let msg = Rng.bytes rng 64 in
+  let chain = Cbc_mac.chain aes msg in
+  let ct = Mode.cbc_encrypt aes ~iv:(Mode.zero_iv aes) msg in
+  List.iteri
+    (fun i c ->
+      Alcotest.(check string)
+        (Printf.sprintf "chain value %d" i)
+        (Xbytes.to_hex (String.sub ct (16 * i) 16))
+        (Xbytes.to_hex c))
+    chain;
+  Alcotest.(check string) "mac = last block" (Xbytes.to_hex (String.sub ct 48 16))
+    (Xbytes.to_hex (Cbc_mac.mac aes msg))
+
+let test_cbc_mac_padded () =
+  let m = "unaligned input!!x" in
+  Alcotest.(check string) "mac_padded = mac of padded"
+    (Xbytes.to_hex (Cbc_mac.mac aes (Secdb_modes.Padding.pad ~block:16 m)))
+    (Xbytes.to_hex (Cbc_mac.mac_padded aes m));
+  Alcotest.check_raises "unaligned rejected"
+    (Invalid_argument "Cbc_mac: message length must be a multiple of the block size")
+    (fun () -> ignore (Cbc_mac.mac aes "abc"))
+
+let test_cmac_verify () =
+  let msg = "a message to authenticate" in
+  let tag = Cmac.mac aes msg in
+  Alcotest.(check bool) "verify ok" true (Cmac.verify aes ~tag msg);
+  Alcotest.(check bool) "verify truncated ok" true
+    (Cmac.verify aes ~tag:(Cmac.mac_truncated aes ~bytes:8 msg) msg);
+  Alcotest.(check bool) "reject other msg" false (Cmac.verify aes ~tag "other");
+  Alcotest.(check bool) "reject flipped tag" false
+    (Cmac.verify aes ~tag:(Xbytes.flip_bit tag 3) msg)
+
+let test_gf128_dbl () =
+  (* dbl(L) for the RFC 4493 L = AES-K(0) = 7df76b0c1ab899b33e42f047b91b546f *)
+  Alcotest.(check string) "dbl(L) = K1" "fbeed618357133667c85e08f7236a8de"
+    (Xbytes.to_hex (Gf128.dbl (hex "7df76b0c1ab899b33e42f047b91b546f")));
+  (* msb set: (0x80..01 << 1) = 0x00..02, reduction xors 0x87 -> 0x..85 *)
+  Alcotest.(check string) "dbl with reduction" "00000000000000000000000000000085"
+    (Xbytes.to_hex (Gf128.dbl (hex "80000000000000000000000000000001")));
+  (* no msb: plain shift *)
+  Alcotest.(check string) "dbl without reduction" "00000000000000000000000000000002"
+    (Xbytes.to_hex (Gf128.dbl (hex "00000000000000000000000000000001")));
+  (* 64-bit block: x^64 + x^4 + x^3 + x + 1, constant 0x1b *)
+  Alcotest.(check string) "dbl 64-bit reduction" "000000000000001b"
+    (Xbytes.to_hex (Gf128.dbl (hex "8000000000000000")))
+
+let test_gf128_ntz () =
+  Alcotest.(check int) "ntz 1" 0 (Gf128.ntz 1);
+  Alcotest.(check int) "ntz 8" 3 (Gf128.ntz 8);
+  Alcotest.(check int) "ntz 12" 2 (Gf128.ntz 12);
+  Alcotest.check_raises "ntz 0" (Invalid_argument "Gf128.ntz: positive argument required")
+    (fun () -> ignore (Gf128.ntz 0))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let prop_gf_dbl_inverse =
+  QCheck2.Test.make ~name:"inv_dbl inverts dbl (128- and 64-bit)" ~count:300
+    QCheck2.Gen.(pair (string_size (return 16)) (string_size (return 8)))
+    (fun (b16, b8) ->
+      Gf128.inv_dbl (Gf128.dbl b16) = b16
+      && Gf128.dbl (Gf128.inv_dbl b16) = b16
+      && Gf128.inv_dbl (Gf128.dbl b8) = b8)
+
+let prop_dbl_pow_additive =
+  QCheck2.Test.make ~name:"dbl_pow additivity" ~count:100
+    QCheck2.Gen.(triple (string_size (return 16)) (int_range 0 10) (int_range 0 10))
+    (fun (l, i, j) -> Gf128.dbl_pow (Gf128.dbl_pow l i) j = Gf128.dbl_pow l (i + j))
+
+let prop_cmac_length_separation =
+  QCheck2.Test.make ~name:"cmac separates m from m||10*" ~count:200
+    QCheck2.Gen.(string_size (int_range 0 47))
+    (fun m ->
+      (* the K1/K2 masking must distinguish a complete final block from a
+         padded one: appending the 10* padding explicitly gives another tag *)
+      let padded = m ^ "\x80" ^ String.make (15 - (String.length m mod 16)) '\000' in
+      Cmac.mac aes m <> Cmac.mac aes padded)
+
+let prop_pmac_deterministic_and_sensitive =
+  QCheck2.Test.make ~name:"pmac determinism and bit sensitivity" ~count:200
+    QCheck2.Gen.(string_size (int_range 1 100))
+    (fun m ->
+      Pmac.mac aes m = Pmac.mac aes m
+      && Pmac.mac aes (Xbytes.flip_bit m 0) <> Pmac.mac aes m)
+
+let prop_pmac_vs_cmac_disagree =
+  QCheck2.Test.make ~name:"pmac is not cmac" ~count:50
+    QCheck2.Gen.(string_size (int_range 1 64))
+    (fun m -> Pmac.mac aes m <> Cmac.mac aes m)
+
+let test_pmac_verify () =
+  let m = "parallelisable message authentication" in
+  Alcotest.(check bool) "verify" true (Pmac.verify aes ~tag:(Pmac.mac aes m) m);
+  Alcotest.(check bool) "verify truncated" true
+    (Pmac.verify aes ~tag:(Pmac.mac_truncated aes ~bytes:6 m) m);
+  Alcotest.(check bool) "reject" false (Pmac.verify aes ~tag:(Pmac.mac aes m) (m ^ "!"));
+  Alcotest.(check bool) "empty defined" true (String.length (Pmac.mac aes "") = 16)
+
+let suites =
+  [
+    ( "mac:cmac",
+      [
+        Alcotest.test_case "RFC 4493 vectors" `Quick test_cmac_rfc4493;
+        Alcotest.test_case "RFC 4493 subkeys" `Quick test_cmac_subkeys;
+        Alcotest.test_case "keyed chain-state composition" `Quick test_cmac_keyed_chain;
+        Alcotest.test_case "verify" `Quick test_cmac_verify;
+        qc prop_cmac_length_separation;
+      ] );
+    ( "mac:cbc-mac",
+      [
+        Alcotest.test_case "chain = CBC blocks (paper 3.3)" `Quick test_cbc_mac_equals_cbc;
+        Alcotest.test_case "padded variant" `Quick test_cbc_mac_padded;
+      ] );
+    ( "mac:pmac",
+      [
+        Alcotest.test_case "verify" `Quick test_pmac_verify;
+        qc prop_pmac_deterministic_and_sensitive;
+        qc prop_pmac_vs_cmac_disagree;
+      ] );
+    ( "mac:gf128",
+      [
+        Alcotest.test_case "doubling vectors" `Quick test_gf128_dbl;
+        Alcotest.test_case "ntz" `Quick test_gf128_ntz;
+        qc prop_gf_dbl_inverse;
+        qc prop_dbl_pow_additive;
+      ] );
+  ]

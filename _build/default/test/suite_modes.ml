@@ -1,0 +1,173 @@
+open Secdb_util
+module Mode = Secdb_modes.Mode
+module Padding = Secdb_modes.Padding
+module Block = Secdb_cipher.Block
+
+let hex = Xbytes.of_hex
+let aes = Secdb_cipher.Aes.cipher ~key:(hex "2b7e151628aed2a6abf7158809cf4f3c")
+let sp800_iv = hex "000102030405060708090a0b0c0d0e0f"
+
+let sp800_plain =
+  hex
+    "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"
+
+let test_cbc_sp800 () =
+  (* NIST SP 800-38A F.2.1 CBC-AES128 *)
+  let expected =
+    "7649abac8119b246cee98e9b12e9197d5086cb9b507219ee95db113a917678b273bed6b8e3c1743b7116e69e222295163ff1caa1681fac09120eca307586e1a7"
+  in
+  Alcotest.(check string) "cbc encrypt" expected
+    (Xbytes.to_hex (Mode.cbc_encrypt aes ~iv:sp800_iv sp800_plain));
+  Alcotest.(check string) "cbc decrypt" (Xbytes.to_hex sp800_plain)
+    (Xbytes.to_hex (Mode.cbc_decrypt aes ~iv:sp800_iv (hex expected)))
+
+let test_ecb_matches_blocks () =
+  let ct = Mode.ecb_encrypt aes sp800_plain in
+  Alcotest.(check string) "first block" "3ad77bb40d7a3660a89ecaf32466ef97"
+    (Xbytes.to_hex (String.sub ct 0 16));
+  Alcotest.(check string) "roundtrip" (Xbytes.to_hex sp800_plain)
+    (Xbytes.to_hex (Mode.ecb_decrypt aes ct));
+  (* ECB leaks equality of blocks *)
+  let two_same = String.make 32 'A' in
+  let c = Mode.ecb_encrypt aes two_same in
+  Alcotest.(check string) "ecb equal blocks leak" (String.sub c 0 16) (String.sub c 16 16)
+
+let test_cbc_error_propagation () =
+  (* the property the paper's forgery attack rests on: flipping ciphertext
+     block i garbles plaintext block i and xors the delta into block i+1,
+     leaving all other blocks intact *)
+  let rng = Rng.create ~seed:11L () in
+  let pt = Rng.bytes rng 80 (* 5 blocks *) in
+  let iv = Rng.bytes rng 16 in
+  let ct = Mode.cbc_encrypt aes ~iv pt in
+  let delta = 0x40 in
+  let tampered = Bytes.of_string ct in
+  Bytes.set tampered 33 (Char.chr (Char.code ct.[33] lxor delta));
+  (* block 2 *)
+  let pt' = Mode.cbc_decrypt aes ~iv (Bytes.to_string tampered) in
+  List.iter
+    (fun b ->
+      let same = String.sub pt (16 * b) 16 = String.sub pt' (16 * b) 16 in
+      match b with
+      | 2 -> Alcotest.(check bool) "block 2 garbled" false same
+      | 3 ->
+          let expected = Bytes.of_string (String.sub pt 48 16) in
+          Bytes.set expected 1 (Char.chr (Char.code pt.[49] lxor delta));
+          Alcotest.(check bool) "block 3 = delta xored" true
+            (String.sub pt' 48 16 = Bytes.to_string expected)
+      | _ -> Alcotest.(check bool) (Printf.sprintf "block %d intact" b) true same)
+    [ 0; 1; 2; 3; 4 ]
+
+let test_mode_errors () =
+  Alcotest.check_raises "cbc unaligned"
+    (Invalid_argument
+       "Mode.cbc_encrypt: input length 10 is not a multiple of the 16-byte block")
+    (fun () -> ignore (Mode.cbc_encrypt aes ~iv:sp800_iv "0123456789"));
+  Alcotest.check_raises "bad iv" (Invalid_argument "Mode.cbc_encrypt: IV must be one block")
+    (fun () -> ignore (Mode.cbc_encrypt aes ~iv:"short" ""))
+
+let test_padding () =
+  Alcotest.(check string) "pad 13" ("x" ^ String.make 15 '\x0f')
+    (Padding.pad ~block:16 "x");
+  Alcotest.(check string) "pad aligned adds full block"
+    (String.make 16 'y' ^ String.make 16 '\x10')
+    (Padding.pad ~block:16 (String.make 16 'y'));
+  Alcotest.(check string) "unpad" "x"
+    (Padding.unpad_exn ~block:16 ("x" ^ String.make 15 '\x0f'));
+  (match Padding.unpad ~block:16 (String.make 16 '\x00') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted padding byte 0");
+  (match Padding.unpad ~block:16 (String.make 16 '\x11') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted padding byte > block");
+  (match Padding.unpad ~block:16 ("aaaaaaaaaaaaaa\x02\x03") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted inconsistent padding");
+  match Padding.unpad ~block:16 "short" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unaligned input"
+
+let qc = QCheck_alcotest.to_alcotest
+let gen_str200 = QCheck2.Gen.(string_size (int_range 0 200))
+
+let prop_pad_roundtrip =
+  QCheck2.Test.make ~name:"pad/unpad roundtrip" ~count:300
+    QCheck2.Gen.(pair (int_range 1 255) gen_str200)
+    (fun (block, s) -> Padding.unpad ~block (Padding.pad ~block s) = Ok s)
+
+let prop_pad_aligned =
+  QCheck2.Test.make ~name:"padded length aligned" ~count:300
+    QCheck2.Gen.(pair (int_range 1 255) gen_str200)
+    (fun (block, s) -> String.length (Padding.pad ~block s) mod block = 0)
+
+let prop_stream_roundtrips =
+  QCheck2.Test.make ~name:"ctr/ofb/cfb roundtrip" ~count:200
+    QCheck2.Gen.(pair gen_str200 (string_size (return 16)))
+    (fun (msg, iv) ->
+      Mode.ctr aes ~nonce:iv (Mode.ctr aes ~nonce:iv msg) = msg
+      && Mode.ofb aes ~iv (Mode.ofb aes ~iv msg) = msg
+      && Mode.cfb_decrypt aes ~iv (Mode.cfb_encrypt aes ~iv msg) = msg)
+
+let prop_cbc_roundtrip =
+  QCheck2.Test.make ~name:"cbc roundtrip (padded)" ~count:200
+    QCheck2.Gen.(pair gen_str200 (string_size (return 16)))
+    (fun (msg, iv) ->
+      let p = Padding.pad ~block:16 msg in
+      Mode.cbc_decrypt aes ~iv (Mode.cbc_encrypt aes ~iv p) = p)
+
+let prop_ctr_keystream_additive =
+  QCheck2.Test.make ~name:"ctr is an additive stream: C1^C2 = P1^P2" ~count:100
+    QCheck2.Gen.(pair gen_str200 gen_str200)
+    (fun (p1, p2) ->
+      let n = min (String.length p1) (String.length p2) in
+      let p1 = String.sub p1 0 n and p2 = String.sub p2 0 n in
+      let nonce = Mode.zero_iv aes in
+      let c1 = Mode.ctr aes ~nonce p1 and c2 = Mode.ctr aes ~nonce p2 in
+      Xbytes.xor_exact c1 c2 = Xbytes.xor_exact p1 p2)
+
+let suites =
+  [
+    ( "modes:vectors",
+      [
+        Alcotest.test_case "CBC SP 800-38A" `Quick test_cbc_sp800;
+        Alcotest.test_case "ECB blockwise + leak" `Quick test_ecb_matches_blocks;
+        Alcotest.test_case "CBC error propagation" `Quick test_cbc_error_propagation;
+        Alcotest.test_case "argument validation" `Quick test_mode_errors;
+      ] );
+    ( "modes:padding",
+      [
+        Alcotest.test_case "pkcs#7 cases" `Quick test_padding;
+        qc prop_pad_roundtrip;
+        qc prop_pad_aligned;
+      ] );
+    ( "modes:properties",
+      [ qc prop_stream_roundtrips; qc prop_cbc_roundtrip; qc prop_ctr_keystream_additive ] );
+  ]
+
+(* SP 800-38A streaming-mode first blocks: OFB and CFB share
+   E_K(IV) xor P1 *)
+let test_stream_vectors () =
+  let p1 = hex "6bc1bee22e409f96e93d7e117393172a" in
+  Alcotest.(check string) "cfb128 block 1" "3b3fd92eb72dad20333449f8e83cfb4a"
+    (Xbytes.to_hex (Mode.cfb_encrypt aes ~iv:sp800_iv p1));
+  Alcotest.(check string) "ofb block 1" "3b3fd92eb72dad20333449f8e83cfb4a"
+    (Xbytes.to_hex (Mode.ofb aes ~iv:sp800_iv p1));
+  (* ctr_full with the SP 800-38A initial counter block *)
+  let icb = hex "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff" in
+  Alcotest.(check string) "ctr block 1" "874d6191b620e3261bef6864990db6ce"
+    (Xbytes.to_hex (Mode.ctr_full aes ~counter0:icb p1));
+  (* full four-block CTR vector exercises the counter increment *)
+  let pt4 =
+    hex
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"
+  in
+  Alcotest.(check string) "ctr four blocks"
+    "874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff5ae4df3edbd5d35e5b4f09020db03eab1e031dda2fbe03d1792170a0f3009cee"
+    (Xbytes.to_hex (Mode.ctr_full aes ~counter0:icb pt4))
+
+let suites =
+  suites
+  @ [
+      ( "modes:stream-vectors",
+        [ Alcotest.test_case "SP 800-38A OFB/CFB/CTR" `Quick test_stream_vectors ] );
+    ]

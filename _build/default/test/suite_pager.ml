@@ -1,0 +1,201 @@
+module Pager = Secdb_storage.Pager
+module Blob = Secdb_storage.Blob_store
+module Rng = Secdb_util.Rng
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("secdb_pager_" ^ name)
+
+let test_pager_basics () =
+  let path = tmp "basic.pg" in
+  let p = Pager.create ~path ~page_size:128 ~cache_pages:4 () in
+  Alcotest.(check int) "page size" 128 (Pager.page_size p);
+  let a = Pager.alloc p and b = Pager.alloc p in
+  Alcotest.(check bool) "distinct pages" true (a <> b);
+  Pager.write p a "hello page a";
+  Pager.write p b "hello page b";
+  Alcotest.(check string) "read back a" "hello page a" (String.sub (Pager.read p a) 0 12);
+  Alcotest.(check string) "zero padded" (String.make 10 '\000')
+    (String.sub (Pager.read p a) 12 10);
+  (* free + realloc recycles *)
+  Pager.free p a;
+  let c = Pager.alloc p in
+  Alcotest.(check int) "recycled" a c;
+  Alcotest.(check string) "recycled page zeroed" (String.make 128 '\000') (Pager.read p c);
+  Alcotest.check_raises "header protected" (Invalid_argument "Pager.free: page 0 out of range")
+    (fun () -> Pager.free p 0);
+  Alcotest.check_raises "oversized write"
+    (Invalid_argument "Pager.write: data exceeds the page size") (fun () ->
+      Pager.write p a (String.make 129 'x'));
+  Pager.close p
+
+let test_pager_persistence () =
+  let path = tmp "persist.pg" in
+  let p = Pager.create ~path ~page_size:256 () in
+  let pages = List.init 10 (fun i -> (Pager.alloc p, Printf.sprintf "persistent page %d" i)) in
+  List.iter (fun (page, content) -> Pager.write p page content) pages;
+  Pager.free p (fst (List.nth pages 4));
+  Pager.close p;
+  match Pager.open_file ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok p' ->
+      Alcotest.(check int) "page size restored" 256 (Pager.page_size p');
+      Alcotest.(check int) "page count restored" 10 (Pager.page_count p');
+      List.iteri
+        (fun i (page, content) ->
+          if i <> 4 then
+            Alcotest.(check string)
+              (Printf.sprintf "page %d" i)
+              content
+              (String.sub (Pager.read p' page) 0 (String.length content)))
+        pages;
+      (* the free list also survived *)
+      Alcotest.(check int) "freed page recycled after reopen" (fst (List.nth pages 4))
+        (Pager.alloc p');
+      Pager.close p'
+
+let test_pager_open_errors () =
+  (match Pager.open_file ~path:(tmp "missing.pg") () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file opened");
+  let path = tmp "junk.pg" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "this is not a pager file at all");
+  match Pager.open_file ~path () with
+  | Error e -> Alcotest.(check bool) "reported" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "junk accepted"
+
+let test_cache_accounting () =
+  let path = tmp "cache.pg" in
+  let p = Pager.create ~path ~page_size:64 ~cache_pages:2 () in
+  let pages = List.init 4 (fun _ -> Pager.alloc p) in
+  List.iter (fun page -> Pager.write p page "x") pages;
+  Pager.flush p;
+  Pager.reset_stats p;
+  (* touching 3 distinct pages through a 2-page cache must evict *)
+  List.iteri (fun i page -> if i < 3 then ignore (Pager.read p page)) pages;
+  let st = Pager.stats p in
+  Alcotest.(check bool) "misses counted" true (st.Pager.cache_misses >= 1);
+  Alcotest.(check bool) "evictions happened" true (st.Pager.evictions >= 1);
+  (* re-reading the hottest page is a hit *)
+  let hot = List.nth pages 2 in
+  let hits0 = st.Pager.cache_hits in
+  ignore (Pager.read p hot);
+  Alcotest.(check bool) "hit counted" true ((Pager.stats p).Pager.cache_hits > hits0);
+  (* dirty eviction does not lose data *)
+  Pager.write p (List.nth pages 0) "dirty-evict me";
+  ignore (Pager.read p (List.nth pages 1));
+  ignore (Pager.read p (List.nth pages 2));
+  ignore (Pager.read p (List.nth pages 3));
+  Alcotest.(check string) "dirty page survived eviction" "dirty-evict me"
+    (String.sub (Pager.read p (List.nth pages 0)) 0 14);
+  Pager.close p
+
+let test_blob_roundtrip () =
+  let path = tmp "blob.pg" in
+  let p = Pager.create ~path ~page_size:96 ~cache_pages:8 () in
+  let store = Blob.attach p in
+  let rng = Rng.create ~seed:71L () in
+  let blobs =
+    List.init 30 (fun i -> (Rng.bytes rng (Rng.int rng 500), i))
+    |> List.map (fun (data, _) -> (Blob.store store data, data))
+  in
+  List.iter
+    (fun (id, data) ->
+      match Blob.load store id with
+      | Ok d when d = data -> ()
+      | Ok _ -> Alcotest.fail "blob corrupted"
+      | Error e -> Alcotest.fail e)
+    blobs;
+  (* chains span multiple pages for large blobs *)
+  let big_id = Blob.store store (String.make 1000 'B') in
+  (match Blob.pages_of store big_id with
+  | Ok pages -> Alcotest.(check bool) "multi-page" true (List.length pages >= 12)
+  | Error e -> Alcotest.fail e);
+  (* overwrite shrinking and growing *)
+  ignore (Blob.overwrite store big_id "now tiny");
+  (match Blob.load store big_id with
+  | Ok "now tiny" -> ()
+  | _ -> Alcotest.fail "shrink failed");
+  ignore (Blob.overwrite store big_id (String.make 2000 'G'));
+  (match Blob.load store big_id with
+  | Ok s when s = String.make 2000 'G' -> ()
+  | _ -> Alcotest.fail "grow failed");
+  (* delete releases pages for reuse *)
+  let before = Pager.page_count p in
+  Blob.delete store big_id;
+  let re_id = Blob.store store (String.make 2000 'R') in
+  Alcotest.(check int) "pages recycled" before (Pager.page_count p);
+  (match Blob.load store re_id with
+  | Ok s when s = String.make 2000 'R' -> ()
+  | _ -> Alcotest.fail "recycled blob broken");
+  (* empty blob *)
+  let e = Blob.store store "" in
+  (match Blob.load store e with Ok "" -> () | _ -> Alcotest.fail "empty blob");
+  Pager.close p
+
+let test_blob_persistence_of_saved_table () =
+  (* the full artefact path: encrypted table -> bytes -> blob chain -> file,
+     reopened and decoded *)
+  let path = tmp "artefact.pg" in
+  let aes = Secdb_cipher.Aes_fast.cipher ~key:(String.make 16 'K') in
+  let scheme =
+    Secdb_schemes.Fixed_cell.make ~aead:(Secdb_aead.Eax.make aes)
+      ~nonce:(Secdb_aead.Nonce.counter ~size:16 ())
+      ()
+  in
+  let schema =
+    Secdb_db.Schema.v ~table_name:"t"
+      [ Secdb_db.Schema.column "v" Secdb_db.Value.Ktext ]
+  in
+  let tbl = Secdb_query.Encrypted_table.create ~id:3 schema ~scheme:(fun _ -> scheme) in
+  for i = 0 to 40 do
+    ignore (Secdb_query.Encrypted_table.insert tbl [ Secdb_db.Value.Text (Printf.sprintf "row %d" i) ])
+  done;
+  let p = Pager.create ~path ~page_size:512 () in
+  let id = Blob.store (Blob.attach p) (Secdb_storage.Storage.encode_table tbl) in
+  Pager.close p;
+  match Pager.open_file ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok p' -> (
+      match Blob.load (Blob.attach p') id with
+      | Error e -> Alcotest.fail e
+      | Ok bytes -> (
+          match Secdb_storage.Storage.decode_table ~scheme:(fun _ -> scheme) bytes with
+          | Error e -> Alcotest.fail e
+          | Ok tbl' ->
+              Alcotest.(check string) "cell decrypts after disk roundtrip" "row 17"
+                (Secdb_db.Value.text_exn
+                   (Secdb_query.Encrypted_table.get_exn tbl' ~row:17 ~col:0));
+              Pager.close p'))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let prop_blob_roundtrip =
+  QCheck2.Test.make ~name:"blob store/load/overwrite roundtrip" ~count:40
+    QCheck2.Gen.(pair (string_size (int_range 0 700)) (string_size (int_range 0 700)))
+    (fun (a, b) ->
+      let path = tmp "prop.pg" in
+      let p = Pager.create ~path ~page_size:80 ~cache_pages:3 () in
+      let store = Blob.attach p in
+      let id = Blob.store store a in
+      let ok1 = Blob.load store id = Ok a in
+      ignore (Blob.overwrite store id b);
+      let ok2 = Blob.load store id = Ok b in
+      Pager.close p;
+      ok1 && ok2)
+
+let suites =
+  [
+    ( "storage:pager",
+      [
+        Alcotest.test_case "basics" `Quick test_pager_basics;
+        Alcotest.test_case "persistence" `Quick test_pager_persistence;
+        Alcotest.test_case "open errors" `Quick test_pager_open_errors;
+        Alcotest.test_case "cache accounting" `Quick test_cache_accounting;
+      ] );
+    ( "storage:blobs",
+      [
+        Alcotest.test_case "roundtrips and recycling" `Quick test_blob_roundtrip;
+        Alcotest.test_case "encrypted table through the pager" `Quick
+          test_blob_persistence_of_saved_table;
+        qc prop_blob_roundtrip;
+      ] );
+  ]

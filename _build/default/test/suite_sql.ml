@@ -1,0 +1,482 @@
+open Secdb
+module Value = Secdb_db.Value
+module L = Secdb_sql.Lexer
+module P = Secdb_sql.Parser
+module A = Secdb_sql.Ast
+module E = Secdb_sql.Engine
+
+(* --- lexer ---------------------------------------------------------------- *)
+
+let test_lexer () =
+  (match L.tokens "SELECT a, b FROM t WHERE x >= 'it''s' -- comment\n;" with
+  | Ok
+      [ L.Kw "SELECT"; L.Ident "a"; L.Sym ","; L.Ident "b"; L.Kw "FROM"; L.Ident "t";
+        L.Kw "WHERE"; L.Ident "x"; L.Sym ">="; L.Str "it's"; L.Sym ";"; L.Eof ] ->
+      ()
+  | Ok toks -> Alcotest.fail (Fmt.str "unexpected tokens: %a" (Fmt.list L.pp_token) toks)
+  | Error e -> Alcotest.fail e);
+  (match L.tokens "x'68656c6c6f' -42 <>" with
+  | Ok [ L.Blob "hello"; L.Int -42L; L.Sym "!="; L.Eof ] -> ()
+  | Ok toks -> Alcotest.fail (Fmt.str "unexpected: %a" (Fmt.list L.pp_token) toks)
+  | Error e -> Alcotest.fail e);
+  (match L.tokens "'unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated string accepted");
+  match L.tokens "se#lect" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad character accepted"
+
+(* --- parser --------------------------------------------------------------- *)
+
+let parse_ok s =
+  match P.parse s with Ok stmt -> stmt | Error e -> Alcotest.fail (s ^ ": " ^ e)
+
+let test_parser_select () =
+  (match parse_ok "SELECT * FROM patients" with
+  | A.Select { items = None; table = "patients"; where = None; _ } -> ()
+  | _ -> Alcotest.fail "plain select");
+  (match parse_ok "select name, age from patients where age >= 40 and age <= 60 order by age desc limit 3;" with
+  | A.Select
+      { items = Some [ A.Field "name"; A.Field "age" ]; where = Some (A.And _);
+        order_by = Some ("age", A.Desc); limit = Some 3; _ } ->
+      ()
+  | s -> Alcotest.fail (Fmt.str "got %a" A.pp_stmt s));
+  match parse_ok "SELECT * FROM t WHERE a BETWEEN 1 AND 5 OR NOT b = 'x'" with
+  | A.Select { where = Some (A.Or (A.Between _, A.Not (A.Cmp (A.Eq, _, _)))); _ } -> ()
+  | s -> Alcotest.fail (Fmt.str "got %a" A.pp_stmt s)
+
+let test_parser_other_statements () =
+  (match parse_ok "INSERT INTO t VALUES (1, 'x', x'00ff', TRUE, NULL)" with
+  | A.Insert { table = "t"; values = [ Value.Int 1L; Value.Text "x"; Value.Bytes "\x00\xff"; Value.Bool true; Value.Null ] } -> ()
+  | s -> Alcotest.fail (Fmt.str "got %a" A.pp_stmt s));
+  (match parse_ok "UPDATE t SET name = 'bob' WHERE id = 3" with
+  | A.Update { table = "t"; col = "name"; value = Value.Text "bob"; where = Some _ } -> ()
+  | _ -> Alcotest.fail "update");
+  (match parse_ok "DELETE FROM t" with
+  | A.Delete { table = "t"; where = None } -> ()
+  | _ -> Alcotest.fail "delete");
+  (match parse_ok "CREATE TABLE t (id INT CLEAR, name TEXT, tags BYTES ENCRYPTED, ok BOOL)" with
+  | A.Create_table { name = "t"; cols = [ c1; c2; c3; c4 ] } ->
+      Alcotest.(check bool) "clear id" true (c1.A.col_protection = Secdb_db.Schema.Clear);
+      Alcotest.(check bool) "encrypted default" true (c2.A.col_protection = Secdb_db.Schema.Encrypted);
+      Alcotest.(check bool) "kinds" true
+        (c1.A.col_type = Value.Kint && c2.A.col_type = Value.Ktext
+        && c3.A.col_type = Value.Kbytes && c4.A.col_type = Value.Kbool)
+  | _ -> Alcotest.fail "create table");
+  match parse_ok "CREATE INDEX ON t (name)" with
+  | A.Create_index { table = "t"; col = "name" } -> ()
+  | _ -> Alcotest.fail "create index"
+
+let test_parser_errors () =
+  let reject s =
+    match P.parse s with
+    | Error _ -> ()
+    | Ok stmt -> Alcotest.fail (Fmt.str "accepted %s as %a" s A.pp_stmt stmt)
+  in
+  reject "SELECT";
+  reject "SELECT * FROM";
+  reject "SELECT * FROM t WHERE";
+  reject "SELECT * FROM t extra";
+  reject "INSERT INTO t VALUES ()";
+  reject "SELECT * FROM t WHERE a";
+  reject "CREATE TABLE t ()";
+  reject "SELECT * FROM t LIMIT -1";
+  reject "UPDATE t SET a = b"
+
+(* --- engine ---------------------------------------------------------------- *)
+
+let setup () =
+  let db = Encdb.create ~master:"sql tests" ~profile:(Encdb.Fixed Encdb.Eax) () in
+  let run s =
+    match E.exec db s with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (s ^ ": " ^ e)
+  in
+  ignore (run "CREATE TABLE staff (id INT CLEAR, name TEXT, dept TEXT, salary INT)");
+  List.iter
+    (fun (i, n, d, s) ->
+      ignore (run (Printf.sprintf "INSERT INTO staff VALUES (%d, '%s', '%s', %d)" i n d s)))
+    [
+      (0, "ada", "research", 9100); (1, "grace", "systems", 8700);
+      (2, "edsger", "research", 8200); (3, "donald", "systems", 9300);
+      (4, "barbara", "research", 8900); (5, "alan", "intelligence", 8800);
+    ];
+  ignore (run "CREATE INDEX ON staff (salary)");
+  (db, run)
+
+let names = function
+  | E.Rows { rows; columns } ->
+      let i =
+        match List.mapi (fun i c -> (c, i)) columns |> List.assoc_opt "name" with
+        | Some i -> i
+        | None -> 0
+      in
+      List.map (fun row -> match List.nth row i with Value.Text s -> s | v -> Value.to_string v) rows
+  | _ -> Alcotest.fail "expected rows"
+
+let test_engine_select () =
+  let _db, run = setup () in
+  Alcotest.(check (list string)) "range over index" [ "barbara"; "ada"; "donald" ]
+    (names (run "SELECT name FROM staff WHERE salary > 8800 OR name = 'barbara' ORDER BY salary"));
+  Alcotest.(check (list string)) "projection and limit" [ "donald"; "ada" ]
+    (names (run "SELECT name, salary FROM staff ORDER BY salary DESC LIMIT 2"));
+  Alcotest.(check (list string)) "predicate on unindexed column" [ "ada"; "edsger"; "barbara" ]
+    (names (run "SELECT name FROM staff WHERE dept = 'research'"));
+  Alcotest.(check (list string)) "between" [ "grace"; "alan"; "barbara" ]
+    (names (run "SELECT name FROM staff WHERE salary BETWEEN 8300 AND 9000 ORDER BY salary"));
+  Alcotest.(check (list string)) "col-col comparison" []
+    (names (run "SELECT name FROM staff WHERE salary < id"))
+
+let test_engine_plans () =
+  let db, run = setup () in
+  (match run "EXPLAIN SELECT * FROM staff WHERE salary = 9100" with
+  | E.Plan p -> Alcotest.(check bool) "uses index" true (String.length p > 0 && p.[0] = 'I')
+  | _ -> Alcotest.fail "expected plan");
+  (match run "EXPLAIN SELECT * FROM staff WHERE dept = 'research'" with
+  | E.Plan p -> Alcotest.(check bool) "full scan" true (p.[0] = 'F')
+  | _ -> Alcotest.fail "expected plan");
+  (* strict bounds widen but stay on the index *)
+  (match E.plan_of_select db
+           { A.items = None; group_by = None; table = "staff";
+             where = Some (A.And (A.Cmp (A.Gt, A.Col "salary", A.Lit (Value.Int 8800L)),
+                                  A.Cmp (A.Lt, A.Col "salary", A.Lit (Value.Int 9200L))));
+             order_by = None; limit = None }
+   with
+  | E.Index_scan { col = "salary"; lo = Some (Value.Int 8800L); hi = Some (Value.Int 9200L); _ } -> ()
+  | E.Index_scan _ -> Alcotest.fail "wrong bounds"
+  | E.Full_scan -> Alcotest.fail "should use index");
+  (* OR disables the sargable path (kept only under top-level AND) *)
+  match E.plan_of_select db
+          { A.items = None; group_by = None; table = "staff";
+            where = Some (A.Or (A.Cmp (A.Eq, A.Col "salary", A.Lit (Value.Int 1L)),
+                                A.Cmp (A.Eq, A.Col "salary", A.Lit (Value.Int 2L))));
+            order_by = None; limit = None }
+  with
+  | E.Full_scan -> ()
+  | E.Index_scan _ -> Alcotest.fail "OR must not be sargable"
+
+let test_engine_mutations () =
+  let _db, run = setup () in
+  (match run "UPDATE staff SET salary = 9999 WHERE dept = 'research'" with
+  | E.Affected 3 -> ()
+  | r -> Alcotest.fail (Fmt.str "got %a" E.pp_result r));
+  Alcotest.(check (list string)) "updates visible through index"
+    [ "ada"; "edsger"; "barbara" ]
+    (names (run "SELECT name FROM staff WHERE salary = 9999"));
+  (match run "DELETE FROM staff WHERE name = 'alan'" with
+  | E.Affected 1 -> ()
+  | _ -> Alcotest.fail "delete count");
+  (match run "SELECT name FROM staff WHERE name = 'alan'" with
+  | E.Rows { rows = []; _ } -> ()
+  | _ -> Alcotest.fail "alan survived");
+  match run "INSERT INTO staff VALUES (6, 'hedy', 'systems', 9000)" with
+  | E.Affected 1 -> (
+      match run "SELECT name FROM staff WHERE salary = 9000" with
+      | E.Rows { rows = [ _ ]; _ } -> ()
+      | _ -> Alcotest.fail "insert not indexed")
+  | _ -> Alcotest.fail "insert"
+
+let test_engine_errors () =
+  let db, _run = setup () in
+  let reject s =
+    match E.exec db s with
+    | Error _ -> ()
+    | Ok r -> Alcotest.fail (Fmt.str "accepted %s: %a" s E.pp_result r)
+  in
+  reject "SELECT * FROM ghosts";
+  reject "SELECT ghost FROM staff";
+  reject "SELECT * FROM staff WHERE ghost = 1";
+  reject "INSERT INTO staff VALUES (1)";
+  reject "INSERT INTO staff VALUES ('wrong', 'types', 'here', 'x')";
+  reject "CREATE TABLE staff (id INT)";
+  reject "CREATE INDEX ON staff (ghost)"
+
+let test_engine_detects_tampering () =
+  let db, run = setup () in
+  (* relocate an index payload below the DBMS *)
+  let tree = Encdb.index db ~table:"staff" ~col:"salary" in
+  let module B = Secdb_index.Bptree in
+  let leaves = ref [] in
+  B.iter_nodes
+    (fun v -> if v.B.node_kind = B.Leaf && Array.length v.B.payloads > 0 then leaves := v :: !leaves)
+    tree;
+  (match !leaves with
+  | a :: b :: _ -> B.set_payload tree ~row:a.B.row ~slot:0 b.B.payloads.(0)
+  | _ -> Alcotest.fail "not enough leaves");
+  ignore run;
+  match E.exec db "SELECT * FROM staff WHERE salary >= 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered index answered a SQL query"
+
+let suites =
+  [
+    ( "sql:lexer-parser",
+      [
+        Alcotest.test_case "lexer" `Quick test_lexer;
+        Alcotest.test_case "select grammar" `Quick test_parser_select;
+        Alcotest.test_case "other statements" `Quick test_parser_other_statements;
+        Alcotest.test_case "syntax errors" `Quick test_parser_errors;
+      ] );
+    ( "sql:engine",
+      [
+        Alcotest.test_case "select/order/limit/projection" `Quick test_engine_select;
+        Alcotest.test_case "planner choices" `Quick test_engine_plans;
+        Alcotest.test_case "insert/update/delete" `Quick test_engine_mutations;
+        Alcotest.test_case "semantic errors" `Quick test_engine_errors;
+        Alcotest.test_case "tampering surfaces through SQL" `Quick
+          test_engine_detects_tampering;
+      ] );
+  ]
+
+(* --- aggregates ------------------------------------------------------------ *)
+
+let cells = function
+  | E.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let test_engine_aggregates () =
+  let _db, run = setup () in
+  (match cells (run "SELECT count(*) FROM staff") with
+  | [ [ Value.Int 6L ] ] -> ()
+  | r -> Alcotest.fail (Fmt.str "count: %a" Fmt.(list (list (of_to_string Value.to_string))) r));
+  (match cells (run "SELECT min(salary), max(salary), sum(salary), avg(salary) FROM staff") with
+  | [ [ Value.Int 8200L; Value.Int 9300L; Value.Int 53000L; Value.Int 8833L ] ] -> ()
+  | r -> Alcotest.fail (Fmt.str "stats: %a" Fmt.(list (list (of_to_string Value.to_string))) r));
+  (match cells (run "SELECT count(*) FROM staff WHERE salary > 8800") with
+  | [ [ Value.Int 3L ] ] -> ()
+  | _ -> Alcotest.fail "filtered count");
+  (* group by *)
+  (match cells (run "SELECT dept, count(*), avg(salary) FROM staff GROUP BY dept") with
+  | [
+      [ Value.Text "intelligence"; Value.Int 1L; Value.Int 8800L ];
+      [ Value.Text "research"; Value.Int 3L; Value.Int 8733L ];
+      [ Value.Text "systems"; Value.Int 2L; Value.Int 9000L ];
+    ] ->
+      ()
+  | r -> Alcotest.fail (Fmt.str "group: %a" Fmt.(list (list (of_to_string Value.to_string))) r));
+  (* header names *)
+  match run "SELECT count(*) FROM staff" with
+  | E.Rows { columns = [ "count(*)" ]; _ } -> ()
+  | E.Rows { columns; _ } -> Alcotest.fail (String.concat "," columns)
+  | _ -> Alcotest.fail "rows expected"
+
+let test_engine_aggregate_errors () =
+  let db, _run = setup () in
+  let reject s =
+    match E.exec db s with Error _ -> () | Ok _ -> Alcotest.fail ("accepted " ^ s)
+  in
+  reject "SELECT sum(*) FROM staff";
+  reject "SELECT sum(name) FROM staff";
+  reject "SELECT name, count(*) FROM staff";
+  (* field not in group by *)
+  reject "SELECT salary, count(*) FROM staff GROUP BY dept";
+  reject "SELECT name FROM staff GROUP BY dept"
+
+let suites =
+  suites
+  @ [
+      ( "sql:aggregates",
+        [
+          Alcotest.test_case "count/sum/min/max/avg + group by" `Quick test_engine_aggregates;
+          Alcotest.test_case "aggregate errors" `Quick test_engine_aggregate_errors;
+        ] );
+    ]
+
+(* --- parse . to_sql roundtrip on random statements ------------------------- *)
+
+let gen_ident =
+  (* identifiers must not collide with keywords (the grammar has no quoted
+     identifier form) *)
+  QCheck2.Gen.(
+    map2
+      (fun c rest ->
+        let id = String.make 1 c ^ rest in
+        if List.mem (String.uppercase_ascii id) L.keywords then "k" ^ id else id)
+      (char_range 'a' 'z')
+      (string_size ~gen:(char_range 'a' 'z') (int_range 0 6)))
+
+let gen_literal =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun i -> Value.Int (Int64.of_int i)) int;
+        map (fun s -> Value.Text s) (string_size (int_range 0 12));
+        map (fun s -> Value.Bytes s) (string_size (int_range 0 8));
+        map (fun b -> Value.Bool b) bool;
+        return Value.Null;
+      ])
+
+let gen_operand =
+  QCheck2.Gen.(
+    oneof [ map (fun c -> A.Col c) gen_ident; map (fun v -> A.Lit v) gen_literal ])
+
+let gen_expr =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 1 then
+          oneof
+            [
+              map3 (fun op a b -> A.Cmp (op, a, b))
+                (oneofl [ A.Eq; A.Ne; A.Lt; A.Le; A.Gt; A.Ge ])
+                gen_operand gen_operand;
+              map3 (fun e lo hi -> A.Between (e, lo, hi)) gen_operand gen_operand gen_operand;
+            ]
+        else
+          oneof
+            [
+              map2 (fun a b -> A.And (a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> A.Or (a, b)) (self (n / 2)) (self (n / 2));
+              map (fun e -> A.Not e) (self (n - 1));
+              self 1;
+            ]))
+
+let gen_sel_item =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun c -> A.Field c) gen_ident;
+        return (A.Aggregate (A.Count, None));
+        map2 (fun fn c -> A.Aggregate (fn, Some c))
+          (oneofl [ A.Count; A.Sum; A.Min; A.Max; A.Avg ])
+          gen_ident;
+      ])
+
+let gen_select =
+  QCheck2.Gen.(
+    let* items =
+      oneof [ return None; map Option.some (list_size (int_range 1 4) gen_sel_item) ]
+    in
+    let* table = gen_ident in
+    let* where = option gen_expr in
+    let* group_by = option gen_ident in
+    let* order_by = option (pair gen_ident (oneofl [ A.Asc; A.Desc ])) in
+    let* limit = option (int_bound 100) in
+    return { A.items; table; where; group_by; order_by; limit })
+
+let gen_stmt =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun s -> A.Select s) gen_select;
+        map (fun s -> A.Explain s) gen_select;
+        map2 (fun t vs -> A.Insert { table = t; values = vs }) gen_ident
+          (list_size (int_range 1 5) gen_literal);
+        (let* table = gen_ident in
+         let* col = gen_ident in
+         let* value = gen_literal in
+         let* where = option gen_expr in
+         return (A.Update { table; col; value; where }));
+        (let* table = gen_ident in
+         let* where = option gen_expr in
+         return (A.Delete { table; where }));
+        (let* name = gen_ident in
+         let* cols =
+           list_size (int_range 1 4)
+             (let* col_name = gen_ident in
+              let* col_type = oneofl [ Value.Kint; Value.Ktext; Value.Kbytes; Value.Kbool ] in
+              let* col_protection =
+                oneofl [ Secdb_db.Schema.Clear; Secdb_db.Schema.Encrypted ]
+              in
+              return { A.col_name; col_type; col_protection })
+         in
+         return (A.Create_table { name; cols }));
+        map2 (fun t c -> A.Create_index { table = t; col = c }) gen_ident gen_ident;
+      ])
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse (to_sql s) = s" ~count:500
+    ~print:(fun s -> A.to_sql s)
+    gen_stmt
+    (fun stmt ->
+      match P.parse (A.to_sql stmt) with
+      | Ok stmt' -> stmt' = stmt
+      | Error _ -> false)
+
+let suites =
+  suites
+  @ [ ("sql:roundtrip", [ QCheck_alcotest.to_alcotest prop_roundtrip ]) ]
+
+(* --- scripts ---------------------------------------------------------------- *)
+
+let test_scripts () =
+  (match P.parse_many "SELECT * FROM t; ; INSERT INTO t VALUES (1);" with
+  | Ok [ A.Select _; A.Insert _ ] -> ()
+  | Ok l -> Alcotest.fail (Printf.sprintf "%d statements" (List.length l))
+  | Error e -> Alcotest.fail e);
+  (match P.parse_many "" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty script");
+  (match P.parse_many "SELECT * FROM t SELECT" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing semicolon accepted");
+  let db = Encdb.create ~master:"scripts" ~profile:(Encdb.Fixed Encdb.Ccfb) () in
+  match
+    E.exec_script db
+      "CREATE TABLE s (id INT CLEAR, x INT);\n\
+       INSERT INTO s VALUES (0, 5);\n\
+       INSERT INTO s VALUES (1, 7);\n\
+       CREATE INDEX ON s (x);\n\
+       SELECT sum(x) FROM s;"
+  with
+  | Ok outcomes -> (
+      Alcotest.(check int) "five outcomes" 5 (List.length outcomes);
+      match List.rev outcomes with
+      | (_, E.Rows { rows = [ [ Value.Int 12L ] ]; _ }) :: _ -> ()
+      | _ -> Alcotest.fail "script result")
+  | Error e -> Alcotest.fail e
+
+let suites =
+  suites @ [ ("sql:scripts", [ Alcotest.test_case "parse_many and exec_script" `Quick test_scripts ]) ]
+
+(* --- selectivity-aware planning ------------------------------------------- *)
+
+let test_planner_selectivity () =
+  (* two indexed columns; the planner must pick whichever is more selective
+     for the query at hand *)
+  let db = Encdb.create ~master:"planner" ~profile:(Encdb.Fixed Encdb.Eax) () in
+  (match E.exec db "CREATE TABLE m (id INT CLEAR, a INT, b INT)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* a: uniform over [0,1000); b: constant 5 *)
+  for i = 0 to 199 do
+    match
+      E.exec db (Printf.sprintf "INSERT INTO m VALUES (%d, %d, 5)" i (i * 5))
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  (match E.exec db "CREATE INDEX ON m (a)" with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match E.exec db "CREATE INDEX ON m (b)" with Ok _ -> () | Error e -> Alcotest.fail e);
+  (* narrow range on a (selective) vs equality on b (matches everything) *)
+  let plan sql =
+    match P.parse sql with
+    | Ok (A.Select s) -> E.plan_of_select db s
+    | _ -> Alcotest.fail "parse"
+  in
+  (match plan "SELECT * FROM m WHERE a BETWEEN 10 AND 20 AND b = 5" with
+  | E.Index_scan { col = "a"; estimate; _ } ->
+      Alcotest.(check bool) "a estimated selective" true (estimate < 0.2)
+  | E.Index_scan { col; _ } -> Alcotest.fail ("picked " ^ col)
+  | E.Full_scan -> Alcotest.fail "full scan");
+  (* flip: wide range on a, point value on b that is rare *)
+  (match E.exec db "INSERT INTO m VALUES (999, 1, 77)" with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match plan "SELECT * FROM m WHERE a >= 0 AND b = 77" with
+  | E.Index_scan { col = "b"; estimate; _ } ->
+      Alcotest.(check bool) "b estimated selective" true (estimate < 0.5)
+  | E.Index_scan { col; _ } -> Alcotest.fail ("picked " ^ col)
+  | E.Full_scan -> Alcotest.fail "full scan");
+  (* the estimate shows up in EXPLAIN *)
+  match E.exec db "EXPLAIN SELECT * FROM m WHERE a BETWEEN 10 AND 20" with
+  | Ok (E.Plan p) ->
+      Alcotest.(check bool) "estimate printed" true
+        (String.length p > 0 &&
+         (let rec has i = i + 11 <= String.length p && (String.sub p i 11 = "selectivity" || has (i + 1)) in
+          has 0))
+  | _ -> Alcotest.fail "explain"
+
+let suites =
+  suites
+  @ [
+      ( "sql:planner",
+        [ Alcotest.test_case "selectivity-aware index choice" `Quick test_planner_selectivity ] );
+    ]

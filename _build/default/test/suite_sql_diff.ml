@@ -1,0 +1,243 @@
+(* Differential testing: random SQL executed both by the encrypted engine
+   (AEAD storage, encrypted index, planner) and by a naive plaintext
+   reference implementation.  Any divergence is a bug in parsing, planning,
+   index maintenance or the schemes underneath. *)
+
+open Secdb
+module Value = Secdb_db.Value
+module Schema = Secdb_db.Schema
+module A = Secdb_sql.Ast
+module E = Secdb_sql.Engine
+
+(* --- the reference: rows in a plain list --------------------------------- *)
+
+module Ref = struct
+  type t = { mutable rows : (int * Value.t array option) list; mutable next : int }
+  (* (row number, cells) with None = tombstone *)
+
+  let create () = { rows = []; next = 0 }
+
+  let cols = [| "id"; "k"; "v" |]
+  let col c = match Array.to_list cols |> List.mapi (fun i n -> (n, i)) |> List.assoc_opt c with
+    | Some i -> i
+    | None -> failwith "ref: unknown column"
+
+  let insert t values =
+    t.rows <- t.rows @ [ (t.next, Some (Array.of_list values)) ];
+    t.next <- t.next + 1
+
+  let live t = List.filter_map (fun (r, vs) -> Option.map (fun v -> (r, v)) vs) t.rows
+
+  let cmp_vals op a b =
+    if a = Value.Null || b = Value.Null then false
+    else
+      let c = Value.compare a b in
+      match op with
+      | A.Eq -> c = 0 | A.Ne -> c <> 0 | A.Lt -> c < 0
+      | A.Le -> c <= 0 | A.Gt -> c > 0 | A.Ge -> c >= 0
+
+  let operand vs = function
+    | A.Col c -> vs.(col c)
+    | A.Lit v -> v
+    | _ -> failwith "ref: operand"
+
+  let rec eval vs = function
+    | A.Cmp (op, a, b) -> cmp_vals op (operand vs a) (operand vs b)
+    | A.Between (e, lo, hi) ->
+        cmp_vals A.Ge (operand vs e) (operand vs lo)
+        && cmp_vals A.Le (operand vs e) (operand vs hi)
+    | A.And (a, b) -> eval vs a && eval vs b
+    | A.Or (a, b) -> eval vs a || eval vs b
+    | A.Not e -> not (eval vs e)
+    | A.Col _ | A.Lit _ -> failwith "ref: predicate"
+
+  let matching t where =
+    List.filter (fun (_, vs) -> match where with None -> true | Some w -> eval vs w) (live t)
+
+  let update t ~col:c ~value where =
+    let targets = List.map fst (matching t where) in
+    t.rows <-
+      List.map
+        (fun (r, vs) ->
+          if List.mem r targets then
+            (r, Option.map (fun a -> let a = Array.copy a in a.(col c) <- value; a) vs)
+          else (r, vs))
+        t.rows;
+    List.length targets
+
+  let delete t where =
+    let targets = List.map fst (matching t where) in
+    t.rows <-
+      List.map (fun (r, vs) -> if List.mem r targets then (r, None) else (r, vs)) t.rows;
+    List.length targets
+end
+
+(* --- generator of valid statements ---------------------------------------- *)
+
+module G = QCheck2.Gen
+
+let gen_int_lit = G.map (fun i -> Value.Int (Int64.of_int i)) (G.int_bound 30)
+let gen_text_lit = G.map (fun i -> Value.Text (Printf.sprintf "t%02d" i)) (G.int_bound 15)
+
+let gen_atom =
+  G.(
+    let* c = oneofl [ "k"; "v"; "id" ] in
+    let lit = if c = "v" then gen_text_lit else gen_int_lit in
+    oneof
+      [
+        (let* op = oneofl [ A.Eq; A.Ne; A.Lt; A.Le; A.Gt; A.Ge ] in
+         let* l = lit in
+         return (A.Cmp (op, A.Col c, A.Lit l)));
+        (let* lo = lit in
+         let* hi = lit in
+         return (A.Between (A.Col c, A.Lit lo, A.Lit hi)));
+      ])
+
+let gen_where =
+  G.(
+    sized @@ fix (fun self n ->
+        if n <= 1 then gen_atom
+        else
+          oneof
+            [
+              gen_atom;
+              map2 (fun a b -> A.And (a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> A.Or (a, b)) (self (n / 2)) (self (n / 2));
+              map (fun e -> A.Not e) (self (n - 1));
+            ]))
+
+type op =
+  | Op_insert of Value.t list
+  | Op_update of string * Value.t * A.expr option
+  | Op_delete of A.expr option
+  | Op_select of A.expr option * (string * A.order) option * int option
+  | Op_count of A.expr option
+
+let gen_op =
+  G.(
+    oneof
+      [
+        (let* k = gen_int_lit in
+         let* v = gen_text_lit in
+         let* id = gen_int_lit in
+         return (Op_insert [ id; k; v ]));
+        (let* c = oneofl [ "k"; "v" ] in
+         let* value = if c = "v" then gen_text_lit else gen_int_lit in
+         let* w = option gen_where in
+         return (Op_update (c, value, w)));
+        map (fun w -> Op_delete w) (option gen_where);
+        (let* w = option gen_where in
+         let* ob = option (pair (oneofl [ "id"; "k"; "v" ]) (oneofl [ A.Asc; A.Desc ])) in
+         let* lim = option (int_bound 10) in
+         return (Op_select (w, ob, lim)));
+        map (fun w -> Op_count w) (option gen_where);
+      ])
+
+(* --- the property ---------------------------------------------------------- *)
+
+let schema =
+  Schema.v ~table_name:"t"
+    [
+      Schema.column ~protection:Schema.Clear "id" Value.Kint;
+      Schema.column "k" Value.Kint;
+      Schema.column "v" Value.Ktext;
+    ]
+
+let sorted_rows rows = List.sort compare rows
+
+let run_diff profile ops =
+  let db = Encdb.create ~master:"diff" ~profile () in
+  Encdb.create_table db schema;
+  Encdb.create_index db ~table:"t" ~col:"k";
+  let reference = Ref.create () in
+  let ok = ref true in
+  let fail_if b = if b then ok := false in
+  List.iter
+    (fun op ->
+      match op with
+      | Op_insert values ->
+          Ref.insert reference values;
+          ignore (Encdb.insert db ~table:"t" values)
+      | Op_update (c, value, where) -> (
+          let expected = Ref.update reference ~col:c ~value where in
+          match E.exec_stmt db (A.Update { table = "t"; col = c; value; where }) with
+          | Ok (E.Affected n) -> fail_if (n <> expected)
+          | _ -> fail_if true)
+      | Op_delete where -> (
+          let expected = Ref.delete reference where in
+          match E.exec_stmt db (A.Delete { table = "t"; where }) with
+          | Ok (E.Affected n) -> fail_if (n <> expected)
+          | _ -> fail_if true)
+      | Op_select (where, order_by, limit) -> (
+          let stmt =
+            A.Select { items = None; table = "t"; where; group_by = None; order_by; limit }
+          in
+          match E.exec_stmt db stmt with
+          | Ok (E.Rows { rows; _ }) -> (
+              let expected = List.map (fun (_, vs) -> Array.to_list vs) (Ref.matching reference where) in
+              match (order_by, limit) with
+              | _, Some _ ->
+                  (* limits make order-dependent prefixes: check containment
+                     and size only *)
+                  fail_if (List.length rows > List.length expected);
+                  fail_if
+                    (not
+                       (List.for_all
+                          (fun r -> List.mem r expected)
+                          rows))
+              | Some (c, dir), None ->
+                  let i = Ref.col c in
+                  let sorted_expected =
+                    List.stable_sort
+                      (fun a b ->
+                        let d = Value.compare (List.nth a i) (List.nth b i) in
+                        match dir with A.Asc -> d | A.Desc -> -d)
+                      expected
+                  in
+                  (* ties may appear in either order: compare as multisets of
+                     the ordering key sequence plus overall multiset *)
+                  fail_if (List.map (fun r -> List.nth r i) rows
+                           <> List.map (fun r -> List.nth r i) sorted_expected);
+                  fail_if (sorted_rows rows <> sorted_rows expected)
+              | None, None -> fail_if (sorted_rows rows <> sorted_rows expected))
+          | _ -> fail_if true)
+      | Op_count where -> (
+          let stmt =
+            A.Select
+              {
+                items = Some [ A.Aggregate (A.Count, None) ];
+                table = "t";
+                where;
+                group_by = None;
+                order_by = None;
+                limit = None;
+              }
+          in
+          match E.exec_stmt db stmt with
+          | Ok (E.Rows { rows = [ [ Value.Int n ] ]; _ }) ->
+              fail_if (Int64.to_int n <> List.length (Ref.matching reference where))
+          | _ -> fail_if true))
+    ops;
+  (* final full-table agreement *)
+  (match E.exec_stmt db (A.Select { items = None; table = "t"; where = None; group_by = None; order_by = None; limit = None }) with
+  | Ok (E.Rows { rows; _ }) ->
+      fail_if
+        (sorted_rows rows
+        <> sorted_rows (List.map (fun (_, vs) -> Array.to_list vs) (Ref.live reference)))
+  | _ -> fail_if true);
+  !ok
+
+let prop profile =
+  QCheck2.Test.make
+    ~name:("sql differential: " ^ Encdb.profile_name profile)
+    ~count:20
+    G.(list_size (int_range 1 40) gen_op)
+    (fun ops -> run_diff profile ops)
+
+let suites =
+  [
+    ( "sql:differential",
+      List.map
+        (fun p -> QCheck_alcotest.to_alcotest (prop p))
+        [ Encdb.Elovici_append; Encdb.Fixed Encdb.Eax; Encdb.Siv_deterministic ] );
+  ]

@@ -1,0 +1,238 @@
+open Secdb_util
+
+let check = Alcotest.(check string)
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_hex_roundtrip () =
+  check "decode" "\x00\xff\x10" (Xbytes.of_hex "00ff10");
+  check "encode" "00ff10" (Xbytes.to_hex "\x00\xff\x10");
+  check "whitespace tolerated" "\xde\xad" (Xbytes.of_hex "de ad");
+  check "case-insensitive" "\xde\xad" (Xbytes.of_hex "DeAd")
+
+let test_hex_errors () =
+  Alcotest.check_raises "odd digits" (Invalid_argument "Xbytes.of_hex: odd number of digits")
+    (fun () -> ignore (Xbytes.of_hex "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Xbytes.of_hex: invalid hex digit")
+    (fun () -> ignore (Xbytes.of_hex "zz"))
+
+let test_xor () =
+  check "equal length" "\x03\x03" (Xbytes.xor "\x01\x02" "\x02\x01");
+  check "short right operand zero-extended" "\x03\x02" (Xbytes.xor "\x01\x02" "\x02");
+  check "short left operand zero-extended" "\x03\x02" (Xbytes.xor "\x02" "\x01\x02");
+  check "empty" "" (Xbytes.xor "" "");
+  Alcotest.check_raises "xor_exact mismatch"
+    (Invalid_argument "Xbytes.xor_exact: length mismatch") (fun () ->
+      ignore (Xbytes.xor_exact "a" "ab"))
+
+let test_take_drop_blocks () =
+  check "take" "ab" (Xbytes.take 2 "abcd");
+  check "take beyond" "abcd" (Xbytes.take 10 "abcd");
+  check "drop" "cd" (Xbytes.drop 2 "abcd");
+  check "drop beyond" "" (Xbytes.drop 10 "abcd");
+  Alcotest.(check (list string)) "blocks" [ "ab"; "cd"; "e" ] (Xbytes.blocks 2 "abcde");
+  Alcotest.(check (list string)) "blocks empty" [] (Xbytes.blocks 4 "");
+  Alcotest.check_raises "blocks size 0"
+    (Invalid_argument "Xbytes.blocks: block size must be positive") (fun () ->
+      ignore (Xbytes.blocks 0 "x"))
+
+let test_common_prefix () =
+  checki "bytes" 3 (Xbytes.common_prefix_len "abcde" "abcxe");
+  checki "identical" 5 (Xbytes.common_prefix_len "abcde" "abcde");
+  checki "none" 0 (Xbytes.common_prefix_len "xbcde" "abcde");
+  checki "block prefix" 1 (Xbytes.common_block_prefix ~block:2 "abcde" "abcxe");
+  checki "block prefix 0" 0 (Xbytes.common_block_prefix ~block:4 "abcde" "abcxe")
+
+let test_int_encodings () =
+  check "width 4" "\x00\x00\x01\x02" (Xbytes.int_to_be_string ~width:4 258);
+  checki "roundtrip" 258 (Xbytes.be_string_to_int "\x00\x00\x01\x02");
+  check "zero" "\x00\x00" (Xbytes.int_to_be_string ~width:2 0);
+  Alcotest.check_raises "overflow" (Invalid_argument "Xbytes.int_to_be_string: overflow")
+    (fun () -> ignore (Xbytes.int_to_be_string ~width:1 256));
+  Alcotest.check_raises "negative" (Invalid_argument "Xbytes.int_to_be_string: negative")
+    (fun () -> ignore (Xbytes.int_to_be_string ~width:4 (-1)));
+  check "int64 be" "\x00\x00\x00\x00\x00\x00\x01\x00" (Xbytes.int64_to_be_string 256L)
+
+let test_endian_accessors () =
+  let b = Bytes.create 8 in
+  Xbytes.set_uint32_be b 0 0xdeadbeef;
+  Xbytes.set_uint32_le b 4 0xdeadbeef;
+  checki "be get" 0xdeadbeef (Xbytes.get_uint32_be (Bytes.to_string b) 0);
+  checki "le get" 0xdeadbeef (Xbytes.get_uint32_le (Bytes.to_string b) 4);
+  check "be layout" "deadbeef" (Xbytes.to_hex (String.sub (Bytes.to_string b) 0 4));
+  check "le layout" "efbeadde" (Xbytes.to_hex (String.sub (Bytes.to_string b) 4 4));
+  let b64 = Bytes.create 8 in
+  Xbytes.set_uint64_be b64 0 0x0123456789abcdefL;
+  check "u64 be" "0123456789abcdef" (Xbytes.to_hex (Bytes.to_string b64));
+  Alcotest.(check int64)
+    "u64 roundtrip" 0x0123456789abcdefL
+    (Xbytes.get_uint64_be (Bytes.to_string b64) 0)
+
+let test_ascii_predicates () =
+  checkb "printable yes" true (Xbytes.is_ascii_printable "Hello, world!");
+  checkb "printable no (control)" false (Xbytes.is_ascii_printable "a\tb");
+  checkb "printable no (high)" false (Xbytes.is_ascii_printable "a\xffb");
+  checkb "ascii7 yes" true (Xbytes.is_ascii7 "a\tb\x00");
+  checkb "ascii7 no" false (Xbytes.is_ascii7 "a\x80")
+
+let test_constant_time_equal () =
+  checkb "equal" true (Xbytes.constant_time_equal "abc" "abc");
+  checkb "different" false (Xbytes.constant_time_equal "abc" "abd");
+  checkb "length" false (Xbytes.constant_time_equal "abc" "abcd");
+  checkb "empty" true (Xbytes.constant_time_equal "" "")
+
+let test_flip_bit () =
+  check "msb of byte 0" "\x80" (Xbytes.flip_bit "\x00" 0);
+  check "lsb of byte 0" "\x01" (Xbytes.flip_bit "\x00" 7);
+  check "byte 1" "a\x22" (Xbytes.flip_bit "ab" 9);
+  Alcotest.check_raises "out of range" (Invalid_argument "Xbytes.flip_bit: out of range")
+    (fun () -> ignore (Xbytes.flip_bit "a" 8))
+
+let test_vec_basics () =
+  let v = Vec.create () in
+  checki "empty" 0 (Vec.length v);
+  checki "push returns index" 0 (Vec.push v "a");
+  checki "push returns index 2" 1 (Vec.push v "b");
+  check "get" "b" (Vec.get v 1);
+  Vec.set v 0 "z";
+  check "set" "z" (Vec.get v 0);
+  Alcotest.check_raises "oob get"
+    (Invalid_argument "Vec.get: index 2 out of bounds (length 2)") (fun () ->
+      ignore (Vec.get v 2));
+  Alcotest.(check (list string)) "to_list" [ "z"; "b" ] (Vec.to_list v);
+  Alcotest.(check (list string)) "of_list roundtrip" [ "x"; "y" ]
+    (Vec.to_list (Vec.of_list [ "x"; "y" ]))
+
+let test_vec_growth () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    ignore (Vec.push v i)
+  done;
+  checki "length" 1000 (Vec.length v);
+  checki "first" 0 (Vec.get v 0);
+  checki "last" 999 (Vec.get v 999);
+  let sum = Vec.fold_left ( + ) 0 v in
+  checki "fold" (999 * 1000 / 2) sum;
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  checki "iteri count" 1000 (List.length !seen);
+  checkb "iteri pairs" true (List.for_all (fun (i, x) -> i = x) !seen)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:99L () and b = Rng.create ~seed:99L () in
+  check "same seed, same bytes" (Rng.bytes a 32) (Rng.bytes b 32);
+  let c = Rng.create ~seed:100L () in
+  checkb "different seed, different bytes" false (Rng.bytes a 32 = Rng.bytes c 32);
+  let d = Rng.create ~seed:5L () in
+  let copy = Rng.copy d in
+  check "copy independent but equal" (Rng.bytes d 16) (Rng.bytes copy 16)
+
+let test_rng_ranges () =
+  let rng = Rng.create () in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    if not (v >= 0 && v < 7) then Alcotest.fail "int out of range"
+  done;
+  checkb "ascii printable" true (Xbytes.is_ascii_printable (Rng.ascii rng 200));
+  checkb "alpha lowercase" true
+    (String.for_all (fun c -> c >= 'a' && c <= 'z') (Rng.alpha rng 200));
+  Alcotest.check_raises "int bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_shuffle () =
+  let rng = Rng.create ~seed:3L () in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted;
+  checkb "actually shuffled" true (arr <> Array.init 50 Fun.id)
+
+(* property tests *)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let prop_hex_roundtrip =
+  QCheck2.Test.make ~name:"hex roundtrip" ~count:500 QCheck2.Gen.string (fun s ->
+      Xbytes.of_hex (Xbytes.to_hex s) = s)
+
+let prop_xor_involution =
+  QCheck2.Test.make ~name:"xor involution on equal lengths" ~count:500
+    QCheck2.Gen.(pair string string)
+    (fun (a, b) ->
+      let n = min (String.length a) (String.length b) in
+      let a = String.sub a 0 n and b = String.sub b 0 n in
+      Xbytes.xor (Xbytes.xor a b) b = a)
+
+let prop_blocks_concat =
+  QCheck2.Test.make ~name:"blocks concatenate back" ~count:500
+    QCheck2.Gen.(pair (int_range 1 20) string)
+    (fun (n, s) -> String.concat "" (Xbytes.blocks n s) = s)
+
+let prop_int_be_roundtrip =
+  QCheck2.Test.make ~name:"int_to_be/be_to_int roundtrip" ~count:500
+    QCheck2.Gen.(int_bound 1_000_000_000)
+    (fun n -> Xbytes.be_string_to_int (Xbytes.int_to_be_string ~width:8 n) = n)
+
+let prop_flip_bit_involution =
+  QCheck2.Test.make ~name:"flip_bit involution" ~count:500
+    QCheck2.Gen.(string_size (int_range 1 40))
+    (fun s ->
+      let i = (String.length s * 8) - 1 in
+      Xbytes.flip_bit (Xbytes.flip_bit s i) i = s)
+
+let test_dist_zipf () =
+  let w = Dist.zipf_weights ~n:5 ~s:1.0 in
+  checkb "normalised" true (Float.abs (Array.fold_left ( +. ) 0.0 w -. 1.0) < 1e-9);
+  checkb "monotone" true (w.(0) > w.(1) && w.(1) > w.(2));
+  (* s = 0 is uniform *)
+  let u = Dist.zipf_weights ~n:4 ~s:0.0 in
+  checkb "uniform" true (Array.for_all (fun x -> Float.abs (x -. 0.25) < 1e-9) u);
+  Alcotest.check_raises "n = 0" (Invalid_argument "Dist.zipf_weights: n must be positive")
+    (fun () -> ignore (Dist.zipf_weights ~n:0 ~s:1.0));
+  (* sampling respects the skew: rank 0 dominates *)
+  let rng = Rng.create ~seed:7L () in
+  let counts = Dist.counts_of_samples rng ~sampler:(fun r -> Dist.zipf r ~n:10 ~s:1.2) ~draws:2000 in
+  (match counts with
+  | (0, c0) :: _ ->
+      checkb "rank 0 most frequent" true
+        (List.for_all (fun (_, c) -> c <= c0) counts);
+      checkb "plausible share" true (c0 > 500)
+  | _ -> Alcotest.fail "rank 0 absent");
+  checki "histogram sums" 2000 (List.fold_left (fun a (_, c) -> a + c) 0 counts);
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 2); (2, 1) ]
+    (Dist.histogram [ 2; 1; 1 ])
+
+let suites =
+  [
+    ( "util:xbytes",
+      [
+        Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        Alcotest.test_case "hex errors" `Quick test_hex_errors;
+        Alcotest.test_case "xor" `Quick test_xor;
+        Alcotest.test_case "take/drop/blocks" `Quick test_take_drop_blocks;
+        Alcotest.test_case "common prefixes" `Quick test_common_prefix;
+        Alcotest.test_case "int encodings" `Quick test_int_encodings;
+        Alcotest.test_case "endian accessors" `Quick test_endian_accessors;
+        Alcotest.test_case "ascii predicates" `Quick test_ascii_predicates;
+        Alcotest.test_case "constant-time equal" `Quick test_constant_time_equal;
+        Alcotest.test_case "flip bit" `Quick test_flip_bit;
+        qc prop_hex_roundtrip;
+        qc prop_xor_involution;
+        qc prop_blocks_concat;
+        qc prop_int_be_roundtrip;
+        qc prop_flip_bit_involution;
+      ] );
+    ( "util:vec",
+      [
+        Alcotest.test_case "basics" `Quick test_vec_basics;
+        Alcotest.test_case "growth and iteration" `Quick test_vec_growth;
+      ] );
+    ( "util:rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "ranges" `Quick test_rng_ranges;
+        Alcotest.test_case "shuffle" `Quick test_rng_shuffle;
+      ] );
+    ("util:dist", [ Alcotest.test_case "zipf and histograms" `Quick test_dist_zipf ]);
+  ]

@@ -31,8 +31,9 @@ let e_cbc0 = Einst.cbc_zero_iv aes
 let append_scheme = Secdb_schemes.Cell_append.make ~e:e_cbc0 ~mu
 
 let fixed_scheme ?(mk = fun c -> Secdb_aead.Eax.make c) () =
-  Secdb_schemes.Fixed_cell.make ~aead:(mk aes)
-    ~nonce:(Secdb_aead.Nonce.counter ~size:(mk aes).Secdb_aead.Aead.nonce_size ()) ()
+  let aead = mk aes in
+  Secdb_schemes.Fixed_cell.make ~aead
+    ~nonce:(Secdb_aead.Nonce.counter ~size:aead.Secdb_aead.Aead.nonce_size ()) ()
 
 let header fmt = Printf.printf ("\n" ^^ fmt ^^ "\n%!")
 let row fmt = Printf.printf (fmt ^^ "\n%!")
@@ -244,8 +245,9 @@ let exp9 ~fast =
   let sizes = if fast then [ 64; 1024 ] else [ 64; 256; 1024; 4096 ] in
   let e_fast = Einst.cbc_zero_iv aes_fast in
   let fixed_fast mk =
-    Secdb_schemes.Fixed_cell.make ~aead:(mk aes_fast)
-      ~nonce:(Secdb_aead.Nonce.counter ~size:(mk aes_fast).Secdb_aead.Aead.nonce_size ())
+    let aead = mk aes_fast in
+    Secdb_schemes.Fixed_cell.make ~aead
+      ~nonce:(Secdb_aead.Nonce.counter ~size:aead.Secdb_aead.Aead.nonce_size ())
       ()
   in
   let schemes =

@@ -1,0 +1,8 @@
+The throughput suite's check mode drives every bulk-encryption path —
+kernel vs string-closure agreement on all five modes, parallel vs
+sequential byte-equality for the batch cell schemes, whole-table
+insert_many against a per-row insert loop, and a pooled index bulk load
+against the sequential build — and prints only the verdict:
+
+  $ secdb_perf --fast --check
+  perf check: OK

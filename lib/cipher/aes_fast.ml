@@ -74,85 +74,148 @@ let expand_key key_str =
   done;
   { ek; dk; rounds; bits = String.length key_str * 8 }
 
-let load block =
-  if String.length block <> 16 then invalid_arg "Aes_fast: block must be 16 bytes";
-  Array.init 4 (fun c -> Secdb_util.Xbytes.get_uint32_be block (4 * c))
-
-let store w =
-  let b = Bytes.create 16 in
-  Array.iteri (fun c v -> Secdb_util.Xbytes.set_uint32_be b (4 * c) v) w;
-  Bytes.unsafe_to_string b
-
 let b0 w = (w lsr 24) land 0xff
 let b1 w = (w lsr 16) land 0xff
 let b2 w = (w lsr 8) land 0xff
 let b3 w = w land 0xff
 
+(* Offsets are bounds-checked once at entry; the word accessors below may
+   then use unsafe byte access. *)
+let check_range name buf off =
+  if off < 0 || off + 16 > Bytes.length buf then
+    invalid_arg (Printf.sprintf "Aes_fast.%s: 16-byte block out of range" name)
+
+let get32 b i =
+  (Char.code (Bytes.unsafe_get b i) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (i + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (i + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (i + 3))
+
+let set32 b i v =
+  Bytes.unsafe_set b i (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.unsafe_set b (i + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (i + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (i + 3) (Char.unsafe_chr (v land 0xff))
+
+(* The whole state lives in eight immutable int bindings threaded through a
+   tail-recursive round loop: no scratch arrays, no allocation, safe to run
+   from any number of domains over one shared key schedule.
+
+   Table and schedule reads use unsafe access: every table index is masked
+   to 0xff by [b0..b3] against 256-entry tables, and the highest schedule
+   index is 4*rounds + 3 = length - 1 by construction of [expand_key]. *)
+
+let encrypt_into k src ~src_off dst ~dst_off =
+  check_range "encrypt_into" src src_off;
+  check_range "encrypt_into" dst dst_off;
+  let ek = k.ek and rounds = k.rounds in
+  let rec go r w0 w1 w2 w3 =
+    if r = rounds then begin
+      let rk = 4 * r in
+      let s = Aes.sbox in
+      set32 dst dst_off
+        ((Array.unsafe_get s (b0 w0) lsl 24) lor (Array.unsafe_get s (b1 w1) lsl 16) lor (Array.unsafe_get s (b2 w2) lsl 8)
+        lor Array.unsafe_get s (b3 w3) lxor Array.unsafe_get ek rk);
+      set32 dst (dst_off + 4)
+        ((Array.unsafe_get s (b0 w1) lsl 24) lor (Array.unsafe_get s (b1 w2) lsl 16) lor (Array.unsafe_get s (b2 w3) lsl 8)
+        lor Array.unsafe_get s (b3 w0) lxor Array.unsafe_get ek (rk + 1));
+      set32 dst (dst_off + 8)
+        ((Array.unsafe_get s (b0 w2) lsl 24) lor (Array.unsafe_get s (b1 w3) lsl 16) lor (Array.unsafe_get s (b2 w0) lsl 8)
+        lor Array.unsafe_get s (b3 w1) lxor Array.unsafe_get ek (rk + 2));
+      set32 dst (dst_off + 12)
+        ((Array.unsafe_get s (b0 w3) lsl 24) lor (Array.unsafe_get s (b1 w0) lsl 16) lor (Array.unsafe_get s (b2 w1) lsl 8)
+        lor Array.unsafe_get s (b3 w2) lxor Array.unsafe_get ek (rk + 3))
+    end
+    else begin
+      let rk = 4 * r in
+      let t0 =
+        Array.unsafe_get te0 (b0 w0) lxor Array.unsafe_get te1 (b1 w1) lxor Array.unsafe_get te2 (b2 w2) lxor Array.unsafe_get te3 (b3 w3)
+        lxor Array.unsafe_get ek rk
+      in
+      let t1 =
+        Array.unsafe_get te0 (b0 w1) lxor Array.unsafe_get te1 (b1 w2) lxor Array.unsafe_get te2 (b2 w3) lxor Array.unsafe_get te3 (b3 w0)
+        lxor Array.unsafe_get ek (rk + 1)
+      in
+      let t2 =
+        Array.unsafe_get te0 (b0 w2) lxor Array.unsafe_get te1 (b1 w3) lxor Array.unsafe_get te2 (b2 w0) lxor Array.unsafe_get te3 (b3 w1)
+        lxor Array.unsafe_get ek (rk + 2)
+      in
+      let t3 =
+        Array.unsafe_get te0 (b0 w3) lxor Array.unsafe_get te1 (b1 w0) lxor Array.unsafe_get te2 (b2 w1) lxor Array.unsafe_get te3 (b3 w2)
+        lxor Array.unsafe_get ek (rk + 3)
+      in
+      go (r + 1) t0 t1 t2 t3
+    end
+  in
+  go 1
+    (get32 src src_off lxor Array.unsafe_get ek 0)
+    (get32 src (src_off + 4) lxor Array.unsafe_get ek 1)
+    (get32 src (src_off + 8) lxor Array.unsafe_get ek 2)
+    (get32 src (src_off + 12) lxor Array.unsafe_get ek 3)
+
+let decrypt_into k src ~src_off dst ~dst_off =
+  check_range "decrypt_into" src src_off;
+  check_range "decrypt_into" dst dst_off;
+  let dk = k.dk and rounds = k.rounds in
+  let rec go r w0 w1 w2 w3 =
+    if r = rounds then begin
+      let rk = 4 * r in
+      let si = Aes.inv_sbox in
+      set32 dst dst_off
+        ((Array.unsafe_get si (b0 w0) lsl 24) lor (Array.unsafe_get si (b1 w3) lsl 16) lor (Array.unsafe_get si (b2 w2) lsl 8)
+        lor Array.unsafe_get si (b3 w1) lxor Array.unsafe_get dk rk);
+      set32 dst (dst_off + 4)
+        ((Array.unsafe_get si (b0 w1) lsl 24) lor (Array.unsafe_get si (b1 w0) lsl 16) lor (Array.unsafe_get si (b2 w3) lsl 8)
+        lor Array.unsafe_get si (b3 w2) lxor Array.unsafe_get dk (rk + 1));
+      set32 dst (dst_off + 8)
+        ((Array.unsafe_get si (b0 w2) lsl 24) lor (Array.unsafe_get si (b1 w1) lsl 16) lor (Array.unsafe_get si (b2 w0) lsl 8)
+        lor Array.unsafe_get si (b3 w3) lxor Array.unsafe_get dk (rk + 2));
+      set32 dst (dst_off + 12)
+        ((Array.unsafe_get si (b0 w3) lsl 24) lor (Array.unsafe_get si (b1 w2) lsl 16) lor (Array.unsafe_get si (b2 w1) lsl 8)
+        lor Array.unsafe_get si (b3 w0) lxor Array.unsafe_get dk (rk + 3))
+    end
+    else begin
+      let rk = 4 * r in
+      let t0 =
+        Array.unsafe_get td0 (b0 w0) lxor Array.unsafe_get td1 (b1 w3) lxor Array.unsafe_get td2 (b2 w2) lxor Array.unsafe_get td3 (b3 w1)
+        lxor Array.unsafe_get dk rk
+      in
+      let t1 =
+        Array.unsafe_get td0 (b0 w1) lxor Array.unsafe_get td1 (b1 w0) lxor Array.unsafe_get td2 (b2 w3) lxor Array.unsafe_get td3 (b3 w2)
+        lxor Array.unsafe_get dk (rk + 1)
+      in
+      let t2 =
+        Array.unsafe_get td0 (b0 w2) lxor Array.unsafe_get td1 (b1 w1) lxor Array.unsafe_get td2 (b2 w0) lxor Array.unsafe_get td3 (b3 w3)
+        lxor Array.unsafe_get dk (rk + 2)
+      in
+      let t3 =
+        Array.unsafe_get td0 (b0 w3) lxor Array.unsafe_get td1 (b1 w2) lxor Array.unsafe_get td2 (b2 w1) lxor Array.unsafe_get td3 (b3 w0)
+        lxor Array.unsafe_get dk (rk + 3)
+      in
+      go (r + 1) t0 t1 t2 t3
+    end
+  in
+  go 1
+    (get32 src src_off lxor Array.unsafe_get dk 0)
+    (get32 src (src_off + 4) lxor Array.unsafe_get dk 1)
+    (get32 src (src_off + 8) lxor Array.unsafe_get dk 2)
+    (get32 src (src_off + 12) lxor Array.unsafe_get dk 3)
+
 let encrypt_block k block =
-  let w = load block in
-  for c = 0 to 3 do
-    w.(c) <- w.(c) lxor k.ek.(c)
-  done;
-  let t = Array.make 4 0 in
-  for round = 1 to k.rounds - 1 do
-    let rk = 4 * round in
-    for c = 0 to 3 do
-      t.(c) <-
-        te0.(b0 w.(c))
-        lxor te1.(b1 w.((c + 1) land 3))
-        lxor te2.(b2 w.((c + 2) land 3))
-        lxor te3.(b3 w.((c + 3) land 3))
-        lxor k.ek.(rk + c)
-    done;
-    Array.blit t 0 w 0 4
-  done;
-  let rk = 4 * k.rounds in
-  let s = Aes.sbox in
-  for c = 0 to 3 do
-    t.(c) <-
-      (s.(b0 w.(c)) lsl 24)
-      lor (s.(b1 w.((c + 1) land 3)) lsl 16)
-      lor (s.(b2 w.((c + 2) land 3)) lsl 8)
-      lor s.(b3 w.((c + 3) land 3))
-      lxor k.ek.(rk + c)
-  done;
-  store t
+  if String.length block <> 16 then invalid_arg "Aes_fast: block must be 16 bytes";
+  let out = Bytes.create 16 in
+  encrypt_into k (Bytes.unsafe_of_string block) ~src_off:0 out ~dst_off:0;
+  Bytes.unsafe_to_string out
 
 let decrypt_block k block =
-  let w = load block in
-  for c = 0 to 3 do
-    w.(c) <- w.(c) lxor k.dk.(c)
-  done;
-  let t = Array.make 4 0 in
-  for round = 1 to k.rounds - 1 do
-    let rk = 4 * round in
-    for c = 0 to 3 do
-      t.(c) <-
-        td0.(b0 w.(c))
-        lxor td1.(b1 w.((c + 3) land 3))
-        lxor td2.(b2 w.((c + 2) land 3))
-        lxor td3.(b3 w.((c + 1) land 3))
-        lxor k.dk.(rk + c)
-    done;
-    Array.blit t 0 w 0 4
-  done;
-  let rk = 4 * k.rounds in
-  let si = Aes.inv_sbox in
-  for c = 0 to 3 do
-    t.(c) <-
-      (si.(b0 w.(c)) lsl 24)
-      lor (si.(b1 w.((c + 3) land 3)) lsl 16)
-      lor (si.(b2 w.((c + 2) land 3)) lsl 8)
-      lor si.(b3 w.((c + 1) land 3))
-      lxor k.dk.(rk + c)
-  done;
-  store t
+  if String.length block <> 16 then invalid_arg "Aes_fast: block must be 16 bytes";
+  let out = Bytes.create 16 in
+  decrypt_into k (Bytes.unsafe_of_string block) ~src_off:0 out ~dst_off:0;
+  Bytes.unsafe_to_string out
 
 let cipher ~key =
   let k = expand_key key in
-  {
-    Block.name = Printf.sprintf "aes-%d-fast" k.bits;
-    block_size = 16;
-    encrypt = encrypt_block k;
-    decrypt = decrypt_block k;
-  }
+  Block.v
+    ~name:(Printf.sprintf "aes-%d-fast" k.bits)
+    ~block_size:16 ~encrypt:(encrypt_block k) ~decrypt:(decrypt_block k)
+    ~encrypt_into:(encrypt_into k) ~decrypt_into:(decrypt_into k) ()

@@ -18,5 +18,16 @@ val expand_key : string -> key
 val encrypt_block : key -> string -> string
 val decrypt_block : key -> string -> string
 
+val encrypt_into : key -> Block.into
+(** Allocation-free one-block kernel: the round state is threaded through
+    int bindings, so a call performs no heap allocation at all.  Reads the
+    source block completely before writing, hence in-place use (same buffer,
+    same offset) is fine.  Shares the immutable key schedule safely across
+    domains.
+    @raise Invalid_argument if either 16-byte range is out of bounds. *)
+
+val decrypt_into : key -> Block.into
+
 val cipher : key:string -> Block.t
-(** Named ["aes-128-fast"] etc. *)
+(** Named ["aes-128-fast"] etc.; carries the {!encrypt_into} and
+    {!decrypt_into} fast paths, which the bulk mode kernels pick up. *)

@@ -143,12 +143,8 @@ let decrypt_block key block = crypt_block reverse_order key block
 
 let cipher ~key =
   let k = expand_key key in
-  {
-    Block.name = "des";
-    block_size = 8;
-    encrypt = encrypt_block k;
-    decrypt = decrypt_block k;
-  }
+  Block.v ~name:"des" ~block_size:8 ~encrypt:(encrypt_block k)
+    ~decrypt:(decrypt_block k) ()
 
 let weak_keys =
   List.map Secdb_util.Xbytes.of_hex

@@ -6,9 +6,9 @@ let cipher ~key =
     | n -> invalid_arg (Printf.sprintf "Des3.cipher: key must be 16 or 24 bytes, got %d" n)
   in
   let e1 = Des.expand_key k1 and e2 = Des.expand_key k2 and e3 = Des.expand_key k3 in
-  {
-    Block.name = (if String.length key = 16 then "3des-ede2" else "3des-ede3");
-    block_size = 8;
-    encrypt = (fun b -> Des.encrypt_block e3 (Des.decrypt_block e2 (Des.encrypt_block e1 b)));
-    decrypt = (fun b -> Des.decrypt_block e1 (Des.encrypt_block e2 (Des.decrypt_block e3 b)));
-  }
+  Block.v
+    ~name:(if String.length key = 16 then "3des-ede2" else "3des-ede3")
+    ~block_size:8
+    ~encrypt:(fun b -> Des.encrypt_block e3 (Des.decrypt_block e2 (Des.encrypt_block e1 b)))
+    ~decrypt:(fun b -> Des.decrypt_block e1 (Des.encrypt_block e2 (Des.decrypt_block e3 b)))
+    ()

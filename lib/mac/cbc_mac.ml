@@ -10,9 +10,22 @@ let chain (c : Secdb_cipher.Block.t) msg =
       !prev)
     (Xbytes.blocks c.block_size msg)
 
-let mac c msg =
-  match List.rev (chain c msg) with
-  | last :: _ -> last
-  | [] -> c.encrypt (Secdb_cipher.Block.zero_block c)
+(* Same value as [List.rev (chain c msg) |> hd], computed over one reusable
+   accumulator block on the cipher's allocation-free path. *)
+let mac (c : Secdb_cipher.Block.t) msg =
+  if String.length msg mod c.block_size <> 0 then
+    invalid_arg "Cbc_mac: message length must be a multiple of the block size";
+  let bs = c.block_size in
+  let n = String.length msg / bs in
+  let enc = Secdb_cipher.Block.encrypt_into c in
+  let acc = Bytes.make bs '\000' in
+  let src = Bytes.unsafe_of_string msg in
+  if n = 0 then enc acc ~src_off:0 acc ~dst_off:0
+  else
+    for i = 0 to n - 1 do
+      Xbytes.xor_blit ~src ~src_off:(i * bs) ~dst:acc ~dst_off:0 ~len:bs;
+      enc acc ~src_off:0 acc ~dst_off:0
+    done;
+  Bytes.unsafe_to_string acc
 
 let mac_padded c msg = mac c (Secdb_modes.Padding.pad ~block:c.block_size msg)

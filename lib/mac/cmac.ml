@@ -14,22 +14,34 @@ let keyed (c : Secdb_cipher.Block.t) =
 
 let mac_with { cipher = c; k1; k2 } ?init msg =
   let bs = c.block_size in
-  let init = Option.value init ~default:(Secdb_cipher.Block.zero_block c) in
   let len = String.length msg in
   let complete = len > 0 && len mod bs = 0 in
   let nfull = if complete then (len / bs) - 1 else len / bs in
-  let prev = ref init in
-  for i = 0 to nfull - 1 do
-    prev := c.encrypt (Xbytes.xor_exact (String.sub msg (i * bs) bs) !prev)
-  done;
-  let last =
-    if complete then Xbytes.xor_exact (String.sub msg (nfull * bs) bs) k1
-    else
-      let rest = String.sub msg (nfull * bs) (len - (nfull * bs)) in
-      let padded = rest ^ "\x80" ^ String.make (bs - String.length rest - 1) '\000' in
-      Xbytes.xor_exact padded k2
+  let enc = Secdb_cipher.Block.encrypt_into c in
+  let src = Bytes.unsafe_of_string msg in
+  (* [acc] carries the CBC chain; each step xors the next message block in
+     and encrypts in place *)
+  let acc =
+    match init with
+    | None -> Bytes.make bs '\000'
+    | Some s -> Bytes.of_string s
   in
-  c.encrypt (Xbytes.xor_exact last !prev)
+  for i = 0 to nfull - 1 do
+    Xbytes.xor_blit ~src ~src_off:(i * bs) ~dst:acc ~dst_off:0 ~len:bs;
+    enc acc ~src_off:0 acc ~dst_off:0
+  done;
+  if complete then begin
+    Xbytes.xor_blit ~src ~src_off:(nfull * bs) ~dst:acc ~dst_off:0 ~len:bs;
+    Xbytes.xor_into ~src:k1 ~dst:acc ~dst_off:0
+  end
+  else begin
+    let rest = len - (nfull * bs) in
+    Xbytes.xor_blit ~src ~src_off:(nfull * bs) ~dst:acc ~dst_off:0 ~len:rest;
+    Bytes.set acc rest (Char.chr (Char.code (Bytes.get acc rest) lxor 0x80));
+    Xbytes.xor_into ~src:k2 ~dst:acc ~dst_off:0
+  end;
+  enc acc ~src_off:0 acc ~dst_off:0;
+  Bytes.unsafe_to_string acc
 
 let chain_state { cipher = c; _ } prefix =
   let bs = c.block_size in

@@ -9,22 +9,33 @@ let mac (c : Secdb_cipher.Block.t) msg =
   let l_inv = Gf128.inv_dbl l in
   let len = String.length msg in
   let m = max 1 ((len + bs - 1) / bs) in
-  let sigma = ref (Secdb_cipher.Block.zero_block c) in
+  let enc = Secdb_cipher.Block.encrypt_into c in
+  let src = Bytes.unsafe_of_string msg in
+  (* [sigma] accumulates the xor of the encrypted offset blocks; [tmp] holds
+     blk xor Z_i for the in-place encryption — the only per-block state *)
+  let sigma = Bytes.make bs '\000' in
+  let tmp = Bytes.create bs in
   let z = ref l in
   for i = 1 to m - 1 do
-    let blk = String.sub msg ((i - 1) * bs) bs in
-    sigma := Xbytes.xor_exact !sigma (c.encrypt (Xbytes.xor_exact blk !z));
+    Bytes.blit src ((i - 1) * bs) tmp 0 bs;
+    Xbytes.xor_into ~src:!z ~dst:tmp ~dst_off:0;
+    enc tmp ~src_off:0 tmp ~dst_off:0;
+    Xbytes.xor_blit ~src:tmp ~src_off:0 ~dst:sigma ~dst_off:0 ~len:bs;
     z := Xbytes.xor_exact !z (Gf128.dbl_pow l (Gf128.ntz (i + 1)))
   done;
   let lastlen = len - ((m - 1) * bs) in
-  let final =
-    if lastlen = bs then
-      Xbytes.xor_exact (String.sub msg ((m - 1) * bs) bs) l_inv
-    else
-      let rest = if lastlen <= 0 then "" else String.sub msg ((m - 1) * bs) lastlen in
-      rest ^ "\x80" ^ String.make (bs - String.length rest - 1) '\000'
-  in
-  c.encrypt (Xbytes.xor_exact !sigma final)
+  if lastlen = bs then begin
+    Xbytes.xor_blit ~src ~src_off:((m - 1) * bs) ~dst:sigma ~dst_off:0 ~len:bs;
+    Xbytes.xor_into ~src:l_inv ~dst:sigma ~dst_off:0
+  end
+  else begin
+    if lastlen > 0 then
+      Xbytes.xor_blit ~src ~src_off:((m - 1) * bs) ~dst:sigma ~dst_off:0 ~len:lastlen;
+    let p = max 0 lastlen in
+    Bytes.set sigma p (Char.chr (Char.code (Bytes.get sigma p) lxor 0x80))
+  end;
+  enc sigma ~src_off:0 sigma ~dst_off:0;
+  Bytes.unsafe_to_string sigma
 
 let mac_truncated c ~bytes msg = Xbytes.take bytes (mac c msg)
 

@@ -1,65 +1,91 @@
 open Secdb_util
+module Block = Secdb_cipher.Block
 
-let check_aligned (c : Secdb_cipher.Block.t) s op =
+(* Every mode below runs on a single [Bytes.t] working buffer through the
+   cipher's [encrypt_into]/[decrypt_into] fast path: no per-block string is
+   ever allocated.  For ciphers without a native fast path the Block
+   fallback reproduces the old per-block behaviour, so the outputs are
+   byte-identical either way (enforced by the bulk property suite). *)
+
+let check_aligned (c : Block.t) s op =
   if String.length s mod c.block_size <> 0 then
     invalid_arg
       (Printf.sprintf "Mode.%s: input length %d is not a multiple of the %d-byte block" op
          (String.length s) c.block_size)
 
-let check_iv (c : Secdb_cipher.Block.t) iv op =
+let check_iv (c : Block.t) iv op =
   if String.length iv <> c.block_size then
     invalid_arg (Printf.sprintf "Mode.%s: IV must be one block" op)
 
-let map_blocks c s f =
-  let bs = c.Secdb_cipher.Block.block_size in
-  let n = String.length s / bs in
-  let out = Buffer.create (String.length s) in
-  for i = 0 to n - 1 do
-    Buffer.add_string out (f (String.sub s (i * bs) bs))
-  done;
-  Buffer.contents out
-
-let ecb_encrypt (c : Secdb_cipher.Block.t) s =
+let ecb_encrypt (c : Block.t) s =
   check_aligned c s "ecb_encrypt";
-  map_blocks c s c.encrypt
+  let bs = c.block_size in
+  let enc = Block.encrypt_into c in
+  let out = Bytes.of_string s in
+  for i = 0 to (String.length s / bs) - 1 do
+    enc out ~src_off:(i * bs) out ~dst_off:(i * bs)
+  done;
+  Bytes.unsafe_to_string out
 
-let ecb_decrypt (c : Secdb_cipher.Block.t) s =
+let ecb_decrypt (c : Block.t) s =
   check_aligned c s "ecb_decrypt";
-  map_blocks c s c.decrypt
+  let bs = c.block_size in
+  let dec = Block.decrypt_into c in
+  let out = Bytes.of_string s in
+  for i = 0 to (String.length s / bs) - 1 do
+    dec out ~src_off:(i * bs) out ~dst_off:(i * bs)
+  done;
+  Bytes.unsafe_to_string out
 
-let cbc_encrypt (c : Secdb_cipher.Block.t) ~iv s =
+let cbc_encrypt (c : Block.t) ~iv s =
   check_aligned c s "cbc_encrypt";
   check_iv c iv "cbc_encrypt";
-  let prev = ref iv in
-  map_blocks c s (fun p ->
-      let ct = c.encrypt (Xbytes.xor_exact p !prev) in
-      prev := ct;
-      ct)
+  let bs = c.block_size in
+  let enc = Block.encrypt_into c in
+  let out = Bytes.of_string s in
+  for i = 0 to (String.length s / bs) - 1 do
+    (* chain: xor the previous ciphertext block (already in [out]) in place *)
+    if i = 0 then Xbytes.xor_into ~src:iv ~dst:out ~dst_off:0
+    else
+      Xbytes.xor_blit ~src:out ~src_off:((i - 1) * bs) ~dst:out ~dst_off:(i * bs) ~len:bs;
+    enc out ~src_off:(i * bs) out ~dst_off:(i * bs)
+  done;
+  Bytes.unsafe_to_string out
 
-let cbc_decrypt (c : Secdb_cipher.Block.t) ~iv s =
+let cbc_decrypt (c : Block.t) ~iv s =
   check_aligned c s "cbc_decrypt";
   check_iv c iv "cbc_decrypt";
-  let prev = ref iv in
-  map_blocks c s (fun ct ->
-      let p = Xbytes.xor_exact (c.decrypt ct) !prev in
-      prev := ct;
-      p)
-
-(* Generate a keystream of [len] bytes from successive cipher outputs. *)
-let keystream_apply (c : Secdb_cipher.Block.t) next s =
   let bs = c.block_size in
+  let dec = Block.decrypt_into c in
+  let src = Bytes.unsafe_of_string s in
+  let out = Bytes.create (String.length s) in
+  for i = 0 to (String.length s / bs) - 1 do
+    dec src ~src_off:(i * bs) out ~dst_off:(i * bs);
+    if i = 0 then Xbytes.xor_into ~src:iv ~dst:out ~dst_off:0
+    else
+      Xbytes.xor_blit ~src ~src_off:((i - 1) * bs) ~dst:out ~dst_off:(i * bs) ~len:bs
+  done;
+  Bytes.unsafe_to_string out
+
+(* Xor a keystream of successive cipher outputs over the message.  [next ks]
+   writes the next keystream block into the reusable scratch [ks]. *)
+let keystream_apply (c : Block.t) next s =
+  let bs = c.block_size in
+  let len = String.length s in
   let out = Bytes.of_string s in
+  let ks = Bytes.create bs in
   let off = ref 0 in
-  while !off < String.length s do
-    let ks = next () in
-    let n = min bs (String.length s - !off) in
-    Xbytes.xor_into ~src:(Xbytes.take n ks) ~dst:out ~dst_off:!off;
+  while !off < len do
+    next ks;
+    let n = min bs (len - !off) in
+    Xbytes.xor_blit ~src:ks ~src_off:0 ~dst:out ~dst_off:!off ~len:n;
     off := !off + n
   done;
   Bytes.unsafe_to_string out
 
-let ctr_full (c : Secdb_cipher.Block.t) ~counter0 s =
+let ctr_full (c : Block.t) ~counter0 s =
   check_iv c counter0 "ctr_full";
+  let enc = Block.encrypt_into c in
   let ctr = Bytes.of_string counter0 in
   let incr_ctr () =
     let rec bump i =
@@ -71,64 +97,76 @@ let ctr_full (c : Secdb_cipher.Block.t) ~counter0 s =
     in
     bump (c.block_size - 1)
   in
-  let next () =
-    let ks = c.encrypt (Bytes.to_string ctr) in
-    incr_ctr ();
-    ks
+  let next ks =
+    enc ctr ~src_off:0 ks ~dst_off:0;
+    incr_ctr ()
   in
   keystream_apply c next s
 
-let ctr (c : Secdb_cipher.Block.t) ~nonce s =
+let ctr (c : Block.t) ~nonce s =
   check_iv c nonce "ctr";
+  let enc = Block.encrypt_into c in
+  let blk = Bytes.of_string nonce in
   let counter = ref 0 in
-  let next () =
-    let blk = Bytes.of_string nonce in
+  let next ks =
     Xbytes.set_uint32_be blk (c.block_size - 4) !counter;
     incr counter;
-    c.encrypt (Bytes.unsafe_to_string blk)
+    enc blk ~src_off:0 ks ~dst_off:0
   in
   keystream_apply c next s
 
-let ofb (c : Secdb_cipher.Block.t) ~iv s =
+let ofb (c : Block.t) ~iv s =
   check_iv c iv "ofb";
-  let state = ref iv in
-  let next () =
-    state := c.encrypt !state;
-    !state
-  in
-  keystream_apply c next s
+  let bs = c.block_size in
+  let enc = Block.encrypt_into c in
+  let len = String.length s in
+  let out = Bytes.of_string s in
+  let state = Bytes.of_string iv in
+  let off = ref 0 in
+  while !off < len do
+    enc state ~src_off:0 state ~dst_off:0;
+    let n = min bs (len - !off) in
+    Xbytes.xor_blit ~src:state ~src_off:0 ~dst:out ~dst_off:!off ~len:n;
+    off := !off + n
+  done;
+  Bytes.unsafe_to_string out
 
-let cfb_encrypt (c : Secdb_cipher.Block.t) ~iv s =
+let cfb_encrypt (c : Block.t) ~iv s =
   check_iv c iv "cfb_encrypt";
   let bs = c.block_size in
-  let out = Buffer.create (String.length s) in
-  let prev = ref iv in
+  let enc = Block.encrypt_into c in
+  let len = String.length s in
+  let out = Bytes.of_string s in
+  let prev = Bytes.of_string iv in
+  let ks = Bytes.create bs in
   let off = ref 0 in
-  while !off < String.length s do
-    let n = min bs (String.length s - !off) in
-    let ks = c.encrypt !prev in
-    let ct = Xbytes.xor_exact (String.sub s !off n) (Xbytes.take n ks) in
-    Buffer.add_string out ct;
+  while !off < len do
+    enc prev ~src_off:0 ks ~dst_off:0;
+    let n = min bs (len - !off) in
+    Xbytes.xor_blit ~src:ks ~src_off:0 ~dst:out ~dst_off:!off ~len:n;
     (* last segment may be partial; feedback uses the full previous block *)
-    if n = bs then prev := ct;
+    if n = bs then Bytes.blit out !off prev 0 bs;
     off := !off + n
   done;
-  Buffer.contents out
+  Bytes.unsafe_to_string out
 
-let cfb_decrypt (c : Secdb_cipher.Block.t) ~iv s =
+let cfb_decrypt (c : Block.t) ~iv s =
   check_iv c iv "cfb_decrypt";
   let bs = c.block_size in
-  let out = Buffer.create (String.length s) in
-  let prev = ref iv in
+  let enc = Block.encrypt_into c in
+  let len = String.length s in
+  let src = Bytes.unsafe_of_string s in
+  let out = Bytes.of_string s in
+  let prev = Bytes.of_string iv in
+  let ks = Bytes.create bs in
   let off = ref 0 in
-  while !off < String.length s do
-    let n = min bs (String.length s - !off) in
-    let ks = c.encrypt !prev in
-    let ct = String.sub s !off n in
-    Buffer.add_string out (Xbytes.xor_exact ct (Xbytes.take n ks));
-    if n = bs then prev := ct;
+  while !off < len do
+    enc prev ~src_off:0 ks ~dst_off:0;
+    let n = min bs (len - !off) in
+    Xbytes.xor_blit ~src:ks ~src_off:0 ~dst:out ~dst_off:!off ~len:n;
+    if n = bs then Bytes.blit src !off prev 0 bs;
     off := !off + n
   done;
-  Buffer.contents out
+  Bytes.unsafe_to_string out
 
-let zero_iv (c : Secdb_cipher.Block.t) = Secdb_cipher.Block.zero_block c
+let zero_iv (c : Block.t) = Block.zero_block c

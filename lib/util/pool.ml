@@ -1,0 +1,142 @@
+(* Spawn-once domain pool.  [create] starts [domains - 1] worker domains
+   that park on a condition variable; each batch publishes one thread-safe
+   body closure that every participant (workers and the calling domain)
+   runs to completion.  Work distribution inside a batch is chunked
+   self-scheduling over an atomic cursor, and results land at their input
+   index, so the output order is deterministic whatever the interleaving. *)
+
+type t = {
+  ndomains : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable generation : int;
+  mutable pending : int;
+  mutable stopped : bool;
+}
+
+let recommended () = max 1 (Domain.recommended_domain_count ())
+
+let rec worker_loop t seen =
+  Mutex.lock t.m;
+  while (not t.stopped) && t.generation = seen do
+    Condition.wait t.work_ready t.m
+  done;
+  if t.stopped then Mutex.unlock t.m
+  else begin
+    let gen = t.generation in
+    let job = Option.get t.job in
+    Mutex.unlock t.m;
+    job ();
+    Mutex.lock t.m;
+    t.pending <- t.pending - 1;
+    if t.pending = 0 then Condition.broadcast t.work_done;
+    Mutex.unlock t.m;
+    worker_loop t gen
+  end
+
+let create ?domains () =
+  let ndomains =
+    match domains with
+    | None -> recommended ()
+    | Some d ->
+        if d < 1 then invalid_arg "Pool.create: domains must be >= 1";
+        d
+  in
+  let t =
+    {
+      ndomains;
+      workers = [||];
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      pending = 0;
+      stopped = false;
+    }
+  in
+  t.workers <- Array.init (ndomains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let domains t = t.ndomains
+
+let shutdown t =
+  Mutex.lock t.m;
+  let first = not t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  if first then Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [body] on every participating domain and wait for all of them.
+   [body] must be safe to run concurrently with itself. *)
+let run_batch t body =
+  if t.stopped then invalid_arg "Pool: used after shutdown";
+  if Array.length t.workers = 0 then body ()
+  else begin
+    Mutex.lock t.m;
+    t.job <- Some body;
+    t.generation <- t.generation + 1;
+    t.pending <- Array.length t.workers;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.m;
+    body ();
+    Mutex.lock t.m;
+    while t.pending > 0 do
+      Condition.wait t.work_done t.m
+    done;
+    t.job <- None;
+    Mutex.unlock t.m
+  end
+
+let default_chunk n ndomains =
+  (* a few chunks per domain amortizes the cursor without starving anyone *)
+  max 1 (n / (ndomains * 8))
+
+let map_array ?chunk t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if t.ndomains = 1 then Array.map f xs
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> if c < 1 then invalid_arg "Pool.map_array: chunk must be >= 1" else c
+      | None -> default_chunk n t.ndomains
+    in
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let error = Atomic.make None in
+    let body () =
+      let rec grab () =
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start < n && Atomic.get error = None then begin
+          (try
+             for i = start to min n (start + chunk) - 1 do
+               results.(i) <- Some (f xs.(i))
+             done
+           with e -> ignore (Atomic.compare_and_set error None (Some e)));
+          grab ()
+        end
+      in
+      grab ()
+    in
+    run_batch t body;
+    match Atomic.get error with
+    | Some e -> raise e
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?chunk t f xs = Array.to_list (map_array ?chunk t f (Array.of_list xs))
+
+let mapi_array ?chunk t f xs =
+  let indexed = Array.mapi (fun i x -> (i, x)) xs in
+  map_array ?chunk t (fun (i, x) -> f i x) indexed

@@ -1,0 +1,50 @@
+(** Spawn-once domain work-pool for the bulk-encryption batch layer.
+
+    A pool starts its worker domains exactly once ({!create}) and reuses
+    them for every batch, so per-batch cost is two condition-variable
+    round-trips rather than domain spawns.  Work inside a batch is
+    distributed by chunked self-scheduling (an atomic cursor over the input
+    array); every result is written at its input index, which makes the
+    output {e order-deterministic}: for a pure function the result array is
+    byte-identical to [Array.map], whatever the scheduling.
+
+    The batch functions must only be called from the domain that created
+    the pool, with functions that are safe to run concurrently with
+    themselves (the cipher kernels and every [parallel_safe] cell scheme
+    qualify; closures over shared mutable state — nonce counters,
+    instrumentation — do not). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (the caller's
+    domain is the remaining participant).  Defaults to
+    {!Domain.recommended_domain_count}.  A 1-domain pool degrades to plain
+    sequential execution with no domains spawned.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count], floored at 1. *)
+
+val domains : t -> int
+(** Total participating domains, including the caller. *)
+
+val map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with deterministic output order.  [chunk] is the
+    number of consecutive elements a participant claims at a time (default:
+    input size / 8·domains, floored at 1).  If any application raises, the
+    batch finishes early and the first exception observed is re-raised in
+    the caller. *)
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map_array} (converts through arrays). *)
+
+val mapi_array : ?chunk:int -> t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Indexed version of {!map_array}. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent; the pool must not be used
+    afterwards. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] over a fresh pool and always shuts it down. *)

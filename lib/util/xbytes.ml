@@ -20,6 +20,33 @@ let xor_into ~src ~dst ~dst_off =
     Bytes.set dst (dst_off + i) (Char.chr x)
   done
 
+let xor_blit ~src ~src_off ~dst ~dst_off ~len =
+  if
+    len < 0
+    || src_off < 0
+    || dst_off < 0
+    || src_off + len > Bytes.length src
+    || dst_off + len > Bytes.length dst
+  then invalid_arg "Xbytes.xor_blit: range out of bounds";
+  (* 8-byte lanes first (the intermediates stay unboxed), bytes for the
+     tail.  A lane reads both whole words before writing, so the aliasing
+     contract (identical or disjoint ranges) gives the same result as the
+     byte loop. *)
+  let lanes = len lsr 3 in
+  for w = 0 to lanes - 1 do
+    let i = w lsl 3 in
+    Bytes.set_int64_ne dst (dst_off + i)
+      (Int64.logxor
+         (Bytes.get_int64_ne dst (dst_off + i))
+         (Bytes.get_int64_ne src (src_off + i)))
+  done;
+  for i = lanes lsl 3 to len - 1 do
+    Bytes.unsafe_set dst (dst_off + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (dst_off + i))
+         lxor Char.code (Bytes.unsafe_get src (src_off + i))))
+  done
+
 let hex_digit_value c =
   match c with
   | '0' .. '9' -> Char.code c - Char.code '0'

@@ -17,6 +17,15 @@ val xor_into : src:string -> dst:Bytes.t -> dst_off:int -> unit
 (** [xor_into ~src ~dst ~dst_off] xors [src] into [dst] starting at
     [dst_off]. *)
 
+val xor_blit :
+  src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+(** [xor_blit] xors [len] bytes of [src] into [dst] in place
+    ([dst.(dst_off+i) <- dst.(dst_off+i) lxor src.(src_off+i)]) without
+    allocating — the workhorse of the bulk mode kernels.  [src] and [dst]
+    may be the same buffer as long as the ranges coincide exactly or do not
+    overlap.
+    @raise Invalid_argument if either range is out of bounds. *)
+
 val of_hex : string -> string
 (** Decode a hexadecimal string (case-insensitive, optional whitespace).
     @raise Invalid_argument on malformed input. *)

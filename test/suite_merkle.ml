@@ -77,7 +77,7 @@ let test_suppression_attack_and_anchor () =
     match Secdb_storage.Storage.decode_table
             ~scheme:(fun _ ->
               Secdb_schemes.Cell_scheme.
-                { name = "raw"; deterministic = true;
+                { name = "raw"; deterministic = true; parallel_safe = true;
                   encrypt = (fun _ v -> v); decrypt = (fun _ v -> Ok v) })
             data
     with

@@ -23,4 +23,5 @@ let () =
          Suite_pager.suites;
          Suite_oplog.suites;
          Suite_core.suites;
+         Suite_bulk.suites;
        ])

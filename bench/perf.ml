@@ -304,15 +304,23 @@ let check_parallel_bulk_load pool =
   | Error e -> fail_check "bulk_load validate: %s" e);
   if B.find par (Value.Text "k000007") <> [ 14; 15 ] then fail_check "bulk_load find"
 
+(* The checks run with observability on, so the counter snapshot embedded
+   in BENCH_perf.json reflects exactly the work the equivalence checks did;
+   the timed sections below run with it off (the default), keeping the
+   numbers comparable with PR 1. *)
+let check_snapshot = ref None
+
 let run_checks () =
-  let pool = Pool.create ~domains:4 () in
-  Fun.protect
-    ~finally:(fun () -> Pool.shutdown pool)
-    (fun () ->
-      check_kernel_vs_string ();
-      check_parallel_cells pool;
-      check_parallel_table pool;
-      check_parallel_bulk_load pool);
+  Secdb_obs.Obs.with_enabled (fun () ->
+      let pool = Pool.create ~domains:4 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          check_kernel_vs_string ();
+          check_parallel_cells pool;
+          check_parallel_table pool;
+          check_parallel_bulk_load pool));
+  check_snapshot := Some (Secdb_obs.Metrics.snapshot ());
   match !check_failures with
   | [] ->
       print_endline "perf check: OK";
@@ -457,6 +465,26 @@ let bench_bulk_load ~fast =
           row "  %d domain(s): %12.0f" domains eps))
     [ 1; 4 ]
 
+(* The disabled observability path must be free: the same CTR workload
+   with the switch off (the default above) and on should time the same,
+   and the off number is the one every other section was measured under. *)
+let bench_obs_overhead ~fast =
+  let len = if fast then 16_384 else 262_144 in
+  let min_time = if fast then 0.02 else 0.2 in
+  let data = payload len in
+  let run () = Mode.ctr aes_fast ~nonce:nonce16 data in
+  header "Observability overhead on kernel CTR, %d KiB buffers (MB/s)" (len / 1024);
+  let rate_off = float_of_int len /. time_per_call ~min_time run /. 1e6 in
+  let rate_on =
+    Secdb_obs.Obs.with_enabled (fun () ->
+        float_of_int len /. time_per_call ~min_time run /. 1e6)
+  in
+  sample ~section:"obs" ~name:"ctr-obs-off" ~qualifier:"disabled" ~unit_:"MB/s" rate_off;
+  sample ~section:"obs" ~name:"ctr-obs-on" ~qualifier:"enabled" ~unit_:"MB/s" rate_on;
+  sample ~section:"obs" ~name:"ctr-obs-ratio" ~qualifier:"off/on" ~unit_:"x"
+    (rate_off /. rate_on);
+  row "  obs off %9.1f   obs on %9.1f   off/on %.3fx" rate_off rate_on (rate_off /. rate_on)
+
 (* ------------------------------------------------------------- JSON -- *)
 
 let json_escape s =
@@ -489,6 +517,19 @@ let write_json ~fast path =
       !samples
   in
   Buffer.add_string b (String.concat ",\n" entries);
+  Buffer.add_string b "\n  ],\n";
+  (* counter snapshot from the equivalence checks: how much work the bulk
+     paths actually did (cells, chunks, AEAD calls) alongside how fast *)
+  let counters =
+    match !check_snapshot with Some s -> s.Secdb_obs.Metrics.counters | None -> []
+  in
+  Buffer.add_string b "  \"check_counters\": [\n";
+  Buffer.add_string b
+    (String.concat ",\n"
+       (List.map
+          (fun (name, v) ->
+            Printf.sprintf "    {\"name\": \"%s\", \"value\": %d}" (json_escape name) v)
+          counters));
   Buffer.add_string b "\n  ]\n}\n";
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (Buffer.contents b));
   row "\nwrote %s (%d samples)" path (List.length entries)
@@ -506,5 +547,6 @@ let () =
     bench_aead ~fast;
     bench_cells ~fast;
     bench_bulk_load ~fast;
+    bench_obs_overhead ~fast;
     write_json ~fast "BENCH_perf.json"
   end

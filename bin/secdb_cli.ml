@@ -6,6 +6,7 @@
      mu        print the address digest µ(t,r,c) under each hash
      digest    hash a string with the bundled hash functions
      attack    run one of the paper's attacks (A1..A8)
+     stats     run a deterministic workload and dump the metric registry
      profiles  list the protection profiles *)
 
 open Cmdliner
@@ -258,6 +259,164 @@ let sql_cmd =
     (Cmd.info "sql" ~doc:"Run SQL statements against a fresh in-memory encrypted database.")
     Term.(const run $ profile_arg $ master_arg $ script $ file)
 
+(* A fixed workload that touches every instrumented layer — pager cache,
+   blob store, AEAD (including a rejected tamper), the domain pool, batch
+   table encryption, an index walk and the oplog — sized so every counter
+   value is a pure function of the code, never of timing.  The cram suite
+   pins the full text dump, which is what makes the counters a regression
+   gate and not just ops sugar. *)
+let stats_workload () =
+  let module Metrics = Secdb_obs.Metrics in
+  let module Pool = Secdb_util.Pool in
+  let module Pager = Secdb_storage.Pager in
+  let module Blob = Secdb_storage.Blob_store in
+  let key = Xbytes.of_hex "000102030405060708090a0b0c0d0e0f" in
+  let nonce_key = Xbytes.of_hex "ffeeddccbbaa99887766554433221100" in
+  let aes = Secdb_cipher.Aes_fast.cipher ~key in
+  let with_temp suffix f =
+    let path = Filename.temp_file "secdb_stats" suffix in
+    Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+  in
+  (* pager: a 4-frame cache over 8 pages forces misses and evictions, the
+     re-reads of the hot tail are the hits *)
+  with_temp ".pg" (fun path ->
+      let p = Pager.create ~path ~page_size:256 ~cache_pages:4 () in
+      for i = 1 to 8 do
+        let page = Pager.alloc p in
+        Pager.write p page (Printf.sprintf "page-%d" i)
+      done;
+      for page = 1 to 8 do
+        ignore (Pager.read p page)
+      done;
+      for _ = 1 to 3 do
+        ignore (Pager.read p 8)
+      done;
+      Pager.close p);
+  (* blob store: one chained blob spanning several pages, stored and read back *)
+  with_temp ".blob" (fun path ->
+      let p = Pager.create ~path ~page_size:256 ~cache_pages:8 () in
+      let blob = Blob.attach p in
+      let id = Blob.store blob (String.make 1000 'b') in
+      (match Blob.load blob id with
+      | Ok data when String.length data = 1000 -> ()
+      | Ok _ | Error _ -> failwith "stats workload: blob roundtrip");
+      Blob.delete blob id;
+      Pager.close p);
+  (* AEAD cells through the domain pool, plus one tampered cell that the
+     authenticated decrypt must reject *)
+  let scheme =
+    Secdb_schemes.Fixed_cell.make_derived ~aead:(Secdb_aead.Eax.make aes) ~nonce_key ()
+  in
+  let jobs =
+    Array.init 64 (fun i ->
+        (Address.v ~table:1 ~row:i ~col:0, Printf.sprintf "cell-%02d" i))
+  in
+  Pool.with_pool ~domains:2 (fun pool ->
+      let cts = Secdb_schemes.Cell_scheme.encrypt_cells ~pool scheme jobs in
+      let dec_jobs = Array.map2 (fun (a, _) ct -> (a, ct)) jobs cts in
+      let dec = Secdb_schemes.Cell_scheme.decrypt_cells ~pool scheme dec_jobs in
+      Array.iteri
+        (fun i r -> if r <> Ok (snd jobs.(i)) then failwith "stats workload: cell roundtrip")
+        dec;
+      let tampered = Xbytes.to_hex cts.(0) in
+      let flipped =
+        String.mapi (fun i c -> if i = 0 then (if c = '0' then '1' else '0') else c) tampered
+      in
+      (match Secdb_schemes.Cell_scheme.decrypt scheme (fst jobs.(0)) (Xbytes.of_hex flipped) with
+      | Error _ -> ()
+      | Ok _ -> failwith "stats workload: tamper was accepted");
+      (* batch table insert + column decrypt + a filtered scan *)
+      let schema =
+        Secdb_db.Schema.v ~table_name:"stats"
+          [
+            Secdb_db.Schema.column ~protection:Secdb_db.Schema.Clear "id" Value.Kint;
+            Secdb_db.Schema.column "a" Value.Ktext;
+            Secdb_db.Schema.column "b" Value.Ktext;
+          ]
+      in
+      let table =
+        Secdb_query.Encrypted_table.create ~id:7 schema ~scheme:(fun _ ->
+            Secdb_schemes.Fixed_cell.make_derived ~aead:(Secdb_aead.Eax.make aes) ~nonce_key ())
+      in
+      let rows =
+        List.init 16 (fun i ->
+            [
+              Value.Int (Int64.of_int i);
+              Value.Text (Printf.sprintf "a%02d" i);
+              Value.Text (Printf.sprintf "b%02d" i);
+            ])
+      in
+      Secdb_query.Encrypted_table.insert_many ~pool table rows;
+      ignore (Secdb_query.Encrypted_table.decrypt_column ~pool table ~col:2);
+      ignore
+        (Secdb_query.Encrypted_table.select table (fun values ->
+             match values.(0) with Value.Int i -> Int64.rem i 2L = 0L | _ -> false)));
+  (* index walk over an encrypted B+-tree *)
+  let codec = Secdb_schemes.Index3.codec ~e:(Einst.cbc_zero_iv aes) in
+  let entries = List.init 32 (fun i -> (Value.Text (Printf.sprintf "k%03d" i), i)) in
+  let tree = Secdb_index.Bptree.bulk_load ~id:9 ~codec entries in
+  (match
+     Secdb_query.Walker.range tree ~mode:Secdb_query.Walker.Corrected
+       ~lo:(Value.Text "k010") ~hi:(Value.Text "k019") ()
+   with
+  | Ok a when List.length a.Secdb_query.Walker.results = 10 -> ()
+  | Ok _ | Error _ -> failwith "stats workload: walker range");
+  (* oplog: three authenticated appends, a full replay, and a replay of a
+     tampered log that must fail *)
+  with_temp ".oplog" (fun path ->
+      let aead = Secdb_aead.Eax.make aes in
+      let w = Secdb.Oplog.create ~path ~aead ~nonce:(Secdb_aead.Nonce.counter ~size:16 ()) in
+      ignore (Secdb.Oplog.append w (Secdb.Oplog.Insert { table = "t"; values = [ Value.Int 1L ] }));
+      ignore
+        (Secdb.Oplog.append w
+           (Secdb.Oplog.Update { table = "t"; row = 0; col = "a"; value = Value.Int 2L }));
+      ignore (Secdb.Oplog.append w (Secdb.Oplog.Delete { table = "t"; row = 0 }));
+      Secdb.Oplog.close w;
+      (match Secdb.Oplog.replay ~path ~aead with
+      | Ok ops when List.length ops = 3 -> ()
+      | Ok _ -> failwith "stats workload: replay: wrong op count"
+      | Error e -> failwith ("stats workload: replay: " ^ e));
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      let tampered =
+        String.mapi
+          (fun i c -> if i = String.length data - 1 then Char.chr (Char.code c lxor 1) else c)
+          data
+      in
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc tampered);
+      match Secdb.Oplog.replay ~path ~aead with
+      | Error _ -> ()
+      | Ok _ -> failwith "stats workload: tampered replay was accepted")
+
+let stats_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Dump the registry as JSON (with histogram detail).")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Emit every span as a JSON line on stderr while the workload runs.")
+  in
+  let no_workload =
+    Arg.(
+      value & flag
+      & info [ "no-workload" ]
+          ~doc:"Skip the built-in workload and dump whatever the process has recorded.")
+  in
+  let run json trace no_workload =
+    Secdb_obs.Obs.enable ();
+    if trace then Secdb_obs.Trace.set_sink Secdb_obs.Trace.Stderr;
+    if not no_workload then stats_workload ();
+    let snap = Secdb_obs.Metrics.snapshot () in
+    print_string
+      (if json then Secdb_obs.Metrics.to_json snap else Secdb_obs.Metrics.to_text snap)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a deterministic workload across the crypto/storage/query stack and dump the \
+          observability registry.")
+    Term.(const run $ json $ trace $ no_workload)
+
 let profiles_cmd =
   let run () =
     List.iter (fun p -> print_endline (Secdb.Encdb.profile_name p)) Secdb.Encdb.all_profiles
@@ -267,4 +426,10 @@ let profiles_cmd =
 let () =
   let doc = "structure-preserving database encryption: the analysed schemes and their AEAD fix" in
   let info = Cmd.info "secdb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ encrypt_cmd; decrypt_cmd; mu_cmd; digest_cmd; attack_cmd; sql_cmd; profiles_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            encrypt_cmd; decrypt_cmd; mu_cmd; digest_cmd; attack_cmd; sql_cmd; stats_cmd;
+            profiles_cmd;
+          ]))

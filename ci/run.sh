@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full CI gate. Run from the repository root:
+#
+#   ci/run.sh
+#
+# Mirrors .github/workflows/ci.yml so the same gate runs locally and in CI.
+# The dev profile keeps dune's default warnings-as-errors on the libraries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n=== %s\n' "$*"; }
+
+step "hygiene: no build artifacts tracked by git"
+bad=$(git ls-files | grep -E '(^|/)_build/|\.install$|(^|/)BENCH_[A-Za-z0-9_]*\.json$' || true)
+if [ -n "$bad" ]; then
+  echo "generated artifacts are tracked by git:" >&2
+  echo "$bad" >&2
+  exit 1
+fi
+
+step "build"
+dune build
+
+step "unit + property + cram suite"
+dune runtest
+
+step "known-answer vectors"
+dune build @kat
+
+step "perf equivalence checks"
+dune exec bench/perf.exe -- --fast --check
+
+step "CI gate passed"

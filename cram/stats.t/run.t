@@ -1,0 +1,66 @@
+The observability registry after the scripted workload.  Every value below
+is a pure function of the workload — pager cache traffic, the rejected
+AEAD tamper, pool batch/chunk/task counts — so any drift in these counters
+is a behaviour change in the stack, not noise:
+
+  $ secdb_cli stats
+  counter aead.auth_failures 1
+  counter aead.bytes_decrypted 822
+  counter aead.bytes_encrypted 667
+  counter aead.decrypts 118
+  counter aead.encrypts 99
+  counter blob.bytes_loaded 1000
+  counter blob.bytes_stored 1000
+  counter blob.deletes 1
+  counter blob.loads 1
+  counter blob.pages_read 10
+  counter blob.pages_written 5
+  counter blob.stores 1
+  counter mode.blocks{op=cbc_decrypt} 30
+  counter mode.blocks{op=cbc_encrypt} 71
+  counter mode.blocks{op=cfb_decrypt} 0
+  counter mode.blocks{op=cfb_encrypt} 0
+  counter mode.blocks{op=ctr} 227
+  counter mode.blocks{op=ecb_decrypt} 0
+  counter mode.blocks{op=ecb_encrypt} 0
+  counter mode.blocks{op=ofb} 0
+  counter mode.bytes{op=cbc_decrypt} 480
+  counter mode.bytes{op=cbc_encrypt} 1136
+  counter mode.bytes{op=cfb_decrypt} 0
+  counter mode.bytes{op=cfb_encrypt} 0
+  counter mode.bytes{op=ctr} 1465
+  counter mode.bytes{op=ecb_decrypt} 0
+  counter mode.bytes{op=ecb_encrypt} 0
+  counter mode.bytes{op=ofb} 0
+  counter oplog.appends 3
+  counter oplog.replay_failures 1
+  counter oplog.replayed 3
+  counter pager.cache_hits 31
+  counter pager.cache_misses 8
+  counter pager.disk_reads 8
+  counter pager.disk_writes 17
+  counter pager.evictions 12
+  counter pool.batches 5
+  counter pool.chunks 80
+  counter pool.seq_fallback 0
+  counter pool.tasks 176
+  counter table.cells_decrypted 48
+  counter table.cells_encrypted 32
+  counter table.decrypt_failures 0
+  counter table.rows_matched 8
+  counter table.rows_scanned 16
+  counter trace.spans 5
+  counter walker.false_positives 3
+  counter walker.inner_checked 4
+  counter walker.leaf_checked 13
+  counter walker.leaf_unchecked 0
+  counter walker.results 10
+  gauge pool.domains 2
+  hist oplog.append_seconds count=3
+  hist oplog.replay_seconds count=2
+
+The span sink sees the oplog appends and replays:
+
+  $ secdb_cli stats --trace 2>&1 >/dev/null | cut -d'"' -f4 | sort | uniq -c | sed 's/^ *//'
+  3 oplog.append
+  2 oplog.replay

@@ -2,6 +2,14 @@ module Value = Secdb_db.Value
 module Codec = Secdb_db.Codec
 module Aead = Secdb_aead.Aead
 module Xbytes = Secdb_util.Xbytes
+module Metrics = Secdb_obs.Metrics
+module Trace = Secdb_obs.Trace
+
+let m_appends = Metrics.counter "oplog.appends"
+let m_replayed = Metrics.counter "oplog.replayed"
+let m_replay_failures = Metrics.counter "oplog.replay_failures"
+let h_append = Metrics.histogram "oplog.append_seconds"
+let h_replay = Metrics.histogram "oplog.replay_seconds"
 
 type op =
   | Insert of { table : string; values : Value.t list }
@@ -58,6 +66,8 @@ let create ~path ~aead ~nonce =
 
 let append w op =
   if not w.open_ then invalid_arg "Oplog.append: writer is closed";
+  Trace.with_span ~hist:h_append "oplog.append" @@ fun () ->
+  Metrics.incr m_appends;
   let seq = w.seq in
   let n = w.nonce () in
   let ad = Xbytes.int_to_be_string ~width:8 seq in
@@ -79,6 +89,7 @@ let close w =
 (* --- reader ------------------------------------------------------------- *)
 
 let replay ~path ~aead =
+  Trace.with_span ~hist:h_replay "oplog.replay" @@ fun () ->
   let ( let* ) = Result.bind in
   let data = In_channel.with_open_bin path In_channel.input_all in
   let len = String.length data in
@@ -106,7 +117,11 @@ let replay ~path ~aead =
               loop (off + 4 + rlen) (seq + 1) ((seq, op) :: acc)
     end
   in
-  loop 0 0 []
+  let r = loop 0 0 [] in
+  (match r with
+  | Ok ops -> Metrics.add m_replayed (List.length ops)
+  | Error _ -> Metrics.incr m_replay_failures);
+  r
 
 let apply db = function
   | Insert { table; values } -> (

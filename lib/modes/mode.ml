@@ -1,5 +1,26 @@
 open Secdb_util
 module Block = Secdb_cipher.Block
+module Metrics = Secdb_obs.Metrics
+
+(* Byte/block traffic per mode operation, tallied once per call (never
+   inside the block loop) so the kernels stay at full speed whether the
+   observability switch is on or off. *)
+let op_counters op =
+  ( Metrics.counter ~labels:[ ("op", op) ] "mode.bytes",
+    Metrics.counter ~labels:[ ("op", op) ] "mode.blocks" )
+
+let tally (bytes_c, blocks_c) (c : Block.t) len =
+  Metrics.add bytes_c len;
+  Metrics.add blocks_c ((len + c.block_size - 1) / c.block_size)
+
+let t_ecb_encrypt = op_counters "ecb_encrypt"
+let t_ecb_decrypt = op_counters "ecb_decrypt"
+let t_cbc_encrypt = op_counters "cbc_encrypt"
+let t_cbc_decrypt = op_counters "cbc_decrypt"
+let t_ctr = op_counters "ctr"
+let t_ofb = op_counters "ofb"
+let t_cfb_encrypt = op_counters "cfb_encrypt"
+let t_cfb_decrypt = op_counters "cfb_decrypt"
 
 (* Every mode below runs on a single [Bytes.t] working buffer through the
    cipher's [encrypt_into]/[decrypt_into] fast path: no per-block string is
@@ -19,6 +40,7 @@ let check_iv (c : Block.t) iv op =
 
 let ecb_encrypt (c : Block.t) s =
   check_aligned c s "ecb_encrypt";
+  tally t_ecb_encrypt c (String.length s);
   let bs = c.block_size in
   let enc = Block.encrypt_into c in
   let out = Bytes.of_string s in
@@ -29,6 +51,7 @@ let ecb_encrypt (c : Block.t) s =
 
 let ecb_decrypt (c : Block.t) s =
   check_aligned c s "ecb_decrypt";
+  tally t_ecb_decrypt c (String.length s);
   let bs = c.block_size in
   let dec = Block.decrypt_into c in
   let out = Bytes.of_string s in
@@ -40,6 +63,7 @@ let ecb_decrypt (c : Block.t) s =
 let cbc_encrypt (c : Block.t) ~iv s =
   check_aligned c s "cbc_encrypt";
   check_iv c iv "cbc_encrypt";
+  tally t_cbc_encrypt c (String.length s);
   let bs = c.block_size in
   let enc = Block.encrypt_into c in
   let out = Bytes.of_string s in
@@ -55,6 +79,7 @@ let cbc_encrypt (c : Block.t) ~iv s =
 let cbc_decrypt (c : Block.t) ~iv s =
   check_aligned c s "cbc_decrypt";
   check_iv c iv "cbc_decrypt";
+  tally t_cbc_decrypt c (String.length s);
   let bs = c.block_size in
   let dec = Block.decrypt_into c in
   let src = Bytes.unsafe_of_string s in
@@ -85,6 +110,7 @@ let keystream_apply (c : Block.t) next s =
 
 let ctr_full (c : Block.t) ~counter0 s =
   check_iv c counter0 "ctr_full";
+  tally t_ctr c (String.length s);
   let enc = Block.encrypt_into c in
   let ctr = Bytes.of_string counter0 in
   let incr_ctr () =
@@ -105,6 +131,7 @@ let ctr_full (c : Block.t) ~counter0 s =
 
 let ctr (c : Block.t) ~nonce s =
   check_iv c nonce "ctr";
+  tally t_ctr c (String.length s);
   let enc = Block.encrypt_into c in
   let blk = Bytes.of_string nonce in
   let counter = ref 0 in
@@ -117,6 +144,7 @@ let ctr (c : Block.t) ~nonce s =
 
 let ofb (c : Block.t) ~iv s =
   check_iv c iv "ofb";
+  tally t_ofb c (String.length s);
   let bs = c.block_size in
   let enc = Block.encrypt_into c in
   let len = String.length s in
@@ -133,6 +161,7 @@ let ofb (c : Block.t) ~iv s =
 
 let cfb_encrypt (c : Block.t) ~iv s =
   check_iv c iv "cfb_encrypt";
+  tally t_cfb_encrypt c (String.length s);
   let bs = c.block_size in
   let enc = Block.encrypt_into c in
   let len = String.length s in
@@ -152,6 +181,7 @@ let cfb_encrypt (c : Block.t) ~iv s =
 
 let cfb_decrypt (c : Block.t) ~iv s =
   check_iv c iv "cfb_decrypt";
+  tally t_cfb_decrypt c (String.length s);
   let bs = c.block_size in
   let enc = Block.encrypt_into c in
   let len = String.length s in

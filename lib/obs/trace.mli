@@ -1,0 +1,34 @@
+(** Span-based tracing with pluggable sinks.
+
+    While {!Obs.on} is false, {!with_span} runs its body directly: no
+    clock read, no allocation.  When on, each completed span is counted
+    (counter [trace.spans]) and delivered to the configured sink. *)
+
+type event = {
+  span : string;
+  attrs : (string * string) list;
+  start : float;  (** [Unix.gettimeofday] at span open *)
+  duration : float;  (** seconds *)
+}
+
+type sink =
+  | Null  (** count spans, record nothing *)
+  | Ring  (** keep the last {!ring_capacity} events in memory *)
+  | Stderr  (** one JSON object per line on stderr *)
+
+val set_sink : sink -> unit
+val sink : unit -> sink
+
+val ring_capacity : int
+val ring_events : unit -> event list
+(** Ring contents in emission order (oldest first). *)
+
+val clear_ring : unit -> unit
+
+val with_span :
+  ?attrs:(string * string) list -> ?hist:Metrics.histogram -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], recording one event named [name] around
+    it.  The span is recorded (and [?hist] observed with the duration)
+    whether [f] returns or raises. *)
+
+val json_of_event : event -> string

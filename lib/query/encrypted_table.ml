@@ -2,6 +2,16 @@ open Secdb_util
 module Value = Secdb_db.Value
 module Schema = Secdb_db.Schema
 module Address = Secdb_db.Address
+module Metrics = Secdb_obs.Metrics
+
+(* cells-touched traffic; scans count every decrypted row against the rows
+   the predicate kept, so over-read (the false-positive surface the SoK
+   paper says to measure, not assert) is visible as scanned - matched *)
+let m_cells_encrypted = Metrics.counter "table.cells_encrypted"
+let m_cells_decrypted = Metrics.counter "table.cells_decrypted"
+let m_decrypt_failures = Metrics.counter "table.decrypt_failures"
+let m_rows_scanned = Metrics.counter "table.rows_scanned"
+let m_rows_matched = Metrics.counter "table.rows_matched"
 
 type cell = Clear of Value.t | Cipher of string
 
@@ -24,6 +34,7 @@ let is_protected t col =
   (Schema.col t.schema col).Schema.protection = Schema.Encrypted
 
 let encrypt_cell t ~row ~col value =
+  Metrics.incr m_cells_encrypted;
   let addr = Address.v ~table:t.id ~row ~col in
   Cipher (t.schemes.(col).encrypt addr (Value.encode value))
 
@@ -68,6 +79,7 @@ let insert_many ?pool t rows =
             ( Address.v ~table:t.id ~row:(row0 + i) ~col,
               Value.encode rows_arr.(i).(col) ))
       in
+      Metrics.add m_cells_encrypted (Array.length jobs);
       let cts = Secdb_schemes.Cell_scheme.encrypt_cells ?pool t.schemes.(col) jobs in
       for i = 0 to nrows_new - 1 do
         cells.(i).(col) <- Cipher cts.(i)
@@ -99,6 +111,7 @@ let decrypt_column ?pool t ~col =
            | _ -> None)
          (Array.to_list tagged))
   in
+  Metrics.add m_cells_decrypted (Array.length jobs);
   let decs = Secdb_schemes.Cell_scheme.decrypt_cells ?pool t.schemes.(col) jobs in
   let next = ref 0 in
   Array.map
@@ -128,9 +141,12 @@ let get t ~row ~col =
       match cells.(col) with
       | Clear v -> Ok v
       | Cipher ct -> (
+          Metrics.incr m_cells_decrypted;
           let addr = Address.v ~table:t.id ~row ~col in
           match t.schemes.(col).decrypt addr ct with
-          | Error e -> Error e
+          | Error e ->
+              Metrics.incr m_decrypt_failures;
+              Error e
           | Ok plain -> Value.decode plain))
 
 let get_exn t ~row ~col =
@@ -156,8 +172,12 @@ let select t pred =
   let acc = ref [] in
   for row = 0 to nrows t - 1 do
     if is_live t ~row then begin
+      Metrics.incr m_rows_scanned;
       let values = decrypt_row t row in
-      if pred values then acc := (row, values) :: !acc
+      if pred values then begin
+        Metrics.incr m_rows_matched;
+        acc := (row, values) :: !acc
+      end
     end
   done;
   List.rev !acc

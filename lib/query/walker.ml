@@ -1,5 +1,15 @@
 module Bptree = Secdb_index.Bptree
 module Value = Secdb_db.Value
+module Metrics = Secdb_obs.Metrics
+
+(* [walker.false_positives] counts leaf entries that had to be decoded but
+   fell outside [lo, hi] — the cells a range walk touches beyond what it
+   returns, i.e. the bucket false-positive surface of the index layout. *)
+let m_inner_checked = Metrics.counter "walker.inner_checked"
+let m_leaf_checked = Metrics.counter "walker.leaf_checked"
+let m_leaf_unchecked = Metrics.counter "walker.leaf_unchecked"
+let m_results = Metrics.counter "walker.results"
+let m_false_positives = Metrics.counter "walker.false_positives"
 
 type mode = Published | Corrected
 
@@ -58,6 +68,7 @@ let range tree ~mode ?lo ?hi () =
   in
   (* scan the right-sibling chain *)
   let results = ref [] in
+  let false_positives = ref 0 in
   let rec scan (view : Bptree.node_view) =
     let stop = ref false in
     Array.iteri
@@ -66,8 +77,12 @@ let range tree ~mode ?lo ?hi () =
           let value, table_row = decode_leaf view slot in
           let below = match lo with Some v -> Value.compare value v < 0 | None -> false in
           let above = match hi with Some v -> Value.compare value v > 0 | None -> false in
-          if above then stop := true
-          else if not below then
+          if above then begin
+            incr false_positives;
+            stop := true
+          end
+          else if below then incr false_positives
+          else
             match table_row with
             | Some r -> results := (value, r) :: !results
             | None -> ()
@@ -81,6 +96,11 @@ let range tree ~mode ?lo ?hi () =
     scan leaf
   with
   | () ->
+      Metrics.add m_inner_checked !inner_checked;
+      Metrics.add m_leaf_checked !leaf_checked;
+      Metrics.add m_leaf_unchecked !leaf_unchecked;
+      Metrics.add m_results (List.length !results);
+      Metrics.add m_false_positives !false_positives;
       Ok
         {
           results = List.rev !results;

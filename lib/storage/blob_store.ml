@@ -1,4 +1,13 @@
 open Secdb_util
+module Metrics = Secdb_obs.Metrics
+
+let m_stores = Metrics.counter "blob.stores"
+let m_loads = Metrics.counter "blob.loads"
+let m_deletes = Metrics.counter "blob.deletes"
+let m_pages_read = Metrics.counter "blob.pages_read"
+let m_pages_written = Metrics.counter "blob.pages_written"
+let m_bytes_stored = Metrics.counter "blob.bytes_stored"
+let m_bytes_loaded = Metrics.counter "blob.bytes_loaded"
 
 type t = { pager : Pager.t }
 
@@ -12,6 +21,7 @@ let encode_page ~next ~chunk =
   ^ chunk
 
 let decode_page t page =
+  Metrics.incr m_pages_read;
   let raw = Pager.read t.pager page in
   let next = Xbytes.be_string_to_int (String.sub raw 0 8) in
   let len = Xbytes.be_string_to_int (String.sub raw 8 4) in
@@ -43,9 +53,13 @@ let write_chain t pages chunks =
         link rest
   in
   link assigned;
+  Metrics.add m_pages_written (List.length assigned);
   match assigned with (head, _) :: _ -> head | [] -> invalid_arg "blob: empty chain"
 
-let store t data = write_chain t [] (chunks t data)
+let store t data =
+  Metrics.incr m_stores;
+  Metrics.add m_bytes_stored (String.length data);
+  write_chain t [] (chunks t data)
 
 let pages_of t id =
   let rec walk page acc seen =
@@ -59,6 +73,7 @@ let pages_of t id =
   walk id [] (Pager.page_count t.pager)
 
 let load t id =
+  Metrics.incr m_loads;
   let rec walk page acc steps =
     if page = 0 then Ok (String.concat "" (List.rev acc))
     else if steps > Pager.page_count t.pager then Error "blob: chain too long (cycle?)"
@@ -67,7 +82,9 @@ let load t id =
       | Error e -> Error e
       | Ok (next, chunk) -> walk next (chunk :: acc) (steps + 1)
   in
-  walk id [] 0
+  let r = walk id [] 0 in
+  (match r with Ok data -> Metrics.add m_bytes_loaded (String.length data) | Error _ -> ());
+  r
 
 let overwrite t id data =
   match pages_of t id with
@@ -80,6 +97,7 @@ let overwrite t id data =
       id
 
 let delete t id =
+  Metrics.incr m_deletes;
   match pages_of t id with
   | Error e -> invalid_arg ("Blob_store.delete: " ^ e)
   | Ok pages -> List.iter (fun p -> Pager.free t.pager p) pages

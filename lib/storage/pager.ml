@@ -1,4 +1,14 @@
 open Secdb_util
+module Metrics = Secdb_obs.Metrics
+
+(* Global mirrors of the per-pager [stats] record, so a workload's cache
+   behaviour shows up in the process-wide registry without holding on to
+   every pager handle. *)
+let m_cache_hits = Metrics.counter "pager.cache_hits"
+let m_cache_misses = Metrics.counter "pager.cache_misses"
+let m_evictions = Metrics.counter "pager.evictions"
+let m_disk_reads = Metrics.counter "pager.disk_reads"
+let m_disk_writes = Metrics.counter "pager.disk_writes"
 
 let magic = "SECDBPG1"
 
@@ -42,6 +52,7 @@ let disk_read t page =
   in
   fill 0;
   t.st.disk_reads <- t.st.disk_reads + 1;
+  Metrics.incr m_disk_reads;
   buf
 
 let disk_write t page data =
@@ -50,7 +61,8 @@ let disk_write t page data =
     if off < t.psize then drain (off + Unix.write t.fd data off (t.psize - off))
   in
   drain 0;
-  t.st.disk_writes <- t.st.disk_writes + 1
+  t.st.disk_writes <- t.st.disk_writes + 1;
+  Metrics.incr m_disk_writes
 
 let header_bytes t =
   let b = Bytes.make t.psize '\000' in
@@ -81,16 +93,19 @@ let evict_one t =
   | Some (page, frame) ->
       if frame.dirty then disk_write t page frame.data;
       Hashtbl.remove t.cache page;
-      t.st.evictions <- t.st.evictions + 1
+      t.st.evictions <- t.st.evictions + 1;
+      Metrics.incr m_evictions
 
 let frame_of t page =
   match Hashtbl.find_opt t.cache page with
   | Some f ->
       t.st.cache_hits <- t.st.cache_hits + 1;
+      Metrics.incr m_cache_hits;
       touch t f;
       f
   | None ->
       t.st.cache_misses <- t.st.cache_misses + 1;
+      Metrics.incr m_cache_misses;
       if Hashtbl.length t.cache >= t.cache_pages then evict_one t;
       let f = { data = disk_read t page; dirty = false; last_used = 0 } in
       touch t f;

@@ -5,6 +5,16 @@
    self-scheduling over an atomic cursor, and results land at their input
    index, so the output order is deterministic whatever the interleaving. *)
 
+module Metrics = Secdb_obs.Metrics
+
+(* batch/task/chunk traffic; [pool.seq_fallback] counts map calls that ran
+   sequentially because the pool has a single domain *)
+let m_batches = Metrics.counter "pool.batches"
+let m_tasks = Metrics.counter "pool.tasks"
+let m_chunks = Metrics.counter "pool.chunks"
+let m_seq_fallback = Metrics.counter "pool.seq_fallback"
+let g_domains = Metrics.gauge "pool.domains"
+
 type t = {
   ndomains : int;
   mutable workers : unit Domain.t array;
@@ -59,6 +69,7 @@ let create ?domains () =
     }
   in
   t.workers <- Array.init (ndomains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  Metrics.set g_domains ndomains;
   t
 
 let domains t = t.ndomains
@@ -82,6 +93,7 @@ let run_batch t body =
   if t.stopped then invalid_arg "Pool: used after shutdown";
   if Array.length t.workers = 0 then body ()
   else begin
+    Metrics.incr m_batches;
     Mutex.lock t.m;
     t.job <- Some body;
     t.generation <- t.generation + 1;
@@ -104,8 +116,13 @@ let default_chunk n ndomains =
 let map_array ?chunk t f xs =
   let n = Array.length xs in
   if n = 0 then [||]
-  else if t.ndomains = 1 then Array.map f xs
+  else if t.ndomains = 1 then begin
+    Metrics.incr m_seq_fallback;
+    Metrics.add m_tasks n;
+    Array.map f xs
+  end
   else begin
+    Metrics.add m_tasks n;
     let chunk =
       match chunk with
       | Some c -> if c < 1 then invalid_arg "Pool.map_array: chunk must be >= 1" else c
@@ -118,6 +135,7 @@ let map_array ?chunk t f xs =
       let rec grab () =
         let start = Atomic.fetch_and_add cursor chunk in
         if start < n && Atomic.get error = None then begin
+          Metrics.incr m_chunks;
           (try
              for i = start to min n (start + chunk) - 1 do
                results.(i) <- Some (f xs.(i))

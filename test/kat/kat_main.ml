@@ -1,0 +1,151 @@
+(* Known-answer gate: re-checks the primitive known-answer vectors as a
+   standalone pass/fail binary, independent of the alcotest suite, so CI
+   can gate on `dune build @kat` without running the full property suite.
+
+   Sources: AES FIPS 197 appendix C, SHA-1/SHA-256 FIPS 180 examples,
+   MD5 RFC 1321, HMAC RFC 2202 + RFC 4231, AES-CMAC RFC 4493. *)
+
+module Xbytes = Secdb_util.Xbytes
+module Block = Secdb_cipher.Block
+
+let failures = ref 0
+let total = ref 0
+
+let check name ~expected ~got =
+  incr total;
+  if String.lowercase_ascii expected = String.lowercase_ascii got then
+    Printf.printf "ok   %s\n" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n  expected %s\n  got      %s\n" name expected got
+  end
+
+let hex = Xbytes.of_hex
+
+(* --- AES, FIPS 197 appendix C ------------------------------------------- *)
+
+let fips_plain = "00112233445566778899aabbccddeeff"
+
+let fips_vectors =
+  [
+    ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a", "aes-128");
+    ("000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191", "aes-192");
+    ( "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+      "8ea2b7ca516745bfeafc49904b496089",
+      "aes-256" );
+  ]
+
+let kat_aes () =
+  List.iter
+    (fun (key, ct, name) ->
+      List.iter
+        (fun (impl, make) ->
+          let c = make ~key:(hex key) in
+          check
+            (Printf.sprintf "%s/%s encrypt" name impl)
+            ~expected:ct
+            ~got:(Xbytes.to_hex (c.Block.encrypt (hex fips_plain)));
+          check
+            (Printf.sprintf "%s/%s decrypt" name impl)
+            ~expected:fips_plain
+            ~got:(Xbytes.to_hex (c.Block.decrypt (hex ct))))
+        [ ("ref", Secdb_cipher.Aes.cipher); ("fast", Secdb_cipher.Aes_fast.cipher) ])
+    fips_vectors
+
+(* --- hashes -------------------------------------------------------------- *)
+
+let kat_hashes () =
+  let vectors =
+    [
+      ("sha1 empty", Secdb_hash.Sha1.hex, "", "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+      ("sha1 abc", Secdb_hash.Sha1.hex, "abc", "a9993e364706816aba3e25717850c26c9cd0d89d");
+      ( "sha1 448-bit",
+        Secdb_hash.Sha1.hex,
+        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1" );
+      ( "sha256 empty",
+        Secdb_hash.Sha256.hex,
+        "",
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" );
+      ( "sha256 abc",
+        Secdb_hash.Sha256.hex,
+        "abc",
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" );
+      ( "sha256 448-bit",
+        Secdb_hash.Sha256.hex,
+        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ("md5 empty", Secdb_hash.Md5.hex, "", "d41d8cd98f00b204e9800998ecf8427e");
+      ("md5 abc", Secdb_hash.Md5.hex, "abc", "900150983cd24fb0d6963f7d28e17f72");
+      ( "md5 alphabet",
+        Secdb_hash.Md5.hex,
+        "abcdefghijklmnopqrstuvwxyz",
+        "c3fcd3d76192e4007dfb496cca67e13b" );
+    ]
+  in
+  List.iter (fun (name, f, input, expected) -> check name ~expected ~got:(f input)) vectors
+
+(* --- HMAC, RFC 2202 + RFC 4231 ------------------------------------------ *)
+
+let kat_hmac () =
+  let mac h ~key data = Xbytes.to_hex (Secdb_hash.Hmac.mac h ~key data) in
+  let key_0b n = String.make n '\x0b' in
+  let key_aa n = String.make n '\xaa' in
+  check "hmac-sha1 rfc2202 #1"
+    ~expected:"b617318655057264e28bc0b6fb378c8ef146be00"
+    ~got:(mac Secdb_hash.Hmac.sha1 ~key:(key_0b 20) "Hi There");
+  check "hmac-sha1 rfc2202 #2"
+    ~expected:"effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+    ~got:(mac Secdb_hash.Hmac.sha1 ~key:"Jefe" "what do ya want for nothing?");
+  check "hmac-sha1 rfc2202 #3"
+    ~expected:"125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+    ~got:(mac Secdb_hash.Hmac.sha1 ~key:(key_aa 20) (String.make 50 '\xdd'));
+  check "hmac-md5 rfc2202 #1"
+    ~expected:"9294727a3638bb1c13f48ef8158bfc9d"
+    ~got:(mac Secdb_hash.Hmac.md5 ~key:(key_0b 16) "Hi There");
+  check "hmac-md5 rfc2202 #2"
+    ~expected:"750c783e6ab0b503eaa86e310a5db738"
+    ~got:(mac Secdb_hash.Hmac.md5 ~key:"Jefe" "what do ya want for nothing?");
+  check "hmac-sha256 rfc4231 #1"
+    ~expected:"b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    ~got:(mac Secdb_hash.Hmac.sha256 ~key:(key_0b 20) "Hi There");
+  check "hmac-sha256 rfc4231 #2"
+    ~expected:"5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    ~got:(mac Secdb_hash.Hmac.sha256 ~key:"Jefe" "what do ya want for nothing?");
+  (* RFC 4231 #7: 131-byte key, forces the key-hashing path *)
+  check "hmac-sha256 rfc4231 #7"
+    ~expected:"9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+    ~got:
+      (mac Secdb_hash.Hmac.sha256 ~key:(key_aa 131)
+         "This is a test using a larger than block-size key and a larger than \
+          block-size data. The key needs to be hashed before being used by the HMAC \
+          algorithm.")
+
+(* --- AES-CMAC, RFC 4493 -------------------------------------------------- *)
+
+let kat_cmac () =
+  let c = Secdb_cipher.Aes.cipher ~key:(hex "2b7e151628aed2a6abf7158809cf4f3c") in
+  let m64 =
+    hex
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"
+  in
+  let k1, k2 = Secdb_mac.Cmac.subkeys c in
+  check "cmac subkey K1" ~expected:"fbeed618357133667c85e08f7236a8de" ~got:(Xbytes.to_hex k1);
+  check "cmac subkey K2" ~expected:"f7ddac306ae266ccf90bc11ee46d513b" ~got:(Xbytes.to_hex k2);
+  List.iter
+    (fun (name, msg, expected) ->
+      check name ~expected ~got:(Xbytes.to_hex (Secdb_mac.Cmac.mac c msg)))
+    [
+      ("cmac rfc4493 len=0", "", "bb1d6929e95937287fa37d129b756746");
+      ("cmac rfc4493 len=16", String.sub m64 0 16, "070a16b46b4d4144f79bdd9dd04a287c");
+      ("cmac rfc4493 len=40", String.sub m64 0 40, "dfa66747de9ae63030ca32611497c827");
+      ("cmac rfc4493 len=64", m64, "51f0bebf7e3b9d92fc49741779363cfe");
+    ]
+
+let () =
+  kat_aes ();
+  kat_hashes ();
+  kat_hmac ();
+  kat_cmac ();
+  Printf.printf "%d known-answer checks, %d failure(s)\n" !total !failures;
+  if !failures > 0 then exit 1

@@ -227,7 +227,7 @@ let test_eam_is_broken_by_design () =
   | Ok "hello" -> ()
   | _ -> Alcotest.fail "eam roundtrip broken"
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let prop_all_roundtrip =
   QCheck2.Test.make ~name:"aead roundtrip (random sizes)" ~count:150

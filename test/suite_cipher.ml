@@ -84,7 +84,7 @@ let test_des_weak_keys () =
 (* complementation property: DES(~k, ~p) = ~DES(k, p) *)
 let complement s = String.map (fun c -> Char.chr (lnot (Char.code c) land 0xff)) s
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let prop_des_complement =
   QCheck2.Test.make ~name:"DES complementation property" ~count:50

@@ -267,7 +267,7 @@ let suites =
         ] );
     ]
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let prop_keyring_labels_independent =
   QCheck2.Test.make ~name:"distinct derivation labels give distinct keys" ~count:200

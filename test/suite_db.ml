@@ -172,7 +172,7 @@ let test_codec_framing () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "truncated length accepted"
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let gen_value =
   QCheck2.Gen.(

@@ -80,7 +80,7 @@ let test_hmac_truncation_verify () =
   Alcotest.(check bool) "reject wrong key" false
     (Hmac.verify Hmac.sha256 ~key:"other" ~tag:short msg)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let prop_digest_sizes =
   QCheck2.Test.make ~name:"digest sizes" ~count:200 QCheck2.Gen.string (fun s ->

@@ -175,7 +175,7 @@ let prop_model ~order =
         [ 0; 1; 25; 50 ]
       && List.length (B.range t ()) = List.length !model)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let suites =
   [

@@ -99,7 +99,7 @@ let test_gf128_ntz () =
   Alcotest.check_raises "ntz 0" (Invalid_argument "Gf128.ntz: positive argument required")
     (fun () -> ignore (Gf128.ntz 0))
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let prop_gf_dbl_inverse =
   QCheck2.Test.make ~name:"inv_dbl inverts dbl (128- and 64-bit)" ~count:300

@@ -121,7 +121,7 @@ let suites =
       ] );
   ]
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let prop_merkle_proofs =
   QCheck2.Test.make ~name:"random proofs verify; mutations break them" ~count:100

@@ -87,7 +87,7 @@ let test_padding () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted unaligned input"
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 let gen_str200 = QCheck2.Gen.(string_size (int_range 0 200))
 
 let prop_pad_roundtrip =

@@ -166,7 +166,7 @@ let test_blob_persistence_of_saved_table () =
                    (Secdb_query.Encrypted_table.get_exn tbl' ~row:17 ~col:0));
               Pager.close p'))
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let prop_blob_roundtrip =
   QCheck2.Test.make ~name:"blob store/load/overwrite roundtrip" ~count:40

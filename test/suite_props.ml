@@ -9,7 +9,7 @@ module Etable = Secdb_query.Encrypted_table
 module Walker = Secdb_query.Walker
 module Rng = Secdb_util.Rng
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let schema =
   Schema.v ~table_name:"t"

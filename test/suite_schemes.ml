@@ -337,7 +337,7 @@ let test_index3_inner_leaf_shapes () =
     (Invalid_argument "index3: leaf entries need a table row") (fun () ->
       ignore (c.encode leaf_ctx ~value:(Value.Int 1L) ~table_row:None))
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let prop_append_roundtrip =
   QCheck2.Test.make ~name:"append scheme roundtrip" ~count:200

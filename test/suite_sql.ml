@@ -394,7 +394,7 @@ let prop_roundtrip =
 
 let suites =
   suites
-  @ [ ("sql:roundtrip", [ QCheck_alcotest.to_alcotest prop_roundtrip ]) ]
+  @ [ ("sql:roundtrip", [ Test_seed.qc prop_roundtrip ]) ]
 
 (* --- scripts ---------------------------------------------------------------- *)
 

@@ -238,6 +238,6 @@ let suites =
   [
     ( "sql:differential",
       List.map
-        (fun p -> QCheck_alcotest.to_alcotest (prop p))
+        (fun p -> Test_seed.qc (prop p))
         [ Encdb.Elovici_append; Encdb.Fixed Encdb.Eax; Encdb.Siv_deterministic ] );
   ]

@@ -150,7 +150,7 @@ let test_rng_shuffle () =
 
 (* property tests *)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Test_seed.qc
 
 let prop_hex_roundtrip =
   QCheck2.Test.make ~name:"hex roundtrip" ~count:500 QCheck2.Gen.string (fun s ->

@@ -24,4 +24,5 @@ let () =
          Suite_oplog.suites;
          Suite_core.suites;
          Suite_bulk.suites;
+         Suite_obs.suites;
        ])

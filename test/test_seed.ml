@@ -1,0 +1,18 @@
+(* One seed for every property-based test in the suite, printed at startup so
+   a failing CI run can be reproduced locally with
+   [SECDB_TEST_SEED=<n> dune runtest].  Each test gets a fresh
+   [Random.State.t] derived from the seed, so determinism does not depend on
+   which tests run or in what order. *)
+
+let default_seed = 0x5ec0de
+
+let seed =
+  match Sys.getenv_opt "SECDB_TEST_SEED" with
+  | None | Some "" -> default_seed
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> invalid_arg ("SECDB_TEST_SEED must be an integer, got: " ^ s))
+
+let () = Printf.printf "SECDB_TEST_SEED=%d\n%!" seed
+let qc test = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test

@@ -29,6 +29,9 @@ module Fixed_cell = Secdb_schemes.Fixed_cell
 module Cell_scheme = Secdb_schemes.Cell_scheme
 module B = Secdb_index.Bptree
 module Etable = Secdb_query.Encrypted_table
+module Vfs = Secdb_storage.Vfs
+module Pager = Secdb_storage.Pager
+module Blob_store = Secdb_storage.Blob_store
 
 let key = Xbytes.of_hex "000102030405060708090a0b0c0d0e0f"
 let key_mac = Xbytes.of_hex "ffeeddccbbaa99887766554433221100"
@@ -304,6 +307,29 @@ let check_parallel_bulk_load pool =
   | Error e -> fail_check "bulk_load validate: %s" e);
   if B.find par (Value.Text "k000007") <> [ 14; 15 ] then fail_check "bulk_load find"
 
+let check_fault_vfs () =
+  (* the fault backend with every degradation on — short reads and torn
+     writes at every call — must be functionally invisible, because the
+     storage layer loops through the robust helpers; the durable images
+     must come out byte-identical *)
+  let image degraded =
+    let ctl = Vfs.Fault.make ~seed:11 () in
+    if degraded then begin
+      Vfs.Fault.set_short_reads ctl true;
+      Vfs.Fault.set_torn_writes ctl true
+    end;
+    let vfs = Vfs.Fault.vfs ctl in
+    let p = Pager.create ~path:"mem:perf.pg" ~page_size:128 ~cache_pages:4 ~vfs () in
+    let store = Blob_store.attach p in
+    let id = Blob_store.store store (String.make 1500 'p') in
+    (match Blob_store.load store id with
+    | Ok s when s = String.make 1500 'p' -> ()
+    | Ok _ | Error _ -> fail_check "fault vfs: blob roundtrip");
+    Pager.close p;
+    Vfs.Fault.dump ctl ~path:"mem:perf.pg"
+  in
+  if image false <> image true then fail_check "fault vfs: degraded image differs"
+
 (* The checks run with observability on, so the counter snapshot embedded
    in BENCH_perf.json reflects exactly the work the equivalence checks did;
    the timed sections below run with it off (the default), keeping the
@@ -319,7 +345,8 @@ let run_checks () =
           check_kernel_vs_string ();
           check_parallel_cells pool;
           check_parallel_table pool;
-          check_parallel_bulk_load pool));
+          check_parallel_bulk_load pool;
+          check_fault_vfs ()));
   check_snapshot := Some (Secdb_obs.Metrics.snapshot ());
   match !check_failures with
   | [] ->
@@ -485,6 +512,58 @@ let bench_obs_overhead ~fast =
     (rate_off /. rate_on);
   row "  obs off %9.1f   obs on %9.1f   off/on %.3fx" rate_off rate_on (rate_off /. rate_on)
 
+let bench_vfs_overhead ~fast =
+  (* the storage engine now routes every byte through Vfs; this measures
+     what the indirection costs against the same syscall pattern on a bare
+     file descriptor (the pre-VFS code path) *)
+  let pages = if fast then 64 else 512 in
+  let psize = 4096 in
+  let min_time = if fast then 0.02 else 0.2 in
+  let bytes = 2 * pages * psize in
+  header "VFS passthrough overhead, %d x %d B pwrite+pread (MB/s)" pages psize;
+  let data = String.make psize 'v' in
+  let buf = Bytes.create psize in
+  let with_tmp f =
+    let path = Filename.temp_file "secdb_vfs" ".bin" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () -> f path)
+  in
+  let raw () =
+    with_tmp (fun path ->
+        let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_TRUNC ] 0o600 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            for i = 0 to pages - 1 do
+              ignore (Unix.lseek fd (i * psize) Unix.SEEK_SET);
+              ignore (Unix.write_substring fd data 0 psize)
+            done;
+            for i = 0 to pages - 1 do
+              ignore (Unix.lseek fd (i * psize) Unix.SEEK_SET);
+              ignore (Unix.read fd buf 0 psize)
+            done))
+  in
+  let through_vfs () =
+    with_tmp (fun path ->
+        let f = Vfs.unix.Vfs.open_file ~path ~mode:`Trunc in
+        Fun.protect
+          ~finally:(fun () -> f.Vfs.close ())
+          (fun () ->
+            for i = 0 to pages - 1 do
+              Vfs.really_pwrite f ~pos:(i * psize) data
+            done;
+            for i = 0 to pages - 1 do
+              ignore (Vfs.really_pread f ~pos:(i * psize) buf ~off:0 ~len:psize)
+            done))
+  in
+  let rate_raw = float_of_int bytes /. time_per_call ~min_time raw /. 1e6 in
+  let rate_vfs = float_of_int bytes /. time_per_call ~min_time through_vfs /. 1e6 in
+  sample ~section:"vfs" ~name:"raw-fd" ~qualifier:"baseline" ~unit_:"MB/s" rate_raw;
+  sample ~section:"vfs" ~name:"vfs-unix" ~qualifier:"passthrough" ~unit_:"MB/s" rate_vfs;
+  sample ~section:"vfs" ~name:"vfs-ratio" ~qualifier:"raw/vfs" ~unit_:"x" (rate_raw /. rate_vfs);
+  row "  raw fd %9.1f   vfs %9.1f   raw/vfs %.3fx" rate_raw rate_vfs (rate_raw /. rate_vfs)
+
 (* ------------------------------------------------------------- JSON -- *)
 
 let json_escape s =
@@ -548,5 +627,6 @@ let () =
     bench_cells ~fast;
     bench_bulk_load ~fast;
     bench_obs_overhead ~fast;
+    bench_vfs_overhead ~fast;
     write_json ~fast "BENCH_perf.json"
   end

@@ -7,6 +7,8 @@
      digest    hash a string with the bundled hash functions
      attack    run one of the paper's attacks (A1..A8)
      stats     run a deterministic workload and dump the metric registry
+     fsck      check a pager file (header, free list, blob chains)
+     pgdemo    write a small deterministic pager file for fsck demos
      profiles  list the protection profiles *)
 
 open Cmdliner
@@ -365,25 +367,33 @@ let stats_workload () =
      tampered log that must fail *)
   with_temp ".oplog" (fun path ->
       let aead = Secdb_aead.Eax.make aes in
-      let w = Secdb.Oplog.create ~path ~aead ~nonce:(Secdb_aead.Nonce.counter ~size:16 ()) in
+      let w = Secdb.Oplog.create ~path ~aead ~nonce:(Secdb_aead.Nonce.counter ~size:16 ()) () in
       ignore (Secdb.Oplog.append w (Secdb.Oplog.Insert { table = "t"; values = [ Value.Int 1L ] }));
       ignore
         (Secdb.Oplog.append w
            (Secdb.Oplog.Update { table = "t"; row = 0; col = "a"; value = Value.Int 2L }));
       ignore (Secdb.Oplog.append w (Secdb.Oplog.Delete { table = "t"; row = 0 }));
       Secdb.Oplog.close w;
-      (match Secdb.Oplog.replay ~path ~aead with
+      (match Secdb.Oplog.replay ~path ~aead () with
       | Ok ops when List.length ops = 3 -> ()
       | Ok _ -> failwith "stats workload: replay: wrong op count"
       | Error e -> failwith ("stats workload: replay: " ^ e));
+      (* flip a ciphertext byte inside the last record and fix up its CRC
+         trailer, so framing passes and the AEAD does the rejecting *)
       let data = In_channel.with_open_bin path In_channel.input_all in
-      let tampered =
-        String.mapi
-          (fun i c -> if i = String.length data - 1 then Char.chr (Char.code c lxor 1) else c)
-          data
+      let rec last_record off =
+        let rlen = Xbytes.be_string_to_int (String.sub data off 4) in
+        let next = off + 8 + rlen in
+        if next >= String.length data then (off, rlen) else last_record next
       in
-      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc tampered);
-      match Secdb.Oplog.replay ~path ~aead with
+      let off, rlen = last_record 0 in
+      let b = Bytes.of_string data in
+      let pos = off + 4 + (rlen / 2) in
+      Bytes.set b pos (Char.chr (Char.code data.[pos] lxor 1));
+      let crc = Secdb_util.Crc32.string (Bytes.sub_string b off (4 + rlen)) in
+      Bytes.blit_string (Xbytes.int_to_be_string ~width:4 crc) 0 b (off + 4 + rlen) 4;
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+      match Secdb.Oplog.replay ~path ~aead () with
       | Error _ -> ()
       | Ok _ -> failwith "stats workload: tampered replay was accepted")
 
@@ -417,6 +427,62 @@ let stats_cmd =
           observability registry.")
     Term.(const run $ json $ trace $ no_workload)
 
+(* fsck + a deterministic demo image for the cram suite.  The demo layout
+   is fixed: page size 128, blob a = 600 bytes (6 pages), blob b = one
+   page, a third 2-page blob stored and deleted so the free list is
+   non-trivial. *)
+let pgdemo_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let run path =
+    let module Pager = Secdb_storage.Pager in
+    let module Blob = Secdb_storage.Blob_store in
+    let p = Pager.create ~path ~page_size:128 ~cache_pages:8 () in
+    let blob = Blob.attach p in
+    let a = Blob.store blob (String.make 600 'A') in
+    let b = Blob.store blob "hello, demo blob" in
+    let c = Blob.store blob (String.make 200 'C') in
+    Blob.delete blob c;
+    Pager.flush p;
+    let pages = Pager.page_count p in
+    Pager.close p;
+    Printf.printf "created %s: pages=%d blob-a=%d blob-b=%d\n" path pages a b
+  in
+  Cmd.v
+    (Cmd.info "pgdemo" ~doc:"Write a small deterministic pager file (for fsck demos/tests).")
+    Term.(const run $ path)
+
+let fsck_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let roots =
+    Arg.(
+      value & opt_all int []
+      & info [ "b"; "blob" ] ~docv:"ID" ~doc:"Blob id whose chain to walk (repeatable).")
+  in
+  let run path roots =
+    let module Fsck = Secdb_storage.Fsck in
+    let r = Fsck.run ~roots ~path () in
+    Printf.printf "fsck %s\n" path;
+    if r.Fsck.page_size > 0 then begin
+      Printf.printf "  page size  %d\n  pages      %d\n  free       [%s]\n" r.Fsck.page_size
+        r.Fsck.npages
+        (String.concat " " (List.map string_of_int r.Fsck.free));
+      List.iter
+        (fun (head, pages) -> Printf.printf "  blob %-6d %d pages\n" head (List.length pages))
+        r.Fsck.chains
+    end;
+    if Fsck.ok r then print_endline "clean"
+    else begin
+      List.iter (fun i -> Printf.printf "issue: %s\n" (Fsck.issue_to_string i)) r.Fsck.issues;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check a pager file without trusting it: header sanity, free-list acyclicity, blob \
+          chain bounds and free-list overlap.")
+    Term.(const run $ path $ roots)
+
 let profiles_cmd =
   let run () =
     List.iter (fun p -> print_endline (Secdb.Encdb.profile_name p)) Secdb.Encdb.all_profiles
@@ -431,5 +497,5 @@ let () =
        (Cmd.group info
           [
             encrypt_cmd; decrypt_cmd; mu_cmd; digest_cmd; attack_cmd; sql_cmd; stats_cmd;
-            profiles_cmd;
+            fsck_cmd; pgdemo_cmd; profiles_cmd;
           ]))

@@ -30,4 +30,7 @@ dune build @kat
 step "perf equivalence checks"
 dune exec bench/perf.exe -- --fast --check
 
+step "crash-safety matrix (explicit rerun of the durability suites)"
+dune exec -- test/test_main.exe test 'storage:crash|storage:fsck'
+
 step "CI gate passed"

@@ -1,0 +1,50 @@
+The offline recovery checker.  `pgdemo` writes a deterministic pager image
+(two live blob chains, two freed pages), so both the clean verdict and the
+reaction to hand-made corruption are stable:
+
+  $ secdb_cli pgdemo demo.pg
+  created demo.pg: pages=9 blob-a=1 blob-b=7
+
+  $ secdb_cli fsck demo.pg --blob 1 --blob 7
+  fsck demo.pg
+    page size  128
+    pages      9
+    free       [9 8]
+    blob 1      6 pages
+    blob 7      1 pages
+  clean
+
+A wild free-list head (header bytes 16-19) is caught by header validation
+before any page is trusted, and the exit code flips:
+
+  $ printf '\000\000\377\377' | dd of=demo.pg bs=1 seek=16 conv=notrunc status=none
+  $ secdb_cli fsck demo.pg
+  fsck demo.pg
+  issue: header: Pager.open_file: free-list head 65535 out of range (0..9)
+  [1]
+
+A blob chain bent back on itself (page 2's next pointer, at byte 256,
+redirected to page 1) is reported against the offending page — the bounded
+walk terminates instead of spinning:
+
+  $ secdb_cli pgdemo demo2.pg
+  created demo2.pg: pages=9 blob-a=1 blob-b=7
+  $ printf '\000\000\000\000\000\000\000\001' | dd of=demo2.pg bs=1 seek=256 conv=notrunc status=none
+  $ secdb_cli fsck demo2.pg --blob 1
+  fsck demo2.pg
+    page size  128
+    pages      9
+    free       [9 8]
+    blob 1      0 pages
+  issue: blob 1: page 2: chain exceeds 9 pages (cycle?)
+  [1]
+
+The other blob is untouched by that corruption and still checks out:
+
+  $ secdb_cli fsck demo2.pg --blob 7
+  fsck demo2.pg
+    page size  128
+    pages      9
+    free       [9 8]
+    blob 7      1 pages
+  clean

@@ -35,7 +35,8 @@ is a behaviour change in the stack, not noise:
   counter oplog.appends 3
   counter oplog.replay_failures 1
   counter oplog.replayed 3
-  counter pager.cache_hits 31
+  counter oplog.syncs 3
+  counter pager.cache_hits 26
   counter pager.cache_misses 8
   counter pager.disk_reads 8
   counter pager.disk_writes 17
@@ -64,3 +65,4 @@ The span sink sees the oplog appends and replays:
   $ secdb_cli stats --trace 2>&1 >/dev/null | cut -d'"' -f4 | sort | uniq -c | sed 's/^ *//'
   3 oplog.append
   2 oplog.replay
+

@@ -31,7 +31,7 @@ let fresh () =
 
 let () =
   let db = fresh () in
-  let w = Oplog.create ~path:log_path ~aead:log_aead ~nonce:(Secdb_aead.Nonce.counter ~size:16 ()) in
+  let w = Oplog.create ~path:log_path ~aead:log_aead ~nonce:(Secdb_aead.Nonce.counter ~size:16 ()) () in
   let mutate op =
     (match Oplog.apply db op with Ok () -> () | Error e -> failwith e);
     ignore (Oplog.append w op)
@@ -50,10 +50,10 @@ let () =
 
   (* the primary burns down; rebuild from the log alone *)
   let recovered = fresh () in
-  (match Oplog.replay_into recovered ~path:log_path ~aead:log_aead with
+  (match Oplog.replay_into recovered ~path:log_path ~aead:log_aead () with
   | Ok n when n = expected_count -> Printf.printf "recovered: replayed %d operations\n" n
   | Ok n -> Printf.printf "SUSPICIOUS: log holds %d records, expected %d\n" n expected_count
-  | Error e -> Printf.printf "replay refused: %s\n" e);
+  | Error e -> Printf.printf "replay refused after %d ops: %s\n" e.Oplog.applied e.Oplog.reason);
   (match Encdb.select_eq recovered ~table:"ledger" ~col:"entry" (Value.Text "amended") with
   | Ok [ (3, _) ] -> print_endline "recovered database answers correctly"
   | _ -> print_endline "UNEXPECTED recovery state");
@@ -64,6 +64,6 @@ let () =
   let pos = Bytes.length b / 2 in
   Bytes.set b pos (Char.chr (Char.code data.[pos] lxor 0x80));
   Out_channel.with_open_bin log_path (fun oc -> Out_channel.output_bytes oc b);
-  match Oplog.replay ~path:log_path ~aead:log_aead with
+  match Oplog.replay ~path:log_path ~aead:log_aead () with
   | Error e -> Printf.printf "tampered log rejected: %s\n" e
   | Ok _ -> print_endline "UNEXPECTED: tampered log replayed"

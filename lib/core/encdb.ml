@@ -277,12 +277,12 @@ let delete_row t ~table:name ~row =
 
 (* --- paged persistence ---------------------------------------------------- *)
 
-let save_paged t ~path ?(page_size = 4096) () =
+let save_paged t ~path ?(page_size = 4096) ?vfs () =
   ensure_open t;
   let tables = Hashtbl.fold (fun name tbl acc -> (name, tbl) :: acc) t.tables [] in
   let indexes = Hashtbl.fold (fun key tree acc -> (key, tree) :: acc) t.indexes [] in
   let be8 = Secdb_util.Xbytes.int_to_be_string ~width:8 in
-  let pager = Secdb_storage.Pager.create ~path ~page_size () in
+  let pager = Secdb_storage.Pager.create ~path ~page_size ?vfs () in
   (* page 1, allocated first by construction, points at the directory blob *)
   let pointer_page = Secdb_storage.Pager.alloc pager in
   let blobs = Secdb_storage.Blob_store.attach pager in
@@ -308,16 +308,20 @@ let save_paged t ~path ?(page_size = 4096) () =
   Secdb_storage.Pager.write pager pointer_page (be8 dir_id);
   Secdb_storage.Pager.close pager
 
-let load_paged ?(seed = 3L) ?(order = 4) ?(cache_pages = 64) ~master ~profile ~path () =
+let load_paged ?(seed = 3L) ?(order = 4) ?(cache_pages = 64) ?vfs ~master ~profile ~path () =
   let ( let* ) = Result.bind in
-  let* pager = Secdb_storage.Pager.open_file ~path ~cache_pages () in
+  let* pager = Secdb_storage.Pager.open_file ~path ~cache_pages ?vfs () in
   let blobs = Secdb_storage.Blob_store.attach pager in
+  let blob_load id =
+    Result.map_error Secdb_storage.Blob_store.chain_error_to_string
+      (Secdb_storage.Blob_store.load blobs id)
+  in
   let finish r =
     Secdb_storage.Pager.close pager;
     r
   in
   let dir_id = Secdb_util.Xbytes.be_string_to_int (String.sub (Secdb_storage.Pager.read pager 1) 0 8) in
-  let* directory = Secdb_storage.Blob_store.load blobs dir_id in
+  let* directory = blob_load dir_id in
   let* fields = Secdb_db.Codec.unframe directory in
   match fields with
   | m :: section :: prof :: entries ->
@@ -337,9 +341,7 @@ let load_paged ?(seed = 3L) ?(order = 4) ?(cache_pages = 64) ~master ~profile ~p
               let* parts = Secdb_db.Codec.unframe entry in
               match parts with
               | [ "T"; name; _; id ] ->
-                  let* data =
-                    Secdb_storage.Blob_store.load blobs (Secdb_util.Xbytes.be_string_to_int id)
-                  in
+                  let* data = blob_load (Secdb_util.Xbytes.be_string_to_int id) in
                   let* table_id, schema = Secdb_storage.Storage.peek_table data in
                   let* tbl =
                     Secdb_storage.Storage.decode_table ~scheme:(cell_scheme t ~table_id ~schema)
@@ -361,9 +363,7 @@ let load_paged ?(seed = 3L) ?(order = 4) ?(cache_pages = 64) ~master ~profile ~p
                         Error (Printf.sprintf "load_paged: unknown column %s.%s" name col)
                   in
                   let codec = index_codec t ~table_id:(Etable.id tbl) ~col_id in
-                  let* data =
-                    Secdb_storage.Blob_store.load blobs (Secdb_util.Xbytes.be_string_to_int id)
-                  in
+                  let* data = blob_load (Secdb_util.Xbytes.be_string_to_int id) in
                   let* tree = Secdb_storage.Storage.decode_index ~codec data in
                   let hist =
                     try

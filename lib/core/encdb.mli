@@ -96,7 +96,7 @@ val delete_row : t -> table:string -> row:int -> (unit, string) result
     compaction would force a full re-encryption (see
     {!Secdb_query.Encrypted_table.delete_row}). *)
 
-val save_paged : t -> path:string -> ?page_size:int -> unit -> unit
+val save_paged : t -> path:string -> ?page_size:int -> ?vfs:Secdb_storage.Vfs.t -> unit -> unit
 (** Persist the whole database into a single {!Secdb_storage.Pager} file:
     a directory blob plus one blob per table and per index.  Same contract
     as {!save}, different storage system. *)
@@ -105,6 +105,7 @@ val load_paged :
   ?seed:int64 ->
   ?order:int ->
   ?cache_pages:int ->
+  ?vfs:Secdb_storage.Vfs.t ->
   master:string ->
   profile:profile ->
   path:string ->

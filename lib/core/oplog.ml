@@ -2,10 +2,13 @@ module Value = Secdb_db.Value
 module Codec = Secdb_db.Codec
 module Aead = Secdb_aead.Aead
 module Xbytes = Secdb_util.Xbytes
+module Crc32 = Secdb_util.Crc32
+module Vfs = Secdb_storage.Vfs
 module Metrics = Secdb_obs.Metrics
 module Trace = Secdb_obs.Trace
 
 let m_appends = Metrics.counter "oplog.appends"
+let m_syncs = Metrics.counter "oplog.syncs"
 let m_replayed = Metrics.counter "oplog.replayed"
 let m_replay_failures = Metrics.counter "oplog.replay_failures"
 let h_append = Metrics.histogram "oplog.append_seconds"
@@ -53,75 +56,181 @@ let decode_op bytes =
 
 (* --- writer ------------------------------------------------------------- *)
 
+type sync_policy = Always | Every_n of int | Never
+
 type writer = {
-  oc : out_channel;
+  vf : Vfs.file;
   aead : Aead.t;
   nonce : Secdb_aead.Nonce.t;
+  policy : sync_policy;
   mutable seq : int;
+  mutable pos : int; (* next record's byte offset *)
+  mutable unsynced : int; (* appends not yet covered by an fsync *)
   mutable open_ : bool;
 }
 
-let create ~path ~aead ~nonce =
-  { oc = open_out_bin path; aead; nonce; seq = 0; open_ = true }
+let create ?(vfs = Vfs.unix) ?(sync = Always) ~path ~aead ~nonce () =
+  (match sync with
+  | Every_n n when n < 1 -> invalid_arg "Oplog.create: Every_n needs n >= 1"
+  | _ -> ());
+  {
+    vf = vfs.Vfs.open_file ~path ~mode:`Trunc;
+    aead;
+    nonce;
+    policy = sync;
+    seq = 0;
+    pos = 0;
+    unsynced = 0;
+    open_ = true;
+  }
 
-let append w op =
-  if not w.open_ then invalid_arg "Oplog.append: writer is closed";
-  Trace.with_span ~hist:h_append "oplog.append" @@ fun () ->
-  Metrics.incr m_appends;
+let do_sync w =
+  w.vf.Vfs.fsync ();
+  w.unsynced <- 0;
+  Metrics.incr m_syncs
+
+let sync w =
+  if not w.open_ then invalid_arg "Oplog.sync: writer is closed";
+  if w.unsynced > 0 then do_sync w
+
+(* Record layout: [len:4][record][crc32(len ^ record):4].  The CRC is not a
+   security feature — the AEAD tag inside [record] is — it distinguishes a
+   torn tail (storage fault) from a forged record (adversary) and lets
+   recovery stop cleanly without an AEAD pass over garbage. *)
+let seal w op =
   let seq = w.seq in
   let n = w.nonce () in
   let ad = Xbytes.int_to_be_string ~width:8 seq in
   let ct, tag = Aead.encrypt w.aead ~nonce:n ~ad (encode_op op) in
   let record = Codec.frame [ ad; n; ct; tag ] in
-  output_string w.oc (Xbytes.int_to_be_string ~width:4 (String.length record));
-  output_string w.oc record;
+  let len4 = Xbytes.int_to_be_string ~width:4 (String.length record) in
+  let crc = Crc32.string (len4 ^ record) in
+  len4 ^ record ^ Xbytes.int_to_be_string ~width:4 crc
+
+let append w op =
+  if not w.open_ then invalid_arg "Oplog.append: writer is closed";
+  Trace.with_span ~hist:h_append "oplog.append" @@ fun () ->
+  Metrics.incr m_appends;
+  let full = seal w op in
+  let start = w.pos in
+  (try Vfs.really_pwrite w.vf ~pos:start full
+   with e ->
+     (* an injected EIO/ENOSPC can leave a torn record; put the log back
+        at the last record boundary so the failure is not also corruption *)
+     (try w.vf.Vfs.truncate start with Vfs.Io_error _ | Vfs.Crashed _ -> ());
+     raise e);
+  let seq = w.seq in
+  w.pos <- start + String.length full;
   w.seq <- seq + 1;
+  w.unsynced <- w.unsynced + 1;
+  (match w.policy with
+  | Always -> do_sync w
+  | Every_n n -> if w.unsynced >= n then do_sync w
+  | Never -> ());
   seq
 
 let count w = w.seq
 
 let close w =
   if w.open_ then begin
-    close_out w.oc;
+    (try sync w with Vfs.Crashed _ -> ());
+    w.vf.Vfs.close ();
     w.open_ <- false
   end
 
 (* --- reader ------------------------------------------------------------- *)
 
-let replay ~path ~aead =
-  Trace.with_span ~hist:h_replay "oplog.replay" @@ fun () ->
-  let ( let* ) = Result.bind in
-  let data = In_channel.with_open_bin path In_channel.input_all in
+type tail =
+  | Complete
+  | Torn_length of { off : int; have : int }
+  | Torn_record of { seq : int; off : int; expect : int; have : int }
+  | Bad_length of { seq : int; off : int; len : int }
+  | Bad_crc of { seq : int; off : int }
+  | Bad_record of { seq : int; off : int; reason : string }
+  | Bad_auth of { seq : int; off : int }
+
+let tail_to_string = function
+  | Complete -> "oplog: clean tail"
+  | Torn_length { off; have } ->
+      Printf.sprintf "oplog: torn length field at offset %d (%d of 4 bytes)" off have
+  | Torn_record { seq; off; expect; have } ->
+      Printf.sprintf "oplog: record %d torn at offset %d (%d of %d bytes)" seq off have expect
+  | Bad_length { seq; off; len } ->
+      Printf.sprintf "oplog: record %d at offset %d has implausible length %d" seq off len
+  | Bad_crc { seq; off } ->
+      Printf.sprintf "oplog: record %d at offset %d failed its CRC" seq off
+  | Bad_record { seq; off; reason } ->
+      Printf.sprintf "oplog: record %d at offset %d malformed: %s" seq off reason
+  | Bad_auth { seq; off } ->
+      Printf.sprintf "oplog: record %d at offset %d failed authentication" seq off
+
+let max_record_len = 1 lsl 26
+
+(* Longest-valid-prefix parse.  Stops at the first record that fails any
+   check: once one record is unparsable the sequence chain beyond it is
+   unauthenticated, so nothing after it can be trusted anyway. *)
+let parse ~aead data =
   let len = String.length data in
   let rec loop off seq acc =
-    if off = len then Ok (List.rev acc)
-    else if off + 4 > len then Error "oplog: truncated record length"
-    else begin
+    if off = len then (List.rev acc, Complete)
+    else if off + 4 > len then (List.rev acc, Torn_length { off; have = len - off })
+    else
       let rlen = Xbytes.be_string_to_int (String.sub data off 4) in
-      if off + 4 + rlen > len then Error "oplog: truncated record"
+      if rlen <= 0 || rlen > max_record_len then
+        (List.rev acc, Bad_length { seq; off; len = rlen })
+      else if off + 4 + rlen + 4 > len then
+        (List.rev acc, Torn_record { seq; off; expect = rlen + 8; have = len - off })
       else
-        let record = String.sub data (off + 4) rlen in
-        let* ad, n, ct, tag =
-          match Codec.unframe record with
-          | Ok [ a; b; c; d ] -> Ok (a, b, c, d)
-          | Ok _ | Error _ -> Error "oplog: malformed record"
-        in
-        if ad <> Xbytes.int_to_be_string ~width:8 seq then
-          Error (Printf.sprintf "oplog: record %d out of order or spliced" seq)
+        let crc = Xbytes.get_uint32_be data (off + 4 + rlen) in
+        if Crc32.update 0 data ~off ~len:(4 + rlen) <> crc then
+          (List.rev acc, Bad_crc { seq; off })
         else
-          match Aead.decrypt aead ~nonce:n ~ad ~tag ct with
-          | Error Aead.Invalid ->
-              Error (Printf.sprintf "oplog: record %d failed authentication" seq)
-          | Ok bytes ->
-              let* op = decode_op bytes in
-              loop (off + 4 + rlen) (seq + 1) ((seq, op) :: acc)
-    end
+          let record = String.sub data (off + 4) rlen in
+          match Codec.unframe record with
+          | Ok [ ad; n; ct; tag ] -> (
+              if ad <> Xbytes.int_to_be_string ~width:8 seq then
+                (List.rev acc, Bad_record { seq; off; reason = "out of order or spliced" })
+              else
+                match Aead.decrypt aead ~nonce:n ~ad ~tag ct with
+                | Error Aead.Invalid -> (List.rev acc, Bad_auth { seq; off })
+                | Ok bytes -> (
+                    match decode_op bytes with
+                    | Error e -> (List.rev acc, Bad_record { seq; off; reason = e })
+                    | Ok op -> loop (off + 8 + rlen) (seq + 1) ((seq, op) :: acc)))
+          | Ok _ | Error _ ->
+              (List.rev acc, Bad_record { seq; off; reason = "malformed frame" })
   in
-  let r = loop 0 0 [] in
+  loop 0 0 []
+
+let read_log ?(vfs = Vfs.unix) path =
+  match Vfs.read_all vfs ~path with
+  | data -> Ok data
+  | exception Vfs.Io_error { reason; _ } -> Error ("oplog: " ^ reason)
+
+let replay ?vfs ~path ~aead () =
+  Trace.with_span ~hist:h_replay "oplog.replay" @@ fun () ->
+  let r =
+    match read_log ?vfs path with
+    | Error _ as e -> e
+    | Ok data -> (
+        match parse ~aead data with
+        | ops, Complete -> Ok ops
+        | _, tail -> Error (tail_to_string tail))
+  in
   (match r with
   | Ok ops -> Metrics.add m_replayed (List.length ops)
   | Error _ -> Metrics.incr m_replay_failures);
   r
+
+let recover ?vfs ~path ~aead () =
+  Trace.with_span ~hist:h_replay "oplog.recover" @@ fun () ->
+  match read_log ?vfs path with
+  | Error _ as e -> e
+  | Ok data ->
+      let ops, tail = parse ~aead data in
+      Metrics.add m_replayed (List.length ops);
+      if tail <> Complete then Metrics.incr m_replay_failures;
+      Ok (ops, tail)
 
 let apply db = function
   | Insert { table; values } -> (
@@ -132,12 +241,17 @@ let apply db = function
   | Update { table; row; col; value } -> Encdb.update db ~table ~row ~col value
   | Delete { table; row } -> Encdb.delete_row db ~table ~row
 
-let replay_into db ~path ~aead =
-  match replay ~path ~aead with
-  | Error e -> Error e
+type replay_error = { applied : int; reason : string }
+
+let replay_into db ?vfs ~path ~aead () =
+  match replay ?vfs ~path ~aead () with
+  | Error reason -> Error { applied = 0; reason }
   | Ok ops ->
-      let rec run = function
-        | [] -> Ok (List.length ops)
-        | (_, op) :: rest -> ( match apply db op with Ok () -> run rest | Error e -> Error e)
+      let rec run applied = function
+        | [] -> Ok applied
+        | (_, op) :: rest -> (
+            match apply db op with
+            | Ok () -> run (applied + 1) rest
+            | Error reason -> Error { applied; reason })
       in
-      run ops
+      run 0 ops

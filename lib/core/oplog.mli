@@ -1,13 +1,19 @@
-(** Encrypted, replay-protected operation log.
+(** Encrypted, replay-protected, crash-recoverable operation log.
 
     The schemes protect data {e at rest}; a deployment also ships changes —
     backups, replication, audit.  This module appends each mutation as an
     AEAD record whose associated data is its sequence number, so records
     cannot be reordered, spliced from another log, or modified; together
     with the out-of-band record count (keep it with the master key, like
-    the {!Encdb.digest} anchor) truncation is caught too.  Replaying a
-    verified log into a fresh session rebuilds the exact database —
-    {!Encdb.digest} equality is checked in the tests. *)
+    the {!Encdb.digest} anchor) truncation is caught too.
+
+    Durability is explicit: every byte goes through a {!Secdb_storage.Vfs}
+    backend, each record carries a CRC-32 trailer
+    ([len:4][record][crc:4]), and a {!sync_policy} decides when appends
+    are fsynced.  After a crash, {!recover} authenticates the longest
+    valid prefix and says {e why} the tail ends ({!tail}) instead of
+    rejecting the whole log; {!replay} remains the strict all-or-nothing
+    verifier for adversarial settings. *)
 
 type op =
   | Insert of { table : string; values : Secdb_db.Value.t list }
@@ -18,26 +24,92 @@ val pp_op : Format.formatter -> op -> unit
 
 (** {2 Writing} *)
 
+type sync_policy =
+  | Always  (** fsync after every append: an acked append survives any crash *)
+  | Every_n of int  (** fsync every [n] appends: bounded loss window *)
+  | Never  (** fsync only at {!sync}/{!close}: fastest, crash loses the tail *)
+
 type writer
 
-val create : path:string -> aead:Secdb_aead.Aead.t -> nonce:Secdb_aead.Nonce.t -> writer
-(** Truncate and start a log at sequence 0. *)
+val create :
+  ?vfs:Secdb_storage.Vfs.t ->
+  ?sync:sync_policy ->
+  path:string ->
+  aead:Secdb_aead.Aead.t ->
+  nonce:Secdb_aead.Nonce.t ->
+  unit ->
+  writer
+(** Truncate and start a log at sequence 0.  [sync] defaults to
+    [Always]. *)
 
 val append : writer -> op -> int
-(** Seal and append one operation; returns its sequence number. *)
+(** Seal and append one operation; returns its sequence number.  Honors
+    the writer's {!sync_policy}.  On an I/O error
+    ({!Secdb_storage.Vfs.Io_error}) the log is truncated back to the last
+    record boundary before the exception propagates, so a failed append
+    never leaves a torn record behind a live writer. *)
+
+val sync : writer -> unit
+(** Fsync now; after it returns, every acked append survives a crash. *)
 
 val count : writer -> int
+
 val close : writer -> unit
+(** Sync, then release the file. *)
 
 (** {2 Reading} *)
 
-val replay : path:string -> aead:Secdb_aead.Aead.t -> ((int * op) list, string) result
-(** Read, verify and decode the whole log.  Fails on any modified,
-    reordered or foreign record; a truncated {e tail} parses as a shorter
-    valid log — compare the length against the out-of-band count. *)
+type tail =
+  | Complete  (** the log ends exactly at a record boundary *)
+  | Torn_length of { off : int; have : int }
+      (** fewer than 4 bytes of length field at the tail *)
+  | Torn_record of { seq : int; off : int; expect : int; have : int }
+      (** record [seq] is cut short (classic torn write) *)
+  | Bad_length of { seq : int; off : int; len : int }
+      (** implausible length field (zeroed or garbage sector) *)
+  | Bad_crc of { seq : int; off : int }  (** storage corruption inside the record *)
+  | Bad_record of { seq : int; off : int; reason : string }
+      (** frame/decode failure, or out-of-order sequence (splice) *)
+  | Bad_auth of { seq : int; off : int }
+      (** CRC fine but AEAD rejects: adversarial modification *)
+
+val tail_to_string : tail -> string
+
+val replay :
+  ?vfs:Secdb_storage.Vfs.t ->
+  path:string ->
+  aead:Secdb_aead.Aead.t ->
+  unit ->
+  ((int * op) list, string) result
+(** Read, verify and decode the whole log, strictly: any torn, modified,
+    reordered or foreign record fails the whole replay.  A truncated
+    {e tail} at a record boundary parses as a shorter valid log — compare
+    the length against the out-of-band count. *)
+
+val recover :
+  ?vfs:Secdb_storage.Vfs.t ->
+  path:string ->
+  aead:Secdb_aead.Aead.t ->
+  unit ->
+  ((int * op) list * tail, string) result
+(** Crash recovery: the longest prefix of records that parse, pass their
+    CRC and authenticate, together with the diagnosis of why the log ends
+    there.  [Error] only when the file itself cannot be read. *)
 
 val apply : Encdb.t -> op -> (unit, string) result
 (** Apply one operation to a live session. *)
 
-val replay_into : Encdb.t -> path:string -> aead:Secdb_aead.Aead.t -> (int, string) result
-(** Verify and apply a whole log; returns the number of operations. *)
+type replay_error = { applied : int; reason : string }
+(** A failed replay: how many operations were applied before the failure
+    (0 when verification itself failed), and why. *)
+
+val replay_into :
+  Encdb.t ->
+  ?vfs:Secdb_storage.Vfs.t ->
+  path:string ->
+  aead:Secdb_aead.Aead.t ->
+  unit ->
+  (int, replay_error) result
+(** Verify and apply a whole log; returns the number of operations
+    applied.  On failure the count of already-applied operations is
+    reported, not discarded. *)

@@ -11,6 +11,10 @@ let m_bytes_loaded = Metrics.counter "blob.bytes_loaded"
 
 type t = { pager : Pager.t }
 
+type chain_error = { page : int; reason : string }
+
+let chain_error_to_string { page; reason } = Printf.sprintf "blob: page %d: %s" page reason
+
 let attach pager = { pager }
 
 let header_size = 12 (* 8-byte next + 4-byte length *)
@@ -21,12 +25,38 @@ let encode_page ~next ~chunk =
   ^ chunk
 
 let decode_page t page =
-  Metrics.incr m_pages_read;
-  let raw = Pager.read t.pager page in
-  let next = Xbytes.be_string_to_int (String.sub raw 0 8) in
-  let len = Xbytes.be_string_to_int (String.sub raw 8 4) in
-  if len > payload_capacity t then Error (Printf.sprintf "blob: corrupt page %d" page)
-  else Ok (next, String.sub raw header_size len)
+  if page < 1 || page > Pager.page_count t.pager then
+    Error { page; reason = "page id out of range" }
+  else begin
+    Metrics.incr m_pages_read;
+    let raw = Pager.read t.pager page in
+    match Xbytes.be_string_to_int (String.sub raw 0 8) with
+    | exception Invalid_argument _ ->
+        (* garbage too large for an int: corrupt, not a crash *)
+        Error { page; reason = "corrupt next pointer (overflow)" }
+    | next ->
+        let len = Xbytes.be_string_to_int (String.sub raw 8 4) in
+        if len > payload_capacity t then
+          Error
+            { page; reason = Printf.sprintf "corrupt header (length %d exceeds capacity)" len }
+        else Ok (next, String.sub raw header_size len)
+  end
+
+(* Walk a chain carrying an explicit step count: a chain can never be
+   longer than the number of pages ever allocated, so exceeding that is a
+   cycle (or a pointer into one), reported against the offending page. *)
+let fold_chain t id ~f ~init =
+  let limit = Pager.page_count t.pager in
+  let rec walk page acc steps =
+    if page = 0 then Ok acc
+    else if steps >= limit then
+      Error { page; reason = Printf.sprintf "chain exceeds %d pages (cycle?)" limit }
+    else
+      match decode_page t page with
+      | Error e -> Error e
+      | Ok (next, chunk) -> walk next (f acc page chunk) (steps + 1)
+  in
+  walk id init 0
 
 let chunks t data =
   let cap = payload_capacity t in
@@ -62,33 +92,21 @@ let store t data =
   write_chain t [] (chunks t data)
 
 let pages_of t id =
-  let rec walk page acc seen =
-    if page = 0 then Ok (List.rev acc)
-    else if List.length acc > seen then Error "blob: chain too long (cycle?)"
-    else
-      match decode_page t page with
-      | Error e -> Error e
-      | Ok (next, _) -> walk next (page :: acc) seen
-  in
-  walk id [] (Pager.page_count t.pager)
+  Result.map List.rev (fold_chain t id ~init:[] ~f:(fun acc page _ -> page :: acc))
 
 let load t id =
   Metrics.incr m_loads;
-  let rec walk page acc steps =
-    if page = 0 then Ok (String.concat "" (List.rev acc))
-    else if steps > Pager.page_count t.pager then Error "blob: chain too long (cycle?)"
-    else
-      match decode_page t page with
-      | Error e -> Error e
-      | Ok (next, chunk) -> walk next (chunk :: acc) (steps + 1)
+  let r =
+    Result.map
+      (fun acc -> String.concat "" (List.rev acc))
+      (fold_chain t id ~init:[] ~f:(fun acc _ chunk -> chunk :: acc))
   in
-  let r = walk id [] 0 in
   (match r with Ok data -> Metrics.add m_bytes_loaded (String.length data) | Error _ -> ());
   r
 
 let overwrite t id data =
   match pages_of t id with
-  | Error e -> invalid_arg ("Blob_store.overwrite: " ^ e)
+  | Error e -> invalid_arg ("Blob_store.overwrite: " ^ chain_error_to_string e)
   | Ok pages ->
       let head = write_chain t pages (chunks t data) in
       if head <> id then
@@ -99,5 +117,5 @@ let overwrite t id data =
 let delete t id =
   Metrics.incr m_deletes;
   match pages_of t id with
-  | Error e -> invalid_arg ("Blob_store.delete: " ^ e)
+  | Error e -> invalid_arg ("Blob_store.delete: " ^ chain_error_to_string e)
   | Ok pages -> List.iter (fun p -> Pager.free t.pager p) pages

@@ -5,9 +5,19 @@
     the chain's first page id.  Together with {!Pager} this gives the
     encrypted artefacts a realistic home on disk: tables and indexes are
     stored as blobs ({!save_table_paged} etc. in tests/experiments replay
-    access traces through the buffer pool). *)
+    access traces through the buffer pool).
+
+    Chain walks are bounded by the pager's page count (a chain cannot be
+    longer than the file), so a corrupted next pointer that forms a cycle
+    is detected in linear time and reported against the offending page. *)
 
 type t
+
+type chain_error = { page : int; reason : string }
+(** A malformed chain, naming the page where the walk failed: an
+    out-of-range id, a corrupt page header, or a cycle. *)
+
+val chain_error_to_string : chain_error -> string
 
 val attach : Pager.t -> t
 (** Use (and share) a pager; blobs from different stores over the same
@@ -16,7 +26,7 @@ val attach : Pager.t -> t
 val store : t -> string -> int
 (** Write a blob; returns its id. *)
 
-val load : t -> int -> (string, string) result
+val load : t -> int -> (string, chain_error) result
 (** Read a blob back; [Error] on a malformed chain. *)
 
 val overwrite : t -> int -> string -> int
@@ -26,5 +36,5 @@ val overwrite : t -> int -> string -> int
 val delete : t -> int -> unit
 (** Free the blob's pages. *)
 
-val pages_of : t -> int -> (int list, string) result
-(** The page chain of a blob (for trace experiments). *)
+val pages_of : t -> int -> (int list, chain_error) result
+(** The page chain of a blob (for trace experiments and {!Fsck}). *)

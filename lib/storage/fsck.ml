@@ -1,0 +1,108 @@
+open Secdb_util
+
+type issue =
+  | Header of string
+  | Free_range of { page : int; next : int }
+  | Free_cycle of { page : int; steps : int }
+  | Chain of { head : int; page : int; reason : string }
+  | Chain_free_overlap of { head : int; page : int }
+  | Trailing_garbage of { file_size : int; expected : int }
+
+type report = {
+  path : string;
+  page_size : int;
+  npages : int;
+  free : int list;
+  chains : (int * int list) list;
+  issues : issue list;
+}
+
+let issue_to_string = function
+  | Header m -> Printf.sprintf "header: %s" m
+  | Free_range { page; next } ->
+      Printf.sprintf "free list: page %d points to %d, out of range" page next
+  | Free_cycle { page; steps } ->
+      Printf.sprintf "free list: cycle through page %d after %d steps" page steps
+  | Chain { head; page; reason } -> Printf.sprintf "blob %d: page %d: %s" head page reason
+  | Chain_free_overlap { head; page } ->
+      Printf.sprintf "blob %d: page %d is also on the free list" head page
+  | Trailing_garbage { file_size; expected } ->
+      Printf.sprintf "file is %d bytes but the header accounts for at most %d" file_size expected
+
+let ok r = r.issues = []
+
+let run ?(vfs = Vfs.unix) ?(roots = []) ~path () =
+  match Pager.open_file ~path ~vfs () with
+  | Error e ->
+      (* header sanity is open_file's validation; a file we cannot even
+         open still gets a (failing) report rather than an exception *)
+      { path; page_size = 0; npages = 0; free = []; chains = []; issues = [ Header e ] }
+  | Ok pager ->
+      Fun.protect
+        ~finally:(fun () -> try Pager.close pager with Vfs.Io_error _ -> ())
+        (fun () ->
+          let psize = Pager.page_size pager in
+          let npages = Pager.page_count pager in
+          let issues = ref [] in
+          let add i = issues := i :: !issues in
+          (* file size vs header page count: bytes past the last allocated
+             page belong to no page and are unreachable garbage *)
+          (match vfs.Vfs.open_file ~path ~mode:`Read with
+          | f ->
+              let sz = f.Vfs.size () in
+              f.Vfs.close ();
+              let expected = (npages + 1) * psize in
+              if sz > expected then add (Trailing_garbage { file_size = sz; expected })
+          | exception Vfs.Io_error _ -> ());
+          (* free list: bounded walk with a visited set, so cycles and
+             wild pointers terminate and are named *)
+          let free_pages =
+            let seen = Hashtbl.create 16 in
+            let rec walk page prev acc steps =
+              if page = 0 then List.rev acc
+              else if page < 1 || page > npages then begin
+                add (Free_range { page = prev; next = page });
+                List.rev acc
+              end
+              else if Hashtbl.mem seen page then begin
+                add (Free_cycle { page; steps });
+                List.rev acc
+              end
+              else begin
+                Hashtbl.add seen page ();
+                (* a garbage page can hold a pointer too large for an int:
+                   decode defensively and report it as out of range *)
+                let next =
+                  match
+                    Xbytes.be_string_to_int (String.sub (Pager.read pager page) 0 8)
+                  with
+                  | n -> n
+                  | exception Invalid_argument _ -> max_int
+                in
+                walk next page (page :: acc) (steps + 1)
+              end
+            in
+            walk (Pager.free_head pager) 0 [] 0
+          in
+          let free_set = Hashtbl.create 16 in
+          List.iter (fun p -> Hashtbl.replace free_set p ()) free_pages;
+          (* blob chains: bounds, cycles (via Blob_store's bounded walk)
+             and overlap with the free list *)
+          let blob = Blob_store.attach pager in
+          let chains =
+            List.map
+              (fun head ->
+                match Blob_store.pages_of blob head with
+                | Error { Blob_store.page; reason } ->
+                    add (Chain { head; page; reason });
+                    (head, [])
+                | Ok pages ->
+                    List.iter
+                      (fun p ->
+                        if Hashtbl.mem free_set p then
+                          add (Chain_free_overlap { head; page = p }))
+                      pages;
+                    (head, pages))
+              roots
+          in
+          { path; page_size = psize; npages; free = free_pages; chains; issues = List.rev !issues })

@@ -1,0 +1,38 @@
+(** Offline recovery checker for {!Pager} files ([secdb fsck]).
+
+    After a crash the surviving image is whatever the {!Vfs} fault model
+    (or a real disk) left behind.  [run] walks it without ever trusting a
+    pointer: header fields are validated by {!Pager.open_file}, the free
+    list is traversed with a visited set (cycles and wild pointers
+    terminate and are reported), and each given blob root's chain is
+    checked for bounds, cycles and overlap with the free list.  It always
+    returns a report — a broken image yields issues, not exceptions. *)
+
+type issue =
+  | Header of string  (** unopenable or invalid header *)
+  | Free_range of { page : int; next : int }
+      (** free-list pointer leaves the file ([page] points at [next]) *)
+  | Free_cycle of { page : int; steps : int }
+  | Chain of { head : int; page : int; reason : string }
+      (** blob chain [head] is malformed at [page] *)
+  | Chain_free_overlap of { head : int; page : int }
+      (** a live blob page is simultaneously on the free list *)
+  | Trailing_garbage of { file_size : int; expected : int }
+      (** bytes beyond the last page the header accounts for *)
+
+type report = {
+  path : string;
+  page_size : int;
+  npages : int;
+  free : int list;  (** the free list, in list order *)
+  chains : (int * int list) list;  (** each checked root and its pages *)
+  issues : issue list;
+}
+
+val issue_to_string : issue -> string
+
+val ok : report -> bool
+(** [issues = []]. *)
+
+val run : ?vfs:Vfs.t -> ?roots:int list -> path:string -> unit -> report
+(** Check [path]; [roots] are blob ids whose chains should be walked. *)

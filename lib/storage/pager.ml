@@ -11,6 +11,7 @@ let m_disk_reads = Metrics.counter "pager.disk_reads"
 let m_disk_writes = Metrics.counter "pager.disk_writes"
 
 let magic = "SECDBPG1"
+let header_size = 20
 
 type stats = {
   mutable disk_reads : int;
@@ -23,7 +24,7 @@ type stats = {
 type frame = { mutable data : bytes; mutable dirty : bool; mutable last_used : int }
 
 type t = {
-  fd : Unix.file_descr;
+  vf : Vfs.file;
   psize : int;
   cache_pages : int;
   cache : (int, frame) Hashtbl.t;
@@ -39,28 +40,17 @@ let fresh_stats () =
 
 let check_open t = if t.closed then invalid_arg "Pager: file is closed"
 
-let seek t page = ignore (Unix.lseek t.fd (page * t.psize) Unix.SEEK_SET)
-
 let disk_read t page =
-  seek t page;
   let buf = Bytes.make t.psize '\000' in
-  let rec fill off =
-    if off < t.psize then begin
-      let k = Unix.read t.fd buf off (t.psize - off) in
-      if k = 0 then () (* short file: rest stays zero *) else fill (off + k)
-    end
-  in
-  fill 0;
+  (* a short file reads as zeros beyond its end *)
+  ignore (Vfs.really_pread t.vf ~pos:(page * t.psize) buf ~off:0 ~len:t.psize);
   t.st.disk_reads <- t.st.disk_reads + 1;
   Metrics.incr m_disk_reads;
   buf
 
 let disk_write t page data =
-  seek t page;
-  let rec drain off =
-    if off < t.psize then drain (off + Unix.write t.fd data off (t.psize - off))
-  in
-  drain 0;
+  (* unsafe_to_string: the vfs does not retain the buffer past the call *)
+  Vfs.really_pwrite t.vf ~pos:(page * t.psize) (Bytes.unsafe_to_string data);
   t.st.disk_writes <- t.st.disk_writes + 1;
   Metrics.incr m_disk_writes
 
@@ -114,13 +104,13 @@ let frame_of t page =
 
 (* --- API ------------------------------------------------------------------ *)
 
-let create ~path ?(page_size = 4096) ?(cache_pages = 64) () =
+let create ~path ?(page_size = 4096) ?(cache_pages = 64) ?(vfs = Vfs.unix) () =
   if page_size < 64 then invalid_arg "Pager.create: page size too small";
   if cache_pages < 1 then invalid_arg "Pager.create: cache must hold a page";
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let vf = vfs.Vfs.open_file ~path ~mode:`Trunc in
   let t =
     {
-      fd;
+      vf;
       psize = page_size;
       cache_pages;
       cache = Hashtbl.create cache_pages;
@@ -134,35 +124,51 @@ let create ~path ?(page_size = 4096) ?(cache_pages = 64) () =
   write_header t;
   t
 
-let open_file ~path ?(cache_pages = 64) () =
-  match Unix.openfile path [ Unix.O_RDWR ] 0o644 with
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
-  | fd ->
-      let head = Bytes.create 20 in
-      let n = Unix.read fd head 0 20 in
-      if n < 20 || Bytes.sub_string head 0 8 <> magic then begin
-        Unix.close fd;
-        Error "Pager.open_file: not a pager file"
-      end
-      else begin
-        let hs = Bytes.to_string head in
-        let psize = Xbytes.get_uint32_be hs 8 in
-        Ok
-          {
-            fd;
-            psize;
-            cache_pages;
-            cache = Hashtbl.create cache_pages;
-            st = fresh_stats ();
-            npages = Xbytes.get_uint32_be hs 12;
-            free_head = Xbytes.get_uint32_be hs 16;
-            clock = 0;
-            closed = false;
-          }
-      end
+let open_file ~path ?(cache_pages = 64) ?(vfs = Vfs.unix) () =
+  match vfs.Vfs.open_file ~path ~mode:`Rw with
+  | exception Vfs.Io_error { reason; _ } -> Error ("Pager.open_file: " ^ reason)
+  | vf -> (
+      let fail msg =
+        (try vf.Vfs.close () with Vfs.Io_error _ -> ());
+        Error msg
+      in
+      let head = Bytes.create header_size in
+      (* a single pread may return short even on a healthy file; loop *)
+      match Vfs.really_pread vf ~pos:0 head ~off:0 ~len:header_size with
+      | exception Vfs.Io_error { reason; _ } -> fail ("Pager.open_file: " ^ reason)
+      | n ->
+          if n < header_size || Bytes.sub_string head 0 8 <> magic then
+            fail "Pager.open_file: not a pager file"
+          else
+            let hs = Bytes.to_string head in
+            let psize = Xbytes.get_uint32_be hs 8 in
+            let npages = Xbytes.get_uint32_be hs 12 in
+            let free_head = Xbytes.get_uint32_be hs 16 in
+            if psize < 64 then
+              fail (Printf.sprintf "Pager.open_file: invalid page size %d" psize)
+            else if npages < 0 then
+              fail (Printf.sprintf "Pager.open_file: invalid page count %d" npages)
+            else if free_head < 0 || free_head > npages then
+              fail
+                (Printf.sprintf "Pager.open_file: free-list head %d out of range (0..%d)"
+                   free_head npages)
+            else
+              Ok
+                {
+                  vf;
+                  psize;
+                  cache_pages;
+                  cache = Hashtbl.create cache_pages;
+                  st = fresh_stats ();
+                  npages;
+                  free_head;
+                  clock = 0;
+                  closed = false;
+                })
 
 let page_size t = t.psize
 let page_count t = t.npages
+let free_head t = t.free_head
 
 let check_page t page op =
   if page < 1 || page > t.npages then
@@ -206,7 +212,18 @@ let alloc t =
 let free t page =
   check_open t;
   check_page t page "free";
-  write t page (Xbytes.int_to_be_string ~width:8 t.free_head);
+  (* The adversary reads the raw file, so a freed page must not keep its
+     old ciphertext waiting for the next flush: zeroize everything beyond
+     the 8-byte free-list pointer and write through immediately. *)
+  let buf = Bytes.make t.psize '\000' in
+  Bytes.blit_string (Xbytes.int_to_be_string ~width:8 t.free_head) 0 buf 0 8;
+  (match Hashtbl.find_opt t.cache page with
+  | Some f ->
+      f.data <- buf;
+      f.dirty <- false;
+      touch t f
+  | None -> ());
+  disk_write t page buf;
   t.free_head <- page
 
 let flush t =
@@ -220,10 +237,15 @@ let flush t =
     t.cache;
   write_header t
 
+let sync t =
+  check_open t;
+  t.vf.Vfs.fsync ()
+
 let close t =
   if not t.closed then begin
     flush t;
-    Unix.close t.fd;
+    sync t;
+    t.vf.Vfs.close ();
     t.closed <- true
   end
 

@@ -7,9 +7,16 @@
     index traversals through it).
 
     Layout: page 0 is the header (magic, page size, page count, free-list
-    head); freed pages are chained through their first 8 bytes.  All page
-    ids are > 0.  No assumption of crash safety is made — journalling is
-    out of scope, and the adversary is allowed to edit the file anyway. *)
+    head); freed pages are chained through their first 8 bytes and are
+    zeroized beyond that pointer the moment they are freed — the adversary
+    reads the raw file, so stale ciphertext must not linger.  All page ids
+    are > 0.
+
+    All I/O goes through a {!Vfs} backend (default {!Vfs.unix}), so the
+    crash-matrix tests can run the same code against an injected-fault
+    disk.  The pager is not journalled: a crash between {!flush}es can
+    lose or tear pages, and [secdb fsck] ({!Fsck}) is the tool that
+    assesses a surviving image. *)
 
 type t
 
@@ -21,23 +28,38 @@ type stats = {
   mutable evictions : int;
 }
 
-val create : path:string -> ?page_size:int -> ?cache_pages:int -> unit -> t
+val magic : string
+(** First 8 bytes of every pager file. *)
+
+val header_size : int
+(** Bytes of page 0 that carry the header fields (20). *)
+
+val create : path:string -> ?page_size:int -> ?cache_pages:int -> ?vfs:Vfs.t -> unit -> t
 (** Create (truncating any existing file).  [page_size] defaults to 4096
     bytes (min 64), [cache_pages] to 64 (min 1). *)
 
-val open_file : path:string -> ?cache_pages:int -> unit -> (t, string) result
-(** Open an existing pager file; the page size comes from the header. *)
+val open_file : path:string -> ?cache_pages:int -> ?vfs:Vfs.t -> unit -> (t, string) result
+(** Open an existing pager file; the page size comes from the header.
+    Reads the header with a retry loop (a single [pread] may return
+    short) and validates it — bad magic, page size < 64 or a free-list
+    head beyond the page count all return [Error] instead of yielding a
+    pager that misbehaves later. *)
 
 val page_size : t -> int
 val page_count : t -> int
 (** Pages ever allocated (including freed ones), excluding the header. *)
 
+val free_head : t -> int
+(** First page of the free list, 0 when empty (for {!Fsck}). *)
+
 val alloc : t -> int
 (** A zeroed page, recycled from the free list when possible. *)
 
 val free : t -> int -> unit
-(** Return a page to the free list. @raise Invalid_argument on the header
-    page or out-of-range ids. *)
+(** Return a page to the free list.  The page is zeroized beyond its
+    8-byte next pointer and written through to disk immediately (data
+    remanence: the freed ciphertext must not outlive the free).
+    @raise Invalid_argument on the header page or out-of-range ids. *)
 
 val read : t -> int -> string
 (** Full page contents, through the cache. *)
@@ -49,8 +71,11 @@ val write : t -> int -> string -> unit
 val flush : t -> unit
 (** Write back every dirty cached page and the header. *)
 
+val sync : t -> unit
+(** [fsync] the underlying file: make every flushed page durable. *)
+
 val close : t -> unit
-(** Flush and release the file descriptor; further use raises. *)
+(** Flush, sync and release the file; further use raises. *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

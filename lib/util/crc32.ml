@@ -1,0 +1,25 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.  Used as a
+   cheap torn-write detector on oplog records: the AEAD tag already
+   authenticates a complete record, but a record cut mid-write fails the
+   CRC without paying for an AEAD decrypt, and the failure is attributable
+   to storage (torn tail) rather than to an adversary. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~off ~len =
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = off to off + len - 1 do
+    c := Array.unsafe_get table ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let string ?(crc = 0) s = update crc s ~off:0 ~len:(String.length s)

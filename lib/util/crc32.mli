@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]).
+
+    Not a cryptographic primitive: it detects accidental corruption —
+    torn writes, bit rot — cheaply and attributably.  Integrity against
+    an adversary is the AEAD layer's job. *)
+
+val string : ?crc:int -> string -> int
+(** [string s] is the CRC-32 of [s] as a non-negative int in
+    [0, 2^32).  [~crc] continues a previous digest, so
+    [string ~crc:(string a) b = string (a ^ b)]. *)
+
+val update : int -> string -> off:int -> len:int -> int
+(** Fold [len] bytes of [s] starting at [off] into [crc]. *)

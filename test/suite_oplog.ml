@@ -31,12 +31,23 @@ let sample_ops n =
          else if i mod 7 = 6 then [ base; Oplog.Delete { table = "t"; row = i - 2 } ]
          else [ base ]))
 
-let write_log ops =
-  let w = Oplog.create ~path:tmp ~aead ~nonce:(Secdb_aead.Nonce.counter ~size:16 ()) in
+let write_log ?sync ops =
+  let w = Oplog.create ?sync ~path:tmp ~aead ~nonce:(Secdb_aead.Nonce.counter ~size:16 ()) () in
   List.iter (fun op -> ignore (Oplog.append w op)) ops;
   let n = Oplog.count w in
   Oplog.close w;
   n
+
+(* Walk the on-disk framing: [len:4][record][crc:4] per record; returns the
+   byte offset of each record start. *)
+let record_offsets data =
+  let rec walk off acc =
+    if off >= String.length data then List.rev acc
+    else
+      let rlen = Xbytes.be_string_to_int (String.sub data off 4) in
+      walk (off + 8 + rlen) (off :: acc)
+  in
+  walk 0 []
 
 let test_replay_rebuilds_identical_db () =
   let ops = sample_ops 30 in
@@ -45,9 +56,9 @@ let test_replay_rebuilds_identical_db () =
   let n = write_log ops in
   Alcotest.(check int) "count" (List.length ops) n;
   let db' = fresh_db () in
-  (match Oplog.replay_into db' ~path:tmp ~aead with
+  (match Oplog.replay_into db' ~path:tmp ~aead () with
   | Ok applied -> Alcotest.(check int) "applied" n applied
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail e.Oplog.reason);
   (* byte-identical state: same master + deterministic nonces would be
      needed for digest equality of AEAD cells, so compare logical content *)
   for row = 0 to 29 do
@@ -71,45 +82,41 @@ let test_tamper_matrix () =
   let ops = sample_ops 10 in
   let n = write_log ops in
   (* 1. clean log verifies *)
-  (match Oplog.replay ~path:tmp ~aead with
+  (match Oplog.replay ~path:tmp ~aead () with
   | Ok l -> Alcotest.(check int) "length" n (List.length l)
   | Error e -> Alcotest.fail e);
   (* 2. bit flip in the middle fails *)
   let size = (Unix.stat tmp).Unix.st_size in
   flip_byte_at tmp (size / 2);
-  (match Oplog.replay ~path:tmp ~aead with
+  (match Oplog.replay ~path:tmp ~aead () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bit flip accepted");
   (* 3. reordering records fails (sequence in AD) *)
   ignore (write_log ops);
   let data = In_channel.with_open_bin tmp In_channel.input_all in
-  let rlen = Xbytes.be_string_to_int (String.sub data 0 4) + 4 in
-  let r2len = Xbytes.be_string_to_int (String.sub data rlen 4) + 4 in
+  let rlen = Xbytes.be_string_to_int (String.sub data 0 4) + 8 in
+  let r2len = Xbytes.be_string_to_int (String.sub data rlen 4) + 8 in
   let swapped =
     String.sub data rlen r2len ^ String.sub data 0 rlen
     ^ String.sub data (rlen + r2len) (String.length data - rlen - r2len)
   in
   Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc swapped);
-  (match Oplog.replay ~path:tmp ~aead with
+  (match Oplog.replay ~path:tmp ~aead () with
   | Error e -> Alcotest.(check bool) "names order/splice" true (String.length e > 0)
   | Ok _ -> Alcotest.fail "reorder accepted");
   (* 4. foreign key fails *)
   ignore (write_log ops);
-  (match Oplog.replay ~path:tmp ~aead:foreign_aead with
+  (match Oplog.replay ~path:tmp ~aead:foreign_aead () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "foreign key accepted");
   (* 5. tail truncation yields a shorter VALID log: the out-of-band count
      is the defence *)
   ignore (write_log ops);
   let data = In_channel.with_open_bin tmp In_channel.input_all in
-  let last_start =
-    let rec walk off last = if off >= String.length data then last
-      else walk (off + 4 + Xbytes.be_string_to_int (String.sub data off 4)) off in
-    walk 0 0
-  in
+  let last_start = List.hd (List.rev (record_offsets data)) in
   Out_channel.with_open_bin tmp (fun oc ->
       Out_channel.output_string oc (String.sub data 0 last_start));
-  (match Oplog.replay ~path:tmp ~aead with
+  (match Oplog.replay ~path:tmp ~aead () with
   | Ok l ->
       Alcotest.(check int) "one record silently gone" (n - 1) (List.length l);
       Alcotest.(check bool) "count mismatch detects it" true (List.length l <> n)
@@ -119,9 +126,101 @@ let test_tamper_matrix () =
   let data = In_channel.with_open_bin tmp In_channel.input_all in
   Out_channel.with_open_bin tmp (fun oc ->
       Out_channel.output_string oc (String.sub data 0 (String.length data - 3)));
-  match Oplog.replay ~path:tmp ~aead with
+  match Oplog.replay ~path:tmp ~aead () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "cut record accepted"
+
+(* recover: longest valid prefix + a verdict that names the failure mode *)
+let test_recover_verdicts () =
+  let ops = sample_ops 6 in
+  let n = write_log ops in
+  let clean = In_channel.with_open_bin tmp In_channel.input_all in
+  let offsets = record_offsets clean in
+  let with_data data f =
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
+    match Oplog.recover ~path:tmp ~aead () with
+    | Ok (prefix, tail) -> f (List.length prefix) tail
+    | Error e -> Alcotest.fail e
+  in
+  (* clean log: everything, Complete *)
+  with_data clean (fun k tail ->
+      Alcotest.(check int) "clean: all records" n k;
+      Alcotest.(check bool) "clean tail" true (tail = Oplog.Complete));
+  (* empty log *)
+  with_data "" (fun k tail ->
+      Alcotest.(check int) "empty" 0 k;
+      Alcotest.(check bool) "empty is complete" true (tail = Oplog.Complete));
+  (* 2 bytes of a length field *)
+  let second = List.nth offsets 1 in
+  with_data (String.sub clean 0 (second + 2)) (fun k tail ->
+      Alcotest.(check int) "torn length: one survivor" 1 k;
+      match tail with
+      | Oplog.Torn_length { off; have } ->
+          Alcotest.(check int) "offset" second off;
+          Alcotest.(check int) "have" 2 have
+      | t -> Alcotest.fail ("expected Torn_length, got " ^ Oplog.tail_to_string t));
+  (* record cut mid-body: the torn write *)
+  let third = List.nth offsets 2 in
+  with_data (String.sub clean 0 (third + 9)) (fun k tail ->
+      Alcotest.(check int) "torn record: two survive" 2 k;
+      match tail with
+      | Oplog.Torn_record { seq; off; _ } ->
+          Alcotest.(check int) "seq" 2 seq;
+          Alcotest.(check int) "offset" third off
+      | t -> Alcotest.fail ("expected Torn_record, got " ^ Oplog.tail_to_string t));
+  (* corrupt a byte inside record 3's body: CRC catches it before AEAD *)
+  let fourth = List.nth offsets 3 in
+  let corrupted = Bytes.of_string clean in
+  Bytes.set corrupted (fourth + 6) (Char.chr (Char.code clean.[fourth + 6] lxor 0x40));
+  with_data (Bytes.to_string corrupted) (fun k tail ->
+      Alcotest.(check int) "crc: three survive" 3 k;
+      match tail with
+      | Oplog.Bad_crc { seq; _ } -> Alcotest.(check int) "seq" 3 seq
+      | t -> Alcotest.fail ("expected Bad_crc, got " ^ Oplog.tail_to_string t));
+  (* zero-filled tail (lost-extent crash image): implausible length *)
+  with_data (String.sub clean 0 second ^ String.make 64 '\000') (fun k tail ->
+      Alcotest.(check int) "zero tail: one survivor" 1 k;
+      match tail with
+      | Oplog.Bad_length { seq; len; _ } ->
+          Alcotest.(check int) "seq" 1 seq;
+          Alcotest.(check int) "len" 0 len
+      | t -> Alcotest.fail ("expected Bad_length, got " ^ Oplog.tail_to_string t));
+  (* wrong key: CRC passes, AEAD refuses *)
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc clean);
+  (match Oplog.recover ~path:tmp ~aead:foreign_aead () with
+  | Ok (prefix, Oplog.Bad_auth { seq = 0; _ }) ->
+      Alcotest.(check int) "foreign key: nothing survives" 0 (List.length prefix)
+  | Ok (_, t) -> Alcotest.fail ("expected Bad_auth at 0, got " ^ Oplog.tail_to_string t)
+  | Error e -> Alcotest.fail e);
+  (* missing file is the only hard error *)
+  match Oplog.recover ~path:(tmp ^ ".does-not-exist") ~aead () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "recover invented a log"
+
+let test_sync_and_policies () =
+  let ops = sample_ops 5 in
+  (* Every_n and Never still produce byte-identical logs on a clean close *)
+  let n_always = write_log ~sync:Oplog.Always ops in
+  let d_always = In_channel.with_open_bin tmp In_channel.input_all in
+  let n_never = write_log ~sync:Oplog.Never ops in
+  let d_never = In_channel.with_open_bin tmp In_channel.input_all in
+  let n_every = write_log ~sync:(Oplog.Every_n 3) ops in
+  let d_every = In_channel.with_open_bin tmp In_channel.input_all in
+  Alcotest.(check int) "counts agree" n_always n_never;
+  Alcotest.(check int) "counts agree" n_always n_every;
+  Alcotest.(check bool) "bytes agree (never)" true (d_always = d_never);
+  Alcotest.(check bool) "bytes agree (every_n)" true (d_always = d_every);
+  (* explicit sync is idempotent and legal mid-stream *)
+  let w = Oplog.create ~sync:Oplog.Never ~path:tmp ~aead
+      ~nonce:(Secdb_aead.Nonce.counter ~size:16 ()) () in
+  ignore (Oplog.append w (List.hd ops));
+  Oplog.sync w;
+  Oplog.sync w;
+  ignore (Oplog.append w (List.nth ops 1));
+  Oplog.close w;
+  match Oplog.replay ~path:tmp ~aead () with
+  | Ok l -> Alcotest.(check int) "both records" 2 (List.length l)
+  | Error e -> Alcotest.fail e
 
 let suites =
   [
@@ -130,5 +229,7 @@ let suites =
         Alcotest.test_case "replay rebuilds the database" `Quick
           test_replay_rebuilds_identical_db;
         Alcotest.test_case "tamper matrix" `Quick test_tamper_matrix;
+        Alcotest.test_case "recover verdicts" `Quick test_recover_verdicts;
+        Alcotest.test_case "sync policies" `Quick test_sync_and_policies;
       ] );
   ]

@@ -1,5 +1,7 @@
 module Pager = Secdb_storage.Pager
 module Blob = Secdb_storage.Blob_store
+module Vfs = Secdb_storage.Vfs
+module Xbytes = Secdb_util.Xbytes
 module Rng = Secdb_util.Rng
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("secdb_pager_" ^ name)
@@ -62,6 +64,81 @@ let test_pager_open_errors () =
   | Error e -> Alcotest.(check bool) "reported" true (String.length e > 0)
   | Ok _ -> Alcotest.fail "junk accepted"
 
+(* forge a header with chosen fields and check open_file's verdict *)
+let forged_header ~psize ~npages ~free_head =
+  Pager.magic
+  ^ Xbytes.int_to_be_string ~width:4 psize
+  ^ Xbytes.int_to_be_string ~width:4 npages
+  ^ Xbytes.int_to_be_string ~width:4 free_head
+
+let test_header_validation () =
+  let path = tmp "header.pg" in
+  let try_header ?(pad = 0) h =
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc h;
+        Out_channel.output_string oc (String.make pad '\000'));
+    Pager.open_file ~path ()
+  in
+  let expect_error name h =
+    match try_header ~pad:256 h with
+    | Error e -> Alcotest.(check bool) (name ^ " reported") true (String.length e > 0)
+    | Ok _ -> Alcotest.fail (name ^ " accepted")
+  in
+  expect_error "tiny page size" (forged_header ~psize:32 ~npages:1 ~free_head:0);
+  expect_error "zero page size" (forged_header ~psize:0 ~npages:1 ~free_head:0);
+  expect_error "free head beyond npages" (forged_header ~psize:64 ~npages:2 ~free_head:3);
+  expect_error "wrong magic"
+    ("XXXXXXXX" ^ String.sub (forged_header ~psize:64 ~npages:1 ~free_head:0) 8 12);
+  (* truncated header: shorter than 20 bytes must not be read as zeros *)
+  (match try_header (String.sub (forged_header ~psize:64 ~npages:1 ~free_head:0) 0 13) with
+  | Error e -> Alcotest.(check bool) "truncated header reported" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "truncated header accepted");
+  (* a well-formed forged header with no pages is fine *)
+  match try_header (forged_header ~psize:64 ~npages:0 ~free_head:0) with
+  | Ok p -> Pager.close p
+  | Error e -> Alcotest.fail ("valid minimal header rejected: " ^ e)
+
+let test_short_read_open () =
+  (* the fault VFS delivers reads in dribbles; open_file must loop, not
+     decode a partial header *)
+  let ctl = Vfs.Fault.make ~seed:42 () in
+  Vfs.Fault.set_short_reads ctl true;
+  let vfs = Vfs.Fault.vfs ctl in
+  let path = "mem:short.pg" in
+  let p = Pager.create ~path ~page_size:128 ~cache_pages:4 ~vfs () in
+  let a = Pager.alloc p in
+  Pager.write p a "short read survivor";
+  Pager.close p;
+  match Pager.open_file ~path ~vfs () with
+  | Error e -> Alcotest.fail e
+  | Ok p' ->
+      Alcotest.(check string) "data intact" "short read survivor"
+        (String.sub (Pager.read p' a) 0 19);
+      Pager.close p'
+
+let test_free_zeroizes () =
+  let path = tmp "zeroize.pg" in
+  let p = Pager.create ~path ~page_size:128 ~cache_pages:4 () in
+  let a = Pager.alloc p in
+  let secret = "TOP-SECRET-PLAINTEXT-RESIDUE" in
+  Pager.write p a secret;
+  Pager.flush p;
+  Pager.free p a;
+  Pager.close p;
+  (* inspect the raw file: beyond the 8-byte next pointer the page must be
+     zero — no remanence of the freed payload (page 0 is the header page,
+     so page [a] starts at [a * page_size]) *)
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let off = a * 128 in
+  let tail = String.sub data (off + 8) (128 - 8) in
+  Alcotest.(check string) "freed page zeroized" (String.make 120 '\000') tail;
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "secret gone from file" true (not (contains data secret))
+
 let test_cache_accounting () =
   let path = tmp "cache.pg" in
   let p = Pager.create ~path ~page_size:64 ~cache_pages:2 () in
@@ -102,13 +179,13 @@ let test_blob_roundtrip () =
       match Blob.load store id with
       | Ok d when d = data -> ()
       | Ok _ -> Alcotest.fail "blob corrupted"
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Blob.chain_error_to_string e))
     blobs;
   (* chains span multiple pages for large blobs *)
   let big_id = Blob.store store (String.make 1000 'B') in
   (match Blob.pages_of store big_id with
   | Ok pages -> Alcotest.(check bool) "multi-page" true (List.length pages >= 12)
-  | Error e -> Alcotest.fail e);
+  | Error e -> Alcotest.fail (Blob.chain_error_to_string e));
   (* overwrite shrinking and growing *)
   ignore (Blob.overwrite store big_id "now tiny");
   (match Blob.load store big_id with
@@ -156,7 +233,7 @@ let test_blob_persistence_of_saved_table () =
   | Error e -> Alcotest.fail e
   | Ok p' -> (
       match Blob.load (Blob.attach p') id with
-      | Error e -> Alcotest.fail e
+      | Error e -> Alcotest.fail (Blob.chain_error_to_string e)
       | Ok bytes -> (
           match Secdb_storage.Storage.decode_table ~scheme:(fun _ -> scheme) bytes with
           | Error e -> Alcotest.fail e
@@ -189,6 +266,9 @@ let suites =
         Alcotest.test_case "basics" `Quick test_pager_basics;
         Alcotest.test_case "persistence" `Quick test_pager_persistence;
         Alcotest.test_case "open errors" `Quick test_pager_open_errors;
+        Alcotest.test_case "header validation" `Quick test_header_validation;
+        Alcotest.test_case "short reads while opening" `Quick test_short_read_open;
+        Alcotest.test_case "free zeroizes the page" `Quick test_free_zeroizes;
         Alcotest.test_case "cache accounting" `Quick test_cache_accounting;
       ] );
     ( "storage:blobs",

@@ -21,6 +21,7 @@ let () =
          Suite_merkle.suites;
          Suite_sql_diff.suites;
          Suite_pager.suites;
+         Suite_crash.suites;
          Suite_oplog.suites;
          Suite_core.suites;
          Suite_bulk.suites;

@@ -330,6 +330,69 @@ let check_fault_vfs () =
   in
   if image false <> image true then fail_check "fault vfs: degraded image differs"
 
+(* --- networked path: in-process server + client over a Unix socket ------ *)
+
+let net_master = "perf wire master key"
+
+let net_db () =
+  Secdb.Encdb.create ~seed:5L ~master:net_master ~profile:(Secdb.Encdb.Fixed Secdb.Encdb.Eax) ()
+
+let with_net_client f =
+  let dir = Filename.temp_file "secdb_perf_net" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "s.sock" in
+  let auth_key = Secdb_net.Wire.auth_key_of_master net_master in
+  let srv =
+    match
+      Secdb_net.Server.create ~seed:9L
+        ~config:(Secdb_net.Server.config ~auth_key ())
+        ~db:(net_db ()) (Secdb_net.Wire.Unix_sock path)
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  Secdb_net.Server.start srv;
+  Fun.protect
+    ~finally:(fun () ->
+      Secdb_net.Server.stop srv;
+      (try Sys.remove path with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let c =
+        match
+          Secdb_net.Client.connect ~attempts:20 ~backoff:0.02 ~seed:3L ~auth_key
+            (Secdb_net.Wire.Unix_sock path)
+        with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      Fun.protect ~finally:(fun () -> Secdb_net.Client.close c) (fun () -> f c))
+
+let check_net () =
+  (* a pipelined burst over the socket must return, byte for byte, what the
+     server's own dispatcher produces in process on an identical database *)
+  let reqs =
+    [
+      Secdb_net.Wire.Sql "CREATE TABLE n (id INT CLEAR, v TEXT)";
+      Secdb_net.Wire.Insert_row { table = "n"; values = [ Value.Int 0L; Value.Text "zero" ] };
+      Secdb_net.Wire.Insert_row { table = "n"; values = [ Value.Int 1L; Value.Text "one" ] };
+      Secdb_net.Wire.Get_cell { table = "n"; row = 1; col = "v" };
+      Secdb_net.Wire.Sql "SELECT count(*) FROM n";
+      Secdb_net.Wire.Sql "SELECT no_such_fn(1) FROM n";
+    ]
+  in
+  with_net_client (fun c ->
+      let over_wire = Secdb_net.Client.pipeline c reqs in
+      let ref_db = net_db () in
+      List.iter2
+        (fun got req ->
+          match (got, Secdb_net.Server.dispatch ref_db req) with
+          | Ok a, Ok b when Secdb_net.Wire.encode_resp a = Secdb_net.Wire.encode_resp b -> ()
+          | Error (Secdb_net.Client.Remote (ca, ma)), Error (cb, mb) when ca = cb && ma = mb -> ()
+          | _ -> fail_check "net: wire result differs from in-process dispatch")
+        over_wire reqs)
+
 (* The checks run with observability on, so the counter snapshot embedded
    in BENCH_perf.json reflects exactly the work the equivalence checks did;
    the timed sections below run with it off (the default), keeping the
@@ -346,7 +409,8 @@ let run_checks () =
           check_parallel_cells pool;
           check_parallel_table pool;
           check_parallel_bulk_load pool;
-          check_fault_vfs ()));
+          check_fault_vfs ();
+          check_net ()));
   check_snapshot := Some (Secdb_obs.Metrics.snapshot ());
   match !check_failures with
   | [] ->
@@ -564,6 +628,38 @@ let bench_vfs_overhead ~fast =
   sample ~section:"vfs" ~name:"vfs-ratio" ~qualifier:"raw/vfs" ~unit_:"x" (rate_raw /. rate_vfs);
   row "  raw fd %9.1f   vfs %9.1f   raw/vfs %.3fx" rate_raw rate_vfs (rate_raw /. rate_vfs)
 
+let bench_net ~fast =
+  (* the pipelining win: the same number of round-trips, issued one at a
+     time (each call waits for its response) versus posted as one burst
+     and collected afterwards — the batch pays the socket latency once *)
+  let batch = 32 in
+  let min_time = if fast then 0.05 else 0.5 in
+  header "Wire RPC over a Unix socket, batches of %d pings (calls/s)" batch;
+  with_net_client (fun c ->
+      let ok = function
+        | Ok _ -> ()
+        | Error e -> failwith (Secdb_net.Client.error_to_string e)
+      in
+      let serial () =
+        for _ = 1 to batch do
+          ok (Secdb_net.Client.call c (Secdb_net.Wire.Ping "x"))
+        done
+      in
+      let burst = List.init batch (fun _ -> Secdb_net.Wire.Ping "x") in
+      let pipelined () = List.iter ok (Secdb_net.Client.pipeline c burst) in
+      let t_serial = time_per_call ~min_time serial /. float_of_int batch in
+      let t_pipe = time_per_call ~min_time pipelined /. float_of_int batch in
+      let speedup = t_serial /. t_pipe in
+      sample ~section:"net" ~name:"rtt-serial" ~qualifier:"unix-socket" ~unit_:"calls/s"
+        (1. /. t_serial);
+      sample ~section:"net" ~name:"rtt-pipelined"
+        ~qualifier:(Printf.sprintf "batch-%d" batch)
+        ~unit_:"calls/s" (1. /. t_pipe);
+      sample ~section:"net" ~name:"pipeline-speedup" ~qualifier:"serial/pipelined" ~unit_:"x"
+        speedup;
+      row "  serial %9.0f   pipelined %9.0f   speedup %.2fx" (1. /. t_serial) (1. /. t_pipe)
+        speedup)
+
 (* ------------------------------------------------------------- JSON -- *)
 
 let json_escape s =
@@ -628,5 +724,6 @@ let () =
     bench_bulk_load ~fast;
     bench_obs_overhead ~fast;
     bench_vfs_overhead ~fast;
+    bench_net ~fast;
     write_json ~fast "BENCH_perf.json"
   end

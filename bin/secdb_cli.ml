@@ -489,13 +489,178 @@ let profiles_cmd =
   in
   Cmd.v (Cmd.info "profiles" ~doc:"List the protection profiles.") Term.(const run $ const ())
 
+(* --- network front end ------------------------------------------------- *)
+
+let net_addr_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "unix" ->
+        let path = String.sub s (i + 1) (String.length s - i - 1) in
+        if path = "" then Error (`Msg "unix: address needs a socket path")
+        else Ok (Secdb_net.Wire.Unix_sock path)
+    | Some i when String.sub s 0 i = "tcp" -> (
+        match String.rindex_opt s ':' with
+        | Some j when j > i -> (
+            let host = String.sub s (i + 1) (j - i - 1) in
+            match int_of_string_opt (String.sub s (j + 1) (String.length s - j - 1)) with
+            | Some port when host <> "" && port >= 0 && port < 65536 ->
+                Ok (Secdb_net.Wire.Tcp (host, port))
+            | _ -> Error (`Msg "tcp: address needs HOST:PORT"))
+        | _ -> Error (`Msg "tcp: address needs HOST:PORT"))
+    | _ -> Error (`Msg (Printf.sprintf "bad address %S (use unix:PATH or tcp:HOST:PORT)" s))
+  in
+  Arg.conv (parse, fun ppf a -> Fmt.string ppf (Secdb_net.Wire.addr_to_string a))
+
+let net_addr_arg =
+  Arg.(
+    value
+    & opt net_addr_conv (Secdb_net.Wire.Unix_sock "/tmp/secdb.sock")
+    & info [ "a"; "addr" ] ~docv:"ADDR" ~doc:"Server address: unix:PATH or tcp:HOST:PORT.")
+
+let serve_cmd =
+  let seed =
+    Arg.(
+      value & opt (some int64) None
+      & info [ "seed" ] ~docv:"N" ~doc:"Fix the challenge-nonce stream (tests).")
+  in
+  let read_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "read-timeout" ] ~docv:"SECONDS"
+          ~doc:"Drop a connection idle for this long (also bounds half-open peers).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N" ~doc:"Per-connection pipelined-response cap.")
+  in
+  let run profile master addr seed read_timeout max_inflight =
+    Secdb_obs.Obs.enable ();
+    let db = Secdb.Encdb.create ~master ~profile () in
+    let auth_key = Secdb_net.Wire.auth_key_of_master master in
+    let cfg = Secdb_net.Server.config ~auth_key ~read_timeout ~max_inflight () in
+    match Secdb_net.Server.create ?seed ~config:cfg ~db addr with
+    | Error e ->
+        prerr_endline ("serve: " ^ e);
+        exit 1
+    | Ok srv ->
+        let stop _ = Secdb_net.Server.request_stop srv in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        Printf.printf "secdb: listening on %s\n%!"
+          (Secdb_net.Wire.addr_to_string (Secdb_net.Server.addr srv));
+        Secdb_net.Server.run srv;
+        Printf.printf "secdb: drained, bye\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a fresh in-memory encrypted database over the authenticated secdb wire protocol \
+          until SIGTERM, then drain.")
+    Term.(const run $ profile_arg $ master_arg $ net_addr_arg $ seed $ read_timeout $ max_inflight)
+
+let client_cmd =
+  let stmts =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "execute" ] ~docv:"SQL"
+          ~doc:"Statement to run; repeat the flag to pipeline several over one connection.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump the server-side metric registry.") in
+  let tamper =
+    Arg.(
+      value & flag
+      & info [ "tamper" ]
+          ~doc:
+            "Corrupt the request MAC on the wire (demonstrates the server's structured \
+             authentication error).")
+  in
+  let run master addr stmts stats tamper =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let auth_key = Secdb_net.Wire.auth_key_of_master master in
+    match Secdb_net.Client.connect ~auth_key addr with
+    | Error e ->
+        prerr_endline ("client: " ^ e);
+        exit 1
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> Secdb_net.Client.close c) @@ fun () ->
+        let failed = ref false in
+        let render = function
+          | Ok (Secdb_net.Wire.Outcome o) -> Fmt.pr "%a@." Secdb_sql.Engine.pp_result o
+          | Ok (Secdb_net.Wire.Stats_dump s) -> print_string s
+          | Ok _ ->
+              print_endline "error [server-error]: unexpected response kind";
+              failed := true
+          | Error (Secdb_net.Client.Remote (code, msg)) ->
+              Printf.printf "error [%s]: %s\n" (Secdb_net.Wire.err_code_to_string code) msg;
+              failed := true
+          | Error e ->
+              print_endline ("error: " ^ Secdb_net.Client.error_to_string e);
+              failed := true
+        in
+        let post req =
+          if tamper then Secdb_net.Client.post_corrupted c req else Secdb_net.Client.post c req
+        in
+        let reqs =
+          List.map (fun s -> Secdb_net.Wire.Sql s) stmts
+          @ (if stats then [ Secdb_net.Wire.Stats `Text ] else [])
+        in
+        if reqs = [] then begin
+          prerr_endline "client: nothing to do (use -e SQL and/or --stats)";
+          exit 1
+        end;
+        (* post the whole batch before awaiting anything: one pipelined burst *)
+        let ids = List.map post reqs in
+        List.iter
+          (fun id ->
+            match id with
+            | Error e -> render (Error e)
+            | Ok id -> render (Secdb_net.Client.await c id))
+          ids;
+        if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Run SQL statements (pipelined) against a secdb server over the wire protocol.")
+    Term.(const run $ master_arg $ net_addr_arg $ stmts $ stats $ tamper)
+
+let ping_cmd =
+  let rtt = Arg.(value & flag & info [ "rtt" ] ~doc:"Also print the round-trip time.") in
+  let run master addr rtt =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let auth_key = Secdb_net.Wire.auth_key_of_master master in
+    match Secdb_net.Client.connect ~auth_key addr with
+    | Error e ->
+        prerr_endline ("ping: " ^ e);
+        exit 1
+    | Ok c -> (
+        Fun.protect ~finally:(fun () -> Secdb_net.Client.close c) @@ fun () ->
+        match Secdb_net.Client.ping c with
+        | Ok dt -> if rtt then Printf.printf "pong (%.3f ms)\n" (dt *. 1e3) else print_endline "pong"
+        | Error e ->
+            prerr_endline ("ping: " ^ Secdb_net.Client.error_to_string e);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Authenticate against a secdb server and round-trip one frame.")
+    Term.(const run $ master_arg $ net_addr_arg $ rtt)
+
 let () =
   let doc = "structure-preserving database encryption: the analysed schemes and their AEAD fix" in
   let info = Cmd.info "secdb" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            encrypt_cmd; decrypt_cmd; mu_cmd; digest_cmd; attack_cmd; sql_cmd; stats_cmd;
-            fsck_cmd; pgdemo_cmd; profiles_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        encrypt_cmd; decrypt_cmd; mu_cmd; digest_cmd; attack_cmd; sql_cmd; stats_cmd; fsck_cmd;
+        pgdemo_cmd; profiles_cmd; serve_cmd; client_cmd; ping_cmd;
+      ]
+  in
+  (* usage errors exit 2, runtime failures exit 1.  Cmdliner reports bad
+     option values as [`Parse] but unknown commands/flags as [`Term]; both
+     are usage errors here, since every runtime failure in the commands
+     above exits 1 explicitly rather than through a term error. *)
+  match Cmd.eval_value group with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 1

@@ -33,4 +33,7 @@ dune exec bench/perf.exe -- --fast --check
 step "crash-safety matrix (explicit rerun of the durability suites)"
 dune exec -- test/test_main.exe test 'storage:crash|storage:fsck'
 
+step "serve smoke (networked client/server end to end)"
+ci/serve_smoke.sh
+
 step "CI gate passed"

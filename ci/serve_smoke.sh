@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Serve smoke: boot a real server process on a private Unix socket, run an
+# authenticated query over the wire, prove a tampered request is rejected
+# with a structured error, and check SIGTERM drains cleanly.  This is the
+# same scenario cram/serve.t pins; here it runs against the installed
+# binary exactly as CI built it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build bin
+SECDB=_build/default/bin/secdb_cli.exe
+
+DIR=$(mktemp -d)
+SOCK="$DIR/db.sock"
+trap 'kill "$SRV" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+"$SECDB" serve -a "unix:$SOCK" --seed 42 >"$DIR/serve.log" 2>&1 &
+SRV=$!
+
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "serve smoke: server never bound $SOCK" >&2; exit 1; }
+
+[ "$("$SECDB" ping -a "unix:$SOCK")" = "pong" ] || { echo "serve smoke: ping failed" >&2; exit 1; }
+
+out=$("$SECDB" client -a "unix:$SOCK" \
+  -e "CREATE TABLE t (id INT CLEAR, v TEXT)" \
+  -e "INSERT INTO t VALUES (1, 'smoke')" \
+  -e "SELECT v FROM t")
+echo "$out" | grep -q '"smoke"' || { echo "serve smoke: query lost data: $out" >&2; exit 1; }
+
+if "$SECDB" client -a "unix:$SOCK" --tamper -e "SELECT v FROM t" >"$DIR/tamper.out" 2>&1; then
+  echo "serve smoke: tampered request was not rejected" >&2; exit 1
+fi
+grep -q 'error \[auth\]: request MAC mismatch' "$DIR/tamper.out" || {
+  echo "serve smoke: tamper rejection was not a structured auth error:" >&2
+  cat "$DIR/tamper.out" >&2; exit 1
+}
+
+kill -TERM "$SRV"
+wait "$SRV" || { echo "serve smoke: server exited non-zero on SIGTERM" >&2; exit 1; }
+grep -q 'drained, bye' "$DIR/serve.log" || { echo "serve smoke: no drain message" >&2; exit 1; }
+[ ! -e "$SOCK" ] || { echo "serve smoke: socket not unlinked" >&2; exit 1; }
+
+echo "serve smoke: OK"

@@ -52,6 +52,26 @@ SQL over an encrypted database:
   $ secdb_cli sql -e "CREATE TABLE t (id INT CLEAR, v TEXT)"
   created
 
+Exit codes: usage errors (unknown subcommand, unknown flag, bad option
+value) exit 2; runtime failures exit 1; success exits 0:
+
+  $ secdb_cli no-such-command 2>/dev/null
+  [2]
+
+  $ secdb_cli mu --no-such-flag 2>/dev/null
+  [2]
+
+  $ secdb_cli encrypt -p no-such-profile x 2>/dev/null
+  [2]
+
+  $ secdb_cli decrypt -p fixed-eax 00 >/dev/null
+  [1]
+
+  $ secdb_cli ping -a unix:./no-server-here.sock 2>/dev/null
+  [1]
+
+  $ secdb_cli profiles >/dev/null
+
 A SQL script file:
 
   $ cat > script.sql <<'SQL'

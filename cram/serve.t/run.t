@@ -1,0 +1,58 @@
+End-to-end over the wire: spawn a server on a private Unix socket, run
+authenticated queries against it, watch a tampered request bounce off
+with a structured error, and shut the server down cleanly.
+
+  $ SOCK_DIR=$(mktemp -d)
+  $ secdb_cli serve -a unix:$SOCK_DIR/db.sock --seed 42 > serve.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -S $SOCK_DIR/db.sock ] && break; sleep 0.1; done
+
+The handshake proves possession of the derived credential on both sides:
+
+  $ secdb_cli ping -a unix:$SOCK_DIR/db.sock
+  pong
+
+One connection, four statements pipelined in a single burst:
+
+  $ secdb_cli client -a unix:$SOCK_DIR/db.sock \
+  >   -e "CREATE TABLE accounts (id INT CLEAR, owner TEXT, balance INT)" \
+  >   -e "INSERT INTO accounts VALUES (1, 'alice', 120)" \
+  >   -e "INSERT INTO accounts VALUES (2, 'bob', 80)" \
+  >   -e "SELECT owner, balance FROM accounts WHERE balance >= 100"
+  created
+  1 row(s) affected
+  1 row(s) affected
+  owner   | balance
+  --------+--------
+  "alice" | 120    
+  (1 row(s))
+
+A request whose MAC was corrupted on the wire is rejected with a
+structured authentication error, not executed and not a crash:
+
+  $ secdb_cli client -a unix:$SOCK_DIR/db.sock --tamper -e "SELECT * FROM accounts"
+  error [auth]: request MAC mismatch
+  [1]
+
+The server's own observability registry is one RPC away; the counters
+pin exactly what this file did so far (one ping, four SQL statements,
+one rejected tamper, and this stats call on the fourth connection):
+
+  $ secdb_cli client -a unix:$SOCK_DIR/db.sock --stats \
+  >   | grep -E 'net\.(rpc\{op=(ping|sql|stats)\}|auth_failures|connections_total|connections )'
+  counter net.auth_failures 1
+  counter net.connections_total 4
+  counter net.rpc{op=ping} 1
+  counter net.rpc{op=sql} 4
+  counter net.rpc{op=stats} 1
+  gauge net.connections 1
+
+SIGTERM drains: in-flight work finishes, the socket is unlinked, the
+process exits 0:
+
+  $ kill -TERM $SRV && wait $SRV
+  $ sed "s#$SOCK_DIR#SOCK#" serve.log
+  secdb: listening on unix:SOCK/db.sock
+  secdb: drained, bye
+  $ [ ! -e $SOCK_DIR/db.sock ] && echo "socket unlinked"
+  socket unlinked

@@ -1,13 +1,32 @@
 type t = unit -> string
 
 let counter ~size ?(start = 0) () =
-  let state = ref start in
-  let limit = if size >= 8 then max_int else (1 lsl (8 * size)) - 1 in
-  fun () ->
-    if !state >= limit then invalid_arg "Nonce.counter: exhausted";
-    let n = Secdb_util.Xbytes.int_to_be_string ~width:size !state in
-    incr state;
-    n
+  if size <= 0 then invalid_arg "Nonce.counter: size must be positive";
+  if start < 0 then invalid_arg "Nonce.counter: negative start";
+  if size < 8 then begin
+    let last = (1 lsl (8 * size)) - 1 in
+    if start > last then invalid_arg "Nonce.counter: start exceeds the nonce space";
+    let state = ref start in
+    fun () ->
+      if !state > last then invalid_arg "Nonce.counter: exhausted";
+      let n = Secdb_util.Xbytes.int_to_be_string ~width:size !state in
+      incr state;
+      n
+  end
+  else begin
+    (* Counting happens in the low 8 bytes, tracked as an unsigned int64:
+       the true bound is 2^64 values.  An OCaml [int] would silently cap
+       the space at [max_int] (2^62 on 64-bit), under-reporting it by a
+       factor of four — and [start], an [int], is always inside range. *)
+    let state = ref (Int64.of_int start) in
+    let exhausted = ref false in
+    let prefix = String.make (size - 8) '\000' in
+    fun () ->
+      if !exhausted then invalid_arg "Nonce.counter: exhausted";
+      let n = prefix ^ Secdb_util.Xbytes.int64_to_be_string !state in
+      if !state = -1L then exhausted := true else state := Int64.add !state 1L;
+      n
+  end
 
 let of_rng rng ~size () = Secdb_util.Rng.bytes rng size
 let fixed n () = n

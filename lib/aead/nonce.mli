@@ -8,8 +8,14 @@
 type t = unit -> string
 
 val counter : size:int -> ?start:int -> unit -> t
-(** Big-endian counter, one increment per call.
-    @raise Invalid_argument when the counter would wrap. *)
+(** Big-endian counter, one increment per call.  The nonce space is the
+    full [2^(8*size)] values [0 .. 2^(8*size) - 1]; once the last value
+    has been emitted the source raises rather than wrap.  For
+    [size >= 8] the counting lane is the low 8 bytes (the upper bytes
+    stay zero) and the bound is exactly [2^64] values, tracked unsigned —
+    not OCaml's [max_int].
+    @raise Invalid_argument if [size <= 0], if [start] is negative or
+    exceeds the nonce space, or when the counter is exhausted. *)
 
 val of_rng : Secdb_util.Rng.t -> size:int -> t
 (** Pseudorandom nonces from the given deterministic generator (collision

@@ -1,12 +1,26 @@
 exception Session_closed
 
-type t = { mutable master : string option }
+(* The master lives in a mutable buffer so [close_session] can overwrite
+   the key material in place before dropping the reference — an immutable
+   [string] would linger on the heap until the GC got around to it, which
+   contradicts the "securely removed when the session ends" contract. *)
+type t = { mutable master : Bytes.t option }
+
+let open_session_bytes ~master =
+  if Bytes.length master = 0 then invalid_arg "Keyring.open_session: empty master key";
+  { master = Some master }
 
 let open_session ~master =
   if master = "" then invalid_arg "Keyring.open_session: empty master key";
-  { master = Some master }
+  { master = Some (Bytes.of_string master) }
 
-let close_session t = t.master <- None
+let close_session t =
+  match t.master with
+  | None -> ()
+  | Some b ->
+      Bytes.fill b 0 (Bytes.length b) '\000';
+      t.master <- None
+
 let is_open t = t.master <> None
 
 let derive t ~label ~length =
@@ -15,8 +29,12 @@ let derive t ~label ~length =
   match t.master with
   | None -> raise Session_closed
   | Some master ->
+      (* [unsafe_to_string] avoids copying the master onto the heap again;
+         HMAC only reads the key, and the alias never outlives this call. *)
       Secdb_util.Xbytes.take length
-        (Secdb_hash.Hmac.mac Secdb_hash.Hmac.sha256 ~key:master label)
+        (Secdb_hash.Hmac.mac Secdb_hash.Hmac.sha256
+           ~key:(Bytes.unsafe_to_string master)
+           label)
 
 let scoped t purpose ~table ~col =
   derive t ~label:(Printf.sprintf "secdb/%s/t=%d/c=%d" purpose table col) ~length:16

@@ -13,11 +13,21 @@ exception Session_closed
 
 val open_session : master:string -> t
 (** Derive a session keyring.  The master key may be any non-empty string
-    (a password or a raw key). @raise Invalid_argument on empty input. *)
+    (a password or a raw key); it is copied into a private mutable buffer
+    so the session can zeroize it.  @raise Invalid_argument on empty
+    input. *)
+
+val open_session_bytes : master:bytes -> t
+(** Like {!open_session} but {e adopts} the buffer: no copy is made, and
+    {!close_session} zeroizes the caller's bytes in place.  Use this when
+    the caller wants to verify — or rely on — the wipe.
+    @raise Invalid_argument on empty input. *)
 
 val close_session : t -> unit
-(** Wipe the derived key material; any later use raises {!Session_closed}.
-    Models the "securely removed at the end of the session" step. *)
+(** Overwrite the master key material with zero bytes and drop it; any
+    later use raises {!Session_closed}.  Models the "securely removed at
+    the end of the session" step (same zeroize-on-free policy as the
+    pager's {!Secdb_storage.Pager.free}).  Idempotent. *)
 
 val is_open : t -> bool
 

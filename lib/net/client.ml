@@ -1,0 +1,175 @@
+module Rng = Secdb_util.Rng
+module Xbytes = Secdb_util.Xbytes
+
+type t = {
+  fd : Unix.file_descr;
+  session_key : string;
+  timeout : float;
+  max_frame : int;
+  mutable next_id : int;
+  pending : (int, (string, Wire.err_code * string) result) Hashtbl.t;
+  mutable closed : bool;
+}
+
+type error =
+  | Io of Wire.io_error
+  | Conn of Wire.err_code * string
+  | Remote of Wire.err_code * string
+  | Protocol of string
+
+let error_to_string = function
+  | Io e -> "io: " ^ Wire.io_error_to_string e
+  | Conn (c, m) -> Printf.sprintf "connection error [%s]: %s" (Wire.err_code_to_string c) m
+  | Remote (c, m) -> Printf.sprintf "server error [%s]: %s" (Wire.err_code_to_string c) m
+  | Protocol m -> "protocol violation: " ^ m
+
+let default_seed () =
+  Int64.logxor
+    (Int64.of_float (Unix.gettimeofday () *. 1e6))
+    (Int64.of_int ((Unix.getpid () * 2654435761) + 1))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* One handshake attempt over a freshly connected socket. *)
+let authenticate ~auth_key ~timeout ~max_frame ~rng fd =
+  let fail msg =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error msg
+  in
+  let client_nonce = Rng.bytes rng 16 in
+  match
+    Wire.write_frame ~timeout fd (Wire.Hello { version = Wire.protocol_version; nonce = client_nonce })
+  with
+  | Error e -> fail ("hello: " ^ Wire.io_error_to_string e)
+  | Ok () -> (
+      match Wire.read_frame ~max_frame ~timeout fd with
+      | Error e -> fail ("challenge: " ^ Wire.io_error_to_string e)
+      | Ok (Wire.Conn_error { code; message }) ->
+          fail (Printf.sprintf "rejected [%s]: %s" (Wire.err_code_to_string code) message)
+      | Ok (Wire.Challenge { version; nonce = server_nonce }) -> (
+          if version <> Wire.protocol_version then
+            fail (Printf.sprintf "server speaks protocol version %d" version)
+          else
+            let mac = Wire.handshake_mac ~auth_key ~client_nonce ~server_nonce in
+            match Wire.write_frame ~timeout fd (Wire.Auth mac) with
+            | Error e -> fail ("auth: " ^ Wire.io_error_to_string e)
+            | Ok () -> (
+                match Wire.read_frame ~max_frame ~timeout fd with
+                | Error e -> fail ("auth reply: " ^ Wire.io_error_to_string e)
+                | Ok (Wire.Conn_error { code; message }) ->
+                    fail
+                      (Printf.sprintf "authentication refused [%s]: %s"
+                         (Wire.err_code_to_string code) message)
+                | Ok (Wire.Auth_ok server_mac) ->
+                    let expected = Wire.accept_mac ~auth_key ~client_nonce ~server_nonce in
+                    if Xbytes.constant_time_equal server_mac expected then
+                      Ok (Wire.session_key ~auth_key ~client_nonce ~server_nonce)
+                    else fail "server failed mutual authentication"
+                | Ok _ -> fail "expected auth-ok"))
+      | Ok _ -> fail "expected a challenge")
+
+let connect ?(attempts = 5) ?(backoff = 0.05) ?(timeout = 30.) ?(max_frame = Wire.default_max_frame)
+    ?seed ~auth_key addr =
+  let seed = match seed with Some s -> s | None -> default_seed () in
+  let rng = Rng.create ~seed () in
+  let sockaddr = Wire.sockaddr_of_addr addr in
+  let domain = match addr with Wire.Unix_sock _ -> Unix.PF_UNIX | Wire.Tcp _ -> Unix.PF_INET in
+  let rec dial n delay =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if n <= 1 then
+          Error
+            (Printf.sprintf "connect %s: %s" (Wire.addr_to_string addr) (Unix.error_message e))
+        else begin
+          (try Thread.delay delay with _ -> ());
+          dial (n - 1) (delay *. 2.)
+        end
+  in
+  match dial (max 1 attempts) backoff with
+  | Error _ as e -> e
+  | Ok fd -> (
+      match authenticate ~auth_key ~timeout ~max_frame ~rng fd with
+      | Error _ as e -> e
+      | Ok session_key ->
+          Ok { fd; session_key; timeout; max_frame; next_id = 1; pending = Hashtbl.create 8; closed = false })
+
+let send_request t ~corrupt req =
+  if t.closed then Error (Protocol "connection is closed")
+  else begin
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    let body = Wire.encode_req req in
+    let mac = Wire.request_mac ~session_key:t.session_key ~id ~body in
+    let mac =
+      if not corrupt then mac
+      else begin
+        let b = Bytes.of_string mac in
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+        Bytes.to_string b
+      end
+    in
+    match Wire.write_frame ~timeout:t.timeout t.fd (Wire.Request { id; body; mac }) with
+    | Ok () -> Ok id
+    | Error e ->
+        close t;
+        Error (Io e)
+  end
+
+let post t req = send_request t ~corrupt:false req
+let post_corrupted t req = send_request t ~corrupt:true req
+
+let decode_result wanted = function
+  | Error (code, msg) -> Error (Remote (code, msg))
+  | Ok body -> (
+      match Wire.decode_resp body with
+      | Ok resp -> Ok resp
+      | Error e -> Error (Protocol (Printf.sprintf "response %d: %s" wanted e)))
+
+let await t wanted =
+  match Hashtbl.find_opt t.pending wanted with
+  | Some result ->
+      Hashtbl.remove t.pending wanted;
+      decode_result wanted result
+  | None ->
+      if t.closed then Error (Protocol "connection is closed")
+      else
+        let rec read () =
+          match Wire.read_frame ~max_frame:t.max_frame ~timeout:t.timeout t.fd with
+          | Error e ->
+              close t;
+              Error (Io e)
+          | Ok (Wire.Response { id; result }) ->
+              if id = wanted then decode_result wanted result
+              else begin
+                Hashtbl.replace t.pending id result;
+                read ()
+              end
+          | Ok (Wire.Conn_error { code; message }) ->
+              close t;
+              Error (Conn (code, message))
+          | Ok _ ->
+              close t;
+              Error (Protocol "unexpected frame while awaiting a response")
+        in
+        read ()
+
+let call t req =
+  match post t req with Error _ as e -> e | Ok id -> await t id
+
+let pipeline t reqs =
+  let ids = List.map (fun req -> post t req) reqs in
+  List.map (function Error _ as e -> e | Ok id -> await t id) ids
+
+let ping t =
+  let t0 = Unix.gettimeofday () in
+  match call t (Wire.Ping "ping") with
+  | Ok (Wire.Pong "ping") -> Ok (Unix.gettimeofday () -. t0)
+  | Ok _ -> Error (Protocol "pong payload mismatch")
+  | Error _ as e -> e

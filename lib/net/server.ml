@@ -1,0 +1,485 @@
+module Metrics = Secdb_obs.Metrics
+module Trace = Secdb_obs.Trace
+module Obs = Secdb_obs.Obs
+module Rng = Secdb_util.Rng
+module Xbytes = Secdb_util.Xbytes
+module Etable = Secdb_query.Encrypted_table
+module Schema = Secdb_db.Schema
+
+type config = {
+  auth_key : string;
+  max_frame : int;
+  max_inflight : int;
+  read_timeout : float;
+  write_timeout : float;
+}
+
+let config ?(max_frame = Wire.default_max_frame) ?(max_inflight = 64) ?(read_timeout = 30.)
+    ?(write_timeout = 30.) ~auth_key () =
+  if String.length auth_key < 16 then invalid_arg "Server.config: auth key shorter than 16 bytes";
+  if max_frame < 64 then invalid_arg "Server.config: max_frame too small for a handshake";
+  if max_inflight < 1 then invalid_arg "Server.config: max_inflight must be positive";
+  { auth_key; max_frame; max_inflight; read_timeout; write_timeout }
+
+(* Registered per server (not at module load) so a process that never
+   serves — `secdb stats`, say — keeps its metric registry unchanged. *)
+type metrics = {
+  m_bytes_in : Metrics.counter;
+  m_bytes_out : Metrics.counter;
+  m_auth_failures : Metrics.counter;
+  m_conn_total : Metrics.counter;
+  g_conns : Metrics.gauge;
+  m_rpc : (string * Metrics.counter) list;
+  m_rpc_errors : Metrics.counter;
+  h_rpc : (string * Metrics.histogram) list;
+}
+
+let op_names =
+  [ "ping"; "stats"; "sql"; "put_cell"; "get_cell"; "insert_row"; "decrypt_column"; "index_lookup" ]
+
+let make_metrics () =
+  {
+    m_bytes_in = Metrics.counter "net.bytes_in";
+    m_bytes_out = Metrics.counter "net.bytes_out";
+    m_auth_failures = Metrics.counter "net.auth_failures";
+    m_conn_total = Metrics.counter "net.connections_total";
+    g_conns = Metrics.gauge "net.connections";
+    m_rpc = List.map (fun op -> (op, Metrics.counter ~labels:[ ("op", op) ] "net.rpc")) op_names;
+    m_rpc_errors = Metrics.counter "net.rpc_errors";
+    h_rpc =
+      List.map
+        (fun op -> (op, Metrics.histogram ~labels:[ ("op", op) ] "net.rpc_latency"))
+        op_names;
+  }
+
+(* --- bounded response queue (the per-connection in-flight cap) ------------- *)
+
+module Bqueue = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    cap : int;
+    mu : Mutex.t;
+    not_full : Condition.t;
+    not_empty : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create cap =
+    {
+      q = Queue.create ();
+      cap;
+      mu = Mutex.create ();
+      not_full = Condition.create ();
+      not_empty = Condition.create ();
+      closed = false;
+    }
+
+  (* Blocks while the queue is full: with the writer thread draining at
+     the peer's read speed, this is exactly TCP backpressure on the
+     pipelining client. *)
+  let push t x =
+    Mutex.lock t.mu;
+    while Queue.length t.q >= t.cap && not t.closed do
+      Condition.wait t.not_full t.mu
+    done;
+    let accepted = not t.closed in
+    if accepted then begin
+      Queue.push x t.q;
+      Condition.signal t.not_empty
+    end;
+    Mutex.unlock t.mu;
+    accepted
+
+  let pop t =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.not_empty t.mu
+    done;
+    let item = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Condition.signal t.not_full;
+    Mutex.unlock t.mu;
+    item
+
+  let close t =
+    Mutex.lock t.mu;
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.mu
+end
+
+(* --- dispatch ---------------------------------------------------------------- *)
+
+let dispatch db (req : Wire.req) : (Wire.resp, Wire.err_code * string) result =
+  try
+    match req with
+    | Wire.Ping payload -> Ok (Wire.Pong payload)
+    | Wire.Stats fmt ->
+        let snap = Metrics.snapshot () in
+        Ok
+          (Wire.Stats_dump
+             (match fmt with `Text -> Metrics.to_text snap | `Json -> Metrics.to_json snap))
+    | Wire.Sql stmt -> (
+        match Secdb_sql.Engine.exec db stmt with
+        | Ok o -> Ok (Wire.Outcome o)
+        | Error e -> Error (Wire.App, e))
+    | Wire.Put_cell { table; row; col; value } -> (
+        match Secdb.Encdb.update db ~table ~row ~col value with
+        | Ok () -> Ok Wire.Updated
+        | Error e -> Error (Wire.App, e))
+    | Wire.Get_cell { table; row; col } -> (
+        let tbl = Secdb.Encdb.table db table in
+        let col_id = Schema.col_index (Etable.schema tbl) col in
+        match Etable.get tbl ~row ~col:col_id with
+        | Ok v -> Ok (Wire.Cell_value v)
+        | Error e -> Error (Wire.App, e))
+    | Wire.Insert_row { table; values } -> Ok (Wire.Row_id (Secdb.Encdb.insert db ~table values))
+    | Wire.Decrypt_column { table; col } ->
+        let tbl = Secdb.Encdb.table db table in
+        let col_id = Schema.col_index (Etable.schema tbl) col in
+        let cells = Etable.decrypt_column tbl ~col:col_id in
+        Ok
+          (Wire.Column
+             (Array.to_list cells
+             |> List.map (function
+                  | None -> Wire.Tombstone
+                  | Some (Ok v) -> Wire.Cell v
+                  | Some (Error e) -> Wire.Cell_error e)))
+    | Wire.Index_lookup { table; col; value } -> (
+        match Secdb.Encdb.select_eq db ~table ~col value with
+        | Ok rows -> Ok (Wire.Rows (List.map (fun (r, vs) -> (r, Array.to_list vs)) rows))
+        | Error e -> Error (Wire.App, e))
+  with
+  | Not_found -> Error (Wire.App, "no such table, column or index")
+  | Invalid_argument e -> Error (Wire.App, e)
+  | Failure e -> Error (Wire.App, e)
+  | Secdb.Keyring.Session_closed -> Error (Wire.App, "session closed")
+  | e -> Error (Wire.Server_error, Printexc.to_string e)
+
+(* --- server ------------------------------------------------------------------- *)
+
+type t = {
+  cfg : config;
+  db : Secdb.Encdb.t;
+  db_mu : Mutex.t;
+  listen_fd : Unix.file_descr;
+  address : Wire.addr;
+  unix_path : string option;
+  stop_flag : bool Atomic.t;
+  lifecycle_mu : Mutex.t;
+  drained_cond : Condition.t;
+  mutable drained : bool;
+  mutable running : bool;
+  mutable accept_thread : Thread.t option;
+  conn_mu : Mutex.t;
+  conns : (int, Thread.t) Hashtbl.t;
+  mutable active : int;
+  rng : Rng.t;
+  rng_mu : Mutex.t;
+  m : metrics;
+}
+
+let default_seed () =
+  Int64.logxor
+    (Int64.of_float (Unix.gettimeofday () *. 1e6))
+    (Int64.of_int (Unix.getpid () * 0x9e3779b9))
+
+let create ?seed ~config:cfg ~db address =
+  let seed = match seed with Some s -> s | None -> default_seed () in
+  try
+    let fd =
+      match address with
+      | Wire.Unix_sock path ->
+          if Sys.file_exists path then Unix.unlink path;
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          fd
+      | Wire.Tcp _ ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.setsockopt fd Unix.SO_REUSEADDR true;
+          Unix.bind fd (Wire.sockaddr_of_addr address);
+          fd
+    in
+    Unix.listen fd 64;
+    let address =
+      (* report the kernel-chosen port when asked for port 0 *)
+      match (address, Unix.getsockname fd) with
+      | Wire.Tcp (host, 0), Unix.ADDR_INET (_, port) -> Wire.Tcp (host, port)
+      | _ -> address
+    in
+    Ok
+      {
+        cfg;
+        db;
+        db_mu = Mutex.create ();
+        listen_fd = fd;
+        address;
+        unix_path = (match address with Wire.Unix_sock p -> Some p | Wire.Tcp _ -> None);
+        stop_flag = Atomic.make false;
+        lifecycle_mu = Mutex.create ();
+        drained_cond = Condition.create ();
+        drained = false;
+        running = false;
+        accept_thread = None;
+        conn_mu = Mutex.create ();
+        conns = Hashtbl.create 16;
+        active = 0;
+        rng = Rng.create ~seed ();
+        rng_mu = Mutex.create ();
+        m = make_metrics ();
+      }
+  with Unix.Unix_error (e, fn, arg) ->
+    Error
+      (Printf.sprintf "cannot listen on %s: %s (%s %s)" (Wire.addr_to_string address)
+         (Unix.error_message e) fn arg)
+
+let addr t = t.address
+let stopping t () = Atomic.get t.stop_flag
+
+let fresh_nonce t =
+  Mutex.lock t.rng_mu;
+  let n = Rng.bytes t.rng 16 in
+  Mutex.unlock t.rng_mu;
+  n
+
+let observe_in t frame = if Obs.on () then Metrics.add t.m.m_bytes_in (Wire.frame_size frame)
+let observe_out t frame = if Obs.on () then Metrics.add t.m.m_bytes_out (Wire.frame_size frame)
+
+let send t fd frame =
+  observe_out t frame;
+  Wire.write_frame ~timeout:t.cfg.write_timeout fd frame
+
+(* Challenge–response over the fresh connection.  Returns the per-session
+   request-MAC key; the master key plays no part here — both sides work
+   from the derived [auth_key]. *)
+let handshake t fd =
+  let reject code message =
+    ignore (send t fd (Wire.Conn_error { code; message }));
+    Error ()
+  in
+  match
+    Wire.read_frame ~stop:(stopping t) ~max_frame:t.cfg.max_frame ~timeout:t.cfg.read_timeout fd
+  with
+  | Error (`Too_large n) -> reject Wire.Too_large (Printf.sprintf "hello frame of %d bytes" n)
+  | Error (`Bad_frame e) -> reject Wire.Frame e
+  | Error (`Eof | `Timeout | `Stopped) -> Error ()
+  | Ok (Wire.Hello { version; nonce = client_nonce }) -> (
+      if version <> Wire.protocol_version then
+        reject Wire.Frame (Printf.sprintf "unsupported protocol version %d" version)
+      else
+        let server_nonce = fresh_nonce t in
+        match send t fd (Wire.Challenge { version = Wire.protocol_version; nonce = server_nonce }) with
+        | Error _ -> Error ()
+        | Ok () -> (
+            match
+              Wire.read_frame ~stop:(stopping t) ~max_frame:t.cfg.max_frame
+                ~timeout:t.cfg.read_timeout fd
+            with
+            | Ok (Wire.Auth mac) ->
+                let expected =
+                  Wire.handshake_mac ~auth_key:t.cfg.auth_key ~client_nonce ~server_nonce
+                in
+                if Xbytes.constant_time_equal mac expected then
+                  match
+                    send t fd
+                      (Wire.Auth_ok
+                         (Wire.accept_mac ~auth_key:t.cfg.auth_key ~client_nonce ~server_nonce))
+                  with
+                  | Ok () ->
+                      Ok (Wire.session_key ~auth_key:t.cfg.auth_key ~client_nonce ~server_nonce)
+                  | Error _ -> Error ()
+                else begin
+                  Metrics.incr t.m.m_auth_failures;
+                  reject Wire.Auth "handshake MAC mismatch"
+                end
+            | Ok _ -> reject Wire.Frame "expected an auth frame"
+            | Error (`Too_large n) ->
+                reject Wire.Too_large (Printf.sprintf "auth frame of %d bytes" n)
+            | Error (`Bad_frame e) -> reject Wire.Frame e
+            | Error (`Eof | `Timeout | `Stopped) -> Error ()))
+  | Ok _ -> reject Wire.Frame "expected a hello frame"
+
+let handle_request t session_key (frame : Wire.frame) =
+  match frame with
+  | Wire.Request { id; body; mac } ->
+      let expected = Wire.request_mac ~session_key ~id ~body in
+      if not (Xbytes.constant_time_equal mac expected) then begin
+        Metrics.incr t.m.m_auth_failures;
+        `Reply (Wire.Response { id; result = Error (Wire.Auth, "request MAC mismatch") })
+      end
+      else begin
+        match Wire.decode_req body with
+        | Error e ->
+            Metrics.incr t.m.m_rpc_errors;
+            `Reply (Wire.Response { id; result = Error (Wire.Bad_payload, e) })
+        | Ok req ->
+            let op = Wire.op_name req in
+            (match List.assoc_opt op t.m.m_rpc with Some c -> Metrics.incr c | None -> ());
+            let hist = List.assoc_opt op t.m.h_rpc in
+            let result =
+              Trace.with_span ~attrs:[ ("op", op) ] ?hist "net.dispatch" (fun () ->
+                  Mutex.lock t.db_mu;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock t.db_mu)
+                    (fun () -> dispatch t.db req))
+            in
+            (match result with Error _ -> Metrics.incr t.m.m_rpc_errors | Ok _ -> ());
+            `Reply
+              (Wire.Response
+                 { id; result = Result.map Wire.encode_resp result })
+      end
+  | _ -> `Close_after (Wire.Conn_error { code = Wire.Frame; message = "expected a request frame" })
+
+let set_conn_gauge t delta =
+  Mutex.lock t.conn_mu;
+  t.active <- t.active + delta;
+  Metrics.set t.m.g_conns t.active;
+  Mutex.unlock t.conn_mu
+
+let serve_conn t fd =
+  Metrics.incr t.m.m_conn_total;
+  set_conn_gauge t 1;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      set_conn_gauge t (-1))
+    (fun () ->
+      match handshake t fd with
+      | Error () -> ()
+      | Ok session_key ->
+          let queue = Bqueue.create t.cfg.max_inflight in
+          let dead = Atomic.make false in
+          let writer =
+            Thread.create
+              (fun () ->
+                let rec drain () =
+                  match Bqueue.pop queue with
+                  | None -> ()
+                  | Some frame ->
+                      if not (Atomic.get dead) then begin
+                        observe_out t frame;
+                        match
+                          Wire.write_frame
+                            ~stop:(fun () -> Atomic.get dead)
+                            ~timeout:t.cfg.write_timeout fd frame
+                        with
+                        | Ok () -> ()
+                        | Error _ -> Atomic.set dead true
+                      end;
+                      drain ()
+                in
+                drain ())
+              ()
+          in
+          let rec loop () =
+            if Atomic.get dead then ()
+            else
+              match
+                Wire.read_frame ~stop:(stopping t) ~max_frame:t.cfg.max_frame
+                  ~timeout:t.cfg.read_timeout fd
+              with
+              | Error (`Eof | `Timeout | `Stopped) -> ()
+              | Error (`Too_large n) ->
+                  ignore
+                    (Bqueue.push queue
+                       (Wire.Conn_error
+                          { code = Wire.Too_large; message = Printf.sprintf "frame of %d bytes" n }))
+              | Error (`Bad_frame e) ->
+                  ignore (Bqueue.push queue (Wire.Conn_error { code = Wire.Frame; message = e }))
+              | Ok frame -> (
+                  observe_in t frame;
+                  match handle_request t session_key frame with
+                  | `Reply reply ->
+                      if Bqueue.push queue reply then loop ()
+                  | `Close_after reply -> ignore (Bqueue.push queue reply))
+          in
+          loop ();
+          Bqueue.close queue;
+          Thread.join writer)
+
+(* --- accept loop and lifecycle ------------------------------------------------ *)
+
+let wait_readable ~stop fd =
+  let rec go () =
+    if stop () then false
+    else
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> go ()
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> false
+  in
+  go ()
+
+let run t =
+  Mutex.lock t.lifecycle_mu;
+  if t.running || t.drained then begin
+    Mutex.unlock t.lifecycle_mu;
+    invalid_arg "Server.run: already running or stopped"
+  end;
+  t.running <- true;
+  Mutex.unlock t.lifecycle_mu;
+  let rec accept_loop () =
+    if wait_readable ~stop:(stopping t) t.listen_fd then begin
+      (match Unix.accept t.listen_fd with
+      | fd, _ ->
+          let th = Thread.create (fun () -> serve_conn t fd) () in
+          Mutex.lock t.conn_mu;
+          Hashtbl.replace t.conns (Thread.id th) th;
+          Mutex.unlock t.conn_mu
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> Atomic.set t.stop_flag true);
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* drain: no new connections; every worker notices the stop flag within
+     one select slice and finishes its current request first *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.unix_path with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ());
+  let workers =
+    Mutex.lock t.conn_mu;
+    let ws = Hashtbl.fold (fun _ th acc -> th :: acc) t.conns [] in
+    Mutex.unlock t.conn_mu;
+    ws
+  in
+  List.iter Thread.join workers;
+  Mutex.lock t.lifecycle_mu;
+  t.running <- false;
+  t.drained <- true;
+  Condition.broadcast t.drained_cond;
+  Mutex.unlock t.lifecycle_mu
+
+let start t =
+  let th = Thread.create (fun () -> run t) () in
+  Mutex.lock t.lifecycle_mu;
+  t.accept_thread <- Some th;
+  Mutex.unlock t.lifecycle_mu
+
+let request_stop t = Atomic.set t.stop_flag true
+
+let stop t =
+  request_stop t;
+  Mutex.lock t.lifecycle_mu;
+  let started = t.running || t.accept_thread <> None || t.drained in
+  Mutex.unlock t.lifecycle_mu;
+  if not started then begin
+    (* never ran: just release the socket *)
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.unix_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+    | None -> ());
+    Mutex.lock t.lifecycle_mu;
+    t.drained <- true;
+    Mutex.unlock t.lifecycle_mu
+  end
+  else begin
+    Mutex.lock t.lifecycle_mu;
+    while not t.drained do
+      Condition.wait t.drained_cond t.lifecycle_mu
+    done;
+    Mutex.unlock t.lifecycle_mu;
+    match t.accept_thread with Some th -> Thread.join th | None -> ()
+  end

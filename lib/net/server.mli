@@ -1,0 +1,63 @@
+(** Concurrent secdb server: dispatches authenticated, pipelined
+    {!Wire.req} operations against one {!Secdb.Encdb.t}.
+
+    One lightweight thread serves each connection (a reader that
+    verifies, dispatches and produces responses, and a writer draining a
+    bounded response queue — the queue bound is the per-connection
+    in-flight cap, so a client that pipelines faster than the server can
+    answer is throttled through TCP backpressure rather than unbounded
+    buffering).  Database dispatch is serialised by a mutex: the
+    underlying {!Secdb.Encdb.t} is not thread-safe, and serialisation is
+    what makes pipelined results byte-identical to the in-process API.
+
+    The server is configured with the {e derived} session-auth credential
+    ({!Wire.auth_key_of_master}), never the master key itself.
+
+    Every request is observed through {!Secdb_obs}: [net.rpc{op=...}]
+    counters, [net.rpc_latency{op=...}] histograms, [net.bytes_in] /
+    [net.bytes_out], a [net.connections] gauge and [net.auth_failures] —
+    all visible to clients through the [Stats] RPC. *)
+
+type config = {
+  auth_key : string;  (** 32-byte credential from {!Wire.auth_key_of_master} *)
+  max_frame : int;  (** largest accepted frame ({!Wire.default_max_frame}) *)
+  max_inflight : int;  (** per-connection response-queue bound (default 64) *)
+  read_timeout : float;  (** seconds a connection may sit idle (default 30) *)
+  write_timeout : float;  (** seconds a single frame write may take (default 30) *)
+}
+
+val config :
+  ?max_frame:int ->
+  ?max_inflight:int ->
+  ?read_timeout:float ->
+  ?write_timeout:float ->
+  auth_key:string ->
+  unit ->
+  config
+
+type t
+
+val create : ?seed:int64 -> config:config -> db:Secdb.Encdb.t -> Wire.addr -> (t, string) result
+(** Bind and listen (Unix socket or TCP).  A stale Unix-socket path is
+    replaced.  [seed] fixes the challenge-nonce stream (tests); by
+    default it is drawn from the clock and pid. *)
+
+val addr : t -> Wire.addr
+
+val run : t -> unit
+(** Serve in the calling thread until {!request_stop} (e.g. from a SIGTERM
+    handler), then drain: stop accepting, let every connection finish its
+    current request, join the workers, close and unlink the socket. *)
+
+val start : t -> unit
+(** {!run} in a background thread (for tests and in-process benchmarks). *)
+
+val request_stop : t -> unit
+(** Flip the shutdown flag; safe to call from a signal handler. *)
+
+val stop : t -> unit
+(** {!request_stop}, then wait until the drain completes.  Idempotent. *)
+
+val dispatch : Secdb.Encdb.t -> Wire.req -> (Wire.resp, Wire.err_code * string) result
+(** The request executor itself, exposed so tests and benchmarks can
+    compare a networked result against the same call made in process. *)

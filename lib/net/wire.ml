@@ -1,0 +1,595 @@
+module Value = Secdb_db.Value
+module Xbytes = Secdb_util.Xbytes
+module Hmac = Secdb_hash.Hmac
+
+let protocol_version = 1
+let magic = "SDBN"
+let default_max_frame = 1 lsl 20
+let nonce_len = 16
+let transcript_mac_len = 32
+let request_mac_len = 16
+
+(* --- structured errors ---------------------------------------------------- *)
+
+type err_code =
+  | Auth
+  | Frame
+  | Too_large
+  | Unknown_op
+  | Bad_payload
+  | App
+  | Server_error
+  | Backpressure
+
+let err_code_to_string = function
+  | Auth -> "auth"
+  | Frame -> "frame"
+  | Too_large -> "too-large"
+  | Unknown_op -> "unknown-op"
+  | Bad_payload -> "bad-payload"
+  | App -> "app"
+  | Server_error -> "server-error"
+  | Backpressure -> "backpressure"
+
+let err_code_to_int = function
+  | Auth -> 1
+  | Frame -> 2
+  | Too_large -> 3
+  | Unknown_op -> 4
+  | Bad_payload -> 5
+  | App -> 6
+  | Server_error -> 7
+  | Backpressure -> 8
+
+let err_code_of_int = function
+  | 1 -> Some Auth
+  | 2 -> Some Frame
+  | 3 -> Some Too_large
+  | 4 -> Some Unknown_op
+  | 5 -> Some Bad_payload
+  | 6 -> Some App
+  | 7 -> Some Server_error
+  | 8 -> Some Backpressure
+  | _ -> None
+
+(* --- encoder / decoder primitives ----------------------------------------- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16 b v =
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_u32 b v =
+  let s = Bytes.create 4 in
+  Xbytes.set_uint32_be s 0 v;
+  Buffer.add_bytes b s
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_value b v = put_str b (Value.encode v)
+
+exception Decode of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode s)) fmt
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.data then fail "truncated payload (need %d bytes at %d)" n c.pos
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c =
+  let hi = get_u8 c in
+  let lo = get_u8 c in
+  (hi lsl 8) lor lo
+
+let get_u32 c =
+  need c 4;
+  let v = Xbytes.get_uint32_be c.data c.pos in
+  c.pos <- c.pos + 4;
+  v
+
+let get_bytes c n =
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_str c =
+  let n = get_u32 c in
+  get_bytes c n
+
+let get_value c =
+  match Value.decode (get_str c) with Ok v -> v | Error e -> fail "bad value: %s" e
+
+let finished c = if c.pos <> String.length c.data then fail "trailing garbage after payload"
+
+let decoding f s = try Ok (f { data = s; pos = 0 }) with Decode e -> Error e
+
+(* --- operations ------------------------------------------------------------ *)
+
+type req =
+  | Ping of string
+  | Stats of [ `Text | `Json ]
+  | Sql of string
+  | Put_cell of { table : string; row : int; col : string; value : Value.t }
+  | Get_cell of { table : string; row : int; col : string }
+  | Insert_row of { table : string; values : Value.t list }
+  | Decrypt_column of { table : string; col : string }
+  | Index_lookup of { table : string; col : string; value : Value.t }
+
+let op_name = function
+  | Ping _ -> "ping"
+  | Stats _ -> "stats"
+  | Sql _ -> "sql"
+  | Put_cell _ -> "put_cell"
+  | Get_cell _ -> "get_cell"
+  | Insert_row _ -> "insert_row"
+  | Decrypt_column _ -> "decrypt_column"
+  | Index_lookup _ -> "index_lookup"
+
+let encode_req r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Ping payload ->
+      put_u8 b 0x00;
+      put_str b payload
+  | Stats fmt ->
+      put_u8 b 0x01;
+      put_u8 b (match fmt with `Text -> 0 | `Json -> 1)
+  | Sql stmt ->
+      put_u8 b 0x02;
+      put_str b stmt
+  | Put_cell { table; row; col; value } ->
+      put_u8 b 0x03;
+      put_str b table;
+      put_u32 b row;
+      put_str b col;
+      put_value b value
+  | Get_cell { table; row; col } ->
+      put_u8 b 0x04;
+      put_str b table;
+      put_u32 b row;
+      put_str b col
+  | Insert_row { table; values } ->
+      put_u8 b 0x05;
+      put_str b table;
+      put_u16 b (List.length values);
+      List.iter (put_value b) values
+  | Decrypt_column { table; col } ->
+      put_u8 b 0x06;
+      put_str b table;
+      put_str b col
+  | Index_lookup { table; col; value } ->
+      put_u8 b 0x07;
+      put_str b table;
+      put_str b col;
+      put_value b value);
+  Buffer.contents b
+
+let decode_req s =
+  decoding
+    (fun c ->
+      let r =
+        match get_u8 c with
+        | 0x00 -> Ping (get_str c)
+        | 0x01 -> (
+            match get_u8 c with
+            | 0 -> Stats `Text
+            | 1 -> Stats `Json
+            | n -> fail "unknown stats format %d" n)
+        | 0x02 -> Sql (get_str c)
+        | 0x03 ->
+            let table = get_str c in
+            let row = get_u32 c in
+            let col = get_str c in
+            let value = get_value c in
+            Put_cell { table; row; col; value }
+        | 0x04 ->
+            let table = get_str c in
+            let row = get_u32 c in
+            let col = get_str c in
+            Get_cell { table; row; col }
+        | 0x05 ->
+            let table = get_str c in
+            let n = get_u16 c in
+            let values = List.init n (fun _ -> get_value c) in
+            Insert_row { table; values }
+        | 0x06 ->
+            let table = get_str c in
+            let col = get_str c in
+            Decrypt_column { table; col }
+        | 0x07 ->
+            let table = get_str c in
+            let col = get_str c in
+            let value = get_value c in
+            Index_lookup { table; col; value }
+        | op -> fail "unknown op 0x%02x" op
+      in
+      finished c;
+      r)
+    s
+
+(* --- responses ------------------------------------------------------------- *)
+
+type cell = Tombstone | Cell of Value.t | Cell_error of string
+
+type resp =
+  | Pong of string
+  | Stats_dump of string
+  | Outcome of Secdb_sql.Engine.outcome
+  | Updated
+  | Cell_value of Value.t
+  | Row_id of int
+  | Column of cell list
+  | Rows of (int * Value.t list) list
+
+let encode_resp r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Pong payload ->
+      put_u8 b 0x00;
+      put_str b payload
+  | Stats_dump s ->
+      put_u8 b 0x01;
+      put_str b s
+  | Outcome o ->
+      put_u8 b 0x02;
+      (match o with
+      | Secdb_sql.Engine.Rows { columns; rows } ->
+          put_u8 b 0;
+          put_u16 b (List.length columns);
+          List.iter (put_str b) columns;
+          put_u32 b (List.length rows);
+          List.iter
+            (fun row ->
+              put_u16 b (List.length row);
+              List.iter (put_value b) row)
+            rows
+      | Secdb_sql.Engine.Affected n ->
+          put_u8 b 1;
+          put_u32 b n
+      | Secdb_sql.Engine.Created -> put_u8 b 2
+      | Secdb_sql.Engine.Plan p ->
+          put_u8 b 3;
+          put_str b p)
+  | Updated -> put_u8 b 0x03
+  | Cell_value v ->
+      put_u8 b 0x04;
+      put_value b v
+  | Row_id r ->
+      put_u8 b 0x05;
+      put_u32 b r
+  | Column cells ->
+      put_u8 b 0x06;
+      put_u32 b (List.length cells);
+      List.iter
+        (function
+          | Tombstone -> put_u8 b 0
+          | Cell v ->
+              put_u8 b 1;
+              put_value b v
+          | Cell_error e ->
+              put_u8 b 2;
+              put_str b e)
+        cells
+  | Rows rows ->
+      put_u8 b 0x07;
+      put_u32 b (List.length rows);
+      List.iter
+        (fun (row, values) ->
+          put_u32 b row;
+          put_u16 b (List.length values);
+          List.iter (put_value b) values)
+        rows);
+  Buffer.contents b
+
+let decode_resp s =
+  decoding
+    (fun c ->
+      let r =
+        match get_u8 c with
+        | 0x00 -> Pong (get_str c)
+        | 0x01 -> Stats_dump (get_str c)
+        | 0x02 ->
+            Outcome
+              (match get_u8 c with
+              | 0 ->
+                  let ncols = get_u16 c in
+                  let columns = List.init ncols (fun _ -> get_str c) in
+                  let nrows = get_u32 c in
+                  let rows =
+                    List.init nrows (fun _ ->
+                        let n = get_u16 c in
+                        List.init n (fun _ -> get_value c))
+                  in
+                  Secdb_sql.Engine.Rows { columns; rows }
+              | 1 -> Secdb_sql.Engine.Affected (get_u32 c)
+              | 2 -> Secdb_sql.Engine.Created
+              | 3 -> Secdb_sql.Engine.Plan (get_str c)
+              | k -> fail "unknown outcome kind %d" k)
+        | 0x03 -> Updated
+        | 0x04 -> Cell_value (get_value c)
+        | 0x05 -> Row_id (get_u32 c)
+        | 0x06 ->
+            let n = get_u32 c in
+            Column
+              (List.init n (fun _ ->
+                   match get_u8 c with
+                   | 0 -> Tombstone
+                   | 1 -> Cell (get_value c)
+                   | 2 -> Cell_error (get_str c)
+                   | k -> fail "unknown cell kind %d" k))
+        | 0x07 ->
+            let n = get_u32 c in
+            Rows
+              (List.init n (fun _ ->
+                   let row = get_u32 c in
+                   let nv = get_u16 c in
+                   (row, List.init nv (fun _ -> get_value c))))
+        | k -> fail "unknown response kind 0x%02x" k
+      in
+      finished c;
+      r)
+    s
+
+(* --- frames ----------------------------------------------------------------- *)
+
+type frame =
+  | Hello of { version : int; nonce : string }
+  | Challenge of { version : int; nonce : string }
+  | Auth of string
+  | Auth_ok of string
+  | Request of { id : int; body : string; mac : string }
+  | Response of { id : int; result : (string, err_code * string) result }
+  | Conn_error of { code : err_code; message : string }
+
+let frame_to_bytes f =
+  let b = Buffer.create 64 in
+  (match f with
+  | Hello { version; nonce } ->
+      put_u8 b 0x01;
+      Buffer.add_string b magic;
+      put_u16 b version;
+      Buffer.add_string b nonce
+  | Challenge { version; nonce } ->
+      put_u8 b 0x02;
+      put_u16 b version;
+      Buffer.add_string b nonce
+  | Auth mac ->
+      put_u8 b 0x03;
+      Buffer.add_string b mac
+  | Auth_ok mac ->
+      put_u8 b 0x04;
+      Buffer.add_string b mac
+  | Request { id; body; mac } ->
+      put_u8 b 0x10;
+      put_u32 b id;
+      Buffer.add_string b body;
+      Buffer.add_string b mac
+  | Response { id; result } -> (
+      put_u8 b 0x11;
+      put_u32 b id;
+      match result with
+      | Ok body ->
+          put_u8 b 0;
+          Buffer.add_string b body
+      | Error (code, message) ->
+          put_u8 b 1;
+          put_u8 b (err_code_to_int code);
+          Buffer.add_string b message)
+  | Conn_error { code; message } ->
+      put_u8 b 0x12;
+      put_u8 b (err_code_to_int code);
+      Buffer.add_string b message);
+  Buffer.contents b
+
+let frame_size f = 4 + String.length (frame_to_bytes f)
+
+let get_err_code c =
+  let n = get_u8 c in
+  match err_code_of_int n with Some e -> e | None -> fail "unknown error code %d" n
+
+let rest c =
+  let s = String.sub c.data c.pos (String.length c.data - c.pos) in
+  c.pos <- String.length c.data;
+  s
+
+let frame_of_bytes s =
+  decoding
+    (fun c ->
+      match get_u8 c with
+      | 0x01 ->
+          let m = get_bytes c (String.length magic) in
+          if m <> magic then fail "bad hello magic";
+          let version = get_u16 c in
+          let nonce = get_bytes c nonce_len in
+          finished c;
+          Hello { version; nonce }
+      | 0x02 ->
+          let version = get_u16 c in
+          let nonce = get_bytes c nonce_len in
+          finished c;
+          Challenge { version; nonce }
+      | 0x03 ->
+          let mac = get_bytes c transcript_mac_len in
+          finished c;
+          Auth mac
+      | 0x04 ->
+          let mac = get_bytes c transcript_mac_len in
+          finished c;
+          Auth_ok mac
+      | 0x10 ->
+          let id = get_u32 c in
+          let remaining = String.length c.data - c.pos in
+          if remaining < request_mac_len then fail "request frame too short for its MAC";
+          let body = get_bytes c (remaining - request_mac_len) in
+          let mac = get_bytes c request_mac_len in
+          Request { id; body; mac }
+      | 0x11 ->
+          let id = get_u32 c in
+          let result =
+            match get_u8 c with
+            | 0 -> Ok (rest c)
+            | 1 ->
+                let code = get_err_code c in
+                Error (code, rest c)
+            | k -> fail "unknown response status %d" k
+          in
+          Response { id; result }
+      | 0x12 ->
+          let code = get_err_code c in
+          Conn_error { code; message = rest c }
+      | t -> fail "unknown frame tag 0x%02x" t)
+    s
+
+(* --- session secrets -------------------------------------------------------- *)
+
+let auth_key_of_master master =
+  let kr = Secdb.Keyring.open_session ~master in
+  Fun.protect
+    ~finally:(fun () -> Secdb.Keyring.close_session kr)
+    (fun () -> Secdb.Keyring.derive kr ~label:"secdb/net/auth/v1" ~length:32)
+
+let transcript ~label ~client_nonce ~server_nonce = label ^ client_nonce ^ server_nonce
+
+let handshake_mac ~auth_key ~client_nonce ~server_nonce =
+  Hmac.mac Hmac.sha256 ~key:auth_key
+    (transcript ~label:"secdb-net-client-auth-v1" ~client_nonce ~server_nonce)
+
+let accept_mac ~auth_key ~client_nonce ~server_nonce =
+  Hmac.mac Hmac.sha256 ~key:auth_key
+    (transcript ~label:"secdb-net-server-accept-v1" ~client_nonce ~server_nonce)
+
+let session_key ~auth_key ~client_nonce ~server_nonce =
+  Hmac.mac Hmac.sha256 ~key:auth_key
+    (transcript ~label:"secdb-net-session-v1" ~client_nonce ~server_nonce)
+
+let request_mac ~session_key ~id ~body =
+  let b = Bytes.create 4 in
+  Xbytes.set_uint32_be b 0 id;
+  Hmac.mac_truncated Hmac.sha256 ~key:session_key ~bytes:request_mac_len
+    ("c2s" ^ Bytes.unsafe_to_string b ^ body)
+
+(* --- socket I/O -------------------------------------------------------------- *)
+
+type io_error =
+  [ `Eof | `Timeout | `Stopped | `Too_large of int | `Bad_frame of string ]
+
+let io_error_to_string = function
+  | `Eof -> "connection closed by peer"
+  | `Timeout -> "timed out"
+  | `Stopped -> "shutting down"
+  | `Too_large n -> Printf.sprintf "frame of %d bytes exceeds the limit" n
+  | `Bad_frame e -> "bad frame: " ^ e
+
+let slice = 0.25
+let no_stop () = false
+
+(* One [select] slice bounded by the caller's deadline; [`Ready] only when
+   the descriptor is actually usable. *)
+let wait_fd ~stop ~deadline fd ~for_read =
+  let rec go () =
+    if stop () then Error `Stopped
+    else
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then Error `Timeout
+      else
+        let t = Float.min slice remaining in
+        let r, w =
+          try
+            let r, w, _ =
+              if for_read then Unix.select [ fd ] [] [] t else Unix.select [] [ fd ] [] t
+            in
+            (r, w)
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+        in
+        if (if for_read then r else w) <> [] then Ok () else go ()
+  in
+  go ()
+
+let read_exact ~stop ~deadline fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match wait_fd ~stop ~deadline fd ~for_read:true with
+      | Error _ as e -> e
+      | Ok () -> (
+          match Unix.read fd buf off (len - off) with
+          | 0 -> Error `Eof
+          | n -> go (off + n)
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              go off
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Error `Eof)
+  in
+  go 0
+
+let write_all ~stop ~deadline fd s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match wait_fd ~stop ~deadline fd ~for_read:false with
+      | Error _ as e -> e
+      | Ok () -> (
+          match Unix.write_substring fd s off (len - off) with
+          | n -> go (off + n)
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              go off
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Error `Eof)
+  in
+  go 0
+
+let read_frame ?(stop = no_stop) ?(max_frame = default_max_frame) ~timeout fd =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let hdr = Bytes.create 4 in
+  match read_exact ~stop ~deadline fd hdr with
+  | Error _ as e -> e
+  | Ok () -> (
+      let len = Xbytes.get_uint32_be (Bytes.unsafe_to_string hdr) 0 in
+      if len < 1 then Error (`Bad_frame "zero-length frame")
+      else if len > max_frame then Error (`Too_large len)
+      else
+        let body = Bytes.create len in
+        match read_exact ~stop ~deadline fd body with
+        | Error _ as e -> e
+        | Ok () -> (
+            match frame_of_bytes (Bytes.unsafe_to_string body) with
+            | Ok f -> Ok f
+            | Error e -> Error (`Bad_frame e)))
+
+let write_frame ?(stop = no_stop) ~timeout fd f =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let payload = frame_to_bytes f in
+  let hdr = Bytes.create 4 in
+  Xbytes.set_uint32_be hdr 0 (String.length payload);
+  write_all ~stop ~deadline fd (Bytes.unsafe_to_string hdr ^ payload)
+
+(* --- addresses ---------------------------------------------------------------- *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let sockaddr_of_addr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+          | _ -> failwith ("cannot resolve host " ^ host))
+      in
+      Unix.ADDR_INET (ip, port)

@@ -1,0 +1,157 @@
+(** The secdb wire protocol: length-framed binary messages over a stream
+    socket, with an HMAC-SHA256 challenge–response session handshake.
+
+    {2 Frame grammar}
+
+    Every message is one frame: [[len:4 BE][tag:1][body:len-1]], where
+    [len] counts the tag byte plus the body ([1 <= len <= max_frame]).
+    Handshake frames carry nonces and transcript MACs; request frames
+    carry a client-assigned request id (so calls can be pipelined and
+    responses matched out of band) and a per-session MAC trailer;
+    response and error frames are structured, never free text the client
+    must pattern-match.
+
+    {2 Trust model}
+
+    Authentication is driven by {!Secdb.Keyring}: both ends derive
+    [auth_key] from the master key by labelled HMAC
+    ({!auth_key_of_master}), and the handshake proves possession of that
+    derived credential by MACing the session transcript (both nonces).
+    The master key itself never crosses the wire, and the server-side
+    library only ever holds the derived verifier — matching the paper's
+    trusted-client/untrusted-server split. *)
+
+val protocol_version : int
+val magic : string
+(** First bytes of every [Hello] body; lets a server reject a stray
+    client of some other protocol with a structured error. *)
+
+val default_max_frame : int
+(** 1 MiB. *)
+
+(** {1 Structured errors} *)
+
+type err_code =
+  | Auth  (** handshake or request MAC failed verification *)
+  | Frame  (** malformed or unexpected frame *)
+  | Too_large  (** frame length exceeds the receiver's [max_frame] *)
+  | Unknown_op
+  | Bad_payload  (** request decoded to no valid operation payload *)
+  | App  (** the database reported an error (integrity failure, bad SQL) *)
+  | Server_error  (** unexpected exception inside the server *)
+  | Backpressure  (** too many requests in flight *)
+
+val err_code_to_string : err_code -> string
+val err_code_to_int : err_code -> int
+val err_code_of_int : int -> err_code option
+
+(** {1 Operations} *)
+
+type req =
+  | Ping of string  (** echo *)
+  | Stats of [ `Text | `Json ]  (** server-side metric registry dump *)
+  | Sql of string  (** one SQL statement *)
+  | Put_cell of { table : string; row : int; col : string; value : Secdb_db.Value.t }
+  | Get_cell of { table : string; row : int; col : string }
+  | Insert_row of { table : string; values : Secdb_db.Value.t list }
+  | Decrypt_column of { table : string; col : string }
+  | Index_lookup of { table : string; col : string; value : Secdb_db.Value.t }
+
+val op_name : req -> string
+(** Stable lowercase name, used as the metric label. *)
+
+type cell =
+  | Tombstone
+  | Cell of Secdb_db.Value.t
+  | Cell_error of string  (** integrity failure message for that cell *)
+
+type resp =
+  | Pong of string
+  | Stats_dump of string
+  | Outcome of Secdb_sql.Engine.outcome
+  | Updated
+  | Cell_value of Secdb_db.Value.t
+  | Row_id of int
+  | Column of cell list
+  | Rows of (int * Secdb_db.Value.t list) list
+
+val encode_req : req -> string
+val decode_req : string -> (req, string) result
+val encode_resp : resp -> string
+val decode_resp : string -> (resp, string) result
+
+(** {1 Frames} *)
+
+type frame =
+  | Hello of { version : int; nonce : string }  (** client opener; 16-byte nonce *)
+  | Challenge of { version : int; nonce : string }  (** server's 16-byte nonce *)
+  | Auth of string  (** client transcript MAC (32 bytes) *)
+  | Auth_ok of string  (** server transcript MAC (32 bytes): mutual auth *)
+  | Request of { id : int; body : string; mac : string }
+      (** [body] is an {!encode_req} result; [mac] is {!request_mac} (16 bytes) *)
+  | Response of { id : int; result : (string, err_code * string) result }
+      (** [Ok body] carries an {!encode_resp} result *)
+  | Conn_error of { code : err_code; message : string }
+      (** connection-level failure, not tied to a request id *)
+
+val frame_to_bytes : frame -> string
+(** Tag byte plus body — everything after the length prefix. *)
+
+val frame_of_bytes : string -> (frame, string) result
+val frame_size : frame -> int
+(** Size on the wire including the 4-byte length prefix. *)
+
+(** {1 Session secrets}
+
+    All MACs are HMAC-SHA256 with distinct domain-separation labels. *)
+
+val auth_key_of_master : string -> string
+(** 32-byte session-authentication credential derived from the master key
+    through {!Secdb.Keyring.derive}.  This is what a server is configured
+    with; it cannot be inverted to the master. *)
+
+val handshake_mac : auth_key:string -> client_nonce:string -> server_nonce:string -> string
+(** Client's proof over the handshake transcript (32 bytes). *)
+
+val accept_mac : auth_key:string -> client_nonce:string -> server_nonce:string -> string
+(** Server's proof (domain-separated from {!handshake_mac}). *)
+
+val session_key : auth_key:string -> client_nonce:string -> server_nonce:string -> string
+(** Per-session request-MAC key; fresh for every handshake. *)
+
+val request_mac : session_key:string -> id:int -> body:string -> string
+(** 16-byte MAC binding a request frame to the session and its id. *)
+
+(** {1 Socket I/O}
+
+    Blocking frame transport with a deadline.  Reads and writes proceed
+    in short [select] slices so a [stop] thunk (the server's shutdown
+    flag) is honoured promptly even while blocked. *)
+
+type io_error =
+  [ `Eof  (** peer closed *)
+  | `Timeout  (** deadline elapsed before the frame completed *)
+  | `Stopped  (** the [stop] thunk returned true *)
+  | `Too_large of int  (** announced frame length; nothing was consumed after the prefix *)
+  | `Bad_frame of string ]
+
+val io_error_to_string : io_error -> string
+
+val read_frame :
+  ?stop:(unit -> bool) ->
+  ?max_frame:int ->
+  timeout:float ->
+  Unix.file_descr ->
+  (frame, io_error) result
+
+val write_frame :
+  ?stop:(unit -> bool) -> timeout:float -> Unix.file_descr -> frame -> (unit, io_error) result
+
+(** {1 Addresses} *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_to_string : addr -> string
+(** ["unix:PATH"] or ["tcp:HOST:PORT"]. *)
+
+val sockaddr_of_addr : addr -> Unix.sockaddr

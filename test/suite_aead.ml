@@ -205,10 +205,26 @@ let test_nonce_sources () =
   let c = Nonce.counter ~size:4 () in
   Alcotest.(check string) "counter 0" "\x00\x00\x00\x00" (c ());
   Alcotest.(check string) "counter 1" "\x00\x00\x00\x01" (c ());
+  (* the full space is usable: a 1-byte counter emits 0..255 before raising *)
   let c2 = Nonce.counter ~size:1 ~start:254 () in
-  ignore (c2 ());
+  Alcotest.(check string) "counter 254" "\xfe" (c2 ());
+  Alcotest.(check string) "counter 255" "\xff" (c2 ());
   Alcotest.check_raises "exhaustion" (Invalid_argument "Nonce.counter: exhausted") (fun () ->
       ignore (c2 ()));
+  Alcotest.check_raises "start outside the nonce space"
+    (Invalid_argument "Nonce.counter: start exceeds the nonce space") (fun () ->
+      ignore (Nonce.counter ~size:1 ~start:256 () : Nonce.t));
+  Alcotest.check_raises "negative start" (Invalid_argument "Nonce.counter: negative start")
+    (fun () -> ignore (Nonce.counter ~size:4 ~start:(-1) () : Nonce.t));
+  (* size >= 8 counts in the low 8 bytes with the true 2^64 bound, not the
+     63-bit max_int cap: starting at max_int must keep counting past it *)
+  let c8 = Nonce.counter ~size:8 ~start:max_int () in
+  Alcotest.(check string) "counter 2^62-1" "\x3f\xff\xff\xff\xff\xff\xff\xff" (c8 ());
+  Alcotest.(check string) "counter 2^62" "\x40\x00\x00\x00\x00\x00\x00\x00" (c8 ());
+  let c16 = Nonce.counter ~size:16 ~start:1 () in
+  Alcotest.(check string) "wide counter pads high bytes"
+    ("\x00\x00\x00\x00\x00\x00\x00\x00" ^ "\x00\x00\x00\x00\x00\x00\x00\x01")
+    (c16 ());
   let f = Nonce.fixed "iv" in
   Alcotest.(check string) "fixed" "iv" (f ());
   let r = Nonce.of_rng (Rng.create ~seed:1L ()) ~size:12 in

@@ -62,6 +62,25 @@ let test_keyring () =
     (Invalid_argument "Keyring.derive: length exceeds one HMAC-SHA256 output") (fun () ->
       ignore (Keyring.derive k2 ~label:"x" ~length:64))
 
+let test_keyring_zeroize () =
+  (* [open_session_bytes] adopts the buffer, so the wipe is observable *)
+  let buf = Bytes.of_string "a master key worth erasing" in
+  let k = Keyring.open_session_bytes ~master:buf in
+  let key = Keyring.cell_key k ~table:1 ~col:0 in
+  Alcotest.(check string) "adopted buffer derives like a string master" key
+    (Keyring.cell_key (Keyring.open_session ~master:"a master key worth erasing") ~table:1 ~col:0);
+  Keyring.close_session k;
+  Alcotest.(check string) "master zeroized in place"
+    (String.make (Bytes.length buf) '\000')
+    (Bytes.to_string buf);
+  Alcotest.(check bool) "closed" false (Keyring.is_open k);
+  Keyring.close_session k (* idempotent *);
+  Alcotest.check_raises "use after close" Keyring.Session_closed (fun () ->
+      ignore (Keyring.derive k ~label:"x" ~length:16));
+  Alcotest.check_raises "empty bytes master"
+    (Invalid_argument "Keyring.open_session: empty master key") (fun () ->
+      ignore (Keyring.open_session_bytes ~master:Bytes.empty))
+
 (* --- end-to-end per profile --------------------------------------------- *)
 
 let diabetes = Value.Text "type 2 diabetes mellitus without complications"
@@ -173,7 +192,11 @@ let tamper_case profile ~published_detects =
 
 let suites =
   [
-    ("core:keyring", [ Alcotest.test_case "session key management" `Quick test_keyring ]);
+    ( "core:keyring",
+      [
+        Alcotest.test_case "session key management" `Quick test_keyring;
+        Alcotest.test_case "close_session zeroizes the master" `Quick test_keyring_zeroize;
+      ] );
     ("core:encdb", List.map profile_case Encdb.all_profiles);
     ( "core:tampering",
       [

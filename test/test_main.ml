@@ -26,4 +26,5 @@ let () =
          Suite_core.suites;
          Suite_bulk.suites;
          Suite_obs.suites;
+         Suite_net.suites;
        ])

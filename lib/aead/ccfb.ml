@@ -7,41 +7,61 @@ let make (c : Secdb_cipher.Block.t) =
   if bs < 8 then invalid_arg "Ccfb.make: block size too small";
   let tau = bs / 4 in
   let l = bs - tau in
-  (* chain input: l bytes of previous ciphertext (10..0-padded if short)
-     followed by the tau-byte big-endian chunk counter *)
-  let chain_input prev i =
-    let prev_padded =
-      if String.length prev = l then prev
-      else prev ^ "\x80" ^ String.make (l - String.length prev - 1) '\000'
-    in
-    prev_padded ^ Xbytes.int_to_be_string ~width:tau i
-  in
+  let enc = Secdb_cipher.Block.encrypt_into c in
+  (* hoisted once per make: the keyed CMAC and the CBC chain state after
+     absorbing the domain-separation sentinel block, so a non-empty
+     header costs only its own blocks.  The sentinel is unreachable by
+     chain inputs with fewer than 2^(8*tau - 8) chunks. *)
+  let keyed = Secdb_mac.Cmac.keyed c in
+  let sentinel = String.make (bs - 1) '\xff' ^ "\x03" in
+  let sentinel_state = Secdb_mac.Cmac.chain_state keyed sentinel in
+  let zero_tag = String.make tau '\000' in
   let header_tag ad =
-    if ad = "" then String.make tau '\000'
-    else
-      (* domain separation: OMAC over a sentinel block unreachable by chain
-         inputs with fewer than 2^(8*tau - 8) chunks *)
-      let sentinel = String.make (bs - 1) '\xff' ^ "\x03" in
-      Xbytes.take tau (Secdb_mac.Cmac.mac c (sentinel ^ ad))
+    if ad = "" then zero_tag
+    else Xbytes.take tau (Secdb_mac.Cmac.mac_with keyed ~init:sentinel_state ad)
   in
+  (* chain input: l bytes of previous ciphertext (10..0-padded if short)
+     followed by the tau-byte big-endian chunk counter, assembled in one
+     reusable per-call block [cb]; [z] holds E_K(cb) — keystream in its
+     first l bytes, tag material in the last tau *)
   let core ~nonce ~ad ~decrypting msg =
-    let chunks = if msg = "" then [ "" ] else Xbytes.blocks l msg in
-    let acc_tag = ref (String.make tau '\000') in
-    let out = Buffer.create (String.length msg) in
-    let prev = ref nonce in
-    List.iteri
-      (fun idx chunk ->
-        let z = c.encrypt (chain_input !prev (idx + 1)) in
-        acc_tag := Xbytes.xor_exact !acc_tag (Xbytes.drop l z);
-        let co = Xbytes.xor_exact chunk (Xbytes.take (String.length chunk) z) in
-        Buffer.add_string out co;
-        prev := if decrypting then chunk else co)
-      chunks;
-    let nchunks = List.length chunks in
-    let z_final = c.encrypt (chain_input !prev (nchunks + 1)) in
-    let tag = Xbytes.xor_exact !acc_tag (Xbytes.drop l z_final) in
-    let tag = Xbytes.xor_exact tag (header_tag ad) in
-    (Buffer.contents out, tag)
+    let len = String.length msg in
+    let nchunks = if len = 0 then 1 else (len + l - 1) / l in
+    let out = Bytes.of_string msg in
+    let src = Bytes.unsafe_of_string msg in
+    let cb = Bytes.create bs in
+    let z = Bytes.create bs in
+    let acc = Bytes.make tau '\000' in
+    let set_ctr i =
+      let v = ref i in
+      for p = bs - 1 downto l do
+        Bytes.set cb p (Char.chr (!v land 0xff));
+        v := !v lsr 8
+      done
+    in
+    Bytes.blit_string nonce 0 cb 0 l;
+    for idx = 0 to nchunks - 1 do
+      let off = idx * l in
+      let clen = min l (len - off) in
+      set_ctr (idx + 1);
+      enc cb ~src_off:0 z ~dst_off:0;
+      Xbytes.xor_blit ~src:z ~src_off:l ~dst:acc ~dst_off:0 ~len:tau;
+      Xbytes.xor_blit ~src:z ~src_off:0 ~dst:out ~dst_off:off ~len:clen;
+      (* next chain prefix is always the ciphertext chunk: the input when
+         decrypting, the freshly produced output when encrypting *)
+      let ct_src = if decrypting then src else out in
+      if clen = l then Bytes.blit ct_src off cb 0 l
+      else begin
+        Bytes.blit ct_src off cb 0 clen;
+        Bytes.set cb clen '\x80';
+        Bytes.fill cb (clen + 1) (l - clen - 1) '\000'
+      end
+    done;
+    set_ctr (nchunks + 1);
+    enc cb ~src_off:0 z ~dst_off:0;
+    Xbytes.xor_blit ~src:z ~src_off:l ~dst:acc ~dst_off:0 ~len:tau;
+    Xbytes.xor_into ~src:(header_tag ad) ~dst:acc ~dst_off:0;
+    (Bytes.unsafe_to_string out, Bytes.unsafe_to_string acc)
   in
   let encrypt ~nonce ~ad m = core ~nonce ~ad ~decrypting:false m in
   let decrypt ~nonce ~ad ~tag ct =

@@ -1,27 +1,35 @@
 open Secdb_util
 
-let frame ~nonce ~ad ct =
-  (* unambiguous concatenation: lengths are encoded *)
-  Xbytes.int_to_be_string ~width:4 (String.length nonce)
-  ^ nonce
-  ^ Xbytes.int_to_be_string ~width:4 (String.length ad)
-  ^ ad ^ ct
+let frame_parts ~nonce ~ad ct =
+  (* unambiguous concatenation: lengths are encoded; fed to the MAC as
+     parts so the frame never has to exist as one string *)
+  [
+    Xbytes.int_to_be_string ~width:4 (String.length nonce);
+    nonce;
+    Xbytes.int_to_be_string ~width:4 (String.length ad);
+    ad;
+    ct;
+  ]
 
 let encrypt_then_mac ?(tag_size = 16) ~(cipher : Secdb_cipher.Block.t) ~mac_key () =
   let hmac = Secdb_hash.Hmac.sha256 in
   if tag_size < 1 || tag_size > hmac.Secdb_hash.Hmac.digest_size then
     invalid_arg "Compose.encrypt_then_mac: tag size out of range";
+  (* hoisted per make: the keyed HMAC (ipad/opad strings precomputed) *)
+  let mac_k = Secdb_hash.Hmac.keyed hmac ~key:mac_key in
   (* keystream counter starts at E(nonce): arbitrary distinct nonces then
      yield disjoint counter ranges except with negligible probability *)
   let keystream nonce m = Secdb_modes.Mode.ctr_full cipher ~counter0:(cipher.encrypt nonce) m in
+  let tag_of ~nonce ~ad ct =
+    Secdb_hash.Hmac.mac_keyed_parts mac_k (frame_parts ~nonce ~ad ct)
+  in
   let encrypt ~nonce ~ad m =
     let ct = keystream nonce m in
-    let tag = Secdb_hash.Hmac.mac_truncated hmac ~key:mac_key ~bytes:tag_size (frame ~nonce ~ad ct) in
-    (ct, tag)
+    (ct, Xbytes.take tag_size (tag_of ~nonce ~ad ct))
   in
   let decrypt ~nonce ~ad ~tag ct =
-    if Secdb_hash.Hmac.verify hmac ~key:mac_key ~tag (frame ~nonce ~ad ct) then
-      Ok (keystream nonce ct)
+    let expected = Xbytes.take (String.length tag) (tag_of ~nonce ~ad ct) in
+    if Xbytes.constant_time_equal expected tag then Ok (keystream nonce ct)
     else Error Aead.Invalid
   in
   {

@@ -4,7 +4,12 @@
     under the paper's pointer to "recent developments regarding AEAD
     schemes" and validated against the NIST reference vectors.  One
     encryption pass plus one GHASH pass over ciphertext and associated
-    data; 12-byte nonces take the fast path, other lengths are GHASHed. *)
+    data; nonce size fixed at 12 bytes (the SP 800-38D fast path).
+
+    GF(2^128) multiplication comes in two forms: a bit-by-bit reference
+    ([gf_mult], [ghash_ref]) kept as the correctness oracle, and the
+    Shoup 8-bit table path ([htable], [gf_mult_table], [ghash_into])
+    that the AEAD runs on — tables are built once per [make] from H. *)
 
 val make : ?tag_size:int -> Secdb_cipher.Block.t -> Aead.t
 (** GCM over a 16-byte-block cipher; nonce size fixed at 12 bytes,
@@ -13,4 +18,31 @@ val make : ?tag_size:int -> Secdb_cipher.Block.t -> Aead.t
 
 val ghash : h:string -> string -> string
 (** The GHASH universal hash under hash key [h] (exposed for tests);
-    input length must be a multiple of 16. *)
+    input length must be a multiple of 16.  Table-driven. *)
+
+val ghash_ref : h:string -> string -> string
+(** Bit-by-bit reference GHASH, retained as the oracle the fast path is
+    checked against (QCheck suite and the bench [--check] gate). *)
+
+val gf_mult : string -> string -> string
+(** Bit-by-bit reference multiplication in GF(2^128), GCM bit order.
+    Both operands must be 16 bytes. *)
+
+type htable
+(** Precomputed Shoup 8-bit multiplication tables for a fixed hash key
+    H: 256 multiples of H plus the byte-shift reduction table, stored
+    as 32-bit words in native ints. *)
+
+val htable : string -> htable
+(** Build the tables for a 16-byte hash key.
+    @raise Invalid_argument if the key is not 16 bytes. *)
+
+val gf_mult_table : htable -> string -> string
+(** [gf_mult_table (htable h) x] = [gf_mult x h]; [x] must be 16 bytes. *)
+
+val ghash_into : htable -> acc:Bytes.t -> Bytes.t -> off:int -> nblocks:int -> unit
+(** Fold [nblocks] 16-byte blocks of the source, starting at [off],
+    into the 16-byte accumulator [acc] in place:
+    y := (y xor block) * H per block.  Allocation-free.
+    @raise Invalid_argument if the block range is out of bounds or
+    [acc] is shorter than 16 bytes. *)

@@ -1,55 +1,82 @@
 open Secdb_util
 
 (* OCB1 (Rogaway et al., 2001).  Offsets: L = E_K(0), R = E_K(N xor L),
-   Z_1 = L xor R, Z_{i+1} = Z_i xor L*x^{ntz(i+1)}. *)
+   Z_1 = L xor R, Z_{i+1} = Z_i xor L*x^{ntz(i+1)}.
+
+   Key-only material — L, L*x^{-1}, the L*x^j power table, and the keyed
+   PMAC for the header — is hoisted once per [make]; a message costs
+   exactly its blockcipher calls plus a handful of per-call 16-byte
+   buffers (never per-make scratch: one AEAD value is shared across
+   domains by the parallel batch paths). *)
 
 let make ?tag_size (c : Secdb_cipher.Block.t) =
   let tag_size = Option.value tag_size ~default:c.block_size in
   if tag_size < 1 || tag_size > c.block_size then
     invalid_arg "Ocb.make: tag size out of range";
   let bs = c.block_size in
+  let enc = Secdb_cipher.Block.encrypt_into c in
+  let dec = Secdb_cipher.Block.decrypt_into c in
+  let l = c.encrypt (Secdb_cipher.Block.zero_block c) in
+  let l_inv = Secdb_mac.Gf128.inv_dbl l in
+  let l_pow = Array.make 63 l in
+  for j = 1 to 62 do
+    l_pow.(j) <- Secdb_mac.Gf128.dbl l_pow.(j - 1)
+  done;
+  let pmac_k = Secdb_mac.Pmac.keyed c in
   let core ~nonce ~decrypting msg =
-    let l = c.encrypt (Secdb_cipher.Block.zero_block c) in
-    let r = c.encrypt (Xbytes.xor_exact nonce l) in
-    let l_inv = Secdb_mac.Gf128.inv_dbl l in
     let len = String.length msg in
     let m = max 1 ((len + bs - 1) / bs) in
-    let z = ref (Xbytes.xor_exact l r) in
-    let out = Buffer.create len in
-    let checksum = ref (Secdb_cipher.Block.zero_block c) in
+    (* the message transforms block-by-block in place in [out] *)
+    let out = Bytes.of_string msg in
+    let z = Bytes.of_string nonce in
+    Xbytes.xor_into ~src:l ~dst:z ~dst_off:0;
+    enc z ~src_off:0 z ~dst_off:0;
+    (* z now holds R; fold L back in for Z_1 *)
+    Xbytes.xor_into ~src:l ~dst:z ~dst_off:0;
+    let checksum = Bytes.make bs '\000' in
     for i = 1 to m - 1 do
-      let blk = String.sub msg ((i - 1) * bs) bs in
+      let off = (i - 1) * bs in
       if decrypting then begin
-        let p = Xbytes.xor_exact (c.decrypt (Xbytes.xor_exact blk !z)) !z in
-        Buffer.add_string out p;
-        checksum := Xbytes.xor_exact !checksum p
+        Xbytes.xor_blit ~src:z ~src_off:0 ~dst:out ~dst_off:off ~len:bs;
+        dec out ~src_off:off out ~dst_off:off;
+        Xbytes.xor_blit ~src:z ~src_off:0 ~dst:out ~dst_off:off ~len:bs;
+        Xbytes.xor_blit ~src:out ~src_off:off ~dst:checksum ~dst_off:0 ~len:bs
       end
       else begin
-        Buffer.add_string out (Xbytes.xor_exact (c.encrypt (Xbytes.xor_exact blk !z)) !z);
-        checksum := Xbytes.xor_exact !checksum blk
+        Xbytes.xor_blit ~src:out ~src_off:off ~dst:checksum ~dst_off:0 ~len:bs;
+        Xbytes.xor_blit ~src:z ~src_off:0 ~dst:out ~dst_off:off ~len:bs;
+        enc out ~src_off:off out ~dst_off:off;
+        Xbytes.xor_blit ~src:z ~src_off:0 ~dst:out ~dst_off:off ~len:bs
       end;
-      z := Xbytes.xor_exact !z (Secdb_mac.Gf128.dbl_pow l (Secdb_mac.Gf128.ntz (i + 1)))
+      Xbytes.xor_into ~src:l_pow.(Secdb_mac.Gf128.ntz (i + 1)) ~dst:z ~dst_off:0
     done;
     let lastlen = len - ((m - 1) * bs) in
     let lastlen = if lastlen < 0 then 0 else lastlen in
-    let last = if lastlen = 0 then "" else String.sub msg ((m - 1) * bs) lastlen in
+    let last_off = (m - 1) * bs in
     (* X_m = len(M_m) xor L*x^{-1} xor Z_m ; Y_m = E_K(X_m) ;
        C_m = M_m xor msb(Y_m)  (same formula in both directions). *)
-    let len_block = Xbytes.int_to_be_string ~width:bs (8 * lastlen) in
-    let x_m = Xbytes.xor_exact (Xbytes.xor_exact len_block l_inv) !z in
-    let y_m = c.encrypt x_m in
-    let out_last = Xbytes.xor_exact last (Xbytes.take lastlen y_m) in
-    Buffer.add_string out out_last;
+    let y = Bytes.make bs '\000' in
+    Xbytes.set_uint32_be y (bs - 4) (8 * lastlen);
+    Xbytes.xor_into ~src:l_inv ~dst:y ~dst_off:0;
+    Xbytes.xor_blit ~src:z ~src_off:0 ~dst:y ~dst_off:0 ~len:bs;
+    enc y ~src_off:0 y ~dst_off:0;
+    if lastlen > 0 then
+      Xbytes.xor_blit ~src:y ~src_off:0 ~dst:out ~dst_off:last_off ~len:lastlen;
     (* Checksum folds in C_m 0* (the ciphertext side), per the OCB spec. *)
-    let ct_last = if decrypting then last else out_last in
-    let padded = ct_last ^ String.make (bs - lastlen) '\000' in
-    checksum := Xbytes.xor_exact (Xbytes.xor_exact !checksum padded) y_m;
-    let tag_full = c.encrypt (Xbytes.xor_exact !checksum !z) in
-    (Buffer.contents out, tag_full)
+    if decrypting then
+      Xbytes.xor_blit ~src:(Bytes.unsafe_of_string msg) ~src_off:last_off ~dst:checksum
+        ~dst_off:0 ~len:lastlen
+    else
+      Xbytes.xor_blit ~src:out ~src_off:last_off ~dst:checksum ~dst_off:0 ~len:lastlen;
+    Xbytes.xor_blit ~src:y ~src_off:0 ~dst:checksum ~dst_off:0 ~len:bs;
+    Xbytes.xor_blit ~src:z ~src_off:0 ~dst:checksum ~dst_off:0 ~len:bs;
+    enc checksum ~src_off:0 checksum ~dst_off:0;
+    (Bytes.unsafe_to_string out, Bytes.unsafe_to_string checksum)
   in
   let with_header ~ad tag_full =
     let tag_full =
-      if ad = "" then tag_full else Xbytes.xor_exact tag_full (Secdb_mac.Pmac.mac c ad)
+      if ad = "" then tag_full
+      else Xbytes.xor_exact tag_full (Secdb_mac.Pmac.mac_keyed pmac_k ad)
     in
     Xbytes.take tag_size tag_full
   in

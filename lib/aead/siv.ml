@@ -37,15 +37,31 @@ let clear_ctr_bits v =
 let make (k1 : Secdb_cipher.Block.t) (k2 : Secdb_cipher.Block.t) =
   if k1.block_size <> 16 || k2.block_size <> 16 then
     invalid_arg "Siv.make: 16-byte blocks required";
-  let components ~nonce ~ad = [ ad; nonce ] in
+  (* hoisted once per make: the keyed CMAC (subkey derivation) and
+     D_0 = CMAC(0^16), the S2V starting vector — both key-only.  The
+     component order below mirrors [s2v k1 [ad; nonce; m]] exactly. *)
+  let keyed = Secdb_mac.Cmac.keyed k1 in
+  let mac m = Secdb_mac.Cmac.mac_with keyed m in
+  let d0 = mac (String.make 16 '\000') in
+  let s2v_fast ~nonce ~ad last =
+    let d = Xbytes.xor_exact (Secdb_mac.Gf128.dbl d0) (mac ad) in
+    let d = Xbytes.xor_exact (Secdb_mac.Gf128.dbl d) (mac nonce) in
+    let t =
+      if String.length last >= 16 then xorend last d
+      else
+        Xbytes.xor_exact (Secdb_mac.Gf128.dbl d)
+          (last ^ "\x80" ^ String.make (15 - String.length last) '\000')
+    in
+    mac t
+  in
   let encrypt ~nonce ~ad m =
-    let v = s2v k1 (components ~nonce ~ad @ [ m ]) in
+    let v = s2v_fast ~nonce ~ad m in
     let ct = Secdb_modes.Mode.ctr_full k2 ~counter0:(clear_ctr_bits v) m in
     (ct, v)
   in
   let decrypt ~nonce ~ad ~tag ct =
     let m = Secdb_modes.Mode.ctr_full k2 ~counter0:(clear_ctr_bits tag) ct in
-    let v = s2v k1 (components ~nonce ~ad @ [ m ]) in
+    let v = s2v_fast ~nonce ~ad m in
     if Xbytes.constant_time_equal v tag then Ok m else Error Aead.Invalid
   in
   {

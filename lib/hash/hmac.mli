@@ -19,3 +19,25 @@ val mac_truncated : hash -> key:string -> bytes:int -> string -> string
 
 val verify : hash -> key:string -> tag:string -> string -> bool
 (** Constant-time verification of a (possibly truncated) tag. *)
+
+type keyed
+(** A key bound to a hash with the ipad/opad xor strings precomputed;
+    immutable, safe to share across domains.  Lets long-lived users (a
+    net session MACing every request, derived-nonce schemes hashing
+    every cell address) skip the per-message key preprocessing. *)
+
+val keyed : hash -> key:string -> keyed
+
+val mac_keyed : keyed -> string -> string
+(** Same tag as {!mac} with the same hash and key.  For SHA-256 the
+    keyed instance holds the ipad/opad midstates, so the two key-block
+    compressions and the concatenation copies are already paid. *)
+
+val mac_keyed_parts : keyed -> string list -> string
+(** The tag over the concatenation of [parts], without materialising
+    it — framed MACs (the etm AEAD, the wire protocol) feed their
+    fields directly. *)
+
+val mac_keyed_truncated : keyed -> bytes:int -> string -> string
+
+val verify_keyed : keyed -> tag:string -> string -> bool

@@ -2,7 +2,11 @@ let digest_size = 32
 let block_size = 64
 
 let mask = 0xffffffff
-let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+(* No mask: callers only feed rotations into xors and sums that are masked
+   once at the end, and garbage above bit 31 can neither reach the low 32
+   bits of a sum (carries go upward) nor survive the final mask. *)
+let rotr x n = (x lsr n) lor (x lsl (32 - n))
 let shr x n = x lsr n
 
 let k =
@@ -18,46 +22,125 @@ let k =
      0x5b9cca4f; 0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
      0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
-let digest msg =
-  let data = Sha1.md_pad ~le:false msg in
-  let h =
-    [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
-       0x1f83d9ab; 0x5be0cd19 |]
-  in
-  let w = Array.make 64 0 in
-  for blk = 0 to (String.length data / 64) - 1 do
-    let base = 64 * blk in
-    for t = 0 to 15 do
-      w.(t) <- Secdb_util.Xbytes.get_uint32_be data (base + (4 * t))
-    done;
-    for t = 16 to 63 do
-      let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor shr w.(t - 15) 3 in
-      let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor shr w.(t - 2) 10 in
-      w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask
-    done;
-    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
-    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
-    for t = 0 to 63 do
-      let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
-      let ch = (!e land !f) lxor (lnot !e land !g) in
-      let t1 = (!hh + s1 + (ch land mask) + k.(t) + w.(t)) land mask in
-      let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
-      let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
-      let t2 = (s0 + maj) land mask in
-      hh := !g;
-      g := !f;
-      f := !e;
-      e := (!d + t1) land mask;
-      d := !c;
-      c := !b;
-      b := !a;
-      a := (t1 + t2) land mask
-    done;
-    let add i v = h.(i) <- (h.(i) + v) land mask in
-    add 0 !a; add 1 !b; add 2 !c; add 3 !d; add 4 !e; add 5 !f; add 6 !g; add 7 !hh
+(* Full 64-byte blocks compress straight out of the message — no padded
+   copy of the whole input; only the 1–2 tail blocks go through a small
+   scratch buffer.  All table and schedule indices are bounded by the
+   loop structure, so unsafe accesses are in range. *)
+let get32 data i = Int32.to_int (String.get_int32_be data i) land mask
+
+let compress h w data base =
+  for t = 0 to 15 do
+    Array.unsafe_set w t (get32 data (base + (4 * t)))
   done;
+  for t = 16 to 63 do
+    let w15 = Array.unsafe_get w (t - 15) and w2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor shr w15 3 in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor shr w2 10 in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1) land mask)
+  done;
+  (* the working state threads through a tail-recursive loop as immutable
+     int locals — registers, not ref cells — two rounds per iteration.
+     [ch] needs no extra mask: [lnot e land g] clears the high bits
+     because [g] is 32-bit clean. *)
+  let rec rounds t a b c d e f g hh =
+    if t = 64 then begin
+      let add i v = h.(i) <- (h.(i) + v) land mask in
+      add 0 a; add 1 b; add 2 c; add 3 d; add 4 e; add 5 f; add 6 g; add 7 hh
+    end
+    else begin
+      let s1 = rotr e 6 lxor rotr e 11 lxor rotr e 25 in
+      let ch = (e land f) lxor (lnot e land g) in
+      let t1 = (hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t) land mask in
+      let s0 = rotr a 2 lxor rotr a 13 lxor rotr a 22 in
+      let maj = (a land b) lxor (a land c) lxor (b land c) in
+      let a' = (t1 + s0 + maj) land mask and e' = (d + t1) land mask in
+      (* second round of the pair, state already rotated by one *)
+      let s1 = rotr e' 6 lxor rotr e' 11 lxor rotr e' 25 in
+      let ch = (e' land e) lxor (lnot e' land f) in
+      let t1 =
+        (g + s1 + ch + Array.unsafe_get k (t + 1) + Array.unsafe_get w (t + 1)) land mask
+      in
+      let s0 = rotr a' 2 lxor rotr a' 13 lxor rotr a' 22 in
+      let maj = (a' land a) lxor (a' land b) lxor (a land b) in
+      rounds (t + 2) ((t1 + s0 + maj) land mask) a' a b ((c + t1) land mask) e' e f
+    end
+  in
+  rounds 0 h.(0) h.(1) h.(2) h.(3) h.(4) h.(5) h.(6) h.(7)
+
+(* Incremental interface: the state plus at most one partial block.  Full
+   blocks compress straight out of the caller's string; [copy] gives a
+   cheap midstate snapshot (HMAC hoists the ipad/opad block this way). *)
+type ctx = {
+  st : int array;  (* the eight chaining words *)
+  buf : Bytes.t;  (* pending partial block, [buf_len] bytes valid *)
+  w : int array;  (* schedule scratch, contents never carried across calls *)
+  mutable total : int;
+  mutable buf_len : int;
+}
+
+let init () =
+  {
+    st =
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f;
+         0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    buf = Bytes.create 64;
+    w = Array.make 64 0;
+    total = 0;
+    buf_len = 0;
+  }
+
+let copy c =
+  {
+    st = Array.copy c.st;
+    buf = Bytes.copy c.buf;
+    w = Array.make 64 0;
+    total = c.total;
+    buf_len = c.buf_len;
+  }
+
+let feed c data =
+  let len = String.length data in
+  c.total <- c.total + len;
+  let off = ref 0 in
+  if c.buf_len > 0 then begin
+    let n = min (64 - c.buf_len) len in
+    Bytes.blit_string data 0 c.buf c.buf_len n;
+    c.buf_len <- c.buf_len + n;
+    off := n;
+    if c.buf_len = 64 then begin
+      compress c.st c.w (Bytes.unsafe_to_string c.buf) 0;
+      c.buf_len <- 0
+    end
+  end;
+  if c.buf_len = 0 then begin
+    while !off + 64 <= len do
+      compress c.st c.w data !off;
+      off := !off + 64
+    done;
+    let rem = len - !off in
+    if rem > 0 then begin
+      Bytes.blit_string data !off c.buf 0 rem;
+      c.buf_len <- rem
+    end
+  end
+
+let finish c =
+  let scratch = Bytes.make 128 '\000' in
+  Bytes.blit c.buf 0 scratch 0 c.buf_len;
+  Bytes.set scratch c.buf_len '\x80';
+  let nt = if c.buf_len <= 55 then 1 else 2 in
+  Secdb_util.Xbytes.set_uint64_be scratch ((64 * nt) - 8) (Int64.of_int (8 * c.total));
+  let s = Bytes.unsafe_to_string scratch in
+  compress c.st c.w s 0;
+  if nt = 2 then compress c.st c.w s 64;
   let out = Bytes.create 32 in
-  Array.iteri (fun i v -> Secdb_util.Xbytes.set_uint32_be out (4 * i) v) h;
+  Array.iteri (fun i v -> Secdb_util.Xbytes.set_uint32_be out (4 * i) v) c.st;
   Bytes.unsafe_to_string out
+
+let digest msg =
+  let c = init () in
+  feed c msg;
+  finish c
 
 let hex msg = Secdb_util.Xbytes.to_hex (digest msg)

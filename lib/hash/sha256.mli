@@ -8,3 +8,22 @@ val hex : string -> string
 val digest_size : int (** 32 *)
 
 val block_size : int (** 64 *)
+
+type ctx
+(** Incremental hashing state: eight chaining words plus at most one
+    buffered partial block.  Mutable — one feeder at a time. *)
+
+val init : unit -> ctx
+
+val copy : ctx -> ctx
+(** Snapshot, e.g. a midstate to resume from repeatedly.  HMAC hoists
+    the ipad/opad block compression this way: the snapshot is taken
+    once per key and copied per message. *)
+
+val feed : ctx -> string -> unit
+(** Absorb more message bytes; full blocks compress straight out of the
+    argument without an intermediate copy. *)
+
+val finish : ctx -> string
+(** Pad, compress the tail and return the 32-byte digest.  Consumes the
+    context: feeding it afterwards is a programming error. *)

@@ -21,8 +21,8 @@ let inv_dbl s =
   let n = String.length s in
   let c = poly_const n in
   let lsb = Char.code s.[n - 1] land 1 in
+  let src = Bytes.of_string s in
   (* if lsb is set, add the reduction polynomial before halving *)
-  let src = if lsb = 1 then Bytes.of_string s else Bytes.of_string s in
   if lsb = 1 then
     Bytes.set src (n - 1) (Char.chr (Char.code s.[n - 1] lxor c));
   let out = Bytes.create n in

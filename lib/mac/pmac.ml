@@ -1,32 +1,56 @@
 open Secdb_util
 
 (* Incremental Gray-code offsets: Z_1 = L, Z_{i+1} = Z_i xor L(ntz(i+1))
-   where L(j) = L * x^j.  Equivalent to Z_i = gamma_i * L. *)
+   where L(j) = L * x^j.  Equivalent to Z_i = gamma_i * L.
 
-let mac (c : Secdb_cipher.Block.t) msg =
-  let bs = c.block_size in
+   [keyed] hoists everything that depends only on the key — L, L*x^{-1},
+   and the table of L*x^j powers the offset updates draw from — so a
+   per-message call costs exactly its blockcipher invocations. *)
+
+type keyed = {
+  enc : Secdb_cipher.Block.into;
+  bs : int;
+  l : string;
+  l_inv : string;
+  l_pow : string array; (* l_pow.(j) = L * x^j; ntz of a 63-bit index < 63 *)
+}
+
+let keyed (c : Secdb_cipher.Block.t) =
   let l = c.encrypt (Secdb_cipher.Block.zero_block c) in
-  let l_inv = Gf128.inv_dbl l in
+  let l_pow = Array.make 63 l in
+  for j = 1 to 62 do
+    l_pow.(j) <- Gf128.dbl l_pow.(j - 1)
+  done;
+  {
+    enc = Secdb_cipher.Block.encrypt_into c;
+    bs = c.block_size;
+    l;
+    l_inv = Gf128.inv_dbl l;
+    l_pow;
+  }
+
+let mac_keyed k msg =
+  let bs = k.bs in
   let len = String.length msg in
   let m = max 1 ((len + bs - 1) / bs) in
-  let enc = Secdb_cipher.Block.encrypt_into c in
   let src = Bytes.unsafe_of_string msg in
   (* [sigma] accumulates the xor of the encrypted offset blocks; [tmp] holds
-     blk xor Z_i for the in-place encryption — the only per-block state *)
+     blk xor Z_i for the in-place encryption; [z] is the running offset —
+     per-call buffers only, the keyed state is shared across domains *)
   let sigma = Bytes.make bs '\000' in
   let tmp = Bytes.create bs in
-  let z = ref l in
+  let z = Bytes.of_string k.l in
   for i = 1 to m - 1 do
     Bytes.blit src ((i - 1) * bs) tmp 0 bs;
-    Xbytes.xor_into ~src:!z ~dst:tmp ~dst_off:0;
-    enc tmp ~src_off:0 tmp ~dst_off:0;
+    Xbytes.xor_blit ~src:z ~src_off:0 ~dst:tmp ~dst_off:0 ~len:bs;
+    k.enc tmp ~src_off:0 tmp ~dst_off:0;
     Xbytes.xor_blit ~src:tmp ~src_off:0 ~dst:sigma ~dst_off:0 ~len:bs;
-    z := Xbytes.xor_exact !z (Gf128.dbl_pow l (Gf128.ntz (i + 1)))
+    Xbytes.xor_into ~src:k.l_pow.(Gf128.ntz (i + 1)) ~dst:z ~dst_off:0
   done;
   let lastlen = len - ((m - 1) * bs) in
   if lastlen = bs then begin
     Xbytes.xor_blit ~src ~src_off:((m - 1) * bs) ~dst:sigma ~dst_off:0 ~len:bs;
-    Xbytes.xor_into ~src:l_inv ~dst:sigma ~dst_off:0
+    Xbytes.xor_into ~src:k.l_inv ~dst:sigma ~dst_off:0
   end
   else begin
     if lastlen > 0 then
@@ -34,8 +58,10 @@ let mac (c : Secdb_cipher.Block.t) msg =
     let p = max 0 lastlen in
     Bytes.set sigma p (Char.chr (Char.code (Bytes.get sigma p) lxor 0x80))
   end;
-  enc sigma ~src_off:0 sigma ~dst_off:0;
+  k.enc sigma ~src_off:0 sigma ~dst_off:0;
   Bytes.unsafe_to_string sigma
+
+let mac c msg = mac_keyed (keyed c) msg
 
 let mac_truncated c ~bytes msg = Xbytes.take bytes (mac c msg)
 

@@ -7,9 +7,21 @@
     L·x⁻¹ when it is a complete block).  Costs ⌈|M|/n⌉ blockcipher calls
     plus the one-time L computation. *)
 
+type keyed
+(** Key-dependent state hoisted once: L = E_K(0ⁿ), L·x⁻¹, and the table
+    of L·xʲ powers driving the Gray-code offset updates.  Immutable, so
+    one [keyed] value is safe to share across domains. *)
+
+val keyed : Secdb_cipher.Block.t -> keyed
+(** Derive the hoisted state (one blockcipher call). *)
+
+val mac_keyed : keyed -> string -> string
+(** Full-block tag using hoisted state; costs exactly ⌈|M|/n⌉ (min 1)
+    blockcipher calls. *)
+
 val mac : Secdb_cipher.Block.t -> string -> string
 (** Full-block tag of an arbitrary-length message; [mac c "" ] is defined
-    (tag of the empty message). *)
+    (tag of the empty message).  Equivalent to [mac_keyed (keyed c)]. *)
 
 val mac_truncated : Secdb_cipher.Block.t -> bytes:int -> string -> string
 

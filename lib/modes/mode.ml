@@ -92,20 +92,26 @@ let cbc_decrypt (c : Block.t) ~iv s =
   done;
   Bytes.unsafe_to_string out
 
-(* Xor a keystream of successive cipher outputs over the message.  [next ks]
-   writes the next keystream block into the reusable scratch [ks]. *)
+(* Xor a keystream of successive cipher outputs over the message.
+   [next dst off] writes the next keystream block at [dst.(off ..)].
+   Full keystream blocks land straight in the output buffer — no scratch
+   block, no per-block blit — and the message is folded in with one
+   whole-buffer lane xor at the end. *)
 let keystream_apply (c : Block.t) next s =
   let bs = c.block_size in
   let len = String.length s in
-  let out = Bytes.of_string s in
-  let ks = Bytes.create bs in
-  let off = ref 0 in
-  while !off < len do
-    next ks;
-    let n = min bs (len - !off) in
-    Xbytes.xor_blit ~src:ks ~src_off:0 ~dst:out ~dst_off:!off ~len:n;
-    off := !off + n
+  let out = Bytes.create len in
+  let nfull = len / bs in
+  for b = 0 to nfull - 1 do
+    next out (b * bs)
   done;
+  let tail = len - (nfull * bs) in
+  if tail > 0 then begin
+    let ks = Bytes.create bs in
+    next ks 0;
+    Bytes.blit ks 0 out (nfull * bs) tail
+  end;
+  Xbytes.xor_into ~src:s ~dst:out ~dst_off:0;
   Bytes.unsafe_to_string out
 
 let ctr_full (c : Block.t) ~counter0 s =
@@ -116,15 +122,15 @@ let ctr_full (c : Block.t) ~counter0 s =
   let incr_ctr () =
     let rec bump i =
       if i >= 0 then begin
-        let v = (Char.code (Bytes.get ctr i) + 1) land 0xff in
-        Bytes.set ctr i (Char.chr v);
+        let v = (Char.code (Bytes.unsafe_get ctr i) + 1) land 0xff in
+        Bytes.unsafe_set ctr i (Char.unsafe_chr v);
         if v = 0 then bump (i - 1)
       end
     in
     bump (c.block_size - 1)
   in
-  let next ks =
-    enc ctr ~src_off:0 ks ~dst_off:0;
+  let next dst off =
+    enc ctr ~src_off:0 dst ~dst_off:off;
     incr_ctr ()
   in
   keystream_apply c next s
@@ -135,10 +141,10 @@ let ctr (c : Block.t) ~nonce s =
   let enc = Block.encrypt_into c in
   let blk = Bytes.of_string nonce in
   let counter = ref 0 in
-  let next ks =
+  let next dst off =
     Xbytes.set_uint32_be blk (c.block_size - 4) !counter;
     incr counter;
-    enc blk ~src_off:0 ks ~dst_off:0
+    enc blk ~src_off:0 dst ~dst_off:off
   in
   keystream_apply c next s
 

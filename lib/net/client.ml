@@ -3,7 +3,7 @@ module Xbytes = Secdb_util.Xbytes
 
 type t = {
   fd : Unix.file_descr;
-  session_key : string;
+  session_mac : Wire.session_mac;
   timeout : float;
   max_frame : int;
   mutable next_id : int;
@@ -98,7 +98,9 @@ let connect ?(attempts = 5) ?(backoff = 0.05) ?(timeout = 30.) ?(max_frame = Wir
       match authenticate ~auth_key ~timeout ~max_frame ~rng fd with
       | Error _ as e -> e
       | Ok session_key ->
-          Ok { fd; session_key; timeout; max_frame; next_id = 1; pending = Hashtbl.create 8; closed = false })
+          (* hoisted for the session: every request reuses the keyed MAC *)
+          let session_mac = Wire.session_mac ~session_key in
+          Ok { fd; session_mac; timeout; max_frame; next_id = 1; pending = Hashtbl.create 8; closed = false })
 
 let send_request t ~corrupt req =
   if t.closed then Error (Protocol "connection is closed")
@@ -106,7 +108,7 @@ let send_request t ~corrupt req =
     let id = t.next_id in
     t.next_id <- t.next_id + 1;
     let body = Wire.encode_req req in
-    let mac = Wire.request_mac ~session_key:t.session_key ~id ~body in
+    let mac = Wire.request_mac_keyed t.session_mac ~id ~body in
     let mac =
       if not corrupt then mac
       else begin

@@ -299,10 +299,10 @@ let handshake t fd =
             | Error (`Eof | `Timeout | `Stopped) -> Error ()))
   | Ok _ -> reject Wire.Frame "expected a hello frame"
 
-let handle_request t session_key (frame : Wire.frame) =
+let handle_request t session_mac (frame : Wire.frame) =
   match frame with
   | Wire.Request { id; body; mac } ->
-      let expected = Wire.request_mac ~session_key ~id ~body in
+      let expected = Wire.request_mac_keyed session_mac ~id ~body in
       if not (Xbytes.constant_time_equal mac expected) then begin
         Metrics.incr t.m.m_auth_failures;
         `Reply (Wire.Response { id; result = Error (Wire.Auth, "request MAC mismatch") })
@@ -347,6 +347,9 @@ let serve_conn t fd =
       match handshake t fd with
       | Error () -> ()
       | Ok session_key ->
+          (* hoisted for the connection: every request verifies under the
+             same keyed MAC *)
+          let session_mac = Wire.session_mac ~session_key in
           let queue = Bqueue.create t.cfg.max_inflight in
           let dead = Atomic.make false in
           let writer =
@@ -388,7 +391,7 @@ let serve_conn t fd =
                   ignore (Bqueue.push queue (Wire.Conn_error { code = Wire.Frame; message = e }))
               | Ok frame -> (
                   observe_in t frame;
-                  match handle_request t session_key frame with
+                  match handle_request t session_mac frame with
                   | `Reply reply ->
                       if Bqueue.push queue reply then loop ()
                   | `Close_after reply -> ignore (Bqueue.push queue reply))

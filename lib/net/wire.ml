@@ -473,11 +473,18 @@ let session_key ~auth_key ~client_nonce ~server_nonce =
   Hmac.mac Hmac.sha256 ~key:auth_key
     (transcript ~label:"secdb-net-session-v1" ~client_nonce ~server_nonce)
 
-let request_mac ~session_key ~id ~body =
+(* A session MACs every request under one key, so both ends hoist the
+   keyed HMAC (precomputed ipad/opad) for the life of the session. *)
+type session_mac = Hmac.keyed
+
+let session_mac ~session_key = Hmac.keyed Hmac.sha256 ~key:session_key
+
+let request_mac_keyed k ~id ~body =
   let b = Bytes.create 4 in
   Xbytes.set_uint32_be b 0 id;
-  Hmac.mac_truncated Hmac.sha256 ~key:session_key ~bytes:request_mac_len
-    ("c2s" ^ Bytes.unsafe_to_string b ^ body)
+  Hmac.mac_keyed_truncated k ~bytes:request_mac_len ("c2s" ^ Bytes.unsafe_to_string b ^ body)
+
+let request_mac ~session_key ~id ~body = request_mac_keyed (session_mac ~session_key) ~id ~body
 
 (* --- socket I/O -------------------------------------------------------------- *)
 

@@ -120,7 +120,17 @@ val session_key : auth_key:string -> client_nonce:string -> server_nonce:string 
 (** Per-session request-MAC key; fresh for every handshake. *)
 
 val request_mac : session_key:string -> id:int -> body:string -> string
-(** 16-byte MAC binding a request frame to the session and its id. *)
+(** 16-byte MAC binding a request frame to the session and its id.
+    Equivalent to [request_mac_keyed (session_mac ~session_key)]. *)
+
+type session_mac
+(** The session-key HMAC with its per-key preprocessing hoisted; derive
+    once per handshake and reuse for every request on the session. *)
+
+val session_mac : session_key:string -> session_mac
+
+val request_mac_keyed : session_mac -> id:int -> body:string -> string
+(** Same MAC as {!request_mac}, without the per-call key setup. *)
 
 (** {1 Socket I/O}
 

@@ -35,8 +35,15 @@ let derived_nonce ~key ~size addr =
     (Secdb_hash.Hmac.mac Secdb_hash.Hmac.sha256 ~key (Secdb_db.Address.encode addr))
 
 let make_derived ?ad_of ~(aead : Aead.t) ~nonce_key () =
+  let size = aead.Aead.nonce_size in
+  if size <= 0 || size > 32 then invalid_arg "Fixed_cell.derived_nonce: bad size";
+  (* keyed HMAC hoisted across the batch loops: per-cell nonce derivation
+     skips the key preprocessing (byte-identical to [derived_nonce]) *)
+  let keyed = Secdb_hash.Hmac.keyed Secdb_hash.Hmac.sha256 ~key:nonce_key in
   scheme ?ad_of ~aead ~deterministic:true ~parallel_safe:true
-    ~nonce_for:(derived_nonce ~key:nonce_key ~size:aead.Aead.nonce_size)
+    ~nonce_for:(fun addr ->
+      Secdb_util.Xbytes.take size
+        (Secdb_hash.Hmac.mac_keyed keyed (Secdb_db.Address.encode addr)))
     ()
 
 let storage_overhead ~(aead : Aead.t) = Aead.stored_overhead aead + 12

@@ -15,9 +15,22 @@ let xor_exact a b =
   xor a b
 
 let xor_into ~src ~dst ~dst_off =
-  for i = 0 to String.length src - 1 do
-    let x = Char.code (Bytes.get dst (dst_off + i)) lxor Char.code src.[i] in
-    Bytes.set dst (dst_off + i) (Char.chr x)
+  let len = String.length src in
+  if dst_off < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Xbytes.xor_into: range out of bounds";
+  (* same lane discipline as [xor_blit]: 8-byte words, byte tail *)
+  let lanes = len lsr 3 in
+  for w = 0 to lanes - 1 do
+    let i = w lsl 3 in
+    Bytes.set_int64_ne dst (dst_off + i)
+      (Int64.logxor
+         (Bytes.get_int64_ne dst (dst_off + i))
+         (String.get_int64_ne src i))
+  done;
+  for i = lanes lsl 3 to len - 1 do
+    Bytes.unsafe_set dst (dst_off + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (dst_off + i)) lxor Char.code (String.unsafe_get src i)))
   done
 
 let xor_blit ~src ~src_off ~dst ~dst_off ~len =

@@ -3,7 +3,8 @@
    can gate on `dune build @kat` without running the full property suite.
 
    Sources: AES FIPS 197 appendix C, SHA-1/SHA-256 FIPS 180 examples,
-   MD5 RFC 1321, HMAC RFC 2202 + RFC 4231, AES-CMAC RFC 4493. *)
+   MD5 RFC 1321, HMAC RFC 2202 + RFC 4231, AES-CMAC RFC 4493,
+   AES-GCM NIST SP 800-38D (McGrew–Viega test cases). *)
 
 module Xbytes = Secdb_util.Xbytes
 module Block = Secdb_cipher.Block
@@ -142,10 +143,83 @@ let kat_cmac () =
       ("cmac rfc4493 len=64", m64, "51f0bebf7e3b9d92fc49741779363cfe");
     ]
 
+(* --- AES-GCM, NIST SP 800-38D (McGrew–Viega test cases) ------------------ *)
+
+let gcm_vectors =
+  [
+    (* name, key, iv, aad, pt, ct, tag *)
+    ("gcm tc1 aes-128 empty", "00000000000000000000000000000000", "000000000000000000000000",
+     "", "", "", "58e2fccefa7e3061367f1d57a4e7455a");
+    ("gcm tc2 aes-128 1 block", "00000000000000000000000000000000", "000000000000000000000000",
+     "", "00000000000000000000000000000000", "0388dace60b6a392f328c2b971b2fe78",
+     "ab6e47d42cec13bdf53a67b21257bddf");
+    ( "gcm tc3 aes-128 4 blocks",
+      "feffe9928665731c6d6a8f9467308308",
+      "cafebabefacedbaddecaf888",
+      "",
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+      "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+      "4d5c2af327cd64a62cf35abd2ba6fab4" );
+    ( "gcm tc4 aes-128 with aad",
+      "feffe9928665731c6d6a8f9467308308",
+      "cafebabefacedbaddecaf888",
+      "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+      "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+      "5bc94fbc3221a5db94fae95ae7121a47" );
+    ("gcm tc13 aes-256 empty",
+     "0000000000000000000000000000000000000000000000000000000000000000",
+     "000000000000000000000000", "", "", "", "530f8afbc74536b9a963b4f1c4cb738b");
+    ("gcm tc14 aes-256 1 block",
+     "0000000000000000000000000000000000000000000000000000000000000000",
+     "000000000000000000000000", "", "00000000000000000000000000000000",
+     "cea7403d4d606b6e074ec5d3baf39d18", "d0d1c8a799996bf0265b98b5d48ab919");
+  ]
+
+let kat_gcm () =
+  let reject_msg = "<rejected>" in
+  List.iter
+    (fun (impl, make) ->
+      List.iter
+        (fun (name, key, iv, aad, pt, ct, tag) ->
+          let name = Printf.sprintf "%s/%s" name impl in
+          let a = Secdb_aead.Gcm.make (make ~key:(hex key)) in
+          let got_ct, got_tag =
+            Secdb_aead.Aead.encrypt a ~nonce:(hex iv) ~ad:(hex aad) (hex pt)
+          in
+          check (name ^ " ct") ~expected:ct ~got:(Xbytes.to_hex got_ct);
+          check (name ^ " tag") ~expected:tag ~got:(Xbytes.to_hex got_tag);
+          (match Secdb_aead.Aead.decrypt a ~nonce:(hex iv) ~ad:(hex aad) ~tag:(hex tag) (hex ct) with
+          | Ok m -> check (name ^ " pt") ~expected:pt ~got:(Xbytes.to_hex m)
+          | Error Secdb_aead.Aead.Invalid -> check (name ^ " pt") ~expected:pt ~got:reject_msg);
+          (* wrong-tag and tampered-input rejection *)
+          let flip s i =
+            let b = Bytes.of_string s in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+            Bytes.to_string b
+          in
+          let expect_reject what r =
+            check (name ^ " rejects " ^ what) ~expected:reject_msg
+              ~got:(match r with Ok _ -> "<accepted>" | Error Secdb_aead.Aead.Invalid -> reject_msg)
+          in
+          expect_reject "wrong tag"
+            (Secdb_aead.Aead.decrypt a ~nonce:(hex iv) ~ad:(hex aad) ~tag:(flip (hex tag) 0) (hex ct));
+          if ct <> "" then
+            expect_reject "tampered ciphertext"
+              (Secdb_aead.Aead.decrypt a ~nonce:(hex iv) ~ad:(hex aad) ~tag:(hex tag)
+                 (flip (hex ct) 0));
+          if aad <> "" then
+            expect_reject "tampered aad"
+              (Secdb_aead.Aead.decrypt a ~nonce:(hex iv) ~ad:(flip (hex aad) 0) ~tag:(hex tag)
+                 (hex ct)))
+        gcm_vectors)
+    [ ("ref", Secdb_cipher.Aes.cipher); ("fast", Secdb_cipher.Aes_fast.cipher) ]
+
 let () =
   kat_aes ();
   kat_hashes ();
   kat_hmac ();
   kat_cmac ();
+  kat_gcm ();
   Printf.printf "%d known-answer checks, %d failure(s)\n" !total !failures;
   if !failures > 0 then exit 1

@@ -263,10 +263,10 @@ let sql_cmd =
 
 (* A fixed workload that touches every instrumented layer — pager cache,
    blob store, AEAD (including a rejected tamper), the domain pool, batch
-   table encryption, an index walk and the oplog — sized so every counter
-   value is a pure function of the code, never of timing.  The cram suite
-   pins the full text dump, which is what makes the counters a regression
-   gate and not just ops sugar. *)
+   table encryption, an index walk, the paged B+-tree, the shard map and
+   the oplog — sized so every counter value is a pure function of the
+   code, never of timing.  The cram suite pins the full text dump, which
+   is what makes the counters a regression gate and not just ops sugar. *)
 let stats_workload () =
   let module Metrics = Secdb_obs.Metrics in
   let module Pool = Secdb_util.Pool in
@@ -363,6 +363,32 @@ let stats_workload () =
    with
   | Ok a when List.length a.Secdb_query.Walker.results = 10 -> ()
   | Ok _ | Error _ -> failwith "stats workload: walker range");
+  (* paged B+-tree: a sealed tree whose node cache is smaller than the
+     node count, so loads, cache hits, evictions and the pager's dirty
+     write-backs all fire *)
+  (let module Pbt = Secdb_storage.Paged_bptree in
+   with_temp ".pbt" (fun path ->
+       let p = Pager.create ~path ~page_size:512 ~cache_pages:4 () in
+       let nonce = Secdb_aead.Nonce.counter ~size:16 () in
+       let seal = Pbt.aead_seal ~aead:(Secdb_aead.Eax.make aes) ~nonce ~tree_id:11 in
+       let t = Pbt.create ~pager:p ~seal ~order:4 ~cache_nodes:8 ~id:11 () in
+       for i = 1 to 48 do
+         Pbt.insert t (Value.Int (Int64.of_int (i * 7 mod 48))) ~table_row:i
+       done;
+       for i = 1 to 48 do
+         match Pbt.find t (Value.Int (Int64.of_int (i * 7 mod 48))) with
+         | _ :: _ -> ()
+         | [] -> failwith "stats workload: paged find"
+       done;
+       Pbt.flush t;
+       Pager.close p));
+  (* shard map: five routed keys and one all-shards broadcast *)
+  (let module Shard = Secdb_db.Shard in
+   let sh = Shard.create ~shards:4 (fun i -> i) in
+   List.iter
+     (fun k -> Shard.with_key sh k (fun _ -> ()))
+     [ "alpha"; "beta"; "gamma"; "delta"; "epsilon" ];
+   ignore (Shard.with_all sh (fun _ i -> i)));
   (* oplog: three authenticated appends, a full replay, and a replay of a
      tampered log that must fail *)
   with_temp ".oplog" (fun path ->
@@ -534,11 +560,28 @@ let serve_cmd =
       value & opt int 64
       & info [ "max-inflight" ] ~docv:"N" ~doc:"Per-connection pipelined-response cap.")
   in
-  let run profile master addr seed read_timeout max_inflight =
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Data-plane shard count; 0 picks the recommended domain count.")
+  in
+  let run profile master addr seed read_timeout max_inflight shards =
     Secdb_obs.Obs.enable ();
-    let db = Secdb.Encdb.create ~master ~profile () in
+    (* one database per shard, with disjoint id ranges so derived keys and
+       ciphertext addresses never collide across shards *)
+    let db shard =
+      Secdb.Encdb.create ~master ~profile
+        ~first_table_id:((shard * 1_000_000) + 1)
+        ~first_index_id:((shard * 1_000_000) + 1000)
+        ()
+    in
     let auth_key = Secdb_net.Wire.auth_key_of_master master in
-    let cfg = Secdb_net.Server.config ~auth_key ~read_timeout ~max_inflight () in
+    let cfg =
+      Secdb_net.Server.config ~auth_key ~read_timeout ~max_inflight
+        ?shards:(if shards = 0 then None else Some shards)
+        ()
+    in
     match Secdb_net.Server.create ?seed ~config:cfg ~db addr with
     | Error e ->
         prerr_endline ("serve: " ^ e);
@@ -558,7 +601,9 @@ let serve_cmd =
        ~doc:
          "Serve a fresh in-memory encrypted database over the authenticated secdb wire protocol \
           until SIGTERM, then drain.")
-    Term.(const run $ profile_arg $ master_arg $ net_addr_arg $ seed $ read_timeout $ max_inflight)
+    Term.(
+      const run $ profile_arg $ master_arg $ net_addr_arg $ seed $ read_timeout $ max_inflight
+      $ shards)
 
 let client_cmd =
   let stmts =

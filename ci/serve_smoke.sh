@@ -41,4 +41,50 @@ wait "$SRV" || { echo "serve smoke: server exited non-zero on SIGTERM" >&2; exit
 grep -q 'drained, bye' "$DIR/serve.log" || { echo "serve smoke: no drain message" >&2; exit 1; }
 [ ! -e "$SOCK" ] || { echo "serve smoke: socket not unlinked" >&2; exit 1; }
 
+# Sharded smoke: boot again with four shards and pipeline a script that
+# spans two tables (so statements hash to different shards, and the point
+# SELECTs ride the lock-free snapshot path), then run the identical script
+# in-process with `secdb_cli sql` and require byte-identical outcomes —
+# sharding and the snapshot fast path must be invisible to clients.
+SOCK4="$DIR/db4.sock"
+"$SECDB" serve -a "unix:$SOCK4" --seed 42 --shards 4 >"$DIR/serve4.log" 2>&1 &
+SRV4=$!
+trap 'kill "$SRV4" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+for _ in $(seq 1 100); do [ -S "$SOCK4" ] && break; sleep 0.1; done
+[ -S "$SOCK4" ] || { echo "serve smoke: 4-shard server never bound $SOCK4" >&2; exit 1; }
+
+STMTS=(
+  "CREATE TABLE a (id INT CLEAR, v TEXT)"
+  "CREATE TABLE b (id INT CLEAR, v TEXT)"
+  "CREATE INDEX ON a (v)"
+  "INSERT INTO a VALUES (1, 'x1')"
+  "INSERT INTO a VALUES (2, 'x2')"
+  "INSERT INTO b VALUES (10, 'y')"
+  "UPDATE a SET v = 'x9' WHERE id = 2"
+  "SELECT id, v FROM a WHERE v = 'x9'"
+  "SELECT v FROM b WHERE id = 10"
+  "DELETE FROM a WHERE id = 1"
+  "SELECT id, v FROM a ORDER BY id"
+)
+
+CLIENT_ARGS=()
+for s in "${STMTS[@]}"; do CLIENT_ARGS+=(-e "$s"); done
+"$SECDB" client -a "unix:$SOCK4" "${CLIENT_ARGS[@]}" >"$DIR/wire.out"
+
+# shell mode: drop the banner, strip the prompt, drop the empty quit line
+printf '%s\n' "${STMTS[@]}" | "$SECDB" sql \
+  | sed -e '1d' -e 's/^secdb> //' -e '/^$/d' >"$DIR/local.out"
+sed -e '/^$/d' "$DIR/wire.out" >"$DIR/wire.flat"
+mv "$DIR/wire.flat" "$DIR/wire.out"
+
+diff -u "$DIR/local.out" "$DIR/wire.out" || {
+  echo "serve smoke: 4-shard wire output diverges from in-process engine" >&2; exit 1
+}
+grep -q '"x9"' "$DIR/wire.out" || { echo "serve smoke: sharded query lost data" >&2; exit 1; }
+
+kill -TERM "$SRV4"
+wait "$SRV4" || { echo "serve smoke: 4-shard server exited non-zero on SIGTERM" >&2; exit 1; }
+grep -q 'drained, bye' "$DIR/serve4.log" || { echo "serve smoke: 4-shard no drain message" >&2; exit 1; }
+
 echo "serve smoke: OK"

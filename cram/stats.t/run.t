@@ -1,14 +1,15 @@
 The observability registry after the scripted workload.  Every value below
 is a pure function of the workload — pager cache traffic, the rejected
-AEAD tamper, pool batch/chunk/task counts — so any drift in these counters
-is a behaviour change in the stack, not noise:
+AEAD tamper, pool batch/chunk/task counts, the paged B+-tree's node cache
+and the shard router — so any drift in these counters is a behaviour
+change in the stack, not noise:
 
   $ secdb_cli stats
   counter aead.auth_failures 1
-  counter aead.bytes_decrypted 822
-  counter aead.bytes_encrypted 667
-  counter aead.decrypts 118
-  counter aead.encrypts 99
+  counter aead.bytes_decrypted 14054
+  counter aead.bytes_encrypted 6128
+  counter aead.decrypts 276
+  counter aead.encrypts 162
   counter blob.bytes_loaded 1000
   counter blob.bytes_stored 1000
   counter blob.deletes 1
@@ -20,7 +21,7 @@ is a behaviour change in the stack, not noise:
   counter mode.blocks{op=cbc_encrypt} 71
   counter mode.blocks{op=cfb_decrypt} 0
   counter mode.blocks{op=cfb_encrypt} 0
-  counter mode.blocks{op=ctr} 227
+  counter mode.blocks{op=ctr} 1516
   counter mode.blocks{op=ecb_decrypt} 0
   counter mode.blocks{op=ecb_encrypt} 0
   counter mode.blocks{op=ofb} 0
@@ -28,7 +29,7 @@ is a behaviour change in the stack, not noise:
   counter mode.bytes{op=cbc_encrypt} 1136
   counter mode.bytes{op=cfb_decrypt} 0
   counter mode.bytes{op=cfb_encrypt} 0
-  counter mode.bytes{op=ctr} 1465
+  counter mode.bytes{op=ctr} 20158
   counter mode.bytes{op=ecb_decrypt} 0
   counter mode.bytes{op=ecb_encrypt} 0
   counter mode.bytes{op=ofb} 0
@@ -36,15 +37,22 @@ is a behaviour change in the stack, not noise:
   counter oplog.replay_failures 1
   counter oplog.replayed 3
   counter oplog.syncs 3
-  counter pager.cache_hits 26
-  counter pager.cache_misses 8
-  counter pager.disk_reads 8
-  counter pager.disk_writes 17
-  counter pager.evictions 12
+  counter pager.cache_hits 39
+  counter pager.cache_misses 216
+  counter pager.disk_reads 216
+  counter pager.disk_writes 108
+  counter pager.evictions 242
+  counter pager.writebacks 94
+  counter pbt.cache_hits 235
+  counter pbt.evictions 175
+  counter pbt.node_loads 158
+  counter pbt.node_writes 61
   counter pool.batches 5
   counter pool.chunks 80
   counter pool.seq_fallback 0
   counter pool.tasks 176
+  counter shard.broadcasts 1
+  counter shard.routed 5
   counter table.cells_decrypted 48
   counter table.cells_encrypted 32
   counter table.decrypt_failures 0
@@ -57,6 +65,7 @@ is a behaviour change in the stack, not noise:
   counter walker.leaf_unchecked 0
   counter walker.results 10
   gauge pool.domains 2
+  gauge shard.count 4
   hist oplog.append_seconds count=3
   hist oplog.replay_seconds count=2
 

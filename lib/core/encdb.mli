@@ -44,9 +44,45 @@ val all_profiles : profile list
 
 type t
 
-val create : ?seed:int64 -> ?order:int -> master:string -> profile:profile -> unit -> t
+(** Where index entries live.  [Memory] is the historical heap tree;
+    [Paged] puts every index of this database into one
+    {!Secdb_storage.Paged_bptree} file at [path] — nodes AEAD-sealed with
+    their page address as associated data, an LRU of [cache_nodes]
+    decoded nodes per index, datasets bounded by disk instead of RAM. *)
+type index_backing =
+  | Memory
+  | Paged of { path : string; page_size : int; cache_nodes : int }
+
+(** One applied mutation, as observed through {!set_on_change} — enough
+    to replay the database's logical state (the serving layer folds these
+    into lock-free read snapshots). *)
+type change =
+  | Created_table of Secdb_db.Schema.t
+  | Created_index of { table : string; col : string }
+  | Inserted of { table : string; row : int; values : Secdb_db.Value.t list }
+  | Updated of { table : string; row : int; col : string; value : Secdb_db.Value.t }
+  | Deleted of { table : string; row : int }
+
+val create :
+  ?seed:int64 ->
+  ?order:int ->
+  ?index_backing:index_backing ->
+  ?first_table_id:int ->
+  ?first_index_id:int ->
+  master:string ->
+  profile:profile ->
+  unit ->
+  t
 (** [seed] drives every pseudo-random choice (nonces, the random numbers a)
-    for reproducibility; [order] is the B⁺-tree order (default 4). *)
+    for reproducibility; [order] is the B⁺-tree order (default 4).
+    [index_backing] defaults to [Memory].  [first_table_id] /
+    [first_index_id] start the id counters (defaults 1 and 1000) — shards
+    of one logical database use disjoint ranges so derived keys and
+    ciphertext addresses never collide across shards. *)
+
+val set_on_change : t -> (change -> unit) option -> unit
+(** Install (or clear) a hook fired after every successful mutation, in
+    apply order.  No hook, no overhead. *)
 
 val profile : t -> profile
 val keyring : t -> Keyring.t
@@ -62,12 +98,21 @@ val create_table : t -> Secdb_db.Schema.t -> unit
 val table : t -> string -> Secdb_query.Encrypted_table.t
 (** @raise Not_found for unknown tables. *)
 
+val table_names : t -> string list
+(** All table names, sorted — what a serving layer enumerates to prime its
+    read snapshots. *)
+
 val create_index : t -> table:string -> col:string -> unit
 (** Build an encrypted index over an (encrypted) column, inserting all
     existing rows.  Later {!insert}s maintain it. *)
 
+val has_index : t -> table:string -> col:string -> bool
+(** Whether the column has an index under either backing — what the SQL
+    planner consults. *)
+
 val index : t -> table:string -> col:string -> Secdb_index.Bptree.t
-(** @raise Not_found if no such index exists. *)
+(** The in-memory tree behind a [Memory]-backed index.
+    @raise Not_found if no such index exists or it is paged. *)
 
 val index_selectivity :
   t ->

@@ -3,8 +3,14 @@ module Trace = Secdb_obs.Trace
 module Obs = Secdb_obs.Obs
 module Rng = Secdb_util.Rng
 module Xbytes = Secdb_util.Xbytes
+module Pool = Secdb_util.Pool
 module Etable = Secdb_query.Encrypted_table
 module Schema = Secdb_db.Schema
+module Shard = Secdb_db.Shard
+module Ast = Secdb_sql.Ast
+module Parser = Secdb_sql.Parser
+module Engine = Secdb_sql.Engine
+module Snapshot = Secdb_sql.Snapshot
 
 type config = {
   auth_key : string;
@@ -12,14 +18,17 @@ type config = {
   max_inflight : int;
   read_timeout : float;
   write_timeout : float;
+  shards : int;
 }
 
 let config ?(max_frame = Wire.default_max_frame) ?(max_inflight = 64) ?(read_timeout = 30.)
-    ?(write_timeout = 30.) ~auth_key () =
+    ?(write_timeout = 30.) ?shards ~auth_key () =
+  let shards = match shards with Some n -> n | None -> Pool.recommended () in
   if String.length auth_key < 16 then invalid_arg "Server.config: auth key shorter than 16 bytes";
   if max_frame < 64 then invalid_arg "Server.config: max_frame too small for a handshake";
   if max_inflight < 1 then invalid_arg "Server.config: max_inflight must be positive";
-  { auth_key; max_frame; max_inflight; read_timeout; write_timeout }
+  if shards < 1 then invalid_arg "Server.config: shards must be positive";
+  { auth_key; max_frame; max_inflight; read_timeout; write_timeout; shards }
 
 (* Registered per server (not at module load) so a process that never
    serves — `secdb stats`, say — keeps its metric registry unchanged. *)
@@ -32,6 +41,8 @@ type metrics = {
   m_rpc : (string * Metrics.counter) list;
   m_rpc_errors : Metrics.counter;
   h_rpc : (string * Metrics.histogram) list;
+  m_snap_hits : Metrics.counter;
+  m_snap_misses : Metrics.counter;
 }
 
 let op_names =
@@ -50,6 +61,8 @@ let make_metrics () =
       List.map
         (fun op -> (op, Metrics.histogram ~labels:[ ("op", op) ] "net.rpc_latency"))
         op_names;
+    m_snap_hits = Metrics.counter "shard.snapshot_hits";
+    m_snap_misses = Metrics.counter "shard.snapshot_misses";
   }
 
 (* --- bounded response queue (the per-connection in-flight cap) ------------- *)
@@ -156,12 +169,86 @@ let dispatch db (req : Wire.req) : (Wire.resp, Wire.err_code * string) result =
   | Secdb.Keyring.Session_closed -> Error (Wire.App, "session closed")
   | e -> Error (Wire.Server_error, Printexc.to_string e)
 
+(* --- shards -------------------------------------------------------------------
+
+   Every table lives in exactly one shard ({!Shard.key_shard} over its
+   name), and each shard owns a full {!Secdb.Encdb.t} — tables, indexes,
+   pager — plus one executor domain.  Connection readers route a request
+   to its shard and hand the dispatch to that executor, so requests on
+   different shards run in true parallel while a shard's own requests
+   stay serialised (which is what keeps pipelined results byte-identical
+   to the in-process API).
+
+   After every mutation the executor folds the resulting
+   {!Secdb.Encdb.change}s into an immutable {!Snapshot.t} and publishes
+   it with one atomic store — the read fast path: point SELECTs are
+   answered by reader threads straight from the last published snapshot,
+   never blocking behind a writer.  Publication happens before the
+   response is signalled, so a connection always reads its own writes. *)
+
+type shard_state = {
+  sdb : Secdb.Encdb.t;
+  pending : Secdb.Encdb.change list ref;  (* filled by the on_change hook *)
+  snap : Snapshot.t Atomic.t;
+  jobs : (unit -> unit) Bqueue.t;
+}
+
+let make_shard db_of i =
+  let sdb = db_of i in
+  let pending = ref [] in
+  Secdb.Encdb.set_on_change sdb (Some (fun ch -> pending := ch :: !pending));
+  {
+    sdb;
+    pending;
+    snap = Atomic.make (Snapshot.of_db sdb);
+    jobs = Bqueue.create 64;
+  }
+
+let executor shards i =
+  let sh = Shard.get shards i in
+  let rec loop () =
+    match Bqueue.pop sh.jobs with
+    | None -> ()
+    | Some job ->
+        Shard.with_shard shards i (fun _ -> job ());
+        loop ()
+  in
+  loop ()
+
+(* Run [dispatch] on the shard's executor and wait for the result.  The
+   snapshot is republished before the completion signal. *)
+let submit sh req =
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let result = ref None in
+  let job () =
+    let r = dispatch sh.sdb req in
+    (match List.rev !(sh.pending) with
+    | [] -> ()
+    | changes ->
+        sh.pending := [];
+        Atomic.set sh.snap (List.fold_left Snapshot.apply (Atomic.get sh.snap) changes));
+    Mutex.lock mu;
+    result := Some r;
+    Condition.signal cond;
+    Mutex.unlock mu
+  in
+  if Bqueue.push sh.jobs job then begin
+    Mutex.lock mu;
+    while !result = None do
+      Condition.wait cond mu
+    done;
+    Mutex.unlock mu;
+    Option.get !result
+  end
+  else Error (Wire.Server_error, "server draining")
+
 (* --- server ------------------------------------------------------------------- *)
 
 type t = {
   cfg : config;
-  db : Secdb.Encdb.t;
-  db_mu : Mutex.t;
+  shards : shard_state Shard.t;
+  doms : unit Domain.t array;
   listen_fd : Unix.file_descr;
   address : Wire.addr;
   unix_path : string option;
@@ -184,7 +271,7 @@ let default_seed () =
     (Int64.of_float (Unix.gettimeofday () *. 1e6))
     (Int64.of_int (Unix.getpid () * 0x9e3779b9))
 
-let create ?seed ~config:cfg ~db address =
+let create ?seed ~config:(cfg : config) ~db address =
   let seed = match seed with Some s -> s | None -> default_seed () in
   try
     let fd =
@@ -207,11 +294,13 @@ let create ?seed ~config:cfg ~db address =
       | Wire.Tcp (host, 0), Unix.ADDR_INET (_, port) -> Wire.Tcp (host, port)
       | _ -> address
     in
+    let shards = Shard.create ~shards:cfg.shards (make_shard db) in
+    let doms = Array.init cfg.shards (fun i -> Domain.spawn (fun () -> executor shards i)) in
     Ok
       {
         cfg;
-        db;
-        db_mu = Mutex.create ();
+        shards;
+        doms;
         listen_fd = fd;
         address;
         unix_path = (match address with Wire.Unix_sock p -> Some p | Wire.Tcp _ -> None);
@@ -241,6 +330,34 @@ let fresh_nonce t =
   let n = Rng.bytes t.rng 16 in
   Mutex.unlock t.rng_mu;
   n
+
+(* Route one request.  Ping and Stats touch no table — answered inline.
+   SQL parses once: the statement names its table, the table names its
+   shard; a point SELECT is tried against the shard's published snapshot
+   first (lock-free), everything else rides the shard's executor.  The
+   remaining request forms carry their table explicitly. *)
+let exec_routed t (req : Wire.req) =
+  let shard_of table = Shard.get t.shards (Shard.key_shard t.shards table) in
+  match req with
+  | Wire.Ping _ | Wire.Stats _ -> dispatch (Shard.get t.shards 0).sdb req
+  | Wire.Sql stmt_src -> (
+      match Parser.parse stmt_src with
+      | Error e -> Error (Wire.App, e)
+      | Ok stmt -> (
+          let sh = shard_of (Ast.stmt_table stmt) in
+          match Engine.exec_snapshot (Atomic.get sh.snap) stmt with
+          | Some r ->
+              Metrics.incr t.m.m_snap_hits;
+              (match r with Ok o -> Ok (Wire.Outcome o) | Error e -> Error (Wire.App, e))
+          | None ->
+              (match stmt with Ast.Select _ -> Metrics.incr t.m.m_snap_misses | _ -> ());
+              submit sh req))
+  | Wire.Put_cell { table; _ }
+  | Wire.Get_cell { table; _ }
+  | Wire.Insert_row { table; _ }
+  | Wire.Decrypt_column { table; _ }
+  | Wire.Index_lookup { table; _ } ->
+      submit (shard_of table) req
 
 let observe_in t frame = if Obs.on () then Metrics.add t.m.m_bytes_in (Wire.frame_size frame)
 let observe_out t frame = if Obs.on () then Metrics.add t.m.m_bytes_out (Wire.frame_size frame)
@@ -318,10 +435,7 @@ let handle_request t session_mac (frame : Wire.frame) =
             let hist = List.assoc_opt op t.m.h_rpc in
             let result =
               Trace.with_span ~attrs:[ ("op", op) ] ?hist "net.dispatch" (fun () ->
-                  Mutex.lock t.db_mu;
-                  Fun.protect
-                    ~finally:(fun () -> Mutex.unlock t.db_mu)
-                    (fun () -> dispatch t.db req))
+                  exec_routed t req)
             in
             (match result with Error _ -> Metrics.incr t.m.m_rpc_errors | Ok _ -> ());
             `Reply
@@ -449,6 +563,9 @@ let run t =
     ws
   in
   List.iter Thread.join workers;
+  (* no submitter left: close the shard queues and park the executors *)
+  Shard.iter t.shards (fun _ sh -> Bqueue.close sh.jobs);
+  Array.iter Domain.join t.doms;
   Mutex.lock t.lifecycle_mu;
   t.running <- false;
   t.drained <- true;
@@ -469,7 +586,9 @@ let stop t =
   let started = t.running || t.accept_thread <> None || t.drained in
   Mutex.unlock t.lifecycle_mu;
   if not started then begin
-    (* never ran: just release the socket *)
+    (* never ran: park the executors and release the socket *)
+    Shard.iter t.shards (fun _ sh -> Bqueue.close sh.jobs);
+    Array.iter Domain.join t.doms;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.unix_path with
     | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())

@@ -6,9 +6,18 @@
     bounded response queue — the queue bound is the per-connection
     in-flight cap, so a client that pipelines faster than the server can
     answer is throttled through TCP backpressure rather than unbounded
-    buffering).  Database dispatch is serialised by a mutex: the
-    underlying {!Secdb.Encdb.t} is not thread-safe, and serialisation is
-    what makes pipelined results byte-identical to the in-process API.
+    buffering).
+
+    The data plane is sharded: every table lives in exactly one shard
+    ({!Secdb_db.Shard.key_shard} over its name), each shard owns a full
+    {!Secdb.Encdb.t} and one executor domain, and a request routes to the
+    shard of the table it names.  Requests on different shards run in
+    true parallel; one shard's requests stay serialised, which is what
+    keeps pipelined results byte-identical to the in-process API.  Point
+    SELECTs are additionally served lock-free from each shard's published
+    read snapshot ({!Secdb_sql.Snapshot}), so they never block behind a
+    writer — a connection still always reads its own writes, because the
+    snapshot is republished before a mutation's response is sent.
 
     The server is configured with the {e derived} session-auth credential
     ({!Wire.auth_key_of_master}), never the master key itself.
@@ -24,6 +33,7 @@ type config = {
   max_inflight : int;  (** per-connection response-queue bound (default 64) *)
   read_timeout : float;  (** seconds a connection may sit idle (default 30) *)
   write_timeout : float;  (** seconds a single frame write may take (default 30) *)
+  shards : int;  (** data-plane shard count (default {!Secdb_util.Pool.recommended}) *)
 }
 
 val config :
@@ -31,16 +41,21 @@ val config :
   ?max_inflight:int ->
   ?read_timeout:float ->
   ?write_timeout:float ->
+  ?shards:int ->
   auth_key:string ->
   unit ->
   config
 
 type t
 
-val create : ?seed:int64 -> config:config -> db:Secdb.Encdb.t -> Wire.addr -> (t, string) result
-(** Bind and listen (Unix socket or TCP).  A stale Unix-socket path is
-    replaced.  [seed] fixes the challenge-nonce stream (tests); by
-    default it is drawn from the clock and pid. *)
+val create :
+  ?seed:int64 -> config:config -> db:(int -> Secdb.Encdb.t) -> Wire.addr -> (t, string) result
+(** Bind and listen (Unix socket or TCP), then build one database per
+    shard: [db i] must return shard [i]'s {!Secdb.Encdb.t} — give shards
+    disjoint [first_table_id] / [first_index_id] ranges so derived keys
+    never collide.  A stale Unix-socket path is replaced.  [seed] fixes
+    the challenge-nonce stream (tests); by default it is drawn from the
+    clock and pid. *)
 
 val addr : t -> Wire.addr
 

@@ -67,6 +67,12 @@ let sel_item_name = function
       Printf.sprintf "%s(%s)" (String.lowercase_ascii (agg_name f))
         (Option.value col ~default:"*")
 
+let stmt_table = function
+  | Select s | Explain s -> s.table
+  | Insert { table; _ } | Update { table; _ } | Delete { table; _ } -> table
+  | Create_table { name; _ } -> name
+  | Create_index { table; _ } -> table
+
 let pp_select ppf s =
   Fmt.pf ppf "SELECT %s FROM %s%a"
     (match s.items with

@@ -48,6 +48,11 @@ type stmt =
 val sel_item_name : sel_item -> string
 (** Output column header for a select item, e.g. ["count"] of star. *)
 
+val stmt_table : stmt -> string
+(** The one table a statement touches — every statement of this subset
+    names exactly one, which is what lets a sharded server route a parsed
+    statement to the shard owning that table. *)
+
 val pp_expr : Format.formatter -> expr -> unit
 val pp_stmt : Format.formatter -> stmt -> unit
 

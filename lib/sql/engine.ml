@@ -101,16 +101,15 @@ let plan_of_select db (s : Ast.select) =
       List.iter
         (fun conj ->
           match bounds_of conj with
-          | Some (c, lo, hi) -> (
-              match Encdb.index db ~table:s.Ast.table ~col:c with
-              | _tree ->
-                  let plo, phi =
-                    Option.value (Hashtbl.find_opt tbl c) ~default:(None, None)
-                  in
-                  if not (Hashtbl.mem tbl c) then order := c :: !order;
-                  Hashtbl.replace tbl c
-                    (merge_bound (fun d -> d > 0) plo lo, merge_bound (fun d -> d < 0) phi hi)
-              | exception Not_found -> ())
+          | Some (c, lo, hi) ->
+              if Encdb.has_index db ~table:s.Ast.table ~col:c then begin
+                let plo, phi =
+                  Option.value (Hashtbl.find_opt tbl c) ~default:(None, None)
+                in
+                if not (Hashtbl.mem tbl c) then order := c :: !order;
+                Hashtbl.replace tbl c
+                  (merge_bound (fun d -> d > 0) plo lo, merge_bound (fun d -> d < 0) phi hi)
+              end
           | None -> ())
         (conjuncts where);
       (match List.rev !order with
@@ -289,15 +288,9 @@ let candidate_rows db ~mode (s : Ast.select) plan =
       | Ok rows -> Ok rows
       | Error e -> Error e)
 
-let run_select db ~mode (s : Ast.select) =
-  let* tbl =
-    match Encdb.table db s.Ast.table with
-    | t -> Ok t
-    | exception Not_found -> Error (Printf.sprintf "unknown table %s" s.Ast.table)
-  in
-  let schema = Etable.schema tbl in
-  let plan = plan_of_select db s in
-  let* candidates = candidate_rows db ~mode s plan in
+(* residual filter, order, limit, projection — shared between the locked
+   executor and the snapshot fast path, so both produce identical bytes *)
+let finish_select schema (s : Ast.select) candidates =
   (* residual filter: the full predicate, always *)
   let* filtered =
     match s.Ast.where with
@@ -335,6 +328,52 @@ let run_select db ~mode (s : Ast.select) =
         take n ordered
   in
   project schema s limited
+
+let run_select db ~mode (s : Ast.select) =
+  let* tbl =
+    match Encdb.table db s.Ast.table with
+    | t -> Ok t
+    | exception Not_found -> Error (Printf.sprintf "unknown table %s" s.Ast.table)
+  in
+  let schema = Etable.schema tbl in
+  let plan = plan_of_select db s in
+  let* candidates = candidate_rows db ~mode s plan in
+  finish_select schema s candidates
+
+(* --- snapshot fast path ---------------------------------------------------
+
+   A point lookup — SELECT with WHERE exactly [col = literal] — can be
+   answered from a shard's published {!Snapshot.t} without the shard lock.
+   The candidate set is what the planner would produce (the index's
+   duplicate list, or an ascending full scan when the column is
+   unindexed), and the tail is {!finish_select} itself, so the bytes
+   match the locked executor's.  Anything else returns [None] and falls
+   through. *)
+
+let exec_snapshot snap stmt =
+  match stmt with
+  | Ast.Select s -> (
+      match s.Ast.where with
+      | Some (Ast.Cmp (Ast.Eq, Ast.Col c, Ast.Lit v))
+      | Some (Ast.Cmp (Ast.Eq, Ast.Lit v, Ast.Col c)) -> (
+          match Snapshot.table snap s.Ast.table with
+          | None -> None
+          | Some ts -> (
+              let schema = Snapshot.schema ts in
+              match Schema.col_index schema c with
+              | exception Not_found ->
+                  (* unknown-column errors depend on scan order; let the
+                     executor report them canonically *)
+                  None
+              | ci ->
+                  let candidates =
+                    match Snapshot.index_probe ts ~col:ci v with
+                    | Some rows -> rows
+                    | None -> Snapshot.all_rows ts
+                  in
+                  Some (finish_select schema s candidates)))
+      | _ -> None)
+  | _ -> None
 
 (* rows matching a WHERE clause, for UPDATE/DELETE *)
 let matching_rows db ~mode ~table where =

@@ -34,6 +34,15 @@ val plan_of_select : Secdb.Encdb.t -> Ast.select -> plan
 val exec_stmt :
   Secdb.Encdb.t -> ?mode:Secdb_query.Walker.mode -> Ast.stmt -> (outcome, string) result
 
+val exec_snapshot : Snapshot.t -> Ast.stmt -> (outcome, string) result option
+(** Answer a point lookup — [SELECT … WHERE col = literal] — from an
+    immutable {!Snapshot.t} instead of the live database: the sharded
+    server's lock-free read path.  The candidate set and the shared
+    filter/order/limit/projection tail reproduce {!exec_stmt}'s result
+    byte for byte on uncorrupted data.  [None] when the statement is not
+    a point select (or the snapshot has never seen the table): the caller
+    must fall back to the locked executor. *)
+
 val exec :
   Secdb.Encdb.t -> ?mode:Secdb_query.Walker.mode -> string -> (outcome, string) result
 (** Parse and execute one statement.  [mode] selects the index walker's

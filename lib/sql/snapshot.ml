@@ -1,0 +1,131 @@
+module Value = Secdb_db.Value
+module Schema = Secdb_db.Schema
+module Etable = Secdb_query.Encrypted_table
+module Encdb = Secdb.Encdb
+module Imap = Map.Make (Int)
+module Smap = Map.Make (String)
+
+(* [keys.(c)] is [Some m] when column [c] is indexed: [m] maps an encoded
+   value to the rows holding it, in the order the index would return them
+   — ascending rows after a rebuild, appended on insert/update.  All maps
+   are immutable, so publishing a snapshot is one atomic store and value
+   arrays are copied before mutation. *)
+type table_snap = {
+  schema : Schema.t;
+  rows : Value.t array Imap.t;
+  keys : int list Smap.t option array;
+}
+
+type t = table_snap Smap.t
+
+let empty = Smap.empty
+let table t name = Smap.find_opt name t
+let schema ts = ts.schema
+
+let all_rows ts = Imap.bindings ts.rows
+
+let index_probe ts ~col v =
+  match ts.keys.(col) with
+  | None -> None
+  | Some m ->
+      let rows = Option.value (Smap.find_opt (Value.encode v) m) ~default:[] in
+      Some (List.map (fun r -> (r, Imap.find r ts.rows)) rows)
+
+(* rebuild one column's key lists from the rows, ascending row order —
+   exactly the order Encdb.create_index bulk-loads (stable sort over an
+   ascending scan keeps duplicates row-ascending) *)
+let build_keys rows col =
+  Smap.map List.rev
+    (Imap.fold
+       (fun row vs m ->
+         let k = Value.encode vs.(col) in
+         Smap.add k (row :: Option.value (Smap.find_opt k m) ~default:[]) m)
+       rows Smap.empty)
+
+let drop_key m k row =
+  match Smap.find_opt k m with
+  | None -> m
+  | Some rows -> (
+      match List.filter (fun r -> r <> row) rows with
+      | [] -> Smap.remove k m
+      | rows -> Smap.add k rows m)
+
+let append_key m k row = Smap.add k (Option.value (Smap.find_opt k m) ~default:[] @ [ row ]) m
+
+let with_table t name f =
+  match Smap.find_opt name t with None -> t | Some ts -> Smap.add name (f ts) t
+
+let apply t (change : Encdb.change) =
+  match change with
+  | Encdb.Created_table schema ->
+      Smap.add schema.Schema.table_name
+        { schema; rows = Imap.empty; keys = Array.make (Schema.ncols schema) None }
+        t
+  | Encdb.Created_index { table; col } ->
+      with_table t table (fun ts ->
+          match Schema.col_index ts.schema col with
+          | ci ->
+              let keys = Array.copy ts.keys in
+              keys.(ci) <- Some (build_keys ts.rows ci);
+              { ts with keys }
+          | exception Not_found -> ts)
+  | Encdb.Inserted { table; row; values } ->
+      with_table t table (fun ts ->
+          let vs = Array.of_list values in
+          let keys =
+            Array.mapi
+              (fun ci m ->
+                Option.map (fun m -> append_key m (Value.encode vs.(ci)) row) m)
+              ts.keys
+          in
+          { ts with rows = Imap.add row vs ts.rows; keys })
+  | Encdb.Updated { table; row; col; value } ->
+      with_table t table (fun ts ->
+          match (Imap.find_opt row ts.rows, Schema.col_index ts.schema col) with
+          | Some old, ci ->
+              let vs = Array.copy old in
+              vs.(ci) <- value;
+              let keys =
+                match ts.keys.(ci) with
+                | None -> ts.keys
+                | Some m ->
+                    (* mirror the index update: the entry moves to the
+                       rightmost position among its new duplicates *)
+                    let m = drop_key m (Value.encode old.(ci)) row in
+                    let keys = Array.copy ts.keys in
+                    keys.(ci) <- Some (append_key m (Value.encode value) row);
+                    keys
+              in
+              { ts with rows = Imap.add row vs ts.rows; keys }
+          | None, _ | (exception Not_found) -> ts)
+  | Encdb.Deleted { table; row } ->
+      with_table t table (fun ts ->
+          match Imap.find_opt row ts.rows with
+          | None -> ts
+          | Some old ->
+              let keys =
+                Array.mapi
+                  (fun ci m -> Option.map (fun m -> drop_key m (Value.encode old.(ci)) row) m)
+                  ts.keys
+              in
+              { ts with rows = Imap.remove row ts.rows; keys })
+
+let of_db db =
+  List.fold_left
+    (fun t name ->
+      let tbl = Encdb.table db name in
+      let schema = Etable.schema tbl in
+      match Etable.select_result tbl (fun _ -> true) with
+      | Error _ -> t (* unreadable table: leave it to the locked path *)
+      | Ok live ->
+          let rows =
+            List.fold_left (fun m (row, vs) -> Imap.add row vs m) Imap.empty live
+          in
+          let keys =
+            Array.init (Schema.ncols schema) (fun ci ->
+                if Encdb.has_index db ~table:name ~col:(Schema.col schema ci).Schema.name
+                then Some (build_keys rows ci)
+                else None)
+          in
+          Smap.add name { schema; rows; keys } t)
+    empty (Encdb.table_names db)

@@ -7,6 +7,7 @@ module Metrics = Secdb_obs.Metrics
 let m_cache_hits = Metrics.counter "pager.cache_hits"
 let m_cache_misses = Metrics.counter "pager.cache_misses"
 let m_evictions = Metrics.counter "pager.evictions"
+let m_writebacks = Metrics.counter "pager.writebacks"
 let m_disk_reads = Metrics.counter "pager.disk_reads"
 let m_disk_writes = Metrics.counter "pager.disk_writes"
 
@@ -19,9 +20,19 @@ type stats = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable evictions : int;
+  mutable writebacks : int;
 }
 
-type frame = { mutable data : bytes; mutable dirty : bool; mutable last_used : int }
+(* Frames form an intrusive doubly-linked LRU list (head = most recently
+   used, tail = eviction victim), so a cache miss evicts in O(1) instead
+   of scanning the whole table. *)
+type frame = {
+  page : int;
+  mutable data : bytes;
+  mutable dirty : bool;
+  mutable lru_prev : frame option; (* towards the head / MRU end *)
+  mutable lru_next : frame option; (* towards the tail / LRU end *)
+}
 
 type t = {
   vf : Vfs.file;
@@ -31,12 +42,14 @@ type t = {
   st : stats;
   mutable npages : int; (* allocated pages, header excluded *)
   mutable free_head : int; (* 0 = none *)
-  mutable clock : int;
+  mutable lru_head : frame option;
+  mutable lru_tail : frame option;
   mutable closed : bool;
 }
 
 let fresh_stats () =
-  { disk_reads = 0; disk_writes = 0; cache_hits = 0; cache_misses = 0; evictions = 0 }
+  { disk_reads = 0; disk_writes = 0; cache_hits = 0; cache_misses = 0; evictions = 0;
+    writebacks = 0 }
 
 let check_open t = if t.closed then invalid_arg "Pager: file is closed"
 
@@ -66,25 +79,51 @@ let write_header t = disk_write t 0 (header_bytes t)
 
 (* --- cache ---------------------------------------------------------------- *)
 
-let touch t frame =
-  t.clock <- t.clock + 1;
-  frame.last_used <- t.clock
+let lru_unlink t f =
+  (match f.lru_prev with
+  | Some p -> p.lru_next <- f.lru_next
+  | None -> t.lru_head <- f.lru_next);
+  (match f.lru_next with
+  | Some n -> n.lru_prev <- f.lru_prev
+  | None -> t.lru_tail <- f.lru_prev);
+  f.lru_prev <- None;
+  f.lru_next <- None
+
+let lru_push_front t f =
+  f.lru_prev <- None;
+  f.lru_next <- t.lru_head;
+  (match t.lru_head with Some h -> h.lru_prev <- Some f | None -> t.lru_tail <- Some f);
+  t.lru_head <- Some f
+
+(* Move to the MRU end.  Already-front frames (the common hot-path case)
+   cost two pointer reads and no writes. *)
+let touch t f =
+  match t.lru_head with
+  | Some h when h == f -> ()
+  | _ ->
+      lru_unlink t f;
+      lru_push_front t f
 
 let evict_one t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun page frame ->
-      match !victim with
-      | Some (_, f) when f.last_used <= frame.last_used -> ()
-      | _ -> victim := Some (page, frame))
-    t.cache;
-  match !victim with
+  match t.lru_tail with
   | None -> ()
-  | Some (page, frame) ->
-      if frame.dirty then disk_write t page frame.data;
-      Hashtbl.remove t.cache page;
+  | Some victim ->
+      if victim.dirty then begin
+        disk_write t victim.page victim.data;
+        t.st.writebacks <- t.st.writebacks + 1;
+        Metrics.incr m_writebacks
+      end;
+      lru_unlink t victim;
+      Hashtbl.remove t.cache victim.page;
       t.st.evictions <- t.st.evictions + 1;
       Metrics.incr m_evictions
+
+let insert_frame t page data ~dirty =
+  if Hashtbl.length t.cache >= t.cache_pages then evict_one t;
+  let f = { page; data; dirty; lru_prev = None; lru_next = None } in
+  lru_push_front t f;
+  Hashtbl.replace t.cache page f;
+  f
 
 let frame_of t page =
   match Hashtbl.find_opt t.cache page with
@@ -96,11 +135,7 @@ let frame_of t page =
   | None ->
       t.st.cache_misses <- t.st.cache_misses + 1;
       Metrics.incr m_cache_misses;
-      if Hashtbl.length t.cache >= t.cache_pages then evict_one t;
-      let f = { data = disk_read t page; dirty = false; last_used = 0 } in
-      touch t f;
-      Hashtbl.add t.cache page f;
-      f
+      insert_frame t page (disk_read t page) ~dirty:false
 
 (* --- API ------------------------------------------------------------------ *)
 
@@ -117,7 +152,8 @@ let create ~path ?(page_size = 4096) ?(cache_pages = 64) ?(vfs = Vfs.unix) () =
       st = fresh_stats ();
       npages = 0;
       free_head = 0;
-      clock = 0;
+      lru_head = None;
+      lru_tail = None;
       closed = false;
     }
   in
@@ -162,7 +198,8 @@ let open_file ~path ?(cache_pages = 64) ?(vfs = Vfs.unix) () =
                   st = fresh_stats ();
                   npages;
                   free_head;
-                  clock = 0;
+                  lru_head = None;
+                  lru_tail = None;
                   closed = false;
                 })
 
@@ -202,10 +239,7 @@ let alloc t =
     t.npages <- t.npages + 1;
     let page = t.npages in
     (* materialise the page in cache as zeros *)
-    if Hashtbl.length t.cache >= t.cache_pages then evict_one t;
-    let f = { data = Bytes.make t.psize '\000'; dirty = true; last_used = 0 } in
-    touch t f;
-    Hashtbl.replace t.cache page f;
+    ignore (insert_frame t page (Bytes.make t.psize '\000') ~dirty:true);
     page
   end
 
@@ -256,4 +290,5 @@ let reset_stats t =
   t.st.disk_writes <- 0;
   t.st.cache_hits <- 0;
   t.st.cache_misses <- 0;
-  t.st.evictions <- 0
+  t.st.evictions <- 0;
+  t.st.writebacks <- 0

@@ -26,6 +26,7 @@ type stats = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable evictions : int;
+  mutable writebacks : int;  (** dirty pages written back at eviction time *)
 }
 
 val magic : string

@@ -10,7 +10,15 @@ let master = "suite-net master key"
 let auth_key = Wire.auth_key_of_master master
 let seed = Int64.of_int Test_seed.seed
 
-let mkdb () = Secdb.Encdb.create ~seed ~master ~profile:(Secdb.Encdb.Fixed Secdb.Encdb.Eax) ()
+let mkdb ?(shard = 0) () =
+  (* disjoint seed and id ranges per shard, as the server API asks *)
+  Secdb.Encdb.create
+    ~seed:(Int64.add seed (Int64.of_int shard))
+    ~master
+    ~profile:(Secdb.Encdb.Fixed Secdb.Encdb.Eax)
+    ~first_table_id:((shard * 1_000_000) + 1)
+    ~first_index_id:((shard * 1_000_000) + 1000)
+    ()
 
 let contains ~affix s =
   let n = String.length affix in
@@ -24,7 +32,7 @@ let with_server ?(config = Server.config ~auth_key ()) ?db f =
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let path = Filename.concat dir "s.sock" in
-  let db = match db with Some db -> db | None -> mkdb () in
+  let db = match db with Some db -> db | None -> fun shard -> mkdb ~shard () in
   let srv =
     match Server.create ~seed:7L ~config ~db (Wire.Unix_sock path) with
     | Ok s -> s
@@ -192,6 +200,10 @@ let script i =
     Wire.Index_lookup { table = t; col = "v"; value = Value.Text (t ^ "-one") };
     Wire.Get_cell { table = t; row = 0; col = "v" };
     Wire.Decrypt_column { table = t; col = "v" };
+    (* point lookups — the snapshot fast path on the server — must stay
+       byte-identical to the in-process dispatcher, indexed or not *)
+    Wire.Sql (Printf.sprintf "SELECT id, v FROM %s WHERE v = '%s-one' ORDER BY id DESC" t t);
+    Wire.Sql (Printf.sprintf "SELECT v FROM %s WHERE id = 1" t);
     Wire.Sql (Printf.sprintf "SELECT count(*) FROM %s" t);
     Wire.Ping (t ^ " done");
   ]
@@ -205,9 +217,9 @@ let client_error_to_result = function
   | Error (Client.Remote (code, msg)) -> Error (code, msg)
   | Error e -> Alcotest.failf "client transport error: %s" (Client.error_to_string e)
 
-let test_pipelined_matches_inprocess () =
+let test_pipelined_matches_inprocess ~shards () =
   let nclients = 4 in
-  with_server @@ fun addr ->
+  with_server ~config:(Server.config ~auth_key ~shards ()) @@ fun addr ->
   let results = Array.make nclients [] in
   let workers =
     List.init nclients (fun i ->
@@ -234,6 +246,54 @@ let test_pipelined_matches_inprocess () =
           Alcotest.failf "client %d request %d: wire result differs from in-process" i j)
       (List.combine expected results.(i))
   done
+
+(* --- snapshot fast path --------------------------------------------------- *)
+
+let counter_value dump name =
+  String.split_on_char '\n' dump
+  |> List.find_map (fun line ->
+         match String.split_on_char ' ' (String.trim line) with
+         | [ "counter"; n; v ] when n = name -> int_of_string_opt v
+         | _ -> None)
+  |> Option.value ~default:0
+
+let test_snapshot_fast_path () =
+  (* metric mutation is gated on the Obs switch; the hit counter is the
+     proof the fast path actually fired *)
+  Secdb_obs.Obs.with_enabled @@ fun () ->
+  with_server ~config:(Server.config ~auth_key ~shards:2 ()) @@ fun addr ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let sql q =
+    match Client.call c (Wire.Sql q) with
+    | Ok (Wire.Outcome o) -> o
+    | Ok _ -> Alcotest.failf "sql %s: unexpected response form" q
+    | Error e -> Alcotest.failf "sql %s: %s" q (Client.error_to_string e)
+  in
+  let stats () =
+    match Client.call c (Wire.Stats `Text) with
+    | Ok (Wire.Stats_dump d) -> d
+    | Ok _ | Error _ -> Alcotest.fail "stats rpc"
+  in
+  ignore (sql "CREATE TABLE kv (k TEXT CLEAR, v TEXT)");
+  ignore (sql "CREATE INDEX ON kv (k)");
+  ignore (sql "INSERT INTO kv VALUES ('a', 'one')");
+  let hits0 = counter_value (stats ()) "shard.snapshot_hits" in
+  (match sql "SELECT v FROM kv WHERE k = 'a'" with
+  | Secdb_sql.Engine.Rows { rows = [ [ Value.Text "one" ] ]; _ } -> ()
+  | _ -> Alcotest.fail "point select answer");
+  let hits1 = counter_value (stats ()) "shard.snapshot_hits" in
+  Alcotest.(check bool) "served from the snapshot" true (hits1 > hits0);
+  (* read-your-writes on one connection: the snapshot is republished
+     before a mutation's response, so the next select sees it *)
+  ignore (sql "UPDATE kv SET v = 'two' WHERE k = 'a'");
+  (match sql "SELECT v FROM kv WHERE k = 'a'" with
+  | Secdb_sql.Engine.Rows { rows = [ [ Value.Text "two" ] ]; _ } -> ()
+  | _ -> Alcotest.fail "stale read after own write");
+  ignore (sql "DELETE FROM kv WHERE k = 'a'");
+  match sql "SELECT v FROM kv WHERE k = 'a'" with
+  | Secdb_sql.Engine.Rows { rows = []; _ } -> ()
+  | _ -> Alcotest.fail "deleted row still visible through the snapshot"
 
 let test_interleaved_single_connection () =
   (* two in-flight batches interleaved on one connection: responses match
@@ -341,7 +401,11 @@ let suites =
     ( "net:server",
       [
         Alcotest.test_case "pipelined clients match the in-process path" `Quick
-          test_pipelined_matches_inprocess;
+          (test_pipelined_matches_inprocess ~shards:1);
+        Alcotest.test_case "pipelined clients match across 4 shards" `Quick
+          (test_pipelined_matches_inprocess ~shards:4);
+        Alcotest.test_case "point lookups ride the snapshot fast path" `Quick
+          test_snapshot_fast_path;
         Alcotest.test_case "interleaved batches match responses by id" `Quick
           test_interleaved_single_connection;
         Alcotest.test_case "tampered request -> auth error, connection survives" `Quick

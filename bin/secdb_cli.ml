@@ -146,12 +146,21 @@ let digest_cmd =
 let attack_cmd =
   let which =
     Arg.(
-      required
+      value
       & pos 0 (some (enum [ ("A1", `A1); ("A2", `A2); ("A3", `A3); ("A6", `A6); ("A7", `A7) ]))
           None
       & info [] ~docv:"ATTACK" ~doc:"One of A1, A2, A3, A6, A7.")
   in
-  let run which =
+  let range =
+    Arg.(
+      value & flag
+      & info [ "range" ]
+          ~doc:
+            "Report the bucketized range index's leakage bench (fixed seed): order/value \
+             recovery and histogram distance against their pinned bounds; exits 1 if any \
+             score is out of bounds.")
+  in
+  let run_one which =
     let rng = Secdb_util.Rng.create ~seed:1L () in
     let key = Xbytes.of_hex "000102030405060708090a0b0c0d0e0f" in
     let aes = Secdb_cipher.Aes.cipher ~key in
@@ -210,9 +219,25 @@ let attack_cmd =
         Printf.printf "keystream reuse recovered: %S\n"
           (Xbytes.take (String.length v2) (Secdb_attacks.Keystream_reuse.crib_drag ~known:v1 ~xor:x))
   in
+  let run range which =
+    if range then begin
+      let lines = Secdb_attacks.Range_leak.bench () in
+      print_string (Secdb_attacks.Range_leak.render lines);
+      if not (List.for_all Secdb_attacks.Range_leak.within lines) then exit 1
+    end
+    else
+      match which with
+      | None ->
+          prerr_endline "attack: expected one of A1, A2, A3, A6, A7 or --range";
+          exit 2
+      | Some w -> run_one w
+  in
   Cmd.v
-    (Cmd.info "attack" ~doc:"Run one of the paper's attacks against the broken schemes.")
-    Term.(const run $ which)
+    (Cmd.info "attack"
+       ~doc:
+         "Run one of the paper's attacks against the broken schemes, or report the range \
+          index's leakage bench with --range.")
+    Term.(const run $ range $ which)
 
 let sql_cmd =
   let script =

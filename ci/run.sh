@@ -30,8 +30,11 @@ dune build @kat
 step "perf equivalence checks"
 dune exec bench/perf.exe -- --fast --check
 
+step "leakage bounds (range index attack bench, fixed seeds)"
+dune build @leakage
+
 step "crash-safety matrix (explicit rerun of the durability suites)"
-dune exec -- test/test_main.exe test 'storage:crash|storage:fsck'
+dune exec -- test/test_main.exe test 'storage:crash|storage:fsck|storage:paged'
 
 step "serve smoke (networked client/server end to end)"
 ci/serve_smoke.sh

@@ -1,0 +1,20 @@
+The range-leakage report is deterministic (fixed seed) and every score
+sits inside its pinned interval.  Uniform data leaks order to bucket
+granularity (about 1 - 1/8 for 8 buckets) and nothing else; skew leaks
+more order and pins most entries exactly; the B+-tree reference leaks
+the total order — the baseline the bucketized structure improves on:
+
+  $ secdb_cli attack --range
+  order-recovered/uniform-8      0.8769  [0.8500, 0.9000]  ok
+  value-recovered/uniform-8      0.0000  [0.0000, 0.0200]  ok
+  hist-distance/uniform-8        0.0000  [0.0000, 0.0100]  ok
+  order-recovered/skewed-8       0.9400  [0.9000, 0.9700]  ok
+  value-recovered/skewed-8       0.7012  [0.6500, 0.8000]  ok
+  hist-distance/skewed-8         0.0000  [0.0000, 0.0100]  ok
+  order-recovered/bptree-ref     1.0000  [0.9990, 1.0000]  ok
+
+Without --range the command still wants one of the paper's attacks:
+
+  $ secdb_cli attack
+  attack: expected one of A1, A2, A3, A6, A7 or --range
+  [2]

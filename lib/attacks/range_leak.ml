@@ -1,0 +1,192 @@
+open Secdb_util
+module Rtree = Secdb_index.Range_tree
+module Bptree = Secdb_index.Bptree
+module Value = Secdb_db.Value
+module Address = Secdb_db.Address
+
+type report = {
+  entries : int;
+  nbuckets : int;
+  order_pairs : int;
+  order_recovered : float;
+  value_recovered : float;
+  hist_distance : float;
+}
+
+let attack ~tree ~truth ~distribution =
+  let observed = Rtree.observed tree in
+  let entries = List.length observed in
+  let nbuckets = Rtree.nbuckets tree in
+  (* (truth value, observed bucket) per entry, in seq order *)
+  let pairs =
+    Array.of_list
+      (List.map
+         (fun (seq, bucket) ->
+           if seq < 0 || seq >= Array.length truth then
+             invalid_arg "Range_leak.attack: truth does not cover an observed seq";
+           (truth.(seq), bucket))
+         observed)
+  in
+  (* order: a pair split across buckets is ordered with certainty
+     (bucketization preserves order); same-bucket pairs give nothing *)
+  let order_pairs = ref 0 and ordered = ref 0 in
+  let n = Array.length pairs in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let vi, bi = pairs.(i) and vj, bj = pairs.(j) in
+      if Value.compare vi vj <> 0 then begin
+        incr order_pairs;
+        if bi <> bj then incr ordered
+      end
+    done
+  done;
+  (* values: a bucket whose slice of the public distribution is a single
+     distinct value gives away every entry in it; score only correct
+     assignments *)
+  let candidates = Array.make nbuckets [] in
+  List.iter
+    (fun (v, count) ->
+      if count > 0 then
+        let b = Rtree.bucket_of tree v in
+        candidates.(b) <- v :: candidates.(b))
+    distribution;
+  let value_hits = ref 0 in
+  Array.iter
+    (fun (v, b) ->
+      match candidates.(b) with
+      | [ only ] when Value.compare only v = 0 -> incr value_hits
+      | _ -> ())
+    pairs;
+  (* histogram: total-variation distance between the observed bucket
+     histogram and the distribution-predicted one *)
+  let observed_hist = Array.map float_of_int (Rtree.bucket_counts tree) in
+  let predicted_hist = Array.make nbuckets 0.0 in
+  let dist_total =
+    List.fold_left
+      (fun acc (v, count) ->
+        predicted_hist.(Rtree.bucket_of tree v) <-
+          predicted_hist.(Rtree.bucket_of tree v) +. float_of_int count;
+        acc + count)
+      0 distribution
+  in
+  let tv = ref 0.0 in
+  for b = 0 to nbuckets - 1 do
+    let o = if entries = 0 then 0.0 else observed_hist.(b) /. float_of_int entries in
+    let p = if dist_total = 0 then 0.0 else predicted_hist.(b) /. float_of_int dist_total in
+    tv := !tv +. abs_float (o -. p)
+  done;
+  let frac num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
+  {
+    entries;
+    nbuckets;
+    order_pairs = !order_pairs;
+    order_recovered = frac !ordered !order_pairs;
+    value_recovered = frac !value_hits entries;
+    hist_distance = !tv /. 2.0;
+  }
+
+let bptree_order_leak values =
+  let tree = Bptree.create ~id:0 ~codec:Bptree.plain_codec () in
+  List.iteri (fun row v -> Bptree.insert tree v ~table_row:row) values;
+  (* the leaf chain is public structure: its enumeration order is the
+     adversary's inferred order *)
+  let chain = Array.of_list (Bptree.range tree ()) in
+  let n = Array.length chain in
+  let pairs = ref 0 and correct = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let vi, _ = chain.(i) and vj, _ = chain.(j) in
+      let c = Value.compare vi vj in
+      if c <> 0 then begin
+        incr pairs;
+        if c < 0 then incr correct
+      end
+    done
+  done;
+  if !pairs = 0 then 0.0 else float_of_int !correct /. float_of_int !pairs
+
+(* --- the pinned bench ----------------------------------------------------- *)
+
+type line = { label : string; score : float; lo : float; hi : float }
+
+let within l = l.score >= l.lo && l.score <= l.hi
+
+(* an AEAD sealer over fresh keys — the deployed configuration, so the
+   bench exercises the sealed path rather than plaintext buckets *)
+let aead_sealer rng ~tree_id =
+  let aead = Secdb_aead.Eax.make (Secdb_cipher.Aes_fast.cipher ~key:(Rng.bytes rng 16)) in
+  let nonce = Secdb_aead.Nonce.of_rng rng ~size:aead.Secdb_aead.Aead.nonce_size in
+  let scheme = Secdb_schemes.Fixed_cell.make ~aead ~nonce () in
+  let addr ~seq ~bucket = Address.v ~table:tree_id ~row:seq ~col:bucket in
+  {
+    Rtree.sealer_name = scheme.Secdb_schemes.Cell_scheme.name;
+    seal = (fun ~seq ~bucket p -> scheme.Secdb_schemes.Cell_scheme.encrypt (addr ~seq ~bucket) p);
+    unseal =
+      (fun ~seq ~bucket c -> scheme.Secdb_schemes.Cell_scheme.decrypt (addr ~seq ~bucket) c);
+  }
+
+let multiset values =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun v ->
+      let k = Value.encode v in
+      match Hashtbl.find_opt tbl k with
+      | Some r -> incr r
+      | None ->
+          Hashtbl.add tbl k (ref 1);
+          order := v :: !order)
+    values;
+  List.rev_map (fun v -> (v, !(Hashtbl.find tbl (Value.encode v)))) !order
+
+let build rng ~tree_id ~buckets values =
+  let boundaries = Rtree.quantile_boundaries ~buckets values in
+  let tree = Rtree.create ~id:tree_id ~sealer:(aead_sealer rng ~tree_id) ~boundaries () in
+  List.iteri (fun row v -> Rtree.insert tree v ~table_row:row) values;
+  tree
+
+let bench ?(seed = 0x5eed_ab1eL) () =
+  let rng = Rng.create ~seed () in
+  (* uniform: 512 draws over a 4096-value domain, 8 buckets — the generic
+     workload.  Order leaks to bucket granularity (≈ 1 - 1/8), values and
+     histogram leak nothing beyond public knowledge. *)
+  let uniform = List.init 512 (fun _ -> Value.Int (Int64.of_int (Rng.int rng 4096))) in
+  let utree = build rng ~tree_id:1 ~buckets:8 uniform in
+  let ureport =
+    attack ~tree:utree ~truth:(Array.of_list uniform) ~distribution:(multiset uniform)
+  in
+  (* skewed: three heavy values dominate 512 draws, 8 buckets — quantile
+     cutting isolates heavy values in their own buckets, and the public
+     distribution then pins every entry there exactly *)
+  let skewed =
+    List.init 512 (fun _ ->
+        let r = Rng.int rng 100 in
+        let v = if r < 40 then 7 else if r < 70 then 13 else if r < 90 then 42 else Rng.int rng 4096 in
+        Value.Int (Int64.of_int v))
+  in
+  let stree = build rng ~tree_id:2 ~buckets:8 skewed in
+  let sreport =
+    attack ~tree:stree ~truth:(Array.of_list skewed) ~distribution:(multiset skewed)
+  in
+  [
+    (* uniform order: 1 - 1/k = 0.875 for 8 equal buckets, measured 0.877 *)
+    { label = "order-recovered/uniform-8"; score = ureport.order_recovered; lo = 0.85; hi = 0.90 };
+    { label = "value-recovered/uniform-8"; score = ureport.value_recovered; lo = 0.0; hi = 0.02 };
+    { label = "hist-distance/uniform-8"; score = ureport.hist_distance; lo = 0.0; hi = 0.01 };
+    (* skew leaks MORE order: heavy values sit alone in their buckets, so
+       nearly every distinct pair crosses buckets (measured 0.940) *)
+    { label = "order-recovered/skewed-8"; score = sreport.order_recovered; lo = 0.90; hi = 0.97 };
+    { label = "value-recovered/skewed-8"; score = sreport.value_recovered; lo = 0.65; hi = 0.80 };
+    { label = "hist-distance/skewed-8"; score = sreport.hist_distance; lo = 0.0; hi = 0.01 };
+    { label = "order-recovered/bptree-ref"; score = bptree_order_leak uniform; lo = 0.999; hi = 1.0 };
+  ]
+
+let render lines =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun l ->
+      Buffer.add_string b
+        (Printf.sprintf "%-28s %8.4f  [%.4f, %.4f]  %s\n" l.label l.score l.lo l.hi
+           (if within l then "ok" else "OUT OF BOUNDS")))
+    lines;
+  Buffer.contents b

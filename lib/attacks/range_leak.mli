@@ -1,0 +1,80 @@
+(** Quantifying the leakage of the bucketized range index.
+
+    {!Secdb_index.Range_tree} trades leakage for range-query speed on
+    purpose: the storage adversary sees each entry's bucket (its plaintext
+    rank to bucket granularity), the insertion sequence, the plaintext
+    bucket boundaries and hence the bucket histogram — and nothing else.
+    This module turns that surface into numbers so the trade is pinned
+    instead of hand-waved:
+
+    - {e order recovered} — of all entry pairs holding distinct values,
+      the fraction whose relative order the adversary infers (bucketization
+      is order-preserving, so any pair split across two buckets is ordered
+      with certainty; same-bucket pairs yield nothing).  With [k]
+      equally-filled buckets this tends to [1 - 1/k] — the score grows
+      with the bucket count, which is the leakage/performance dial.
+    - {e value recovered} — entries the adversary assigns an exact
+      plaintext, by intersecting the public value distribution with the
+      bucket boundaries: a bucket whose boundary span contains a single
+      distinct value gives away every entry in it.  Near zero for smooth
+      distributions, grows with skew.
+    - {e histogram distance} — total-variation distance between the
+      observed bucket histogram and the one predicted from the public
+      distribution.  Near zero: the histogram is {e fully} explained by
+      public knowledge, i.e. it contains no extra secret-dependent signal
+      (a large value would mean the model of the leakage is wrong).
+
+    For calibration, {!bptree_order_leak} scores the same workload stored
+    in a B⁺-tree index whose node structure is visible (the repository's
+    exact index): the leaf chain reveals the {e total} order — 1.0 — which
+    is what the bucketized structure improves on.
+
+    The fixed-seed {!bench} drives the [@leakage] alias and the
+    [secdb attack --range] CLI report; CI fails when any score leaves its
+    declared interval — above means more leakage than the design admits,
+    below means the harness stopped measuring. *)
+
+type report = {
+  entries : int;  (** sealed entries observed *)
+  nbuckets : int;
+  order_pairs : int;  (** entry pairs with distinct plaintext values *)
+  order_recovered : float;  (** fraction of those pairs ordered by the adversary *)
+  value_recovered : float;  (** fraction of entries assigned their exact value *)
+  hist_distance : float;  (** TV distance, observed vs predicted histogram *)
+}
+
+val attack :
+  tree:Secdb_index.Range_tree.t ->
+  truth:Secdb_db.Value.t array ->
+  distribution:(Secdb_db.Value.t * int) list ->
+  report
+(** [truth.(i)] is the plaintext behind sequence number [i] (insertion
+    order), used only to score the adversary's inferences; the adversary
+    itself sees {!Secdb_index.Range_tree.observed}, the boundaries and the
+    public [distribution] (value, multiplicity). *)
+
+val bptree_order_leak : Secdb_db.Value.t list -> float
+(** Fraction of distinct-value pairs whose order the B⁺-tree leaf chain
+    reveals for this workload — the reference point (expected 1.0: the
+    chain {e is} the sorted order). *)
+
+(** {2 The pinned bench} *)
+
+type line = {
+  label : string;
+  score : float;
+  lo : float;  (** scores below: the harness stopped measuring — fail *)
+  hi : float;  (** scores above: more leakage than documented — fail *)
+}
+
+val within : line -> bool
+
+val bench : ?seed:int64 -> unit -> line list
+(** Fixed workloads (uniform and skewed integers, AEAD-sealed buckets, a
+    B⁺-tree reference) scored with their declared bounds.  Deterministic
+    for a given [seed]; the default seed is what CI and the cram test
+    pin. *)
+
+val render : line list -> string
+(** Stable text rendering of a bench run — one [label score [lo, hi] ok?]
+    line each — shared by the CLI and the [@leakage] gate. *)

@@ -49,6 +49,7 @@ let all_profiles =
   ]
 
 module Pbt = Secdb_storage.Paged_bptree
+module Rtree = Secdb_index.Range_tree
 
 (* Where index entries live: on the heap (the historical default), or in
    AEAD-sealed nodes on pager pages — the paper's Section 4 fix applied
@@ -62,6 +63,7 @@ type index_impl = Mem of Bptree.t | Paged_tree of Pbt.t
 type change =
   | Created_table of Schema.t
   | Created_index of { table : string; col : string }
+  | Created_range_index of { table : string; col : string }
   | Inserted of { table : string; row : int; values : Value.t list }
   | Updated of { table : string; row : int; col : string; value : Value.t }
   | Deleted of { table : string; row : int }
@@ -74,6 +76,7 @@ type t = {
   mu : Address.mu;
   tables : (string, Etable.t) Hashtbl.t;
   indexes : (string * string, index_impl) Hashtbl.t;
+  range_indexes : (string * string, Rtree.t) Hashtbl.t;
   index_hists : (string * string, Secdb_query.Histogram.t) Hashtbl.t;
   backing : index_backing;
   mutable index_pager : Secdb_storage.Pager.t option;
@@ -92,6 +95,7 @@ let create ?(seed = 1L) ?(order = 4) ?(index_backing = Memory) ?(first_table_id 
     mu = Address.mu_sha1 ~width:16;
     tables = Hashtbl.create 8;
     indexes = Hashtbl.create 8;
+    range_indexes = Hashtbl.create 8;
     index_hists = Hashtbl.create 8;
     backing = index_backing;
     index_pager = None;
@@ -287,6 +291,77 @@ let create_index t ~table:name ~col =
 
 let has_index t ~table:name ~col = Hashtbl.mem t.indexes (name, col)
 
+(* --- bucketized range indexes -------------------------------------------- *)
+
+(* The ESEDS-style structure seals every entry under its own AEAD cell
+   with the (tree id, sequence, bucket) triple as the authenticated
+   address, so relocating an entry — the rank-shifting attack — fails to
+   decrypt.  Keys are derived per index, independent of the cell and
+   per-entry index keys; legacy profiles (which predate AEAD) get EAX,
+   like the paged-node seal. *)
+let range_sealer t ~table_id ~col_id ~tree_id =
+  let key =
+    Keyring.derive t.keyring ~label:(Printf.sprintf "rix-key:%d:%d" table_id col_id) ~length:16
+  in
+  let mac_key =
+    Keyring.derive t.keyring ~label:(Printf.sprintf "rix-mac:%d:%d" table_id col_id) ~length:16
+  in
+  let which = match t.profile with Fixed w -> w | _ -> Eax in
+  let aead = make_aead which ~key ~mac_key in
+  let nonce = Secdb_aead.Nonce.of_rng t.rng ~size:aead.Secdb_aead.Aead.nonce_size in
+  let scheme = Secdb_schemes.Fixed_cell.make ~aead ~nonce () in
+  let addr ~seq ~bucket = Address.v ~table:tree_id ~row:seq ~col:bucket in
+  {
+    Rtree.sealer_name = scheme.Secdb_schemes.Cell_scheme.name;
+    seal = (fun ~seq ~bucket p -> scheme.Secdb_schemes.Cell_scheme.encrypt (addr ~seq ~bucket) p);
+    unseal =
+      (fun ~seq ~bucket c -> scheme.Secdb_schemes.Cell_scheme.decrypt (addr ~seq ~bucket) c);
+  }
+
+let range_indexes_on t name =
+  Hashtbl.fold
+    (fun (tbl, col) tree acc -> if tbl = name then (col, tree) :: acc else acc)
+    t.range_indexes []
+
+let has_range_index t ~table:name ~col = Hashtbl.mem t.range_indexes (name, col)
+
+let range_index_nbuckets t ~table:name ~col =
+  Option.map Rtree.nbuckets (Hashtbl.find_opt t.range_indexes (name, col))
+
+let range_index t ~table:name ~col =
+  match Hashtbl.find_opt t.range_indexes (name, col) with
+  | Some tree -> tree
+  | None -> raise Not_found
+
+let create_range_index t ~table:name ~col ?(buckets = 16) () =
+  ensure_open t;
+  let tbl = table t name in
+  let schema = Etable.schema tbl in
+  let col_id = Schema.col_index schema col in
+  if Hashtbl.mem t.range_indexes (name, col) then
+    invalid_arg
+      (Printf.sprintf "Encdb.create_range_index: range index on %s.%s already exists" name col);
+  if buckets < 1 then invalid_arg "Encdb.create_range_index: buckets must be >= 1";
+  (* decrypt the column once; boundaries come from the data's quantiles so
+     buckets stay balanced under skew (the leakage is the boundaries plus
+     the per-bucket histogram, see DESIGN.md Sect. 13) *)
+  let entries = ref [] in
+  for row = Etable.nrows tbl - 1 downto 0 do
+    if Etable.is_live tbl ~row then
+      entries := (Etable.get_exn tbl ~row ~col:col_id, row) :: !entries
+  done;
+  let boundaries = Rtree.quantile_boundaries ~buckets (List.map fst !entries) in
+  let tree_id = t.next_index_id in
+  t.next_index_id <- tree_id + 1;
+  let sealer = range_sealer t ~table_id:(Etable.id tbl) ~col_id ~tree_id in
+  let tree = Rtree.create ~id:tree_id ~sealer ~boundaries () in
+  List.iter (fun (v, row) -> Rtree.insert tree v ~table_row:row) !entries;
+  if not (Hashtbl.mem t.index_hists (name, col)) then
+    Hashtbl.replace t.index_hists (name, col)
+      (Secdb_query.Histogram.of_values (List.map fst !entries));
+  Hashtbl.add t.range_indexes (name, col) tree;
+  notify t (Created_range_index { table = name; col })
+
 let index t ~table:name ~col =
   match Hashtbl.find_opt t.indexes (name, col) with
   | Some (Mem tree) -> tree
@@ -328,6 +403,14 @@ let insert t ~table:name values =
       hist_add t name col v;
       impl_insert impl v ~table_row:row)
     (indexes_on t name);
+  List.iter
+    (fun (col, rtree) ->
+      let col_id = Schema.col_index (Etable.schema tbl) col in
+      let v = List.nth values col_id in
+      (* the histogram is shared per column; the exact index already fed it *)
+      if not (Hashtbl.mem t.indexes (name, col)) then hist_add t name col v;
+      Rtree.insert rtree v ~table_row:row)
+    (range_indexes_on t name);
   notify t (Inserted { table = name; row; values });
   row
 
@@ -346,6 +429,15 @@ let update t ~table:name ~row ~col value =
           hist_remove t name col old_value;
           hist_add t name col value
       | None -> ());
+      (match Hashtbl.find_opt t.range_indexes (name, col) with
+      | Some rtree ->
+          ignore (Rtree.delete rtree old_value ~table_row:row);
+          Rtree.insert rtree value ~table_row:row;
+          if not (Hashtbl.mem t.indexes (name, col)) then begin
+            hist_remove t name col old_value;
+            hist_add t name col value
+          end
+      | None -> ());
       notify t (Updated { table = name; row; col; value });
       Ok ()
 
@@ -362,15 +454,31 @@ let delete_row t ~table:name ~row =
         | Ok v -> collect (((col, impl), v) :: acc) rest
         | Error e -> Error e)
   in
-  match collect [] (indexes_on t name) with
-  | Error e -> Error e
-  | Ok entries ->
+  let collect_range acc =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (col, rtree) :: rest -> (
+          let col_id = Schema.col_index schema col in
+          match Etable.get tbl ~row ~col:col_id with
+          | Ok v -> go (((col, rtree), v) :: acc) rest
+          | Error e -> Error e)
+    in
+    go acc (range_indexes_on t name)
+  in
+  match (collect [] (indexes_on t name), collect_range []) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok entries, Ok range_entries ->
       Etable.delete_row tbl ~row;
       List.iter
         (fun ((col, impl), v) ->
           ignore (impl_delete impl v ~table_row:row);
           hist_remove t name col v)
         entries;
+      List.iter
+        (fun ((col, rtree), v) ->
+          ignore (Rtree.delete rtree v ~table_row:row);
+          if not (Hashtbl.mem t.indexes (name, col)) then hist_remove t name col v)
+        range_entries;
       notify t (Deleted { table = name; row });
       Ok ()
 
@@ -552,6 +660,10 @@ let rotate_master t ~new_master =
     names;
   (* indexes: rebuilt from the re-encrypted tables *)
   Hashtbl.iter (fun (name, col) _ -> create_index fresh ~table:name ~col) t.indexes;
+  Hashtbl.iter
+    (fun (name, col) rtree ->
+      create_range_index fresh ~table:name ~col ~buckets:(Rtree.nbuckets rtree) ())
+    t.range_indexes;
   close t;
   fresh
 
@@ -592,6 +704,19 @@ let select_range t ~table:name ~col ?(mode = Walker.Corrected) ?lo ?hi () =
       | entries -> fetch_rows tbl (List.map snd entries)
       | exception Pbt.Integrity e -> Error e)
   | None -> Error (Printf.sprintf "no index on %s.%s" name col)
+
+let select_range_bucketed t ~table:name ~col ?lo ?hi () =
+  ensure_open t;
+  let tbl = table t name in
+  match Hashtbl.find_opt t.range_indexes (name, col) with
+  | None -> Error (Printf.sprintf "no range index on %s.%s" name col)
+  | Some rtree -> (
+      (* bucket overlap then exact in-tree filter; rows come back ascending,
+         the same visible order as a full scan, so the planner may swap one
+         for the other without changing result bytes *)
+      match Rtree.query rtree ?lo ?hi () with
+      | entries -> fetch_rows tbl (List.map snd entries)
+      | exception Rtree.Integrity e -> Error e)
 
 let select_eq t ~table:name ~col ?(mode = Walker.Corrected) probe =
   ensure_open t;

@@ -59,6 +59,7 @@ type index_backing =
 type change =
   | Created_table of Secdb_db.Schema.t
   | Created_index of { table : string; col : string }
+  | Created_range_index of { table : string; col : string }
   | Inserted of { table : string; row : int; values : Secdb_db.Value.t list }
   | Updated of { table : string; row : int; col : string; value : Secdb_db.Value.t }
   | Deleted of { table : string; row : int }
@@ -125,6 +126,47 @@ val index_selectivity :
     from a per-index {!Secdb_query.Histogram} maintained on every mutation
     (rebuilt by decryption on {!load}).  [None] if the column has no
     index.  Consulted by the SQL planner. *)
+
+(** {2 Bucketized range indexes}
+
+    The ESEDS-style structure of {!Secdb_index.Range_tree}: plaintext
+    bucket boundaries over AEAD-sealed entries, the deliberate trade of
+    bucket-granular order leakage for sub-scan range queries.  Unlike the
+    exact B⁺-tree index (whose node structure reveals the full plaintext
+    order to storage), the leakage here is capped by the bucket count —
+    {!Secdb_attacks.Range_leak} measures it and CI pins the bound.  Range
+    indexes live in memory only; they are not persisted by {!save} /
+    {!save_paged} and must be re-created after {!load}. *)
+
+val create_range_index : t -> table:string -> col:string -> ?buckets:int -> unit -> unit
+(** Build a bucketized range index over a column: decrypt the column once,
+    cut the domain at the data's quantiles (default 16 buckets), seal every
+    (value, row) entry into its bucket.  Later mutations maintain it.
+    @raise Invalid_argument on a duplicate range index or [buckets < 1]. *)
+
+val has_range_index : t -> table:string -> col:string -> bool
+
+val range_index_nbuckets : t -> table:string -> col:string -> int option
+(** Bucket count of the column's range index — the planner's leakage/cost
+    datum, surfaced by EXPLAIN. *)
+
+val range_index : t -> table:string -> col:string -> Secdb_index.Range_tree.t
+(** The structure itself, exposed for the attack bench and tests.
+    @raise Not_found if no range index exists. *)
+
+val select_range_bucketed :
+  t ->
+  table:string ->
+  col:string ->
+  ?lo:Secdb_db.Value.t ->
+  ?hi:Secdb_db.Value.t ->
+  unit ->
+  ((int * Secdb_db.Value.t array) list, string) result
+(** Inclusive range query through the bucketized index: unseal the
+    overlapping buckets, filter exactly, fetch matching rows (ascending
+    row order — a full scan's visible order, so the SQL planner can use
+    either without changing result bytes).  [Error] on integrity failure
+    or when the column has no range index. *)
 
 val insert : t -> table:string -> Secdb_db.Value.t list -> int
 (** Insert a row, updating all indexes on the table; returns the row. *)

@@ -1,0 +1,172 @@
+module Value = Secdb_db.Value
+module Codec = Secdb_db.Codec
+
+type sealer = {
+  sealer_name : string;
+  seal : seq:int -> bucket:int -> string -> string;
+  unseal : seq:int -> bucket:int -> string -> (string, string) result;
+}
+
+let plain_sealer =
+  {
+    sealer_name = "plain";
+    seal = (fun ~seq:_ ~bucket:_ p -> p);
+    unseal = (fun ~seq:_ ~bucket:_ p -> Ok p);
+  }
+
+exception Integrity of string
+
+type entry = { seq : int; stored : string }
+
+type t = {
+  id : int;
+  sealer : sealer;
+  boundaries : Value.t array;
+  buckets : entry list ref array;  (* newest first; reversed on traversal *)
+  mutable next_seq : int;
+  mutable size : int;
+}
+
+let create ~id ~sealer ~boundaries () =
+  for i = 1 to Array.length boundaries - 1 do
+    if Value.compare boundaries.(i - 1) boundaries.(i) >= 0 then
+      invalid_arg "Range_tree.create: boundaries must be strictly increasing"
+  done;
+  {
+    id;
+    sealer;
+    boundaries = Array.copy boundaries;
+    buckets = Array.init (Array.length boundaries + 1) (fun _ -> ref []);
+    next_seq = 0;
+    size = 0;
+  }
+
+let quantile_boundaries ?(buckets = 16) values =
+  if buckets < 1 then invalid_arg "Range_tree.quantile_boundaries: buckets must be >= 1";
+  let sorted = List.stable_sort Value.compare values in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n = 0 || buckets = 1 then [||]
+  else begin
+    let out = ref [] in
+    for j = buckets - 1 downto 1 do
+      let b = arr.(j * n / buckets) in
+      match !out with
+      | prev :: _ when Value.compare b prev >= 0 -> ()
+      | _ -> out := b :: !out
+    done;
+    Array.of_list !out
+  end
+
+let id t = t.id
+let nbuckets t = Array.length t.buckets
+let size t = t.size
+let boundaries t = Array.copy t.boundaries
+
+(* first bucket whose exclusive upper boundary exceeds the value *)
+let bucket_of t v =
+  let n = Array.length t.boundaries in
+  let rec search lo hi =
+    (* invariant: boundaries below [lo] are <= v, boundaries from [hi] are > v *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Value.compare t.boundaries.(mid) v <= 0 then search (mid + 1) hi else search lo mid
+  in
+  search 0 n
+
+let payload v ~table_row =
+  Codec.frame [ Value.encode v; Secdb_util.Xbytes.int_to_be_string ~width:8 table_row ]
+
+let decode_payload p =
+  match Codec.unframe2 p with
+  | Error e -> Error e
+  | Ok (v, row) -> (
+      if String.length row <> 8 then Error "range_tree: malformed row reference"
+      else
+        match Value.decode v with
+        | Error e -> Error e
+        | Ok v -> Ok (v, Secdb_util.Xbytes.be_string_to_int row))
+
+let insert t v ~table_row =
+  let bucket = bucket_of t v in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let stored = t.sealer.seal ~seq ~bucket (payload v ~table_row) in
+  t.buckets.(bucket) := { seq; stored } :: !(t.buckets.(bucket));
+  t.size <- t.size + 1
+
+let unseal_entry t ~bucket e =
+  match t.sealer.unseal ~seq:e.seq ~bucket e.stored with
+  | Error err -> raise (Integrity (Printf.sprintf "range_tree: entry %d: %s" e.seq err))
+  | Ok p -> (
+      match decode_payload p with
+      | Error err -> raise (Integrity (Printf.sprintf "range_tree: entry %d: %s" e.seq err))
+      | Ok vr -> vr)
+
+let delete t v ~table_row =
+  let bucket = bucket_of t v in
+  let rec remove acc = function
+    | [] -> None
+    | e :: rest ->
+        let ev, erow = unseal_entry t ~bucket e in
+        if Value.compare ev v = 0 && erow = table_row then Some (List.rev_append acc rest)
+        else remove (e :: acc) rest
+  in
+  match remove [] !(t.buckets.(bucket)) with
+  | None -> false
+  | Some entries ->
+      t.buckets.(bucket) := entries;
+      t.size <- t.size - 1;
+      true
+
+let query t ?lo ?hi () =
+  let blo = match lo with None -> 0 | Some v -> bucket_of t v in
+  let bhi = match hi with None -> nbuckets t - 1 | Some v -> bucket_of t v in
+  let keep v =
+    (match lo with None -> true | Some l -> Value.compare l v <= 0)
+    && match hi with None -> true | Some h -> Value.compare v h <= 0
+  in
+  let out = ref [] in
+  for bucket = blo to bhi do
+    List.iter
+      (fun e ->
+        let v, row = unseal_entry t ~bucket e in
+        if keep v then out := (v, row, e.seq) :: !out)
+      !(t.buckets.(bucket))
+  done;
+  List.sort (fun (_, r1, s1) (_, r2, s2) -> compare (r1, s1) (r2, s2)) !out
+  |> List.map (fun (v, r, _) -> (v, r))
+
+let bucket_counts t = Array.map (fun b -> List.length !b) t.buckets
+
+let observed t =
+  let out = ref [] in
+  Array.iteri
+    (fun bucket entries -> List.iter (fun e -> out := (e.seq, bucket) :: !out) !entries)
+    t.buckets;
+  List.sort (fun (a, _) (b, _) -> compare a b) !out
+
+let find_seq t seq =
+  let found = ref None in
+  Array.iteri
+    (fun bucket entries ->
+      List.iter (fun e -> if e.seq = seq then found := Some (bucket, e)) !entries)
+    t.buckets;
+  match !found with
+  | Some be -> be
+  | None -> invalid_arg (Printf.sprintf "Range_tree: no stored entry with seq %d" seq)
+
+let replace t ~from_bucket ~to_bucket e stored =
+  t.buckets.(from_bucket) := List.filter (fun e' -> e'.seq <> e.seq) !(t.buckets.(from_bucket));
+  t.buckets.(to_bucket) := { e with stored } :: !(t.buckets.(to_bucket))
+
+let tamper t ~seq ~f =
+  let bucket, e = find_seq t seq in
+  replace t ~from_bucket:bucket ~to_bucket:bucket e (f e.stored)
+
+let relocate t ~seq ~bucket =
+  if bucket < 0 || bucket >= nbuckets t then
+    invalid_arg "Range_tree.relocate: bucket out of range";
+  let from_bucket, e = find_seq t seq in
+  replace t ~from_bucket ~to_bucket:bucket e e.stored

@@ -40,6 +40,7 @@ type stmt =
   | Delete of { table : string; where : expr option }
   | Create_table of { name : string; cols : column_def list }
   | Create_index of { table : string; col : string }
+  | Create_range_index of { table : string; col : string; buckets : int option }
 
 let cmp_name = function
   | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
@@ -71,7 +72,7 @@ let stmt_table = function
   | Select s | Explain s -> s.table
   | Insert { table; _ } | Update { table; _ } | Delete { table; _ } -> table
   | Create_table { name; _ } -> name
-  | Create_index { table; _ } -> table
+  | Create_index { table; _ } | Create_range_index { table; _ } -> table
 
 let pp_select ppf s =
   Fmt.pf ppf "SELECT %s FROM %s%a"
@@ -104,6 +105,10 @@ let pp_stmt ppf = function
                | Secdb_db.Schema.Encrypted -> "")))
         cols
   | Create_index { table; col } -> Fmt.pf ppf "CREATE INDEX ON %s (%s)" table col
+  | Create_range_index { table; col; buckets } ->
+      Fmt.pf ppf "CREATE RANGE INDEX ON %s (%s)%a" table col
+        (Fmt.option (fun ppf n -> Fmt.pf ppf " BUCKETS %d" n))
+        buckets
 
 let sql_literal = function
   | Value.Null -> "NULL"
@@ -179,3 +184,6 @@ let to_sql = function
                   | Secdb_db.Schema.Encrypted -> "ENCRYPTED"))
               cols))
   | Create_index { table; col } -> Printf.sprintf "CREATE INDEX ON %s (%s)" table col
+  | Create_range_index { table; col; buckets } ->
+      Printf.sprintf "CREATE RANGE INDEX ON %s (%s)%s" table col
+        (match buckets with None -> "" | Some n -> Printf.sprintf " BUCKETS %d" n)

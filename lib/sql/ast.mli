@@ -44,6 +44,10 @@ type stmt =
   | Delete of { table : string; where : expr option }
   | Create_table of { name : string; cols : column_def list }
   | Create_index of { table : string; col : string }
+  | Create_range_index of { table : string; col : string; buckets : int option }
+      (** [CREATE RANGE INDEX ON t (c) \[BUCKETS n\]] — the bucketized
+          structure of {!Secdb_index.Range_tree}; [buckets = None] takes
+          the engine's default *)
 
 val sel_item_name : sel_item -> string
 (** Output column header for a select item, e.g. ["count"] of star. *)

@@ -13,6 +13,13 @@ type outcome =
 type plan =
   | Full_scan
   | Index_scan of { col : string; lo : Value.t option; hi : Value.t option; estimate : float }
+  | Range_scan of {
+      col : string;
+      lo : Value.t option;
+      hi : Value.t option;
+      buckets : int;
+      estimate : float;
+    }
 
 let ( let* ) = Result.bind
 
@@ -91,49 +98,62 @@ let merge_bound cmp a b =
   | None, x | x, None -> x
   | Some a, Some b -> Some (if cmp (Value.compare a b) then a else b)
 
+(* accumulate bounds per column passing [eligible], preserving the order
+   columns first appear in the conjuncts *)
+let collect_bounds ~eligible where =
+  let tbl = (Hashtbl.create 4 : (string, Value.t option * Value.t option) Hashtbl.t) in
+  let order = ref [] in
+  List.iter
+    (fun conj ->
+      match bounds_of conj with
+      | Some (c, lo, hi) ->
+          if eligible c then begin
+            let plo, phi = Option.value (Hashtbl.find_opt tbl c) ~default:(None, None) in
+            if not (Hashtbl.mem tbl c) then order := c :: !order;
+            Hashtbl.replace tbl c
+              (merge_bound (fun d -> d > 0) plo lo, merge_bound (fun d -> d < 0) phi hi)
+          end
+      | None -> ())
+    (conjuncts where);
+  List.map (fun c -> (c, Hashtbl.find tbl c)) (List.rev !order)
+
+(* most selective candidate wins, per the maintained histograms *)
+let best_candidate db ~table candidates =
+  let scored =
+    List.map
+      (fun (c, (lo, hi)) ->
+        let estimate =
+          Option.value ~default:1.0 (Encdb.index_selectivity db ~table ~col:c ~lo ~hi)
+        in
+        (estimate, c, lo, hi))
+      candidates
+  in
+  List.fold_left
+    (fun ((be, _, _, _) as best) ((e, _, _, _) as cand) -> if e < be then cand else best)
+    (List.hd scored) (List.tl scored)
+
 let plan_of_select db (s : Ast.select) =
   match s.Ast.where with
   | None -> Full_scan
-  | Some where ->
-      (* accumulate bounds per indexed column, first indexed column wins *)
-      let tbl = (Hashtbl.create 4 : (string, Value.t option * Value.t option) Hashtbl.t) in
-      let order = ref [] in
-      List.iter
-        (fun conj ->
-          match bounds_of conj with
-          | Some (c, lo, hi) ->
-              if Encdb.has_index db ~table:s.Ast.table ~col:c then begin
-                let plo, phi =
-                  Option.value (Hashtbl.find_opt tbl c) ~default:(None, None)
-                in
-                if not (Hashtbl.mem tbl c) then order := c :: !order;
-                Hashtbl.replace tbl c
-                  (merge_bound (fun d -> d > 0) plo lo, merge_bound (fun d -> d < 0) phi hi)
-              end
-          | None -> ())
-        (conjuncts where);
-      (match List.rev !order with
-      | [] -> Full_scan
-      | candidates ->
-          (* most selective candidate first, per the maintained histograms *)
-          let scored =
-            List.map
-              (fun c ->
-                let lo, hi = Hashtbl.find tbl c in
-                let estimate =
-                  Option.value ~default:1.0
-                    (Encdb.index_selectivity db ~table:s.Ast.table ~col:c ~lo ~hi)
-                in
-                (estimate, c, lo, hi))
-              candidates
-          in
-          let estimate, c, lo, hi =
-            List.fold_left
-              (fun ((be, _, _, _) as best) ((e, _, _, _) as cand) ->
-                if e < be then cand else best)
-              (List.hd scored) (List.tl scored)
-          in
-          Index_scan { col = c; lo; hi; estimate })
+  | Some where -> (
+      let table = s.Ast.table in
+      match collect_bounds ~eligible:(fun c -> Encdb.has_index db ~table ~col:c) where with
+      | _ :: _ as candidates ->
+          let estimate, c, lo, hi = best_candidate db ~table candidates in
+          Index_scan { col = c; lo; hi; estimate }
+      | [] -> (
+          (* no exact index applies; fall back to a bucketized range index
+             before surrendering to a full decrypting scan *)
+          match
+            collect_bounds ~eligible:(fun c -> Encdb.has_range_index db ~table ~col:c) where
+          with
+          | [] -> Full_scan
+          | candidates ->
+              let estimate, c, lo, hi = best_candidate db ~table candidates in
+              let buckets =
+                Option.value ~default:1 (Encdb.range_index_nbuckets db ~table ~col:c)
+              in
+              Range_scan { col = c; lo; hi; buckets; estimate }))
 
 let pp_plan ppf = function
   | Full_scan -> Fmt.string ppf "FULL SCAN (decrypt every row)"
@@ -143,6 +163,15 @@ let pp_plan ppf = function
         lo
         (Fmt.option ~none:(Fmt.any "+inf") Value.pp)
         hi estimate
+  | Range_scan { col; lo; hi; buckets; estimate } ->
+      Fmt.pf ppf
+        "RANGE BUCKET SCAN on %s [%a .. %a] over %d buckets (est. selectivity %.2f) + \
+         residual filter"
+        col
+        (Fmt.option ~none:(Fmt.any "-inf") Value.pp)
+        lo
+        (Fmt.option ~none:(Fmt.any "+inf") Value.pp)
+        hi buckets estimate
 
 (* --- projection and aggregation ------------------------------------------ *)
 
@@ -282,6 +311,8 @@ let candidate_rows db ~mode (s : Ast.select) plan =
   match plan with
   | Index_scan { col; lo; hi; estimate = _ } ->
       Encdb.select_range db ~table:s.Ast.table ~col ~mode ?lo ?hi ()
+  | Range_scan { col; lo; hi; buckets = _; estimate = _ } ->
+      Encdb.select_range_bucketed db ~table:s.Ast.table ~col ?lo ?hi ()
   | Full_scan -> (
       let tbl = Encdb.table db s.Ast.table in
       match Etable.select_result tbl (fun _ -> true) with
@@ -342,36 +373,43 @@ let run_select db ~mode (s : Ast.select) =
 
 (* --- snapshot fast path ---------------------------------------------------
 
-   A point lookup — SELECT with WHERE exactly [col = literal] — can be
-   answered from a shard's published {!Snapshot.t} without the shard lock.
-   The candidate set is what the planner would produce (the index's
-   duplicate list, or an ascending full scan when the column is
-   unindexed), and the tail is {!finish_select} itself, so the bytes
-   match the locked executor's.  Anything else returns [None] and falls
-   through. *)
+   A point lookup — SELECT with WHERE exactly [col = literal] — or a
+   single-column range — [col BETWEEN lo AND hi] — can be answered from a
+   shard's published {!Snapshot.t} without the shard lock.  The candidate
+   set is what the planner would produce (the exact index's entries in
+   index order when one exists, otherwise an ascending full scan — which
+   is also the visible order of a RANGE BUCKET SCAN, so range-indexed
+   columns need no snapshot mirror), and the tail is {!finish_select}
+   itself, so the bytes match the locked executor's.  Anything else
+   returns [None] and falls through. *)
+
+let snapshot_select snap (s : Ast.select) ~col candidates_of =
+  match Snapshot.table snap s.Ast.table with
+  | None -> None
+  | Some ts -> (
+      let schema = Snapshot.schema ts in
+      match Schema.col_index schema col with
+      | exception Not_found ->
+          (* unknown-column errors depend on scan order; let the executor
+             report them canonically *)
+          None
+      | ci -> Some (finish_select schema s (candidates_of ts ci)))
 
 let exec_snapshot snap stmt =
   match stmt with
   | Ast.Select s -> (
       match s.Ast.where with
       | Some (Ast.Cmp (Ast.Eq, Ast.Col c, Ast.Lit v))
-      | Some (Ast.Cmp (Ast.Eq, Ast.Lit v, Ast.Col c)) -> (
-          match Snapshot.table snap s.Ast.table with
-          | None -> None
-          | Some ts -> (
-              let schema = Snapshot.schema ts in
-              match Schema.col_index schema c with
-              | exception Not_found ->
-                  (* unknown-column errors depend on scan order; let the
-                     executor report them canonically *)
-                  None
-              | ci ->
-                  let candidates =
-                    match Snapshot.index_probe ts ~col:ci v with
-                    | Some rows -> rows
-                    | None -> Snapshot.all_rows ts
-                  in
-                  Some (finish_select schema s candidates)))
+      | Some (Ast.Cmp (Ast.Eq, Ast.Lit v, Ast.Col c)) ->
+          snapshot_select snap s ~col:c (fun ts ci ->
+              match Snapshot.index_probe ts ~col:ci v with
+              | Some rows -> rows
+              | None -> Snapshot.all_rows ts)
+      | Some (Ast.Between (Ast.Col c, Ast.Lit lo, Ast.Lit hi)) ->
+          snapshot_select snap s ~col:c (fun ts ci ->
+              match Snapshot.index_range ts ~col:ci ~lo ~hi with
+              | Some rows -> rows
+              | None -> Snapshot.all_rows ts)
       | _ -> None)
   | _ -> None
 
@@ -447,6 +485,10 @@ let exec_stmt db ?(mode = Walker.Corrected) stmt =
   | Ast.Create_index { table; col } ->
       protect (fun () ->
           Encdb.create_index db ~table ~col;
+          Ok Created)
+  | Ast.Create_range_index { table; col; buckets } ->
+      protect (fun () ->
+          Encdb.create_range_index db ~table ~col ?buckets ();
           Ok Created)
 
 let exec db ?mode input =

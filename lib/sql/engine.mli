@@ -27,20 +27,36 @@ type plan =
               When several indexed columns are constrained the planner
               picks the smallest estimate. *)
     }
+  | Range_scan of {
+      col : string;
+      lo : Secdb_db.Value.t option;
+      hi : Secdb_db.Value.t option;
+      buckets : int;
+      estimate : float;
+    }
+      (** query through a bucketized {!Secdb_index.Range_tree} — chosen
+          only when a constrained column has a range index but no exact
+          index (the exact index answers with fewer false positives).
+          Candidates come back in ascending row order, a full scan's
+          visible order. *)
 
 val plan_of_select : Secdb.Encdb.t -> Ast.select -> plan
 (** Exposed for tests. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+(** The text EXPLAIN prints. *)
 
 val exec_stmt :
   Secdb.Encdb.t -> ?mode:Secdb_query.Walker.mode -> Ast.stmt -> (outcome, string) result
 
 val exec_snapshot : Snapshot.t -> Ast.stmt -> (outcome, string) result option
-(** Answer a point lookup — [SELECT … WHERE col = literal] — from an
-    immutable {!Snapshot.t} instead of the live database: the sharded
-    server's lock-free read path.  The candidate set and the shared
+(** Answer a point lookup — [SELECT … WHERE col = literal] — or a range
+    select — [SELECT … WHERE col BETWEEN lit AND lit] — from an immutable
+    {!Snapshot.t} instead of the live database: the sharded server's
+    lock-free read path.  The candidate set and the shared
     filter/order/limit/projection tail reproduce {!exec_stmt}'s result
     byte for byte on uncorrupted data.  [None] when the statement is not
-    a point select (or the snapshot has never seen the table): the caller
+    of those shapes (or the snapshot has never seen the table): the caller
     must fall back to the locked executor. *)
 
 val exec :

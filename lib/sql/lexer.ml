@@ -21,7 +21,7 @@ let keywords =
     "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "BETWEEN"; "INSERT"; "INTO"; "VALUES";
     "UPDATE"; "SET"; "DELETE"; "CREATE"; "TABLE"; "INDEX"; "ON"; "LIMIT"; "ORDER"; "BY";
     "ASC"; "DESC"; "TRUE"; "FALSE"; "NULL"; "INT"; "TEXT"; "BYTES"; "BOOL"; "ENCRYPTED";
-    "CLEAR"; "EXPLAIN"; "COUNT"; "SUM"; "MIN"; "MAX"; "AVG"; "GROUP";
+    "CLEAR"; "EXPLAIN"; "COUNT"; "SUM"; "MIN"; "MAX"; "AVG"; "GROUP"; "RANGE"; "BUCKETS";
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

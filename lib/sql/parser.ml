@@ -240,7 +240,22 @@ let statement st =
           let col = expect_ident st "a column name" in
           expect_sym st ")";
           Ast.Create_index { table; col }
-      | t -> fail "expected TABLE or INDEX, got %s" (Fmt.str "%a" pp_token t))
+      | Kw "RANGE" ->
+          expect_kw st "INDEX";
+          expect_kw st "ON";
+          let table = expect_ident st "a table name" in
+          expect_sym st "(";
+          let col = expect_ident st "a column name" in
+          expect_sym st ")";
+          let buckets =
+            if accept_kw st "BUCKETS" then
+              match next st with
+              | Int i when i >= 1L && i <= 4096L -> Some (Int64.to_int i)
+              | t -> fail "expected a bucket count in 1..4096, got %s" (Fmt.str "%a" pp_token t)
+            else None
+          in
+          Ast.Create_range_index { table; col; buckets }
+      | t -> fail "expected TABLE, INDEX or RANGE INDEX, got %s" (Fmt.str "%a" pp_token t))
   | t -> fail "expected a statement, got %s" (Fmt.str "%a" pp_token t)
 
 let finish st v =

@@ -31,6 +31,30 @@ let index_probe ts ~col v =
       let rows = Option.value (Smap.find_opt (Value.encode v) m) ~default:[] in
       Some (List.map (fun r -> (r, Imap.find r ts.rows)) rows)
 
+(* the candidate set an INDEX SCAN produces for an inclusive range: value
+   ascending, duplicates in index order.  Encoded keys are decoded back to
+   values for the comparison — {!Value.encode} is injective, so each
+   distinct value is exactly one key. *)
+let index_range ts ~col ~lo ~hi =
+  match ts.keys.(col) with
+  | None -> None
+  | Some m ->
+      let matching =
+        Smap.fold
+          (fun k rows acc ->
+            match Value.decode k with
+            | Error _ -> acc
+            | Ok v ->
+                if Value.compare lo v <= 0 && Value.compare v hi <= 0 then (v, rows) :: acc
+                else acc)
+          m []
+        |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+      in
+      Some
+        (List.concat_map
+           (fun (_, rows) -> List.map (fun r -> (r, Imap.find r ts.rows)) rows)
+           matching)
+
 (* rebuild one column's key lists from the rows, ascending row order —
    exactly the order Encdb.create_index bulk-loads (stable sort over an
    ascending scan keeps duplicates row-ascending) *)
@@ -69,6 +93,12 @@ let apply t (change : Encdb.change) =
               keys.(ci) <- Some (build_keys ts.rows ci);
               { ts with keys }
           | exception Not_found -> ts)
+  | Encdb.Created_range_index _ ->
+      (* the bucketized index's candidate sets come back in ascending row
+         order — the same visible order as a full scan — so the snapshot
+         needs no extra state to mirror a RANGE BUCKET SCAN: {!all_rows}
+         already is that order *)
+      t
   | Encdb.Inserted { table; row; values } ->
       with_table t table (fun ts ->
           let vs = Array.of_list values in

@@ -39,3 +39,14 @@ val index_probe :
   table_snap -> col:int -> Secdb_db.Value.t -> (int * Secdb_db.Value.t array) list option
 (** [None] when the column has no index (caller falls back to
     {!all_rows}); otherwise the rows equal to the probe, in index order. *)
+
+val index_range :
+  table_snap ->
+  col:int ->
+  lo:Secdb_db.Value.t ->
+  hi:Secdb_db.Value.t ->
+  (int * Secdb_db.Value.t array) list option
+(** [None] when the column has no exact index; otherwise the rows with
+    [lo <= v <= hi] in the order an INDEX SCAN yields them — value
+    ascending, duplicates in index order.  (Bucketized range indexes need
+    no snapshot mirror: their candidate order is {!all_rows}'s.) *)

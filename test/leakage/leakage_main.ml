@@ -1,0 +1,14 @@
+(* The leakage gate: run the fixed-seed range-leakage bench and fail when
+   any score leaves its declared interval.  Above the interval means the
+   bucketized index leaks more than its documentation admits; below means
+   the harness stopped measuring (a silent zero is as much a bug as a
+   regression).  `dune build @leakage` — wired into @ci and ci/run.sh. *)
+
+let () =
+  let module R = Secdb_attacks.Range_leak in
+  let lines = R.bench () in
+  print_string (R.render lines);
+  if not (List.for_all R.within lines) then begin
+    prerr_endline "leakage bench: score(s) outside the pinned bounds";
+    exit 1
+  end

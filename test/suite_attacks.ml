@@ -525,3 +525,59 @@ let suites =
       ( "attacks:ref-tamper",
         [ Alcotest.test_case "unauthenticated structure (EXP25)" `Quick test_ref_tamper ] );
     ]
+
+(* --- range-index leakage --------------------------------------------------- *)
+
+module RL = Secdb_attacks.Range_leak
+module RT = Secdb_index.Range_tree
+
+let iv i = Value.Int (Int64.of_int i)
+
+let test_range_leak_scores () =
+  (* every value in its own bucket: order fully recovered, every value
+     pinned by the public distribution *)
+  let t = RT.create ~id:1 ~sealer:RT.plain_sealer ~boundaries:[| iv 10; iv 20 |] () in
+  let truth = [| iv 5; iv 15; iv 25 |] in
+  Array.iteri (fun row v -> RT.insert t v ~table_row:row) truth;
+  let dist = [ (iv 5, 1); (iv 15, 1); (iv 25, 1) ] in
+  let r = RL.attack ~tree:t ~truth ~distribution:dist in
+  Alcotest.(check int) "pairs" 3 r.RL.order_pairs;
+  Alcotest.(check (float 1e-9)) "order fully leaked" 1.0 r.RL.order_recovered;
+  Alcotest.(check (float 1e-9)) "values fully leaked" 1.0 r.RL.value_recovered;
+  Alcotest.(check (float 1e-9)) "histogram explained" 0.0 r.RL.hist_distance;
+  (* one bucket: ordering and values leak nothing *)
+  let t1 = RT.create ~id:2 ~sealer:RT.plain_sealer ~boundaries:[||] () in
+  Array.iteri (fun row v -> RT.insert t1 v ~table_row:row) truth;
+  let r1 = RL.attack ~tree:t1 ~truth ~distribution:dist in
+  Alcotest.(check (float 1e-9)) "no order" 0.0 r1.RL.order_recovered;
+  Alcotest.(check (float 1e-9)) "no values" 0.0 r1.RL.value_recovered;
+  (* duplicates never form an orderable pair *)
+  let t2 = RT.create ~id:3 ~sealer:RT.plain_sealer ~boundaries:[| iv 10 |] () in
+  let dup = [| iv 5; iv 5 |] in
+  Array.iteri (fun row v -> RT.insert t2 v ~table_row:row) dup;
+  Alcotest.(check int) "no distinct pairs" 0
+    (RL.attack ~tree:t2 ~truth:dup ~distribution:[ (iv 5, 2) ]).RL.order_pairs
+
+let test_range_leak_bench () =
+  let lines = RL.bench () in
+  Alcotest.(check int) "seven pinned lines" 7 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l.RL.label ^ " within bounds") true (RL.within l))
+    lines;
+  (* determinism: same seed, same scores *)
+  Alcotest.(check bool) "deterministic" true
+    (List.map (fun l -> l.RL.score) lines = List.map (fun l -> l.RL.score) (RL.bench ()));
+  (* the reference structure leaks the total order *)
+  Alcotest.(check (float 1e-9)) "b+-tree reference" 1.0
+    (RL.bptree_order_leak (List.init 30 (fun i -> iv ((i * 7) mod 30))))
+
+let suites =
+  suites
+  @ [
+      ( "attacks:range-leak",
+        [
+          Alcotest.test_case "scores on crafted workloads" `Quick test_range_leak_scores;
+          Alcotest.test_case "pinned bench in bounds" `Quick test_range_leak_bench;
+        ] );
+    ]

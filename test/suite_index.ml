@@ -267,3 +267,109 @@ let suites =
       ( "index:client-walk-range",
         [ Alcotest.test_case "range over the protocol" `Quick test_client_walk_range ] );
     ]
+
+(* --- bucketized range tree -------------------------------------------------- *)
+
+module RT = Secdb_index.Range_tree
+
+(* an AEAD sealer binding each payload to (tree id, seq, bucket) — the
+   configuration Encdb deploys, so tamper/relocate detection is real *)
+let rt_sealer ~tree_id =
+  let rng = Secdb_util.Rng.create ~seed:77L () in
+  let aead = Secdb_aead.Eax.make (Secdb_cipher.Aes_fast.cipher ~key:(Secdb_util.Rng.bytes rng 16)) in
+  let nonce = Secdb_aead.Nonce.of_rng rng ~size:aead.Secdb_aead.Aead.nonce_size in
+  let scheme = Secdb_schemes.Fixed_cell.make ~aead ~nonce () in
+  let addr ~seq ~bucket = Secdb_db.Address.v ~table:tree_id ~row:seq ~col:bucket in
+  {
+    RT.sealer_name = scheme.Secdb_schemes.Cell_scheme.name;
+    seal = (fun ~seq ~bucket p -> scheme.Secdb_schemes.Cell_scheme.encrypt (addr ~seq ~bucket) p);
+    unseal =
+      (fun ~seq ~bucket c -> scheme.Secdb_schemes.Cell_scheme.decrypt (addr ~seq ~bucket) c);
+  }
+
+let rt_fill ?(sealer = rt_sealer ~tree_id:9) ?(boundaries = [| iv 25; iv 50; iv 75 |]) n =
+  let t = RT.create ~id:9 ~sealer ~boundaries () in
+  for row = 0 to n - 1 do
+    RT.insert t (iv ((row * 37) mod 100)) ~table_row:row
+  done;
+  t
+
+let test_range_tree_roundtrip () =
+  let t = rt_fill 200 in
+  Alcotest.(check int) "buckets" 4 (RT.nbuckets t);
+  Alcotest.(check int) "size" 200 (RT.size t);
+  (* unbounded query = everything, ascending table row *)
+  let all = RT.query t () in
+  Alcotest.(check int) "all entries" 200 (List.length all);
+  Alcotest.(check bool) "row ascending" true
+    (List.for_all2
+       (fun (_, r1) (_, r2) -> r1 < r2)
+       (List.filteri (fun i _ -> i < List.length all - 1) all)
+       (List.tl all));
+  (* windows are inclusive and exact (bucket overlap filtered away) *)
+  let w = RT.query t ~lo:(iv 30) ~hi:(iv 40) () in
+  Alcotest.(check bool) "window exact" true
+    (List.for_all (fun (v, _) -> Value.compare (iv 30) v <= 0 && Value.compare v (iv 40) <= 0) w);
+  (* (row*37) mod 100 cycles with period 100, so each value occurs twice *)
+  Alcotest.(check int) "window count" (2 * 11) (List.length w);
+  Alcotest.(check int) "inverted window" 0 (List.length (RT.query t ~lo:(iv 40) ~hi:(iv 30) ()));
+  (* the leakage surface has the right shape *)
+  Alcotest.(check int) "histogram total" 200 (Array.fold_left ( + ) 0 (RT.bucket_counts t));
+  let obs = RT.observed t in
+  Alcotest.(check int) "observed per entry" 200 (List.length obs);
+  Alcotest.(check bool) "buckets match boundaries" true
+    (List.for_all (fun (seq, bucket) -> bucket = RT.bucket_of t (iv ((seq * 37) mod 100))) obs)
+
+let test_range_tree_delete () =
+  let t = rt_fill 50 in
+  Alcotest.(check bool) "delete hits" true (RT.delete t (iv ((7 * 37) mod 100)) ~table_row:7);
+  Alcotest.(check int) "size down" 49 (RT.size t);
+  Alcotest.(check bool) "row gone" true
+    (List.for_all (fun (_, r) -> r <> 7) (RT.query t ()));
+  Alcotest.(check bool) "absent pair misses" false (RT.delete t (iv 1) ~table_row:999)
+
+let test_range_tree_boundaries () =
+  (match RT.create ~id:1 ~sealer:RT.plain_sealer ~boundaries:[| iv 5; iv 5 |] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-increasing boundaries accepted");
+  let b = RT.quantile_boundaries ~buckets:4 (List.init 100 (fun i -> iv (i mod 10))) in
+  Alcotest.(check bool) "deduplicated, strictly increasing" true
+    (Array.for_all (fun _ -> true) b
+    && Array.length b <= 3
+    && Array.for_all2 (fun x y -> Value.compare x y < 0)
+         (Array.sub b 0 (max 0 (Array.length b - 1)))
+         (Array.sub b (min 1 (Array.length b)) (max 0 (Array.length b - 1))));
+  Alcotest.(check int) "single bucket" 0 (Array.length (RT.quantile_boundaries ~buckets:1 [ iv 1 ]));
+  Alcotest.(check int) "empty input" 0 (Array.length (RT.quantile_boundaries [] ))
+
+let test_range_tree_tamper () =
+  let t = rt_fill 40 in
+  RT.tamper t ~seq:11 ~f:(fun stored -> String.mapi (fun i c -> if i = String.length stored / 2 then Char.chr (Char.code c lxor 1) else c) stored);
+  (match RT.query t () with
+  | exception RT.Integrity _ -> ()
+  | _ -> Alcotest.fail "tampered payload unsealed");
+  (* relocation (rank shifting) also fails: the bucket is associated data *)
+  let t2 = rt_fill 40 in
+  let _, bucket11 = List.nth (RT.observed t2) 11 in
+  let target = if bucket11 = 0 then RT.nbuckets t2 - 1 else 0 in
+  RT.relocate t2 ~seq:11 ~bucket:target;
+  (match RT.query t2 () with
+  | exception RT.Integrity _ -> ()
+  | _ -> Alcotest.fail "relocated payload unsealed");
+  (* the plain sealer detects nothing, by design *)
+  let t3 = rt_fill ~sealer:RT.plain_sealer 40 in
+  let _, b11 = List.nth (RT.observed t3) 11 in
+  RT.relocate t3 ~seq:11 ~bucket:(if b11 = 0 then 1 else 0);
+  Alcotest.(check int) "plain sealer: relocation invisible" 40 (List.length (RT.query t3 ()))
+
+let suites =
+  suites
+  @ [
+      ( "index:range-tree",
+        [
+          Alcotest.test_case "roundtrip and leakage surface" `Quick test_range_tree_roundtrip;
+          Alcotest.test_case "delete" `Quick test_range_tree_delete;
+          Alcotest.test_case "boundaries and quantiles" `Quick test_range_tree_boundaries;
+          Alcotest.test_case "tamper and relocate fail AEAD" `Quick test_range_tree_tamper;
+        ] );
+    ]

@@ -144,7 +144,7 @@ let test_engine_plans () =
    with
   | E.Index_scan { col = "salary"; lo = Some (Value.Int 8800L); hi = Some (Value.Int 9200L); _ } -> ()
   | E.Index_scan _ -> Alcotest.fail "wrong bounds"
-  | E.Full_scan -> Alcotest.fail "should use index");
+  | E.Full_scan | E.Range_scan _ -> Alcotest.fail "should use index");
   (* OR disables the sargable path (kept only under top-level AND) *)
   match E.plan_of_select db
           { A.items = None; group_by = None; table = "staff";
@@ -153,7 +153,7 @@ let test_engine_plans () =
             order_by = None; limit = None }
   with
   | E.Full_scan -> ()
-  | E.Index_scan _ -> Alcotest.fail "OR must not be sargable"
+  | E.Index_scan _ | E.Range_scan _ -> Alcotest.fail "OR must not be sargable"
 
 let test_engine_mutations () =
   let _db, run = setup () in
@@ -381,6 +381,10 @@ let gen_stmt =
          in
          return (A.Create_table { name; cols }));
         map2 (fun t c -> A.Create_index { table = t; col = c }) gen_ident gen_ident;
+        (let* table = gen_ident in
+         let* col = gen_ident in
+         let* buckets = option (int_range 1 4096) in
+         return (A.Create_range_index { table; col; buckets }));
       ])
 
 let prop_roundtrip =
@@ -457,14 +461,14 @@ let test_planner_selectivity () =
   | E.Index_scan { col = "a"; estimate; _ } ->
       Alcotest.(check bool) "a estimated selective" true (estimate < 0.2)
   | E.Index_scan { col; _ } -> Alcotest.fail ("picked " ^ col)
-  | E.Full_scan -> Alcotest.fail "full scan");
+  | E.Full_scan | E.Range_scan _ -> Alcotest.fail "wrong plan");
   (* flip: wide range on a, point value on b that is rare *)
   (match E.exec db "INSERT INTO m VALUES (999, 1, 77)" with Ok _ -> () | Error e -> Alcotest.fail e);
   (match plan "SELECT * FROM m WHERE a >= 0 AND b = 77" with
   | E.Index_scan { col = "b"; estimate; _ } ->
       Alcotest.(check bool) "b estimated selective" true (estimate < 0.5)
   | E.Index_scan { col; _ } -> Alcotest.fail ("picked " ^ col)
-  | E.Full_scan -> Alcotest.fail "full scan");
+  | E.Full_scan | E.Range_scan _ -> Alcotest.fail "wrong plan");
   (* the estimate shows up in EXPLAIN *)
   match E.exec db "EXPLAIN SELECT * FROM m WHERE a BETWEEN 10 AND 20" with
   | Ok (E.Plan p) ->
@@ -479,4 +483,137 @@ let suites =
   @ [
       ( "sql:planner",
         [ Alcotest.test_case "selectivity-aware index choice" `Quick test_planner_selectivity ] );
+    ]
+
+(* --- bucketized range indexes through SQL ---------------------------------- *)
+
+module Snap = Secdb_sql.Snapshot
+
+let test_parse_create_range_index () =
+  (match parse_ok "CREATE RANGE INDEX ON t (v)" with
+  | A.Create_range_index { table = "t"; col = "v"; buckets = None } -> ()
+  | s -> Alcotest.fail (Fmt.str "got %a" A.pp_stmt s));
+  (match parse_ok "create range index on t (v) buckets 32;" with
+  | A.Create_range_index { table = "t"; col = "v"; buckets = Some 32 } -> ()
+  | s -> Alcotest.fail (Fmt.str "got %a" A.pp_stmt s));
+  (match P.parse "CREATE RANGE INDEX ON t (v) BUCKETS 0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "BUCKETS 0 accepted");
+  match P.parse "CREATE RANGE INDEX t (v)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing ON accepted"
+
+let test_engine_range_scan () =
+  let db, run = setup () in
+  (* dept has no exact index: BETWEEN on salary goes through the exact
+     index, BETWEEN on id full-scans until a range index appears *)
+  (match run "CREATE RANGE INDEX ON staff (id) BUCKETS 3" with
+  | E.Created -> ()
+  | r -> Alcotest.fail (Fmt.str "got %a" E.pp_result r));
+  (match run "EXPLAIN SELECT * FROM staff WHERE id BETWEEN 1 AND 4" with
+  | E.Plan p ->
+      Alcotest.(check bool) "range bucket scan" true
+        (String.length p >= 17 && String.sub p 0 17 = "RANGE BUCKET SCAN")
+  | _ -> Alcotest.fail "expected plan");
+  Alcotest.(check (list string)) "range results, row order"
+    [ "grace"; "edsger"; "donald"; "barbara" ]
+    (names (run "SELECT name FROM staff WHERE id BETWEEN 1 AND 4"));
+  (* the exact index outranks the bucketized one on the same column *)
+  (match run "EXPLAIN SELECT * FROM staff WHERE salary BETWEEN 8300 AND 9000" with
+  | E.Plan p -> Alcotest.(check bool) "exact index preferred" true (p.[0] = 'I')
+  | _ -> Alcotest.fail "expected plan");
+  (* maintenance: mutations keep the range index consistent *)
+  ignore (run "INSERT INTO staff VALUES (6, 'tony', 'systems', 8000)");
+  ignore (run "DELETE FROM staff WHERE id = 2");
+  ignore (run "UPDATE staff SET id = 9 WHERE name = 'grace'");
+  Alcotest.(check (list string)) "after mutations" [ "donald"; "barbara"; "alan"; "tony" ]
+    (names (run "SELECT name FROM staff WHERE id BETWEEN 3 AND 7"));
+  (* duplicate registration is refused *)
+  match E.exec db "CREATE RANGE INDEX ON staff (id)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate range index accepted"
+
+let test_snapshot_range_paths () =
+  let db, run = setup () in
+  ignore (run "CREATE RANGE INDEX ON staff (dept)");
+  let check_same sql =
+    let locked =
+      match E.exec db sql with Ok r -> r | Error e -> Alcotest.fail (sql ^ ": " ^ e)
+    in
+    match E.exec_snapshot (Snap.of_db db) (parse_ok sql) with
+    | Some (Ok fast) ->
+        Alcotest.(check bool) (sql ^ " matches locked path") true (fast = locked)
+    | Some (Error e) -> Alcotest.fail (sql ^ " (snapshot): " ^ e)
+    | None -> Alcotest.fail (sql ^ ": snapshot path declined")
+  in
+  (* exact-indexed column: snapshot mirrors the INDEX SCAN's value order *)
+  check_same "SELECT name FROM staff WHERE salary BETWEEN 8300 AND 9000";
+  (* range-indexed column: snapshot mirrors the RANGE BUCKET SCAN's row order *)
+  check_same "SELECT name FROM staff WHERE dept BETWEEN 'q' AND 's'";
+  (* unindexed column: full scan on both sides *)
+  check_same "SELECT name FROM staff WHERE name BETWEEN 'a' AND 'c'";
+  check_same "SELECT name FROM staff WHERE id BETWEEN 2 AND 11 LIMIT 2"
+
+(* BETWEEN answered through the bucketized structure returns exactly what a
+   decrypt-everything point-scan oracle returns, on random workloads *)
+let prop_range_index_oracle =
+  QCheck2.Test.make ~name:"range index BETWEEN = decrypt-all oracle" ~count:40
+    ~print:(fun (vs, lo, hi, buckets) ->
+      Printf.sprintf "values=[%s] lo=%d hi=%d buckets=%d"
+        (String.concat ";" (List.map string_of_int vs))
+        lo hi buckets)
+    QCheck2.Gen.(
+      let* vs = list_size (int_range 0 60) (int_range 0 100) in
+      let* lo = int_range (-5) 105 in
+      let* hi = int_range (-5) 105 in
+      let* buckets = int_range 1 12 in
+      return (vs, lo, hi, buckets))
+    (fun (vs, lo, hi, buckets) ->
+      let mk with_index =
+        let db = Encdb.create ~master:"oracle" ~profile:(Encdb.Fixed Encdb.Eax) () in
+        (match E.exec db "CREATE TABLE w (id INT CLEAR, v INT)" with
+        | Ok _ -> ()
+        | Error e -> failwith e);
+        List.iteri
+          (fun i v ->
+            match E.exec db (Printf.sprintf "INSERT INTO w VALUES (%d, %d)" i v) with
+            | Ok _ -> ()
+            | Error e -> failwith e)
+          vs;
+        if with_index then begin
+          match E.exec db (Printf.sprintf "CREATE RANGE INDEX ON w (v) BUCKETS %d" buckets) with
+          | Ok _ -> ()
+          | Error e -> failwith e
+        end;
+        db
+      in
+      let indexed = mk true and oracle = mk false in
+      let sql = Printf.sprintf "SELECT * FROM w WHERE v BETWEEN %d AND %d" lo hi in
+      let s = match P.parse sql with Ok (A.Select s) -> s | _ -> failwith "parse" in
+      (* the indexed db must actually take the bucketized path (never
+         silently degrade into the trivially-equal full scan) *)
+      (match E.plan_of_select indexed s with
+      | E.Range_scan _ -> ()
+      | p -> failwith (Fmt.str "wrong plan: %a" E.pp_plan p));
+      let run db = match E.exec db sql with Ok r -> r | Error e -> failwith e in
+      let locked = run indexed in
+      if locked <> run oracle then false
+      else
+        (* and the lock-free snapshot path produces the same bytes *)
+        match E.exec_snapshot (Snap.of_db indexed) (A.Select s) with
+        | Some (Ok fast) -> fast = locked
+        | Some (Error e) -> failwith e
+        | None -> failwith "snapshot path declined")
+
+let suites =
+  suites
+  @ [
+      ( "sql:range-index",
+        [
+          Alcotest.test_case "parse CREATE RANGE INDEX" `Quick test_parse_create_range_index;
+          Alcotest.test_case "range bucket scan end to end" `Quick test_engine_range_scan;
+          Alcotest.test_case "snapshot fast path mirrors range plans" `Quick
+            test_snapshot_range_paths;
+          Test_seed.qc prop_range_index_oracle;
+        ] );
     ]

@@ -909,6 +909,70 @@ let bench_server ~fast =
     paged_rate
     (mem_rate /. paged_rate)
 
+let bench_repl ~fast =
+  (* the replication pipeline: the primary's seal+append+fsync rate, then
+     the replica's critical path — sealed records read back from the log,
+     re-verified (CRC, frame, sequence-as-AD, AEAD tag) and applied,
+     routed across 2 shards.  The replica side bounds how fast a replica
+     can catch up; the primary side is the write-path logging overhead. *)
+  let n = if fast then 400 else 3000 in
+  header "Replication pipeline over %d ops (ops/s)" n;
+  let aead = Secdb_aead.Eax.make aes_fast in
+  let nonce = Secdb_aead.Nonce.counter ~size:aead.Secdb_aead.Aead.nonce_size () in
+  let shards = 2 in
+  let mkdb shard =
+    Secdb.Encdb.create ~master:"bench repl" ~profile:(Secdb.Encdb.Fixed Secdb.Encdb.Eax)
+      ~seed:(Int64.of_int (51 + shard))
+      ~first_table_id:((shard * 1_000_000) + 1)
+      ~first_index_id:((shard * 1_000_000) + 1000)
+      ()
+  in
+  let rschema name =
+    Schema.v ~table_name:name
+      [ Schema.column ~protection:Schema.Clear "id" Value.Kint; Schema.column "v" Value.Ktext ]
+  in
+  let ops =
+    Secdb.Oplog.Create_table (rschema "ra")
+    :: Secdb.Oplog.Create_table (rschema "rb")
+    :: List.init n (fun i ->
+           Secdb.Oplog.Insert
+             {
+               table = (if i land 1 = 0 then "ra" else "rb");
+               values = [ Value.Int (Int64.of_int i); Value.Text (Printf.sprintf "v%06d" i) ];
+             })
+  in
+  let ctl = Vfs.Fault.make ~seed:31 () in
+  let w = Secdb.Oplog.create ~vfs:(Vfs.Fault.vfs ctl) ~path:"mem:repl.log" ~aead ~nonce () in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun op -> ignore (Secdb.Oplog.append w op)) ops;
+  let seal_rate = float_of_int (List.length ops) /. (Unix.gettimeofday () -. t0) in
+  let dbs = Array.init shards mkdb in
+  let applied = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let rec pull ack =
+    match Secdb.Oplog.read_sealed w ~from:ack ~max:256 with
+    | [] -> ()
+    | records ->
+        List.iter
+          (fun (seq, sealed) ->
+            match Secdb.Oplog.verify_sealed ~aead ~seq sealed with
+            | Error e -> failwith e
+            | Ok op -> (
+                match Secdb_net.Repl.apply_routed dbs op with
+                | Ok () -> incr applied
+                | Error e -> failwith e))
+          records;
+        pull (ack + List.length records)
+  in
+  pull 0;
+  let apply_rate = float_of_int !applied /. (Unix.gettimeofday () -. t0) in
+  Secdb.Oplog.close w;
+  sample ~section:"repl" ~name:"seal-append" ~qualifier:"mem-vfs" ~unit_:"ops/s" seal_rate;
+  sample ~section:"repl" ~name:"ship-verify-apply" ~qualifier:"2-shards" ~unit_:"ops/s"
+    apply_rate;
+  row "  seal+append %9.0f ops/s   ship+verify+apply %9.0f ops/s (%d ops)" seal_rate apply_rate
+    !applied
+
 (* ------------------------------------------------------------- JSON -- *)
 
 let json_escape s =
@@ -961,6 +1025,9 @@ let write_json ~fast path =
 (* -------------------------------------------------------------- cli -- *)
 
 let () =
+  (* the net benches write to sockets the peer may already have closed;
+     surface that as EPIPE instead of dying on SIGPIPE *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let args = Array.to_list Sys.argv in
   let fast = List.mem "--fast" args in
   let check_only = List.mem "--check" args in
@@ -975,5 +1042,6 @@ let () =
     bench_vfs_overhead ~fast;
     bench_net ~fast;
     bench_server ~fast;
+    bench_repl ~fast;
     write_json ~fast "BENCH_perf.json"
   end

@@ -9,7 +9,11 @@
      stats     run a deterministic workload and dump the metric registry
      fsck      check a pager file (header, free list, blob chains)
      pgdemo    write a small deterministic pager file for fsck demos
-     profiles  list the protection profiles *)
+     profiles  list the protection profiles
+     serve     serve over the authenticated wire (standalone, primary or replica)
+     restore   point-in-time recovery from an authenticated oplog
+     client    run SQL against a server
+     ping      health-check a server *)
 
 open Cmdliner
 module Value = Secdb_db.Value
@@ -568,6 +572,51 @@ let net_addr_arg =
     & opt net_addr_conv (Secdb_net.Wire.Unix_sock "/tmp/secdb.sock")
     & info [ "a"; "addr" ] ~docv:"ADDR" ~doc:"Server address: unix:PATH or tcp:HOST:PORT.")
 
+(* Shard databases for serve/restore: one Encdb per shard with disjoint id
+   ranges so derived keys and ciphertext addresses never collide across
+   shards, and a per-shard seed offset from [db_seed] so nonce streams are
+   deterministic.  Primary, replicas and offline restores of one logical
+   database must agree on [db_seed] and the shard count — byte-identical
+   state (and therefore Merkle-root attestation) depends on both. *)
+let shard_db ~master ~profile ~db_seed shard =
+  Secdb.Encdb.create ~master ~profile
+    ~seed:(Int64.add db_seed (Int64.of_int shard))
+    ~first_table_id:((shard * 1_000_000) + 1)
+    ~first_index_id:((shard * 1_000_000) + 1000)
+    ()
+
+let db_seed_arg =
+  Arg.(
+    value & opt int64 1L
+    & info [ "db-seed" ] ~docv:"N"
+        ~doc:
+          "Base seed for the per-shard databases. Primary, replicas and restores must use the \
+           same value (and the same shard count) for byte-identical state.")
+
+(* Replay a local oplog copy into freshly built shard databases, then
+   open the writer in resume mode so new appends continue the history.
+   Used by a restarting primary and by a replica with a local log. *)
+let boot_resume ~aead ~nonce ~path dbs =
+  (if Sys.file_exists path then
+     match Secdb.Oplog.recover ~path ~aead () with
+     | Error e ->
+         prerr_endline ("serve: oplog unreadable: " ^ e);
+         exit 1
+     | Ok (ops, tail) ->
+         List.iter
+           (fun (seq, op) ->
+             match Secdb_net.Repl.apply_routed dbs op with
+             | Ok () -> ()
+             | Error e ->
+                 Printf.eprintf "serve: oplog replay failed at op %d: %s\n%!" seq e;
+                 exit 1)
+           ops;
+         (match tail with
+         | Secdb.Oplog.Complete -> ()
+         | t -> Printf.eprintf "serve: oplog tail discarded (%s)\n%!" (Secdb.Oplog.tail_to_string t));
+         Printf.printf "secdb: oplog resumed at %d op(s)\n%!" (List.length ops));
+  Secdb.Oplog.create ~mode:`Resume ~path ~aead ~nonce ()
+
 let serve_cmd =
   let seed =
     Arg.(
@@ -591,44 +640,201 @@ let serve_cmd =
       & info [ "shards" ] ~docv:"N"
           ~doc:"Data-plane shard count; 0 picks the recommended domain count.")
   in
-  let run profile master addr seed read_timeout max_inflight shards =
+  let oplog =
+    Arg.(
+      value & opt (some string) None
+      & info [ "oplog" ] ~docv:"PATH"
+          ~doc:
+            "Authenticated operation log. Alone: serve as a primary, resuming any existing \
+             history and appending every mutation. With $(b,--replica-of): keep a verbatim \
+             local copy of the shipped log.")
+  in
+  let replica_of =
+    Arg.(
+      value & opt (some net_addr_conv) None
+      & info [ "replica-of" ] ~docv:"ADDR"
+          ~doc:
+            "Serve read-only, pulling the oplog from the primary at ADDR over the authenticated \
+             wire protocol and applying it continuously.")
+  in
+  let run profile master addr seed read_timeout max_inflight shards oplog replica_of db_seed =
     Secdb_obs.Obs.enable ();
-    (* one database per shard, with disjoint id ranges so derived keys and
-       ciphertext addresses never collide across shards *)
-    let db shard =
-      Secdb.Encdb.create ~master ~profile
-        ~first_table_id:((shard * 1_000_000) + 1)
-        ~first_index_id:((shard * 1_000_000) + 1000)
-        ()
-    in
+    let nshards = if shards = 0 then Secdb_util.Pool.recommended () else shards in
     let auth_key = Secdb_net.Wire.auth_key_of_master master in
-    let cfg =
-      Secdb_net.Server.config ~auth_key ~read_timeout ~max_inflight
-        ?shards:(if shards = 0 then None else Some shards)
+    let cfg = Secdb_net.Server.config ~auth_key ~read_timeout ~max_inflight ~shards:nshards () in
+    let dbs = Array.init nshards (shard_db ~master ~profile ~db_seed) in
+    let aead = lazy (Secdb_net.Repl.log_aead ~master) in
+    let log_rng =
+      Secdb_util.Rng.create
+        ~seed:
+          (match seed with
+          | Some s -> s
+          | None ->
+              Int64.logxor
+                (Int64.of_float (Unix.gettimeofday () *. 1e6))
+                (Int64.of_int (Unix.getpid () * 0x9e3779b9)))
         ()
     in
-    match Secdb_net.Server.create ?seed ~config:cfg ~db addr with
+    let writer =
+      match oplog with
+      | None -> None
+      | Some path ->
+          Some (boot_resume ~aead:(Lazy.force aead) ~nonce:(Secdb_net.Repl.log_nonce ~rng:log_rng) ~path dbs)
+    in
+    let role =
+      match (replica_of, writer) with
+      | None, None -> Secdb_net.Server.Standalone
+      | None, Some w -> Secdb_net.Server.Primary w
+      | Some _, w ->
+          Secdb_net.Server.Replica
+            { initial_applied = (match w with Some w -> Secdb.Oplog.count w | None -> 0) }
+    in
+    match Secdb_net.Server.create ?seed ~role ~config:cfg ~db:(fun i -> dbs.(i)) addr with
     | Error e ->
         prerr_endline ("serve: " ^ e);
         exit 1
     | Ok srv ->
-        let stop _ = Secdb_net.Server.request_stop srv in
+        let stopping = ref false in
+        let stop _ =
+          stopping := true;
+          Secdb_net.Server.request_stop srv
+        in
         Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
         Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
         Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
         Printf.printf "secdb: listening on %s\n%!"
           (Secdb_net.Wire.addr_to_string (Secdb_net.Server.addr srv));
+        let puller =
+          match replica_of with
+          | None -> None
+          | Some primary ->
+              Printf.printf "secdb: replicating from %s\n%!"
+                (Secdb_net.Wire.addr_to_string primary);
+              let applied = ref (match role with
+                | Secdb_net.Server.Replica { initial_applied } -> initial_applied
+                | _ -> 0)
+              in
+              let ack () =
+                match writer with Some w -> Secdb.Oplog.count w | None -> !applied
+              in
+              let apply op =
+                match Secdb_net.Server.apply_op srv op with
+                | Ok () ->
+                    incr applied;
+                    Ok ()
+                | Error _ as e -> e
+              in
+              let connect () = Secdb_net.Client.connect ~attempts:1 ~auth_key primary in
+              Some
+                (Thread.create
+                   (fun () ->
+                     match
+                       Secdb_net.Repl.run_replica ~connect ~aead:(Lazy.force aead) ?writer ~ack
+                         ~apply
+                         ~stop:(fun () -> !stopping)
+                         ()
+                     with
+                     | Ok () -> ()
+                     | Error e ->
+                         Printf.eprintf "secdb: replication stopped: %s\n%!" e;
+                         Secdb_net.Server.request_stop srv)
+                   ())
+        in
         Secdb_net.Server.run srv;
+        stopping := true;
+        (match puller with Some th -> Thread.join th | None -> ());
+        (match writer with Some w -> Secdb.Oplog.close w | None -> ());
         Printf.printf "secdb: drained, bye\n%!"
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve a fresh in-memory encrypted database over the authenticated secdb wire protocol \
-          until SIGTERM, then drain.")
+         "Serve an encrypted database over the authenticated secdb wire protocol until SIGTERM, \
+          then drain. With $(b,--oplog) it is a primary whose history survives restarts and can \
+          be shipped to replicas; with $(b,--replica-of) it serves a read-only, continuously \
+          caught-up copy.")
     Term.(
       const run $ profile_arg $ master_arg $ net_addr_arg $ seed $ read_timeout $ max_inflight
-      $ shards)
+      $ shards $ oplog $ replica_of $ db_seed_arg)
+
+let restore_cmd =
+  let log =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OPLOG" ~doc:"The authenticated operation log to restore from.")
+  in
+  let to_op =
+    Arg.(
+      value & opt (some int) None
+      & info [ "to-op" ] ~docv:"N"
+          ~doc:
+            "Point-in-time: rebuild state as of the first N operations of the authenticated \
+             prefix (default: all of it).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Shard count the log's writer served with (routing and ids depend on it).")
+  in
+  let expect_root =
+    Arg.(
+      value & opt (some string) None
+      & info [ "expect-root" ] ~docv:"HEX"
+          ~doc:
+            "Fail (exit 1) unless the restored state's Merkle root equals HEX — e.g. a root \
+             attested by a replica's repl_root.")
+  in
+  let stmts =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "execute" ] ~docv:"SQL"
+          ~doc:"Read-only SQL to run against the restored state; repeatable.")
+  in
+  let run profile master log to_op shards db_seed expect_root stmts =
+    let aead = Secdb_net.Repl.log_aead ~master in
+    let mkdb = shard_db ~master ~profile ~db_seed in
+    match Secdb_net.Repl.restore ~path:log ~aead ~shards ~mkdb ?to_op () with
+    | Error e ->
+        prerr_endline ("restore: " ^ e);
+        exit 1
+    | Ok (dbs, applied) ->
+        let root = Xbytes.to_hex (Secdb_net.Repl.root_of_dbs dbs) in
+        Printf.printf "restored %d op(s) across %d shard(s)\n" applied shards;
+        Printf.printf "merkle root %s\n" root;
+        (match expect_root with
+        | Some expected when not (String.equal (String.lowercase_ascii expected) root) ->
+            Printf.eprintf "restore: root mismatch (expected %s)\n%!" expected;
+            exit 1
+        | _ -> ());
+        let failed = ref false in
+        List.iter
+          (fun src ->
+            match Secdb_sql.Parser.parse src with
+            | Error e ->
+                Printf.printf "error: %s\n" e;
+                failed := true
+            | Ok stmt ->
+                let table = Secdb_sql.Ast.stmt_table stmt in
+                let db = dbs.(Secdb_db.Shard.key_index ~shards table) in
+                (match Secdb_sql.Engine.exec db src with
+                | Ok o -> Fmt.pr "%a@." Secdb_sql.Engine.pp_result o
+                | Error e ->
+                    Printf.printf "error: %s\n" e;
+                    failed := true))
+          stmts;
+        if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Point-in-time recovery: authenticate an oplog's longest valid prefix, rebuild the \
+          database state it encodes (optionally only its first N operations), print the state's \
+          Merkle root, and optionally query it.")
+    Term.(
+      const run $ profile_arg $ master_arg $ log $ to_op $ shards $ db_seed_arg $ expect_root
+      $ stmts)
 
 let client_cmd =
   let stmts =
@@ -638,6 +844,14 @@ let client_cmd =
           ~doc:"Statement to run; repeat the flag to pipeline several over one connection.")
   in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Dump the server-side metric registry.") in
+  let root =
+    Arg.(
+      value & flag
+      & info [ "root" ]
+          ~doc:
+            "Print the node's replication attestation: its applied op count and the Merkle root \
+             over its full database state.")
+  in
   let tamper =
     Arg.(
       value & flag
@@ -646,7 +860,7 @@ let client_cmd =
             "Corrupt the request MAC on the wire (demonstrates the server's structured \
              authentication error).")
   in
-  let run master addr stmts stats tamper =
+  let run master addr stmts stats root tamper =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let auth_key = Secdb_net.Wire.auth_key_of_master master in
     match Secdb_net.Client.connect ~auth_key addr with
@@ -659,6 +873,8 @@ let client_cmd =
         let render = function
           | Ok (Secdb_net.Wire.Outcome o) -> Fmt.pr "%a@." Secdb_sql.Engine.pp_result o
           | Ok (Secdb_net.Wire.Stats_dump s) -> print_string s
+          | Ok (Secdb_net.Wire.Root { applied; root }) ->
+              Printf.printf "applied %d\nmerkle root %s\n" applied (Xbytes.to_hex root)
           | Ok _ ->
               print_endline "error [server-error]: unexpected response kind";
               failed := true
@@ -675,9 +891,10 @@ let client_cmd =
         let reqs =
           List.map (fun s -> Secdb_net.Wire.Sql s) stmts
           @ (if stats then [ Secdb_net.Wire.Stats `Text ] else [])
+          @ (if root then [ Secdb_net.Wire.Repl_root ] else [])
         in
         if reqs = [] then begin
-          prerr_endline "client: nothing to do (use -e SQL and/or --stats)";
+          prerr_endline "client: nothing to do (use -e SQL, --stats and/or --root)";
           exit 1
         end;
         (* post the whole batch before awaiting anything: one pipelined burst *)
@@ -693,7 +910,7 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Run SQL statements (pipelined) against a secdb server over the wire protocol.")
-    Term.(const run $ master_arg $ net_addr_arg $ stmts $ stats $ tamper)
+    Term.(const run $ master_arg $ net_addr_arg $ stmts $ stats $ root $ tamper)
 
 let ping_cmd =
   let rtt = Arg.(value & flag & info [ "rtt" ] ~doc:"Also print the round-trip time.") in
@@ -723,7 +940,7 @@ let () =
     Cmd.group info
       [
         encrypt_cmd; decrypt_cmd; mu_cmd; digest_cmd; attack_cmd; sql_cmd; stats_cmd; fsck_cmd;
-        pgdemo_cmd; profiles_cmd; serve_cmd; client_cmd; ping_cmd;
+        pgdemo_cmd; profiles_cmd; serve_cmd; restore_cmd; client_cmd; ping_cmd;
       ]
   in
   (* usage errors exit 2, runtime failures exit 1.  Cmdliner reports bad

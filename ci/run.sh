@@ -34,9 +34,12 @@ step "leakage bounds (range index attack bench, fixed seeds)"
 dune build @leakage
 
 step "crash-safety matrix (explicit rerun of the durability suites)"
-dune exec -- test/test_main.exe test 'storage:crash|storage:fsck|storage:paged'
+dune exec -- test/test_main.exe test 'storage:crash|storage:fsck|storage:paged|repl:crash'
 
 step "serve smoke (networked client/server end to end)"
 ci/serve_smoke.sh
+
+step "replication smoke (primary + 2 replicas, kill -9, point-in-time restore)"
+ci/replication_smoke.sh
 
 step "CI gate passed"

@@ -63,7 +63,7 @@ type index_impl = Mem of Bptree.t | Paged_tree of Pbt.t
 type change =
   | Created_table of Schema.t
   | Created_index of { table : string; col : string }
-  | Created_range_index of { table : string; col : string }
+  | Created_range_index of { table : string; col : string; buckets : int }
   | Inserted of { table : string; row : int; values : Value.t list }
   | Updated of { table : string; row : int; col : string; value : Value.t }
   | Deleted of { table : string; row : int }
@@ -360,7 +360,7 @@ let create_range_index t ~table:name ~col ?(buckets = 16) () =
     Hashtbl.replace t.index_hists (name, col)
       (Secdb_query.Histogram.of_values (List.map fst !entries));
   Hashtbl.add t.range_indexes (name, col) tree;
-  notify t (Created_range_index { table = name; col })
+  notify t (Created_range_index { table = name; col; buckets })
 
 let index t ~table:name ~col =
   match Hashtbl.find_opt t.indexes (name, col) with

@@ -59,7 +59,9 @@ type index_backing =
 type change =
   | Created_table of Secdb_db.Schema.t
   | Created_index of { table : string; col : string }
-  | Created_range_index of { table : string; col : string }
+  | Created_range_index of { table : string; col : string; buckets : int }
+      (** [buckets] rides along so a replica rebuilding from the change
+          stream partitions the range index identically. *)
   | Inserted of { table : string; row : int; values : Secdb_db.Value.t list }
   | Updated of { table : string; row : int; col : string; value : Secdb_db.Value.t }
   | Deleted of { table : string; row : int }

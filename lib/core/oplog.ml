@@ -1,9 +1,11 @@
 module Value = Secdb_db.Value
+module Schema = Secdb_db.Schema
 module Codec = Secdb_db.Codec
 module Aead = Secdb_aead.Aead
 module Xbytes = Secdb_util.Xbytes
 module Crc32 = Secdb_util.Crc32
 module Vfs = Secdb_storage.Vfs
+module Storage = Secdb_storage.Storage
 module Metrics = Secdb_obs.Metrics
 module Trace = Secdb_obs.Trace
 
@@ -15,11 +17,26 @@ let h_append = Metrics.histogram "oplog.append_seconds"
 let h_replay = Metrics.histogram "oplog.replay_seconds"
 
 type op =
+  | Create_table of Schema.t
+  | Create_index of { table : string; col : string }
+  | Create_range_index of { table : string; col : string; buckets : int }
   | Insert of { table : string; values : Value.t list }
   | Update of { table : string; row : int; col : string; value : Value.t }
   | Delete of { table : string; row : int }
 
+let op_table = function
+  | Create_table s -> s.Schema.table_name
+  | Create_index { table; _ }
+  | Create_range_index { table; _ }
+  | Insert { table; _ }
+  | Update { table; _ }
+  | Delete { table; _ } -> table
+
 let pp_op ppf = function
+  | Create_table s -> Fmt.pf ppf "CREATE TABLE %s" s.Schema.table_name
+  | Create_index { table; col } -> Fmt.pf ppf "CREATE INDEX %s.%s" table col
+  | Create_range_index { table; col; buckets } ->
+      Fmt.pf ppf "CREATE RANGE INDEX %s.%s (%d buckets)" table col buckets
   | Insert { table; values } ->
       Fmt.pf ppf "INSERT %s (%a)" table (Fmt.list ~sep:Fmt.comma Value.pp) values
   | Update { table; row; col; value } ->
@@ -27,6 +44,10 @@ let pp_op ppf = function
   | Delete { table; row } -> Fmt.pf ppf "DELETE %s row %d" table row
 
 let encode_op = function
+  | Create_table schema -> Codec.frame [ "ctb"; Storage.encode_schema schema ]
+  | Create_index { table; col } -> Codec.frame [ "cix"; table; col ]
+  | Create_range_index { table; col; buckets } ->
+      Codec.frame [ "crx"; table; col; Xbytes.int_to_be_string ~width:8 buckets ]
   | Insert { table; values } -> Codec.frame ("ins" :: table :: List.map Value.encode values)
   | Update { table; row; col; value } ->
       Codec.frame [ "upd"; table; Xbytes.int_to_be_string ~width:8 row; col; Value.encode value ]
@@ -37,6 +58,14 @@ let decode_op bytes =
   let ( let* ) = Result.bind in
   let* fields = Codec.unframe bytes in
   match fields with
+  | [ "ctb"; schema ] ->
+      let* schema = Storage.decode_schema schema in
+      Ok (Create_table schema)
+  | [ "cix"; table; col ] -> Ok (Create_index { table; col })
+  | [ "crx"; table; col; buckets ] ->
+      let buckets = Xbytes.be_string_to_int buckets in
+      if buckets < 1 then Error "oplog: implausible bucket count"
+      else Ok (Create_range_index { table; col; buckets })
   | "ins" :: table :: values ->
       let* values =
         List.fold_left
@@ -54,91 +83,14 @@ let decode_op bytes =
   | [ "del"; table; row ] -> Ok (Delete { table; row = Xbytes.be_string_to_int row })
   | _ -> Error "oplog: unknown record shape"
 
-(* --- writer ------------------------------------------------------------- *)
-
-type sync_policy = Always | Every_n of int | Never
-
-type writer = {
-  vf : Vfs.file;
-  aead : Aead.t;
-  nonce : Secdb_aead.Nonce.t;
-  policy : sync_policy;
-  mutable seq : int;
-  mutable pos : int; (* next record's byte offset *)
-  mutable unsynced : int; (* appends not yet covered by an fsync *)
-  mutable open_ : bool;
-}
-
-let create ?(vfs = Vfs.unix) ?(sync = Always) ~path ~aead ~nonce () =
-  (match sync with
-  | Every_n n when n < 1 -> invalid_arg "Oplog.create: Every_n needs n >= 1"
-  | _ -> ());
-  {
-    vf = vfs.Vfs.open_file ~path ~mode:`Trunc;
-    aead;
-    nonce;
-    policy = sync;
-    seq = 0;
-    pos = 0;
-    unsynced = 0;
-    open_ = true;
-  }
-
-let do_sync w =
-  w.vf.Vfs.fsync ();
-  w.unsynced <- 0;
-  Metrics.incr m_syncs
-
-let sync w =
-  if not w.open_ then invalid_arg "Oplog.sync: writer is closed";
-  if w.unsynced > 0 then do_sync w
+(* --- record framing ------------------------------------------------------ *)
 
 (* Record layout: [len:4][record][crc32(len ^ record):4].  The CRC is not a
    security feature — the AEAD tag inside [record] is — it distinguishes a
    torn tail (storage fault) from a forged record (adversary) and lets
    recovery stop cleanly without an AEAD pass over garbage. *)
-let seal w op =
-  let seq = w.seq in
-  let n = w.nonce () in
-  let ad = Xbytes.int_to_be_string ~width:8 seq in
-  let ct, tag = Aead.encrypt w.aead ~nonce:n ~ad (encode_op op) in
-  let record = Codec.frame [ ad; n; ct; tag ] in
-  let len4 = Xbytes.int_to_be_string ~width:4 (String.length record) in
-  let crc = Crc32.string (len4 ^ record) in
-  len4 ^ record ^ Xbytes.int_to_be_string ~width:4 crc
 
-let append w op =
-  if not w.open_ then invalid_arg "Oplog.append: writer is closed";
-  Trace.with_span ~hist:h_append "oplog.append" @@ fun () ->
-  Metrics.incr m_appends;
-  let full = seal w op in
-  let start = w.pos in
-  (try Vfs.really_pwrite w.vf ~pos:start full
-   with e ->
-     (* an injected EIO/ENOSPC can leave a torn record; put the log back
-        at the last record boundary so the failure is not also corruption *)
-     (try w.vf.Vfs.truncate start with Vfs.Io_error _ | Vfs.Crashed _ -> ());
-     raise e);
-  let seq = w.seq in
-  w.pos <- start + String.length full;
-  w.seq <- seq + 1;
-  w.unsynced <- w.unsynced + 1;
-  (match w.policy with
-  | Always -> do_sync w
-  | Every_n n -> if w.unsynced >= n then do_sync w
-  | Never -> ());
-  seq
-
-let count w = w.seq
-
-let close w =
-  if w.open_ then begin
-    (try sync w with Vfs.Crashed _ -> ());
-    w.vf.Vfs.close ();
-    w.open_ <- false
-  end
-
-(* --- reader ------------------------------------------------------------- *)
+let max_record_len = 1 lsl 26
 
 type tail =
   | Complete
@@ -164,43 +116,223 @@ let tail_to_string = function
   | Bad_auth { seq; off } ->
       Printf.sprintf "oplog: record %d at offset %d failed authentication" seq off
 
-let max_record_len = 1 lsl 26
+(* Verify one sealed record against the sequence number it must sit at.
+   Used by the replica side of log shipping: a record is only accepted into
+   the local copy if it would also survive [recover] — CRC, frame, the
+   sequence number bound as associated data, and the AEAD tag. *)
+let verify_sealed ~aead ~seq sealed =
+  let len = String.length sealed in
+  if len < 8 then Error "oplog: sealed record too short"
+  else
+    let rlen = Xbytes.be_string_to_int (String.sub sealed 0 4) in
+    if rlen <= 0 || rlen > max_record_len then Error "oplog: implausible record length"
+    else if len <> 4 + rlen + 4 then Error "oplog: sealed record size mismatch"
+    else if Crc32.update 0 sealed ~off:0 ~len:(4 + rlen) <> Xbytes.get_uint32_be sealed (4 + rlen)
+    then Error "oplog: sealed record failed its CRC"
+    else
+      match Codec.unframe (String.sub sealed 4 rlen) with
+      | Ok [ ad; n; ct; tag ] -> (
+          if ad <> Xbytes.int_to_be_string ~width:8 seq then
+            Error "oplog: sealed record out of order or spliced"
+          else
+            match Aead.decrypt aead ~nonce:n ~ad ~tag ct with
+            | Error Aead.Invalid -> Error "oplog: sealed record failed authentication"
+            | Ok bytes -> decode_op bytes)
+      | Ok _ | Error _ -> Error "oplog: sealed record malformed"
+
+(* --- writer ------------------------------------------------------------- *)
+
+type sync_policy = Always | Every_n of int | Never
+
+type writer = {
+  vf : Vfs.file;
+  aead : Aead.t;
+  nonce : Secdb_aead.Nonce.t;
+  policy : sync_policy;
+  mutable seq : int;
+  mutable pos : int; (* next record's byte offset *)
+  mutable offs : int array; (* offs.(i) = byte offset of record i, for i < seq *)
+  mutable durable : int; (* records covered by the last fsync *)
+  mutable unsynced : int; (* appends not yet covered by an fsync *)
+  mutable open_ : bool;
+}
+
+let ensure_cap w n =
+  if Array.length w.offs < n then begin
+    let cap = max 16 (max n (2 * Array.length w.offs)) in
+    let a = Array.make cap 0 in
+    Array.blit w.offs 0 a 0 w.seq;
+    w.offs <- a
+  end
 
 (* Longest-valid-prefix parse.  Stops at the first record that fails any
    check: once one record is unparsable the sequence chain beyond it is
-   unauthenticated, so nothing after it can be trusted anyway. *)
-let parse ~aead data =
+   unauthenticated, so nothing after it can be trusted anyway.  Also
+   returns each record's byte offset and the end offset of the prefix so a
+   resumed writer can seat itself exactly at the boundary. *)
+let parse_ext ~aead data =
   let len = String.length data in
-  let rec loop off seq acc =
-    if off = len then (List.rev acc, Complete)
-    else if off + 4 > len then (List.rev acc, Torn_length { off; have = len - off })
+  let rec loop off seq acc offs =
+    let stop tail = (List.rev acc, tail, List.rev offs, off) in
+    if off = len then stop Complete
+    else if off + 4 > len then stop (Torn_length { off; have = len - off })
     else
       let rlen = Xbytes.be_string_to_int (String.sub data off 4) in
-      if rlen <= 0 || rlen > max_record_len then
-        (List.rev acc, Bad_length { seq; off; len = rlen })
+      if rlen <= 0 || rlen > max_record_len then stop (Bad_length { seq; off; len = rlen })
       else if off + 4 + rlen + 4 > len then
-        (List.rev acc, Torn_record { seq; off; expect = rlen + 8; have = len - off })
+        stop (Torn_record { seq; off; expect = rlen + 8; have = len - off })
       else
         let crc = Xbytes.get_uint32_be data (off + 4 + rlen) in
-        if Crc32.update 0 data ~off ~len:(4 + rlen) <> crc then
-          (List.rev acc, Bad_crc { seq; off })
+        if Crc32.update 0 data ~off ~len:(4 + rlen) <> crc then stop (Bad_crc { seq; off })
         else
           let record = String.sub data (off + 4) rlen in
           match Codec.unframe record with
           | Ok [ ad; n; ct; tag ] -> (
               if ad <> Xbytes.int_to_be_string ~width:8 seq then
-                (List.rev acc, Bad_record { seq; off; reason = "out of order or spliced" })
+                stop (Bad_record { seq; off; reason = "out of order or spliced" })
               else
                 match Aead.decrypt aead ~nonce:n ~ad ~tag ct with
-                | Error Aead.Invalid -> (List.rev acc, Bad_auth { seq; off })
+                | Error Aead.Invalid -> stop (Bad_auth { seq; off })
                 | Ok bytes -> (
                     match decode_op bytes with
-                    | Error e -> (List.rev acc, Bad_record { seq; off; reason = e })
-                    | Ok op -> loop (off + 8 + rlen) (seq + 1) ((seq, op) :: acc)))
-          | Ok _ | Error _ ->
-              (List.rev acc, Bad_record { seq; off; reason = "malformed frame" })
+                    | Error e -> stop (Bad_record { seq; off; reason = e })
+                    | Ok op -> loop (off + 8 + rlen) (seq + 1) ((seq, op) :: acc) (off :: offs)))
+          | Ok _ | Error _ -> stop (Bad_record { seq; off; reason = "malformed frame" })
   in
-  loop 0 0 []
+  loop 0 0 [] []
+
+let parse ~aead data =
+  let ops, tail, _, _ = parse_ext ~aead data in
+  (ops, tail)
+
+let create ?(vfs = Vfs.unix) ?(sync = Always) ?(mode = `Trunc) ~path ~aead ~nonce () =
+  (match sync with
+  | Every_n n when n < 1 -> invalid_arg "Oplog.create: Every_n needs n >= 1"
+  | _ -> ());
+  let fresh vf =
+    {
+      vf;
+      aead;
+      nonce;
+      policy = sync;
+      seq = 0;
+      pos = 0;
+      offs = [||];
+      durable = 0;
+      unsynced = 0;
+      open_ = true;
+    }
+  in
+  match mode with
+  | `Trunc -> fresh (vfs.Vfs.open_file ~path ~mode:`Trunc)
+  | `Resume -> (
+      match vfs.Vfs.open_file ~path ~mode:`Rw with
+      | exception Vfs.Io_error _ ->
+          (* no log yet: a resume of nothing is a fresh log *)
+          fresh (vfs.Vfs.open_file ~path ~mode:`Trunc)
+      | vf ->
+          let size = vf.Vfs.size () in
+          let buf = Bytes.create size in
+          let got = if size = 0 then 0 else Vfs.really_pread vf ~pos:0 buf ~off:0 ~len:size in
+          let data = Bytes.sub_string buf 0 got in
+          let ops, _tail, offs, end_off = parse_ext ~aead data in
+          (* seat the writer at the longest authenticated prefix; anything
+             beyond it is a torn or corrupt tail that must not survive into
+             the resumed history *)
+          if end_off < size then vf.Vfs.truncate end_off;
+          vf.Vfs.fsync ();
+          let w = fresh vf in
+          w.seq <- List.length ops;
+          w.pos <- end_off;
+          w.offs <- Array.of_list offs;
+          w.durable <- w.seq;
+          w)
+
+let do_sync w =
+  w.vf.Vfs.fsync ();
+  w.unsynced <- 0;
+  w.durable <- w.seq;
+  Metrics.incr m_syncs
+
+let sync w =
+  if not w.open_ then invalid_arg "Oplog.sync: writer is closed";
+  if w.unsynced > 0 then do_sync w
+
+let seal w op =
+  let seq = w.seq in
+  let n = w.nonce () in
+  let ad = Xbytes.int_to_be_string ~width:8 seq in
+  let ct, tag = Aead.encrypt w.aead ~nonce:n ~ad (encode_op op) in
+  let record = Codec.frame [ ad; n; ct; tag ] in
+  let len4 = Xbytes.int_to_be_string ~width:4 (String.length record) in
+  let crc = Crc32.string (len4 ^ record) in
+  len4 ^ record ^ Xbytes.int_to_be_string ~width:4 crc
+
+let write_record w full =
+  let start = w.pos in
+  (try Vfs.really_pwrite w.vf ~pos:start full
+   with e ->
+     (* an injected EIO/ENOSPC can leave a torn record; put the log back
+        at the last record boundary so the failure is not also corruption *)
+     (try w.vf.Vfs.truncate start with Vfs.Io_error _ | Vfs.Crashed _ -> ());
+     raise e);
+  ensure_cap w (w.seq + 1);
+  w.offs.(w.seq) <- start;
+  w.pos <- start + String.length full;
+  w.seq <- w.seq + 1;
+  w.unsynced <- w.unsynced + 1;
+  match w.policy with
+  | Always -> do_sync w
+  | Every_n n -> if w.unsynced >= n then do_sync w
+  | Never -> ()
+
+let append w op =
+  if not w.open_ then invalid_arg "Oplog.append: writer is closed";
+  Trace.with_span ~hist:h_append "oplog.append" @@ fun () ->
+  Metrics.incr m_appends;
+  let seq = w.seq in
+  write_record w (seal w op);
+  seq
+
+let append_sealed w sealed =
+  if not w.open_ then invalid_arg "Oplog.append_sealed: writer is closed";
+  match verify_sealed ~aead:w.aead ~seq:w.seq sealed with
+  | Error _ as e -> e
+  | Ok op ->
+      Metrics.incr m_appends;
+      write_record w sealed;
+      Ok op
+
+let count w = w.seq
+let durable w = w.durable
+
+let read_sealed w ~from ~max =
+  if not w.open_ then invalid_arg "Oplog.read_sealed: writer is closed";
+  if from < 0 || max < 0 then invalid_arg "Oplog.read_sealed: negative argument";
+  (* only fsynced records ship: a record the primary could still lose in a
+     crash must never outlive it on a replica, or the replica would stop
+     being a prefix of the primary *)
+  let upto = min w.durable (from + max) in
+  let rec go i acc =
+    if i >= upto then List.rev acc
+    else
+      let start = w.offs.(i) in
+      let stop = if i + 1 < w.seq then w.offs.(i + 1) else w.pos in
+      let buf = Bytes.create (stop - start) in
+      let got = Vfs.really_pread w.vf ~pos:start buf ~off:0 ~len:(stop - start) in
+      if got <> stop - start then List.rev acc
+      else go (i + 1) ((i, Bytes.to_string buf) :: acc)
+  in
+  if from >= upto then [] else go from []
+
+let close w =
+  if w.open_ then begin
+    (try sync w with Vfs.Crashed _ -> ());
+    w.vf.Vfs.close ();
+    w.open_ <- false
+  end
+
+(* --- reader ------------------------------------------------------------- *)
 
 let read_log ?(vfs = Vfs.unix) path =
   match Vfs.read_all vfs ~path with
@@ -233,6 +365,20 @@ let recover ?vfs ~path ~aead () =
       Ok (ops, tail)
 
 let apply db = function
+  | Create_table schema -> (
+      match Encdb.create_table db schema with
+      | () -> Ok ()
+      | exception Invalid_argument e -> Error e)
+  | Create_index { table; col } -> (
+      match Encdb.create_index db ~table ~col with
+      | () -> Ok ()
+      | exception Invalid_argument e -> Error e
+      | exception Not_found -> Error ("oplog: unknown table " ^ table))
+  | Create_range_index { table; col; buckets } -> (
+      match Encdb.create_range_index db ~table ~col ~buckets () with
+      | () -> Ok ()
+      | exception Invalid_argument e -> Error e
+      | exception Not_found -> Error ("oplog: unknown table " ^ table))
   | Insert { table; values } -> (
       match Encdb.insert db ~table values with
       | (_ : int) -> Ok ()

@@ -13,12 +13,25 @@
     are fsynced.  After a crash, {!recover} authenticates the longest
     valid prefix and says {e why} the tail ends ({!tail}) instead of
     rejecting the whole log; {!replay} remains the strict all-or-nothing
-    verifier for adversarial settings. *)
+    verifier for adversarial settings.
+
+    Replication rides the same sealed records: a primary streams them raw
+    with {!read_sealed} and a replica re-verifies and stores them verbatim
+    with {!append_sealed}, so a replica's log is a byte-identical
+    authenticated prefix of the primary's — recovery on either end is the
+    same {!recover} code path. *)
 
 type op =
+  | Create_table of Secdb_db.Schema.t
+  | Create_index of { table : string; col : string }
+  | Create_range_index of { table : string; col : string; buckets : int }
   | Insert of { table : string; values : Secdb_db.Value.t list }
   | Update of { table : string; row : int; col : string; value : Secdb_db.Value.t }
   | Delete of { table : string; row : int }
+
+val op_table : op -> string
+(** The table an operation addresses — the shard-routing key, so a replica
+    applies each record to the same shard the primary did. *)
 
 val pp_op : Format.formatter -> op -> unit
 
@@ -34,13 +47,25 @@ type writer
 val create :
   ?vfs:Secdb_storage.Vfs.t ->
   ?sync:sync_policy ->
+  ?mode:[ `Trunc | `Resume ] ->
   path:string ->
   aead:Secdb_aead.Aead.t ->
   nonce:Secdb_aead.Nonce.t ->
   unit ->
   writer
-(** Truncate and start a log at sequence 0.  [sync] defaults to
-    [Always]. *)
+(** Open a log for appending.  [sync] defaults to [Always].
+
+    [mode] defaults to [`Trunc]: truncate and start at sequence 0.
+    [`Resume] re-opens an existing log (creating it when missing), parses
+    the longest authenticated prefix exactly as {!recover} would, truncates
+    any torn or corrupt tail, fsyncs, and continues appending at the
+    recovered sequence number and byte offset — a restarted primary keeps
+    its history instead of silently wiping it.
+
+    [nonce] must never repeat a value used with the same [aead] key by an
+    earlier incarnation of the log: resumed records keep the nonces they
+    were sealed with, so a resuming caller needs a fresh stream (e.g. a
+    random per-boot prefix plus a counter), not a counter restarted at 0. *)
 
 val append : writer -> op -> int
 (** Seal and append one operation; returns its sequence number.  Honors
@@ -49,10 +74,36 @@ val append : writer -> op -> int
     record boundary before the exception propagates, so a failed append
     never leaves a torn record behind a live writer. *)
 
+val append_sealed : writer -> string -> (op, string) result
+(** Append one already-sealed record, verbatim.  The record is verified
+    exactly as {!recover} would — CRC, frame shape, sequence number bound
+    as associated data (it must equal this writer's next sequence), and
+    the AEAD tag — before any byte is written, so a replica's log only
+    ever contains records that authenticate at their position.  Returns
+    the decoded operation so the caller can apply it.  Mixing
+    [append_sealed] with {!append} on one writer is not meaningful: a
+    replica copies, a primary seals. *)
+
+val verify_sealed :
+  aead:Secdb_aead.Aead.t -> seq:int -> string -> (op, string) result
+(** The verification half of {!append_sealed} without the write — for
+    consumers that apply shipped records without keeping a local copy. *)
+
 val sync : writer -> unit
 (** Fsync now; after it returns, every acked append survives a crash. *)
 
 val count : writer -> int
+(** Appended records, including any not yet fsynced. *)
+
+val durable : writer -> int
+(** Records covered by the last fsync — the only ones {!read_sealed}
+    ships, so a crash of this writer can never make a consumer hold
+    records the writer itself lost. *)
+
+val read_sealed : writer -> from:int -> max:int -> (int * string) list
+(** Raw sealed records [from, min (durable w) (from + max)), each with its
+    sequence number, read back from the log file.  Feeds
+    {!append_sealed} on the other end of a replication stream. *)
 
 val close : writer -> unit
 (** Sync, then release the file. *)

@@ -26,9 +26,13 @@ let fnv1a key =
     key;
   !h
 
+let key_index ~shards key =
+  if shards < 1 then invalid_arg "Shard.key_index: need at least one shard";
+  Int64.to_int (Int64.unsigned_rem (fnv1a key) (Int64.of_int shards))
+
 let key_shard t key =
   Metrics.incr m_routed;
-  Int64.to_int (Int64.unsigned_rem (fnv1a key) (Int64.of_int (count t)))
+  key_index ~shards:(count t) key
 
 let check t i =
   if i < 0 || i >= count t then invalid_arg (Printf.sprintf "Shard: slot %d out of range" i)

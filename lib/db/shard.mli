@@ -20,10 +20,16 @@ val create : shards:int -> (int -> 'a) -> 'a t
 
 val count : 'a t -> int
 
+val key_index : shards:int -> string -> int
+(** Pure placement: FNV-1a over the key bytes, mod [shards] — independent
+    of process, session and platform, and of any live {!t}, so offline
+    tools (log replay, restore) route exactly like a serving shard map.
+    @raise Invalid_argument if [shards < 1]. *)
+
 val key_shard : 'a t -> string -> int
-(** Stable slot index for a key (FNV-1a over the bytes, mod [count]) —
-    independent of process, session and platform, so clients and tools
-    can compute placement offline.  Counts one [shard.routed]. *)
+(** [key_index ~shards:(count t)] — stable slot index for a key, so
+    clients and tools can compute placement offline.  Counts one
+    [shard.routed]. *)
 
 val get : 'a t -> int -> 'a
 (** Slot value without its lock — for immutable or lock-free reads.

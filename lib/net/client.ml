@@ -34,20 +34,32 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-(* One handshake attempt over a freshly connected socket. *)
+(* One handshake attempt over a freshly connected socket.  Failures are
+   classified so the dial loop can tell a server that is merely slow or
+   restarting ([`Io]: timeout, short read, peer hung up mid-drain — retry
+   with a fresh socket) from one that answered and said no ([`Refused]:
+   wrong credential, protocol mismatch — retrying cannot help). *)
 let authenticate ~auth_key ~timeout ~max_frame ~rng fd =
+  let close_fd () = try Unix.close fd with Unix.Unix_error _ -> () in
   let fail msg =
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error msg
+    close_fd ();
+    Error (`Refused msg)
+  in
+  let io_fail stage e =
+    close_fd ();
+    let msg = stage ^ ": " ^ Wire.io_error_to_string e in
+    match e with
+    | `Eof | `Timeout | `Stopped -> Error (`Io msg)
+    | `Too_large _ | `Bad_frame _ -> Error (`Refused msg)
   in
   let client_nonce = Rng.bytes rng 16 in
   match
     Wire.write_frame ~timeout fd (Wire.Hello { version = Wire.protocol_version; nonce = client_nonce })
   with
-  | Error e -> fail ("hello: " ^ Wire.io_error_to_string e)
+  | Error e -> io_fail "hello" e
   | Ok () -> (
       match Wire.read_frame ~max_frame ~timeout fd with
-      | Error e -> fail ("challenge: " ^ Wire.io_error_to_string e)
+      | Error e -> io_fail "challenge" e
       | Ok (Wire.Conn_error { code; message }) ->
           fail (Printf.sprintf "rejected [%s]: %s" (Wire.err_code_to_string code) message)
       | Ok (Wire.Challenge { version; nonce = server_nonce }) -> (
@@ -56,10 +68,10 @@ let authenticate ~auth_key ~timeout ~max_frame ~rng fd =
           else
             let mac = Wire.handshake_mac ~auth_key ~client_nonce ~server_nonce in
             match Wire.write_frame ~timeout fd (Wire.Auth mac) with
-            | Error e -> fail ("auth: " ^ Wire.io_error_to_string e)
+            | Error e -> io_fail "auth" e
             | Ok () -> (
                 match Wire.read_frame ~max_frame ~timeout fd with
-                | Error e -> fail ("auth reply: " ^ Wire.io_error_to_string e)
+                | Error e -> io_fail "auth reply" e
                 | Ok (Wire.Conn_error { code; message }) ->
                     fail
                       (Printf.sprintf "authentication refused [%s]: %s"
@@ -78,29 +90,38 @@ let connect ?(attempts = 5) ?(backoff = 0.05) ?(timeout = 30.) ?(max_frame = Wir
   let rng = Rng.create ~seed () in
   let sockaddr = Wire.sockaddr_of_addr addr in
   let domain = match addr with Wire.Unix_sock _ -> Unix.PF_UNIX | Wire.Tcp _ -> Unix.PF_INET in
-  let rec dial n delay =
+  (* One attempt = dial + handshake.  A transient failure anywhere in
+     that pair — connection refused, or an I/O hiccup mid-handshake while
+     the server restarts or drains — retries on a fresh socket with the
+     same backoff; an explicit refusal (bad credential, protocol
+     mismatch) fails immediately, no matter how many attempts remain. *)
+  let attempt () =
     let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd sockaddr with
-    | () -> Ok fd
     | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
-        if n <= 1 then
-          Error
-            (Printf.sprintf "connect %s: %s" (Wire.addr_to_string addr) (Unix.error_message e))
+        Error
+          (`Io (Printf.sprintf "connect %s: %s" (Wire.addr_to_string addr) (Unix.error_message e)))
+    | () -> (
+        match authenticate ~auth_key ~timeout ~max_frame ~rng fd with
+        | Error _ as e -> e
+        | Ok session_key -> Ok (fd, session_key))
+  in
+  let rec go n delay =
+    match attempt () with
+    | Ok (fd, session_key) ->
+        (* hoisted for the session: every request reuses the keyed MAC *)
+        let session_mac = Wire.session_mac ~session_key in
+        Ok { fd; session_mac; timeout; max_frame; next_id = 1; pending = Hashtbl.create 8; closed = false }
+    | Error (`Refused msg) -> Error msg
+    | Error (`Io msg) ->
+        if n <= 1 then Error msg
         else begin
           (try Thread.delay delay with _ -> ());
-          dial (n - 1) (delay *. 2.)
+          go (n - 1) (delay *. 2.)
         end
   in
-  match dial (max 1 attempts) backoff with
-  | Error _ as e -> e
-  | Ok fd -> (
-      match authenticate ~auth_key ~timeout ~max_frame ~rng fd with
-      | Error _ as e -> e
-      | Ok session_key ->
-          (* hoisted for the session: every request reuses the keyed MAC *)
-          let session_mac = Wire.session_mac ~session_key in
-          Ok { fd; session_mac; timeout; max_frame; next_id = 1; pending = Hashtbl.create 8; closed = false })
+  go (max 1 attempts) backoff
 
 let send_request t ~corrupt req =
   if t.closed then Error (Protocol "connection is closed")
@@ -165,9 +186,30 @@ let await t wanted =
 let call t req =
   match post t req with Error _ as e -> e | Ok id -> await t id
 
-let pipeline t reqs =
-  let ids = List.map (fun req -> post t req) reqs in
-  List.map (function Error _ as e -> e | Ok id -> await t id) ids
+let pipeline ?(window = 32) t reqs =
+  (* Posting an unbounded burst before reading anything deadlocks once the
+     responses overflow the receive buffer: the server's writer blocks on
+     us, its reader stops draining our posts, and both sides sit in their
+     timeouts.  Keep at most [window] requests outstanding — await the
+     oldest before posting past the window — so responses drain while the
+     burst is still being written. *)
+  let window = max 1 window in
+  let results = Queue.create () in
+  let inflight = Queue.create () in
+  let finish_oldest () =
+    Queue.push
+      (match Queue.pop inflight with Error _ as e -> e | Ok id -> await t id)
+      results
+  in
+  List.iter
+    (fun req ->
+      if Queue.length inflight >= window then finish_oldest ();
+      Queue.push (post t req) inflight)
+    reqs;
+  while not (Queue.is_empty inflight) do
+    finish_oldest ()
+  done;
+  List.of_seq (Queue.to_seq results)
 
 let ping t =
   let t0 = Unix.gettimeofday () in

@@ -28,9 +28,14 @@ val connect :
   auth_key:string ->
   Wire.addr ->
   (t, string) result
-(** Connect, retrying up to [attempts] times (default 5) with doubling
-    [backoff] (default 0.05s) while the endpoint refuses — covers the
-    race of dialling a server that is still binding.  [auth_key] is the
+(** Connect and authenticate, retrying up to [attempts] times (default
+    5) with doubling [backoff] (default 0.05s).  A retry covers any
+    transient failure in the dial {e or} the handshake — connection
+    refused, timeout, short read while the server drains or restarts —
+    each on a fresh socket; a replica reconnecting to a restarting
+    primary rides exactly this loop.  An explicit refusal (wrong
+    credential, protocol mismatch) fails immediately without consuming
+    the remaining attempts.  [auth_key] is the
     {!Wire.auth_key_of_master} credential; [timeout] (default 30s)
     bounds every frame read and write. *)
 
@@ -45,9 +50,14 @@ val await : t -> int -> (Wire.resp, error) result
 val call : t -> Wire.req -> (Wire.resp, error) result
 (** [post] then [await]. *)
 
-val pipeline : t -> Wire.req list -> (Wire.resp, error) result list
-(** Post every request back-to-back, then await each response; one
-    result per request, in request order. *)
+val pipeline : ?window:int -> t -> Wire.req list -> (Wire.resp, error) result list
+(** Post the requests back-to-back with at most [window] (default 32)
+    outstanding, awaiting the oldest response before posting past the
+    window; one result per request, in request order.  The window keeps
+    long bursts from deadlocking against the kernel socket buffers: an
+    unbounded burst stops reading responses while it posts, the server's
+    writer fills the peer buffer and blocks, its reader stops draining
+    the burst, and both ends sit in their timeouts. *)
 
 val ping : t -> (float, error) result
 (** Round-trip a [Ping] and return the elapsed seconds. *)

@@ -46,7 +46,18 @@ type metrics = {
 }
 
 let op_names =
-  [ "ping"; "stats"; "sql"; "put_cell"; "get_cell"; "insert_row"; "decrypt_column"; "index_lookup" ]
+  [
+    "ping";
+    "stats";
+    "sql";
+    "put_cell";
+    "get_cell";
+    "insert_row";
+    "decrypt_column";
+    "index_lookup";
+    "repl_pull";
+    "repl_root";
+  ]
 
 let make_metrics () =
   {
@@ -162,6 +173,10 @@ let dispatch db (req : Wire.req) : (Wire.resp, Wire.err_code * string) result =
         match Secdb.Encdb.select_eq db ~table ~col value with
         | Ok rows -> Ok (Wire.Rows (List.map (fun (r, vs) -> (r, Array.to_list vs)) rows))
         | Error e -> Error (Wire.App, e))
+    (* replication requests need the serving layer's role and shard map;
+       the single-db reference dispatch has neither *)
+    | Wire.Repl_pull _ -> Error (Wire.App, "replication pull needs a serving primary")
+    | Wire.Repl_root -> Error (Wire.App, "attestation needs a serving node")
   with
   | Not_found -> Error (Wire.App, "no such table, column or index")
   | Invalid_argument e -> Error (Wire.App, e)
@@ -215,18 +230,21 @@ let executor shards i =
   in
   loop ()
 
-(* Run [dispatch] on the shard's executor and wait for the result.  The
-   snapshot is republished before the completion signal. *)
-let submit sh req =
+(* Run a job on the shard's executor and wait for the result.  The
+   change stream is offered to [on_changes] (the primary's oplog append)
+   and the snapshot republished before the completion signal — so by the
+   time a mutation is acked it is logged, folded and visible. *)
+let submit_job ?(on_changes = fun (_ : Secdb.Encdb.change list) -> ()) sh f =
   let mu = Mutex.create () in
   let cond = Condition.create () in
   let result = ref None in
   let job () =
-    let r = dispatch sh.sdb req in
+    let r = f () in
     (match List.rev !(sh.pending) with
     | [] -> ()
     | changes ->
         sh.pending := [];
+        on_changes changes;
         Atomic.set sh.snap (List.fold_left Snapshot.apply (Atomic.get sh.snap) changes));
     Mutex.lock mu;
     result := Some r;
@@ -239,14 +257,34 @@ let submit sh req =
       Condition.wait cond mu
     done;
     Mutex.unlock mu;
-    Option.get !result
+    Ok (Option.get !result)
   end
-  else Error (Wire.Server_error, "server draining")
+  else Error `Draining
+
+let submit ?on_changes sh req =
+  match submit_job ?on_changes sh (fun () -> dispatch sh.sdb req) with
+  | Ok r -> r
+  | Error `Draining -> Error (Wire.Server_error, "server draining")
 
 (* --- server ------------------------------------------------------------------- *)
 
+(* What this node is in a replication topology.  A [Primary] appends
+   every observed mutation to its oplog writer (inside the executor job,
+   before the response is signalled, so an acked write is a logged
+   write).  A [Replica] rejects mutations from clients — its only write
+   path is {!apply_op}, fed by the pull loop — and serves reads from the
+   same snapshot machinery as any other node. *)
+type role =
+  | Standalone
+  | Primary of Secdb.Oplog.writer
+  | Replica of { initial_applied : int }
+
 type t = {
   cfg : config;
+  role : role;
+  repl_mu : Mutex.t;  (* serialises oplog appends and reads across shards *)
+  applied : int Atomic.t;  (* ops reflected in the served state *)
+  mutable repl_error : string option;  (* first oplog failure, under repl_mu *)
   shards : shard_state Shard.t;
   doms : unit Domain.t array;
   listen_fd : Unix.file_descr;
@@ -271,7 +309,7 @@ let default_seed () =
     (Int64.of_float (Unix.gettimeofday () *. 1e6))
     (Int64.of_int (Unix.getpid () * 0x9e3779b9))
 
-let create ?seed ~config:(cfg : config) ~db address =
+let create ?seed ?(role = Standalone) ~config:(cfg : config) ~db address =
   let seed = match seed with Some s -> s | None -> default_seed () in
   try
     let fd =
@@ -299,6 +337,15 @@ let create ?seed ~config:(cfg : config) ~db address =
     Ok
       {
         cfg;
+        role;
+        repl_mu = Mutex.create ();
+        applied =
+          Atomic.make
+            (match role with
+            | Standalone -> 0
+            | Primary w -> Secdb.Oplog.count w
+            | Replica { initial_applied } -> initial_applied);
+        repl_error = None;
         shards;
         doms;
         listen_fd = fd;
@@ -331,33 +378,109 @@ let fresh_nonce t =
   Mutex.unlock t.rng_mu;
   n
 
+(* The primary's oplog hook, run inside the executor job that performed
+   the mutation — per-shard apply order and log order therefore agree,
+   which is what makes a replica's replay byte-identical.  After a first
+   append failure the log stops growing and pulls report the error;
+   serving continues (the local state is still good), replication does
+   not silently diverge. *)
+let log_changes t changes =
+  match t.role with
+  | Primary w ->
+      Mutex.lock t.repl_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.repl_mu)
+        (fun () ->
+          match t.repl_error with
+          | Some _ -> ()
+          | None -> (
+              try
+                List.iter (fun ch -> ignore (Secdb.Oplog.append w (Repl.op_of_change ch))) changes;
+                Atomic.set t.applied (Secdb.Oplog.count w)
+              with e -> t.repl_error <- Some (Printexc.to_string e)))
+  | Standalone | Replica _ -> ()
+
+let is_replica t = match t.role with Replica _ -> true | Standalone | Primary _ -> false
+
+let read_only_reject = Error (Wire.App, "read-only replica: mutations go to the primary")
+
 (* Route one request.  Ping and Stats touch no table — answered inline.
    SQL parses once: the statement names its table, the table names its
    shard; a point SELECT is tried against the shard's published snapshot
    first (lock-free), everything else rides the shard's executor.  The
-   remaining request forms carry their table explicitly. *)
+   remaining request forms carry their table explicitly.  On a replica
+   every mutating form is rejected before it reaches a shard. *)
 let exec_routed t (req : Wire.req) =
   let shard_of table = Shard.get t.shards (Shard.key_shard t.shards table) in
+  let submit sh req = submit ~on_changes:(log_changes t) sh req in
   match req with
   | Wire.Ping _ | Wire.Stats _ -> dispatch (Shard.get t.shards 0).sdb req
+  | Wire.Repl_pull { ack; max } -> (
+      match t.role with
+      | Primary w ->
+          Mutex.lock t.repl_mu;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.repl_mu)
+            (fun () ->
+              match t.repl_error with
+              | Some e -> Error (Wire.Server_error, "oplog failed: " ^ e)
+              | None ->
+                  if ack < 0 || max < 0 then Error (Wire.Bad_payload, "negative pull bounds")
+                  else
+                    let max = min max 1024 (* bound one response's size *) in
+                    Ok
+                      (Wire.Repl_records
+                         {
+                           durable = Secdb.Oplog.durable w;
+                           records = Secdb.Oplog.read_sealed w ~from:ack ~max;
+                         }))
+      | Standalone | Replica _ -> Error (Wire.App, "not a primary"))
+  | Wire.Repl_root ->
+      (* all shard locks held: no executor is mid-mutation, so the
+         digests and the applied count describe one consistent state *)
+      let applied = ref 0 in
+      let digests =
+        Shard.with_all t.shards (fun i sh ->
+            if i = 0 then applied := Atomic.get t.applied;
+            Secdb.Encdb.digest sh.sdb)
+      in
+      Ok (Wire.Root { applied = !applied; root = Repl.combined_root digests })
   | Wire.Sql stmt_src -> (
       match Parser.parse stmt_src with
       | Error e -> Error (Wire.App, e)
       | Ok stmt -> (
-          let sh = shard_of (Ast.stmt_table stmt) in
-          match Engine.exec_snapshot (Atomic.get sh.snap) stmt with
-          | Some r ->
-              Metrics.incr t.m.m_snap_hits;
-              (match r with Ok o -> Ok (Wire.Outcome o) | Error e -> Error (Wire.App, e))
-          | None ->
-              (match stmt with Ast.Select _ -> Metrics.incr t.m.m_snap_misses | _ -> ());
-              submit sh req))
+          match stmt with
+          | stmt when is_replica t && not (match stmt with Ast.Select _ | Ast.Explain _ -> true | _ -> false)
+            ->
+              read_only_reject
+          | _ -> (
+              let sh = shard_of (Ast.stmt_table stmt) in
+              match Engine.exec_snapshot (Atomic.get sh.snap) stmt with
+              | Some r ->
+                  Metrics.incr t.m.m_snap_hits;
+                  (match r with Ok o -> Ok (Wire.Outcome o) | Error e -> Error (Wire.App, e))
+              | None ->
+                  (match stmt with Ast.Select _ -> Metrics.incr t.m.m_snap_misses | _ -> ());
+                  submit sh req)))
+  | (Wire.Put_cell _ | Wire.Insert_row _) when is_replica t -> read_only_reject
   | Wire.Put_cell { table; _ }
   | Wire.Get_cell { table; _ }
   | Wire.Insert_row { table; _ }
   | Wire.Decrypt_column { table; _ }
   | Wire.Index_lookup { table; _ } ->
       submit (shard_of table) req
+
+(* The replica's single write path: apply one pulled (already verified)
+   op on the shard executor it routes to, exactly as the primary's own
+   mutations ride theirs. *)
+let apply_op t op =
+  let sh = Shard.get t.shards (Shard.key_shard t.shards (Secdb.Oplog.op_table op)) in
+  match submit_job sh (fun () -> Secdb.Oplog.apply sh.sdb op) with
+  | Ok (Ok ()) ->
+      Atomic.incr t.applied;
+      Ok ()
+  | Ok (Error _ as e) -> e
+  | Error `Draining -> Error "server draining"
 
 let observe_in t frame = if Obs.on () then Metrics.add t.m.m_bytes_in (Wire.frame_size frame)
 let observe_out t frame = if Obs.on () then Metrics.add t.m.m_bytes_out (Wire.frame_size frame)

@@ -48,14 +48,52 @@ val config :
 
 type t
 
+(** What this node is in a replication topology (default [Standalone]).
+
+    A [Primary] appends every observed mutation to the given oplog writer
+    inside the executor job that performed it — before the response is
+    signalled, so an acked write is a logged write, and per-shard apply
+    order equals log order.  It answers [Repl_pull] with sealed records
+    (only fsynced ones ever ship).  If an append fails the log stops
+    growing and pulls report the failure; local serving continues.
+
+    A [Replica] rejects every mutating request with a structured
+    [read-only] error — its only write path is {!apply_op}, fed by the
+    pull loop ({!Repl.run_replica}) — and serves reads from the same
+    snapshot machinery as any node.  [initial_applied] seats the op count
+    after a boot-time replay of the local log copy.
+
+    Every role answers [Repl_root] with the Merkle root over its
+    per-shard digests, taken under all shard locks so the root and the
+    count describe one consistent state. *)
+type role =
+  | Standalone
+  | Primary of Secdb.Oplog.writer
+  | Replica of { initial_applied : int }
+
 val create :
-  ?seed:int64 -> config:config -> db:(int -> Secdb.Encdb.t) -> Wire.addr -> (t, string) result
+  ?seed:int64 ->
+  ?role:role ->
+  config:config ->
+  db:(int -> Secdb.Encdb.t) ->
+  Wire.addr ->
+  (t, string) result
 (** Bind and listen (Unix socket or TCP), then build one database per
     shard: [db i] must return shard [i]'s {!Secdb.Encdb.t} — give shards
     disjoint [first_table_id] / [first_index_id] ranges so derived keys
     never collide.  A stale Unix-socket path is replaced.  [seed] fixes
     the challenge-nonce stream (tests); by default it is drawn from the
-    clock and pid. *)
+    clock and pid.
+
+    For byte-identical replication the primary, every replica and any
+    offline restore must build their shard databases with the same seeds
+    and the same shard count — nonce streams and table ids are derived
+    from both. *)
+
+val apply_op : t -> Secdb.Oplog.op -> (unit, string) result
+(** Apply one (already verified) replicated op on the executor of the
+    shard it routes to, republishing that shard's read snapshot — the
+    replica's write path. *)
 
 val addr : t -> Wire.addr
 

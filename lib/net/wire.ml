@@ -125,6 +125,12 @@ type req =
   | Insert_row of { table : string; values : Value.t list }
   | Decrypt_column of { table : string; col : string }
   | Index_lookup of { table : string; col : string; value : Value.t }
+  | Repl_pull of { ack : int; max : int }
+      (** replica → primary: "I hold a durable prefix of [ack] records;
+          ship me up to [max] more, sealed" *)
+  | Repl_root
+      (** ask for the Merkle root over the whole database state plus the
+          op count it reflects — the replication attestation *)
 
 let op_name = function
   | Ping _ -> "ping"
@@ -135,6 +141,8 @@ let op_name = function
   | Insert_row _ -> "insert_row"
   | Decrypt_column _ -> "decrypt_column"
   | Index_lookup _ -> "index_lookup"
+  | Repl_pull _ -> "repl_pull"
+  | Repl_root -> "repl_root"
 
 let encode_req r =
   let b = Buffer.create 64 in
@@ -172,7 +180,12 @@ let encode_req r =
       put_u8 b 0x07;
       put_str b table;
       put_str b col;
-      put_value b value);
+      put_value b value
+  | Repl_pull { ack; max } ->
+      put_u8 b 0x08;
+      put_u32 b ack;
+      put_u32 b max
+  | Repl_root -> put_u8 b 0x09);
   Buffer.contents b
 
 let decode_req s =
@@ -212,6 +225,11 @@ let decode_req s =
             let col = get_str c in
             let value = get_value c in
             Index_lookup { table; col; value }
+        | 0x08 ->
+            let ack = get_u32 c in
+            let max = get_u32 c in
+            Repl_pull { ack; max }
+        | 0x09 -> Repl_root
         | op -> fail "unknown op 0x%02x" op
       in
       finished c;
@@ -231,6 +249,10 @@ type resp =
   | Row_id of int
   | Column of cell list
   | Rows of (int * Value.t list) list
+  | Repl_records of { durable : int; records : (int * string) list }
+      (** sealed oplog records, each with its sequence number, plus the
+          primary's durable count so the replica can see its lag *)
+  | Root of { applied : int; root : string }
 
 let encode_resp r =
   let b = Buffer.create 64 in
@@ -289,7 +311,20 @@ let encode_resp r =
           put_u32 b row;
           put_u16 b (List.length values);
           List.iter (put_value b) values)
-        rows);
+        rows
+  | Repl_records { durable; records } ->
+      put_u8 b 0x08;
+      put_u32 b durable;
+      put_u32 b (List.length records);
+      List.iter
+        (fun (seq, sealed) ->
+          put_u32 b seq;
+          put_str b sealed)
+        records
+  | Root { applied; root } ->
+      put_u8 b 0x09;
+      put_u32 b applied;
+      put_str b root);
   Buffer.contents b
 
 let decode_resp s =
@@ -335,6 +370,22 @@ let decode_resp s =
                    let row = get_u32 c in
                    let nv = get_u16 c in
                    (row, List.init nv (fun _ -> get_value c))))
+        | 0x08 ->
+            let durable = get_u32 c in
+            let n = get_u32 c in
+            Repl_records
+              {
+                durable;
+                records =
+                  List.init n (fun _ ->
+                      let seq = get_u32 c in
+                      let sealed = get_str c in
+                      (seq, sealed));
+              }
+        | 0x09 ->
+            let applied = get_u32 c in
+            let root = get_str c in
+            Root { applied; root }
         | k -> fail "unknown response kind 0x%02x" k
       in
       finished c;

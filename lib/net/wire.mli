@@ -56,6 +56,13 @@ type req =
   | Insert_row of { table : string; values : Secdb_db.Value.t list }
   | Decrypt_column of { table : string; col : string }
   | Index_lookup of { table : string; col : string; value : Secdb_db.Value.t }
+  | Repl_pull of { ack : int; max : int }
+      (** replica → primary: "my durable prefix holds [ack] records; ship
+          up to [max] more, sealed" — the ack doubles as the resume point,
+          so the primary keeps no per-replica state *)
+  | Repl_root
+      (** ask any node for the Merkle root over its full database state
+          and the op count it reflects — the replication attestation *)
 
 val op_name : req -> string
 (** Stable lowercase name, used as the metric label. *)
@@ -74,6 +81,11 @@ type resp =
   | Row_id of int
   | Column of cell list
   | Rows of (int * Secdb_db.Value.t list) list
+  | Repl_records of { durable : int; records : (int * string) list }
+      (** sealed oplog records (sequence number, raw bytes) in order,
+          plus the primary's durable count so a replica can see its lag *)
+  | Root of { applied : int; root : string }
+      (** attestation: Merkle root over per-shard digests at [applied] ops *)
 
 val encode_req : req -> string
 val decode_req : string -> (req, string) result

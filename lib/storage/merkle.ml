@@ -35,11 +35,21 @@ let prove leaves ~index =
   in
   walk (List.map leaf_hash leaves) index []
 
+(* A SHA-256 tree over 2^64 leaves needs 64 sibling hashes; anything longer
+   is garbage or an attempt to make verification do unbounded work. *)
+let max_proof_len = 64
+
 let verify ~root:expected ~leaf proof =
-  let final =
-    List.fold_left
-      (fun acc (sibling, side) ->
-        match side with `Right -> node_hash acc sibling | `Left -> node_hash sibling acc)
-      (leaf_hash leaf) proof
-  in
-  final = expected
+  if List.length proof > max_proof_len then false
+  else if List.exists (fun (sibling, _) -> String.length sibling <> 32) proof then false
+  else if String.length expected <> 32 then false
+  else
+    let final =
+      List.fold_left
+        (fun acc (sibling, side) ->
+          match side with `Right -> node_hash acc sibling | `Left -> node_hash sibling acc)
+        (leaf_hash leaf) proof
+    in
+    (* attestation roots cross the wire now: compare without an early-exit
+       so a byte-guessing adversary learns nothing from timing *)
+    Secdb_util.Xbytes.constant_time_equal final expected

@@ -28,4 +28,7 @@ val prove : string list -> index:int -> proof
     @raise Invalid_argument if out of range. *)
 
 val verify : root:string -> leaf:string -> proof -> bool
-(** Check that [leaf] is included under [root] via [proof]. *)
+(** Check that [leaf] is included under [root] via [proof].  The root
+    comparison is constant-time (roots travel over the wire as replication
+    attestations), and implausible proofs — more than 64 levels, or sibling
+    hashes that are not 32 bytes — are rejected outright. *)

@@ -15,6 +15,14 @@
 val magic : string
 (** ["SECDB\x00\x01\x00"] — format identifier and version. *)
 
+(** {2 Schemas} *)
+
+val encode_schema : Secdb_db.Schema.t -> string
+(** Canonical byte encoding of a schema (names, kinds, protection) — also
+    the payload of replicated [CREATE TABLE] oplog records. *)
+
+val decode_schema : string -> (Secdb_db.Schema.t, string) result
+
 (** {2 Tables} *)
 
 val encode_table : Secdb_query.Encrypted_table.t -> string

@@ -106,12 +106,37 @@ let test_suppression_attack_and_anchor () =
   (* the out-of-band anchor catches it *)
   Alcotest.(check bool) "digest mismatch" false (Encdb.digest db' = anchor)
 
+(* The verifier must reject implausible proofs outright: a SHA-256 tree
+   never needs more than 64 levels, and every sibling (and the root) is
+   exactly 32 bytes.  The 65-level proof below is honestly computed — its
+   root matches the hash chain — so only the length cap can refuse it. *)
+let test_implausible_proofs_rejected () =
+  let h = Secdb_hash.Sha256.digest in
+  let node acc sib = h ("\x01" ^ acc ^ sib) in
+  let sib = String.make 32 's' in
+  let leaf = "deep" in
+  let chain_root n = List.init n (fun _ -> sib) |> List.fold_left node (h ("\x00" ^ leaf)) in
+  let chain n = List.init n (fun _ -> (sib, `Right)) in
+  if not (M.verify ~root:(chain_root 64) ~leaf (chain 64)) then
+    Alcotest.fail "64-level proof rejected (within the bound)";
+  if M.verify ~root:(chain_root 65) ~leaf (chain 65) then
+    Alcotest.fail "65-level proof accepted";
+  let leaves = [ "a"; "b"; "c" ] in
+  let root = M.root leaves in
+  let proof = M.prove leaves ~index:0 in
+  if M.verify ~root ~leaf:"a" ((String.make 31 'x', `Left) :: proof) then
+    Alcotest.fail "31-byte sibling accepted";
+  if M.verify ~root ~leaf:"a" ((String.make 33 'x', `Right) :: proof) then
+    Alcotest.fail "33-byte sibling accepted";
+  if M.verify ~root:"not 32 bytes" ~leaf:"a" proof then Alcotest.fail "short root accepted"
+
 let suites =
   [
     ( "storage:merkle",
       [
         Alcotest.test_case "roots" `Quick test_merkle_roots;
         Alcotest.test_case "inclusion proofs" `Quick test_merkle_proofs;
+        Alcotest.test_case "implausible proofs rejected" `Quick test_implausible_proofs_rejected;
       ] );
     ( "storage:anchor",
       [

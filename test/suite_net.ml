@@ -79,6 +79,9 @@ let sample_reqs =
     Wire.Insert_row { table = "t"; values = sample_values };
     Wire.Decrypt_column { table = "t"; col = "v" };
     Wire.Index_lookup { table = "t"; col = "v"; value = Value.Int (-7L) };
+    Wire.Repl_pull { ack = 0; max = 256 };
+    Wire.Repl_pull { ack = 123456; max = 1 };
+    Wire.Repl_root;
   ]
 
 let test_req_roundtrip () =
@@ -107,6 +110,9 @@ let test_resp_roundtrip () =
       Wire.Column [ Wire.Tombstone; Wire.Cell (Value.Int 5L); Wire.Cell_error "bad tag" ];
       Wire.Rows [ (0, sample_values); (7, []) ];
       Wire.Rows [];
+      Wire.Repl_records { durable = 9; records = [ (0, "sealed-0"); (1, String.make 300 'r') ] };
+      Wire.Repl_records { durable = 0; records = [] };
+      Wire.Root { applied = 42; root = String.make 32 '\x5c' };
     ]
   in
   List.iter

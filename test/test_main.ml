@@ -28,4 +28,5 @@ let () =
          Suite_bulk.suites;
          Suite_obs.suites;
          Suite_net.suites;
+         Suite_repl.suites;
        ])

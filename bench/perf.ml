@@ -504,6 +504,75 @@ let check_paged () =
   Pbt.flush paged;
   Pager.close pager
 
+(* --- adaptive planner byte-identity -------------------------------------- *)
+
+module SE = Secdb_sql.Engine
+module SA = Secdb_sql.Ast
+module SPl = Secdb_sql.Plan
+module SP = Secdb_sql.Parser
+module SSnap = Secdb_sql.Snapshot
+
+(* two tables with an exact index, a range index and a joinable key, so
+   every access path and both join strategies are live candidates *)
+let planner_db ~rows () =
+  let db =
+    Secdb.Encdb.create ~master:"perf planner" ~profile:(Secdb.Encdb.Fixed Secdb.Encdb.Eax) ()
+  in
+  let run sql =
+    match SE.exec db sql with Ok _ -> () | Error e -> failwith ("planner db: " ^ sql ^ ": " ^ e)
+  in
+  run "CREATE TABLE orders (id INT CLEAR, cust INT, total INT)";
+  run "CREATE TABLE custs (id INT CLEAR, cust INT, region INT)";
+  for i = 0 to rows - 1 do
+    run (Printf.sprintf "INSERT INTO orders VALUES (%d, %d, %d)" i (i mod 40) (i * 7 mod 1000))
+  done;
+  for i = 0 to (rows / 4) - 1 do
+    run (Printf.sprintf "INSERT INTO custs VALUES (%d, %d, %d)" i (i mod 40) (i mod 5))
+  done;
+  run "CREATE INDEX ON orders (total)";
+  run "CREATE RANGE INDEX ON orders (total) BUCKETS 8";
+  run "CREATE INDEX ON custs (cust)";
+  db
+
+let planner_queries =
+  [
+    ("point", "SELECT * FROM orders WHERE total = 630");
+    ("range", "SELECT id, total FROM orders WHERE total BETWEEN 100 AND 220 ORDER BY total DESC");
+    ("order-limit", "SELECT * FROM orders ORDER BY total DESC LIMIT 5");
+    ( "join",
+      "SELECT * FROM orders JOIN custs ON orders.cust = custs.cust WHERE total BETWEEN 0 AND \
+       400 ORDER BY region LIMIT 20" );
+  ]
+
+let planner_select sql =
+  match SP.parse sql with Ok (SA.Select s) -> s | _ -> failwith ("planner parse: " ^ sql)
+
+let check_planner () =
+  (* whatever the cost model picks, every candidate plan — and the
+     lock-free snapshot path, where it volunteers — must return the same
+     bytes; a planner bug may cost latency, never answers *)
+  let db = planner_db ~rows:160 () in
+  let snap = SSnap.of_db db in
+  List.iter
+    (fun (label, sql) ->
+      let s = planner_select sql in
+      match SE.exec_stmt db (SA.Select s) with
+      | Error e -> fail_check "planner %s: %s" label e
+      | Ok adaptive ->
+          List.iter
+            (fun p ->
+              match SE.exec_plan db s p with
+              | Ok r ->
+                  if r <> adaptive then
+                    fail_check "planner %s: plan %s returns different bytes" label (SPl.name p)
+              | Error e -> fail_check "planner %s: plan %s: %s" label (SPl.name p) e)
+            (SE.candidate_plans db s);
+          (match SE.exec_snapshot snap (SA.Select s) with
+          | Some (Ok r) -> if r <> adaptive then fail_check "planner %s: snapshot differs" label
+          | Some (Error e) -> fail_check "planner %s: snapshot: %s" label e
+          | None -> ()))
+    planner_queries
+
 (* The checks run with observability on, so the counter snapshot embedded
    in BENCH_perf.json reflects exactly the work the equivalence checks did;
    the timed sections below run with it off (the default), keeping the
@@ -523,6 +592,7 @@ let run_checks () =
           check_parallel_bulk_load pool;
           check_fault_vfs ();
           check_paged ();
+          check_planner ();
           check_net ()));
   check_snapshot := Some (Secdb_obs.Metrics.snapshot ());
   match !check_failures with
@@ -973,6 +1043,47 @@ let bench_repl ~fast =
   row "  seal+append %9.0f ops/s   ship+verify+apply %9.0f ops/s (%d ops)" seal_rate apply_rate
     !applied
 
+let bench_planner ~fast =
+  (* plan-vs-plan: time every candidate plan the planner could have picked
+     alongside the adaptive choice.  The adaptive executor runs the same
+     code path as one of the forced plans, so adaptive/best should sit at
+     ~1x (noise aside) and adaptive/worst well below 1x on shapes where
+     the plans genuinely differ. *)
+  let rows = if fast then 200 else 1600 in
+  let min_time = if fast then 0.02 else 0.2 in
+  let db = planner_db ~rows () in
+  header "Adaptive planner vs forced plans, %d rows (ms/query)" rows;
+  List.iter
+    (fun (label, sql) ->
+      let s = planner_select sql in
+      let force p =
+        match SE.exec_plan db s p with Ok r -> r | Error e -> failwith e
+      in
+      let plan_times =
+        List.map
+          (fun p -> (SPl.name p, time_per_call ~min_time (fun () -> force p)))
+          (SE.candidate_plans db s)
+      in
+      let adaptive =
+        time_per_call ~min_time (fun () ->
+            match SE.exec_stmt db (SA.Select s) with Ok r -> r | Error e -> failwith e)
+      in
+      List.iter
+        (fun (n, t) -> sample ~section:"planner" ~name:label ~qualifier:n ~unit_:"ms" (t *. 1e3))
+        plan_times;
+      sample ~section:"planner" ~name:label ~qualifier:"adaptive" ~unit_:"ms" (adaptive *. 1e3);
+      let pick f = List.fold_left (fun acc (_, t) -> f acc t) (snd (List.hd plan_times)) plan_times in
+      let best = pick min and worst = pick max in
+      sample ~section:"planner" ~name:label ~qualifier:"adaptive-vs-best" ~unit_:"x"
+        (adaptive /. best);
+      sample ~section:"planner" ~name:label ~qualifier:"adaptive-vs-worst" ~unit_:"x"
+        (adaptive /. worst);
+      row "  %-12s adaptive %8.4f ms   best %8.4f   worst %8.4f   vs-best %.2fx   [%s]" label
+        (adaptive *. 1e3) (best *. 1e3) (worst *. 1e3)
+        (adaptive /. best)
+        (String.concat " " (List.map (fun (n, t) -> Printf.sprintf "%s=%.4f" n (t *. 1e3)) plan_times)))
+    planner_queries
+
 (* ------------------------------------------------------------- JSON -- *)
 
 let json_escape s =
@@ -1043,5 +1154,6 @@ let () =
     bench_net ~fast;
     bench_server ~fast;
     bench_repl ~fast;
+    bench_planner ~fast;
     write_json ~fast "BENCH_perf.json"
   end

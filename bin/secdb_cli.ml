@@ -411,6 +411,24 @@ let stats_workload () =
        done;
        Pbt.flush t;
        Pager.close p));
+  (* an encrypted SQL table through the adaptive planner, so the cost
+     model's own inputs — db.rows{table} cardinality and the pager hit
+     rate — land in the dump alongside the raw cache counters *)
+  (let db =
+     Secdb.Encdb.create ~master:"stats" ~profile:(Secdb.Encdb.Fixed Secdb.Encdb.Eax) ()
+   in
+   let sql q =
+     match Secdb_sql.Engine.exec db q with
+     | Ok _ -> ()
+     | Error e -> failwith ("stats workload: " ^ q ^ ": " ^ e)
+   in
+   sql "CREATE TABLE kv (id INT CLEAR, v INT)";
+   for i = 1 to 8 do
+     sql (Printf.sprintf "INSERT INTO kv VALUES (%d, %d)" i (i * 10))
+   done;
+   sql "CREATE INDEX ON kv (v)";
+   sql "DELETE FROM kv WHERE id = 8";
+   sql "SELECT * FROM kv WHERE v BETWEEN 20 AND 50");
   (* shard map: five routed keys and one all-shards broadcast *)
   (let module Shard = Secdb_db.Shard in
    let sh = Shard.create ~shards:4 (fun i -> i) in

@@ -27,7 +27,10 @@ dune runtest
 step "known-answer vectors"
 dune build @kat
 
-step "perf equivalence checks"
+step "perf equivalence + planner byte-identity checks"
+# includes the planner gate: every candidate plan (forced via exec_plan),
+# the adaptive choice and the lock-free snapshot path must return
+# byte-identical rows for point, range, join and order-by shapes
 dune exec bench/perf.exe -- --fast --check
 
 step "leakage bounds (range index attack bench, fixed seeds)"

@@ -1,0 +1,116 @@
+EXPLAIN renders the typed plan tree the adaptive planner chose, with the
+cost-model estimate attached.  Observability is off in the CLI, so the
+cost inputs are the static fallbacks and every number below is a pure
+function of the schema and row counts — which is what makes this file a
+regression gate on the planner itself.
+
+  $ cat > q.sql <<'EOF'
+  > CREATE TABLE staff (id INT CLEAR, name TEXT, salary INT);
+  > INSERT INTO staff VALUES (1, 'amy', 120);
+  > INSERT INTO staff VALUES (2, 'bob', 80);
+  > INSERT INTO staff VALUES (3, 'cal', 120);
+  > INSERT INTO staff VALUES (4, 'dee', 200);
+  > INSERT INTO staff VALUES (5, 'eli', 80);
+  > INSERT INTO staff VALUES (6, 'fay', 150);
+  > CREATE INDEX ON staff (salary);
+  > CREATE RANGE INDEX ON staff (id) BUCKETS 3;
+  > CREATE TABLE teams (id INT CLEAR, staff_id INT, team TEXT);
+  > INSERT INTO teams VALUES (1, 1, 'red');
+  > INSERT INTO teams VALUES (2, 3, 'blue');
+  > INSERT INTO teams VALUES (3, 6, 'red');
+  > CREATE INDEX ON teams (staff_id);
+  > EXPLAIN SELECT * FROM staff WHERE salary = 120;
+  > EXPLAIN SELECT * FROM staff WHERE id BETWEEN 1 AND 4;
+  > EXPLAIN SELECT name FROM staff ORDER BY salary DESC LIMIT 2;
+  > EXPLAIN SELECT name, team FROM staff JOIN teams ON staff.id = teams.staff_id;
+  > EOF
+  $ secdb_cli sql -f q.sql
+  secdb> CREATE TABLE staff (id INT CLEAR, name TEXT,
+  salary INT)
+  created
+  secdb> INSERT INTO staff VALUES (1, "amy",
+  120)
+  1 row(s) affected
+  secdb> INSERT INTO staff VALUES (2, "bob",
+  80)
+  1 row(s) affected
+  secdb> INSERT INTO staff VALUES (3, "cal",
+  120)
+  1 row(s) affected
+  secdb> INSERT INTO staff VALUES (4, "dee",
+  200)
+  1 row(s) affected
+  secdb> INSERT INTO staff VALUES (5, "eli",
+  80)
+  1 row(s) affected
+  secdb> INSERT INTO staff VALUES (6, "fay",
+  150)
+  1 row(s) affected
+  secdb> CREATE INDEX ON staff (salary)
+  created
+  secdb> CREATE RANGE INDEX ON staff (id) BUCKETS 3
+  created
+  secdb> CREATE TABLE teams (id INT CLEAR, staff_id INT,
+  team TEXT)
+  created
+  secdb> INSERT INTO teams VALUES (1, 1,
+  "red")
+  1 row(s) affected
+  secdb> INSERT INTO teams VALUES (2, 3,
+  "blue")
+  1 row(s) affected
+  secdb> INSERT INTO teams VALUES (3, 6,
+  "red")
+  1 row(s) affected
+  secdb> CREATE INDEX ON teams (staff_id)
+  created
+  secdb> EXPLAIN SELECT * FROM staff WHERE salary = 120
+  plan: INDEX SCAN on salary [120 .. 120] (est. selectivity 0.33) + residual filter; cost ~11
+  secdb> EXPLAIN SELECT * FROM staff WHERE id BETWEEN 1 AND 4
+  plan: RANGE BUCKET SCAN on id [1 .. 4] over 3 buckets (est. selectivity 0.67) + residual filter; cost ~18
+  secdb> EXPLAIN SELECT name FROM staff ORDER BY salary DESC LIMIT 2
+  plan: FULL SCAN (decrypt every row); cost ~18
+  secdb> EXPLAIN SELECT name, team FROM staff JOIN teams ON staff.id = teams.staff_id
+  plan: NESTED LOOP JOIN: teams via FULL SCAN (decrypt every row) -> materialize staff on teams.staff_id = staff.id; cost ~27
+
+JOIN and ORDER BY work end-to-end over the wire against a sharded
+server.  Table placement is FNV-1a on the table name, so "custs" and
+"items" land on the same shard of four and can be joined; "orders" lives
+on a different shard, and joining across shards is refused with a
+structured error — never a silently wrong answer.
+
+  $ SOCK_DIR=$(mktemp -d)
+  $ secdb_cli serve -a unix:$SOCK_DIR/db.sock --shards 4 --seed 7 > serve.log 2>&1 &
+  $ SRV=$!
+  $ for i in $(seq 1 100); do [ -S $SOCK_DIR/db.sock ] && break; sleep 0.1; done
+
+  $ secdb_cli client -a unix:$SOCK_DIR/db.sock \
+  >   -e "CREATE TABLE custs (id INT CLEAR, name TEXT)" \
+  >   -e "CREATE TABLE items (id INT CLEAR, cust_id INT, sku TEXT)" \
+  >   -e "CREATE TABLE orders (id INT CLEAR, cust_id INT)" \
+  >   -e "INSERT INTO custs VALUES (1, 'amy')" \
+  >   -e "INSERT INTO custs VALUES (2, 'bob')" \
+  >   -e "INSERT INTO items VALUES (10, 2, 'bolt')" \
+  >   -e "INSERT INTO items VALUES (11, 1, 'nut')" \
+  >   -e "INSERT INTO items VALUES (12, 2, 'cog')" \
+  >   -e "SELECT name, sku FROM custs JOIN items ON custs.id = items.cust_id ORDER BY sku LIMIT 2"
+  created
+  created
+  created
+  1 row(s) affected
+  1 row(s) affected
+  1 row(s) affected
+  1 row(s) affected
+  1 row(s) affected
+  custs.name | items.sku
+  -----------+----------
+  "bob"      | "bolt"   
+  "bob"      | "cog"    
+  (2 row(s))
+
+  $ secdb_cli client -a unix:$SOCK_DIR/db.sock \
+  >   -e "SELECT * FROM orders JOIN custs ON orders.cust_id = custs.id"
+  error [app]: cross-shard JOIN: tables {orders, custs} live on different shards
+  [1]
+
+  $ kill $SRV 2>/dev/null; wait $SRV 2>/dev/null

@@ -6,10 +6,10 @@ change in the stack, not noise:
 
   $ secdb_cli stats
   counter aead.auth_failures 1
-  counter aead.bytes_decrypted 14054
-  counter aead.bytes_encrypted 6128
-  counter aead.decrypts 276
-  counter aead.encrypts 162
+  counter aead.bytes_decrypted 14527
+  counter aead.bytes_encrypted 6417
+  counter aead.decrypts 309
+  counter aead.encrypts 179
   counter blob.bytes_loaded 1000
   counter blob.bytes_stored 1000
   counter blob.deletes 1
@@ -21,7 +21,7 @@ change in the stack, not noise:
   counter mode.blocks{op=cbc_encrypt} 71
   counter mode.blocks{op=cfb_decrypt} 0
   counter mode.blocks{op=cfb_encrypt} 0
-  counter mode.blocks{op=ctr} 1516
+  counter mode.blocks{op=ctr} 1587
   counter mode.blocks{op=ecb_decrypt} 0
   counter mode.blocks{op=ecb_encrypt} 0
   counter mode.blocks{op=ofb} 0
@@ -29,7 +29,7 @@ change in the stack, not noise:
   counter mode.bytes{op=cbc_encrypt} 1136
   counter mode.bytes{op=cfb_decrypt} 0
   counter mode.bytes{op=cfb_encrypt} 0
-  counter mode.bytes{op=ctr} 20158
+  counter mode.bytes{op=ctr} 20920
   counter mode.bytes{op=ecb_decrypt} 0
   counter mode.bytes{op=ecb_encrypt} 0
   counter mode.bytes{op=ofb} 0
@@ -53,21 +53,25 @@ change in the stack, not noise:
   counter pool.tasks 176
   counter shard.broadcasts 1
   counter shard.routed 5
-  counter table.cells_decrypted 48
-  counter table.cells_encrypted 32
+  counter table.cells_decrypted 69
+  counter table.cells_encrypted 40
   counter table.decrypt_failures 0
-  counter table.rows_matched 8
-  counter table.rows_scanned 16
+  counter table.rows_matched 16
+  counter table.rows_scanned 24
   counter trace.spans 5
-  counter walker.false_positives 3
-  counter walker.inner_checked 4
-  counter walker.leaf_checked 13
+  counter walker.false_positives 5
+  counter walker.inner_checked 5
+  counter walker.leaf_checked 19
   counter walker.leaf_unchecked 0
-  counter walker.results 10
+  counter walker.results 14
+  gauge db.rows{table=kv} 7
+  gauge pager.hit_rate 15
   gauge pool.domains 2
   gauge shard.count 4
   hist oplog.append_seconds count=3
   hist oplog.replay_seconds count=2
+  hist sql.plan_latency{plan=bucket} count=0
+  hist sql.plan_latency{plan=index} count=1
 
 The span sink sees the oplog appends and replays:
 

@@ -50,6 +50,8 @@ let all_profiles =
 
 module Pbt = Secdb_storage.Paged_bptree
 module Rtree = Secdb_index.Range_tree
+module Metrics = Secdb_obs.Metrics
+module Obs = Secdb_obs.Obs
 
 (* Where index entries live: on the heap (the historical default), or in
    AEAD-sealed nodes on pager pages — the paper's Section 4 fix applied
@@ -78,6 +80,10 @@ type t = {
   indexes : (string * string, index_impl) Hashtbl.t;
   range_indexes : (string * string, Rtree.t) Hashtbl.t;
   index_hists : (string * string, Secdb_query.Histogram.t) Hashtbl.t;
+  row_counts : (string, int ref) Hashtbl.t;
+      (* live rows per table — the planner's cardinality input, mirrored
+         into the [db.rows{table}] gauge so `secdb stats` shows exactly
+         what the cost model saw *)
   backing : index_backing;
   mutable index_pager : Secdb_storage.Pager.t option;
   mutable on_change : (change -> unit) option;
@@ -97,6 +103,7 @@ let create ?(seed = 1L) ?(order = 4) ?(index_backing = Memory) ?(first_table_id 
     indexes = Hashtbl.create 8;
     range_indexes = Hashtbl.create 8;
     index_hists = Hashtbl.create 8;
+    row_counts = Hashtbl.create 8;
     backing = index_backing;
     index_pager = None;
     on_change = None;
@@ -124,6 +131,40 @@ let close t =
 (* The derived keys live inside scheme closures; ending the session models
    their secure removal, so every data operation checks the session first. *)
 let ensure_open t = if not (Keyring.is_open t.keyring) then raise Keyring.Session_closed
+
+(* --- per-table row statistics --------------------------------------------- *)
+
+let publish_rows name n =
+  if Obs.on () then Metrics.set (Metrics.gauge ~labels:[ ("table", name) ] "db.rows") n
+
+let set_row_count t name n =
+  (match Hashtbl.find_opt t.row_counts name with
+  | Some r -> r := n
+  | None -> Hashtbl.replace t.row_counts name (ref n));
+  publish_rows name n
+
+let bump_row_count t name delta =
+  let r =
+    match Hashtbl.find_opt t.row_counts name with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.row_counts name r;
+        r
+  in
+  r := !r + delta;
+  publish_rows name !r
+
+(* loading and rotation build tables below the [insert] hook; recount *)
+let recount_rows t name tbl =
+  let live = ref 0 in
+  for row = 0 to Etable.nrows tbl - 1 do
+    if Etable.is_live tbl ~row then incr live
+  done;
+  set_row_count t name !live
+
+let live_rows t ~table:name =
+  match Hashtbl.find_opt t.row_counts name with Some r -> !r | None -> 0
 
 (* the table-driven AES: same permutation as Secdb_cipher.Aes (tested), ~10x faster *)
 let aes key = Secdb_cipher.Aes_fast.cipher ~key
@@ -210,6 +251,7 @@ let create_table t schema =
   t.next_table_id <- id + 1;
   Hashtbl.add t.tables name
     (Etable.create ~id schema ~scheme:(cell_scheme t ~table_id:id ~schema));
+  set_row_count t name 0;
   notify t (Created_table schema)
 
 let table t name =
@@ -411,6 +453,7 @@ let insert t ~table:name values =
       if not (Hashtbl.mem t.indexes (name, col)) then hist_add t name col v;
       Rtree.insert rtree v ~table_row:row)
     (range_indexes_on t name);
+  bump_row_count t name 1;
   notify t (Inserted { table = name; row; values });
   row
 
@@ -479,6 +522,7 @@ let delete_row t ~table:name ~row =
           ignore (Rtree.delete rtree v ~table_row:row);
           if not (Hashtbl.mem t.indexes (name, col)) then hist_remove t name col v)
         range_entries;
+      bump_row_count t name (-1);
       notify t (Deleted { table = name; row });
       Ok ()
 
@@ -569,6 +613,7 @@ let load_paged ?(seed = 3L) ?(order = 4) ?(cache_pages = 64) ?vfs ~master ~profi
                       data
                   in
                   Hashtbl.add t.tables name tbl;
+                  recount_rows t name tbl;
                   if table_id >= t.next_table_id then t.next_table_id <- table_id + 1;
                   Ok ()
               | [ "I"; name; col; id ] ->
@@ -656,7 +701,8 @@ let rotate_master t ~new_master =
           let r = Etable.insert new_tbl placeholder in
           Etable.delete_row new_tbl ~row:r
         end
-      done)
+      done;
+      recount_rows fresh name new_tbl)
     names;
   (* indexes: rebuilt from the re-encrypted tables *)
   Hashtbl.iter (fun (name, col) _ -> create_index fresh ~table:name ~col) t.indexes;
@@ -798,6 +844,7 @@ let load ?(seed = 2L) ?(order = 4) ~master ~profile ~dir () =
                   ~scheme:(cell_scheme t ~table_id ~schema) data
               in
               Hashtbl.add t.tables name tbl;
+              recount_rows t name tbl;
               if table_id >= t.next_table_id then t.next_table_id <- table_id + 1;
               Ok ())
             (Ok ()) table_names

@@ -105,6 +105,13 @@ val table_names : t -> string list
 (** All table names, sorted — what a serving layer enumerates to prime its
     read snapshots. *)
 
+val live_rows : t -> table:string -> int
+(** Live (non-tombstoned) row count, maintained incrementally on every
+    insert and delete and recounted on load — the SQL cost model's
+    cardinality input.  Mirrored into the [db.rows{table}] gauge while
+    {!Secdb_obs.Obs.on}, so [secdb stats] shows what the planner saw.
+    [0] for unknown tables. *)
+
 val create_index : t -> table:string -> col:string -> unit
 (** Build an encrypted index over an (encrypted) column, inserting all
     existing rows.  Later {!insert}s maintain it. *)

@@ -453,6 +453,19 @@ let exec_routed t (req : Wire.req) =
           | stmt when is_replica t && not (match stmt with Ast.Select _ | Ast.Explain _ -> true | _ -> false)
             ->
               read_only_reject
+          | _ when
+              (* every table a statement touches must live on one shard: a
+                 JOIN spanning shards has no single executor that owns both
+                 tables, so refuse it structurally instead of answering
+                 from half the data *)
+              List.length
+                (List.sort_uniq compare
+                   (List.map (Shard.key_shard t.shards) (Ast.stmt_tables stmt)))
+              > 1 ->
+              Error
+                ( Wire.App,
+                  Printf.sprintf "cross-shard JOIN: tables {%s} live on different shards"
+                    (String.concat ", " (Ast.stmt_tables stmt)) )
           | _ -> (
               let sh = shard_of (Ast.stmt_table stmt) in
               match Engine.exec_snapshot (Atomic.get sh.snap) stmt with

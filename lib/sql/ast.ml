@@ -17,9 +17,14 @@ type agg_fn = Count | Sum | Min | Max | Avg
 
 type sel_item = Field of string | Aggregate of agg_fn * string option
 
+(* inner equi-join: [FROM t JOIN jtable ON on_left = on_right].  The ON
+   columns may be qualified ([t.c]) or bare; the engine resolves them. *)
+type join = { jtable : string; on_left : string; on_right : string }
+
 type select = {
   items : sel_item list option;
   table : string;
+  join : join option;
   where : expr option;
   group_by : string option;
   order_by : (string * order) option;
@@ -74,12 +79,24 @@ let stmt_table = function
   | Create_table { name; _ } -> name
   | Create_index { table; _ } | Create_range_index { table; _ } -> table
 
+let select_tables s =
+  s.table :: (match s.join with Some j -> [ j.jtable ] | None -> [])
+
+(* every table a statement touches — what a sharded server routes on *)
+let stmt_tables = function
+  | Select s | Explain s -> select_tables s
+  | stmt -> [ stmt_table stmt ]
+
 let pp_select ppf s =
-  Fmt.pf ppf "SELECT %s FROM %s%a"
+  Fmt.pf ppf "SELECT %s FROM %s"
     (match s.items with
     | None -> "*"
     | Some items -> String.concat ", " (List.map sel_item_name items))
-    s.table pp_where s.where;
+    s.table;
+  (match s.join with
+  | Some j -> Fmt.pf ppf " JOIN %s ON %s = %s" j.jtable j.on_left j.on_right
+  | None -> ());
+  pp_where ppf s.where;
   (match s.group_by with Some c -> Fmt.pf ppf " GROUP BY %s" c | None -> ());
   (match s.order_by with
   | Some (c, Asc) -> Fmt.pf ppf " ORDER BY %s" c
@@ -145,6 +162,11 @@ let select_to_sql s =
     | None -> "*"
     | Some items -> String.concat ", " (List.map sel_item_name items));
   Buffer.add_string b (" FROM " ^ s.table);
+  (match s.join with
+  | Some j ->
+      Buffer.add_string b
+        (Printf.sprintf " JOIN %s ON %s = %s" j.jtable j.on_left j.on_right)
+  | None -> ());
   (match s.where with
   | Some e -> Buffer.add_string b (" WHERE " ^ expr_to_sql e)
   | None -> ());

@@ -21,9 +21,17 @@ type sel_item =
       (** [Aggregate (Count, None)] is [COUNT] over whole rows (star form);
           every other aggregate names a column *)
 
+type join = {
+  jtable : string;  (** right-hand table *)
+  on_left : string;  (** one side of the ON equality, possibly qualified *)
+  on_right : string;  (** the other side *)
+}
+(** [JOIN jtable ON on_left = on_right] — inner equi-join only. *)
+
 type select = {
   items : sel_item list option;  (** [None] = [*] *)
   table : string;
+  join : join option;
   where : expr option;
   group_by : string option;
   order_by : (string * order) option;
@@ -53,9 +61,16 @@ val sel_item_name : sel_item -> string
 (** Output column header for a select item, e.g. ["count"] of star. *)
 
 val stmt_table : stmt -> string
-(** The one table a statement touches — every statement of this subset
-    names exactly one, which is what lets a sharded server route a parsed
-    statement to the shard owning that table. *)
+(** The table a statement primarily touches (the FROM table for selects) —
+    what a sharded server routes on.  JOINed statements touch a second
+    table; see {!stmt_tables}. *)
+
+val select_tables : select -> string list
+(** FROM table plus the JOINed table, if any. *)
+
+val stmt_tables : stmt -> string list
+(** Every table a statement touches — a sharded server must check they
+    all live on one shard before routing. *)
 
 val pp_expr : Format.formatter -> expr -> unit
 val pp_stmt : Format.formatter -> stmt -> unit

@@ -3,23 +3,14 @@ module Schema = Secdb_db.Schema
 module Etable = Secdb_query.Encrypted_table
 module Walker = Secdb_query.Walker
 module Encdb = Secdb.Encdb
+module Metrics = Secdb_obs.Metrics
+module Obs = Secdb_obs.Obs
 
 type outcome =
   | Rows of { columns : string list; rows : Value.t list list }
   | Affected of int
   | Created
   | Plan of string
-
-type plan =
-  | Full_scan
-  | Index_scan of { col : string; lo : Value.t option; hi : Value.t option; estimate : float }
-  | Range_scan of {
-      col : string;
-      lo : Value.t option;
-      hi : Value.t option;
-      buckets : int;
-      estimate : float;
-    }
 
 let ( let* ) = Result.bind
 
@@ -68,110 +59,117 @@ let rec eval schema row = function
   | (Ast.Col _ | Ast.Lit _) as e ->
       Error (Fmt.str "not a predicate: %a" Ast.pp_expr e)
 
+(* --- name resolution ------------------------------------------------------
+
+   The planner and executor work on a [resolved] select: for a single
+   table every [table.column] reference is stripped back to the bare
+   column; for a join every reference is qualified (unqualified names
+   resolve against both schemas, erroring when ambiguous) and the result
+   schema is the two tables' columns under their qualified names, left
+   table first — declared order, independent of which side the planner
+   later makes the outer. *)
+
+type resolved = {
+  rs : Ast.select;
+  schema : Schema.t;
+  join : (string * string * string * string) option;
+      (** (left table, left col, right table, right col) of the ON clause,
+          base column names *)
+}
+
+exception Resolve of string
+
+let schema_of_exn db table =
+  match Encdb.table db table with
+  | t -> Etable.schema t
+  | exception Not_found -> raise (Resolve (Printf.sprintf "unknown table %s" table))
+
+let map_cols f s =
+  let rec expr = function
+    | Ast.Col c -> Ast.Col (f c)
+    | Ast.Lit _ as e -> e
+    | Ast.Cmp (op, a, b) -> Ast.Cmp (op, expr a, expr b)
+    | Ast.Between (a, lo, hi) -> Ast.Between (expr a, expr lo, expr hi)
+    | Ast.And (a, b) -> Ast.And (expr a, expr b)
+    | Ast.Or (a, b) -> Ast.Or (expr a, expr b)
+    | Ast.Not a -> Ast.Not (expr a)
+  in
+  let item = function
+    | Ast.Field c -> Ast.Field (f c)
+    | Ast.Aggregate (fn, col) -> Ast.Aggregate (fn, Option.map f col)
+  in
+  {
+    s with
+    Ast.items = Option.map (List.map item) s.Ast.items;
+    where = Option.map expr s.Ast.where;
+    group_by = Option.map f s.Ast.group_by;
+    order_by = Option.map (fun (c, d) -> (f c, d)) s.Ast.order_by;
+  }
+
+let resolve_exn db (s : Ast.select) =
+  match s.Ast.join with
+  | None ->
+      let schema = schema_of_exn db s.Ast.table in
+      let strip c =
+        match Planner.split_qual c with
+        | Some (t, b) when t = s.Ast.table -> b
+        | Some (t, _) -> raise (Resolve (Printf.sprintf "unknown table %s in reference %s" t c))
+        | None -> c
+      in
+      { rs = map_cols strip s; schema; join = None }
+  | Some j ->
+      let t1 = s.Ast.table and t2 = j.Ast.jtable in
+      if t1 = t2 then raise (Resolve (Printf.sprintf "self-join on %s is not supported" t1));
+      let s1 = schema_of_exn db t1 and s2 = schema_of_exn db t2 in
+      let has sc b = match Schema.col_index sc b with _ -> true | exception Not_found -> false in
+      let qualify c =
+        match Planner.split_qual c with
+        | Some (t, _) when t <> t1 && t <> t2 ->
+            raise (Resolve (Printf.sprintf "unknown table %s in reference %s" t c))
+        | Some _ -> c
+        | None ->
+            let in1 = has s1 c and in2 = has s2 c in
+            if in1 && in2 then raise (Resolve (Printf.sprintf "ambiguous column %s" c))
+            else if in1 then t1 ^ "." ^ c
+            else if in2 then t2 ^ "." ^ c
+            else raise (Resolve (Printf.sprintf "unknown column %s" c))
+      in
+      (* the ON clause's two sides must land on the two distinct tables;
+         normalize to (left table, left col, right table, right col) *)
+      let on_side c =
+        match Planner.split_qual (qualify c) with
+        | Some tb -> tb
+        | None -> assert false
+      in
+      let (ta, ca) = on_side j.Ast.on_left and (tb, cb) = on_side j.Ast.on_right in
+      if ta = tb then
+        raise (Resolve (Printf.sprintf "join ON must relate %s to %s" t1 t2));
+      let c1, c2 = if ta = t1 then (ca, cb) else (cb, ca) in
+      let qualified t sc =
+        List.init (Schema.ncols sc) (fun i ->
+            let c = Schema.col sc i in
+            { c with Schema.name = t ^ "." ^ c.Schema.name })
+      in
+      let schema =
+        Schema.v ~table_name:(t1 ^ "+" ^ t2) (qualified t1 s1 @ qualified t2 s2)
+      in
+      { rs = map_cols qualify s; schema; join = Some (t1, c1, t2, c2) }
+
+let resolve db s = try Ok (resolve_exn db s) with Resolve e -> Error e
+
 (* --- planning ------------------------------------------------------------ *)
 
-let rec conjuncts = function
-  | Ast.And (a, b) -> conjuncts a @ conjuncts b
-  | e -> [ e ]
-
-(* lower/upper bounds a single conjunct puts on a column, if any; strict
-   bounds widen to inclusive ones (the residual filter re-tightens) *)
-let bounds_of = function
-  | Ast.Cmp (op, Ast.Col c, Ast.Lit v) -> (
-      match op with
-      | Ast.Eq -> Some (c, Some v, Some v)
-      | Ast.Le | Ast.Lt -> Some (c, None, Some v)
-      | Ast.Ge | Ast.Gt -> Some (c, Some v, None)
-      | Ast.Ne -> None)
-  | Ast.Cmp (op, Ast.Lit v, Ast.Col c) -> (
-      (* mirrored: v op c *)
-      match op with
-      | Ast.Eq -> Some (c, Some v, Some v)
-      | Ast.Ge | Ast.Gt -> Some (c, None, Some v)
-      | Ast.Le | Ast.Lt -> Some (c, Some v, None)
-      | Ast.Ne -> None)
-  | Ast.Between (Ast.Col c, Ast.Lit lo, Ast.Lit hi) -> Some (c, Some lo, Some hi)
-  | _ -> None
-
-let merge_bound cmp a b =
-  match (a, b) with
-  | None, x | x, None -> x
-  | Some a, Some b -> Some (if cmp (Value.compare a b) then a else b)
-
-(* accumulate bounds per column passing [eligible], preserving the order
-   columns first appear in the conjuncts *)
-let collect_bounds ~eligible where =
-  let tbl = (Hashtbl.create 4 : (string, Value.t option * Value.t option) Hashtbl.t) in
-  let order = ref [] in
-  List.iter
-    (fun conj ->
-      match bounds_of conj with
-      | Some (c, lo, hi) ->
-          if eligible c then begin
-            let plo, phi = Option.value (Hashtbl.find_opt tbl c) ~default:(None, None) in
-            if not (Hashtbl.mem tbl c) then order := c :: !order;
-            Hashtbl.replace tbl c
-              (merge_bound (fun d -> d > 0) plo lo, merge_bound (fun d -> d < 0) phi hi)
-          end
-      | None -> ())
-    (conjuncts where);
-  List.map (fun c -> (c, Hashtbl.find tbl c)) (List.rev !order)
-
-(* most selective candidate wins, per the maintained histograms *)
-let best_candidate db ~table candidates =
-  let scored =
-    List.map
-      (fun (c, (lo, hi)) ->
-        let estimate =
-          Option.value ~default:1.0 (Encdb.index_selectivity db ~table ~col:c ~lo ~hi)
-        in
-        (estimate, c, lo, hi))
-      candidates
-  in
-  List.fold_left
-    (fun ((be, _, _, _) as best) ((e, _, _, _) as cand) -> if e < be then cand else best)
-    (List.hd scored) (List.tl scored)
-
 let plan_of_select db (s : Ast.select) =
-  match s.Ast.where with
-  | None -> Full_scan
-  | Some where -> (
-      let table = s.Ast.table in
-      match collect_bounds ~eligible:(fun c -> Encdb.has_index db ~table ~col:c) where with
-      | _ :: _ as candidates ->
-          let estimate, c, lo, hi = best_candidate db ~table candidates in
-          Index_scan { col = c; lo; hi; estimate }
-      | [] -> (
-          (* no exact index applies; fall back to a bucketized range index
-             before surrendering to a full decrypting scan *)
-          match
-            collect_bounds ~eligible:(fun c -> Encdb.has_range_index db ~table ~col:c) where
-          with
-          | [] -> Full_scan
-          | candidates ->
-              let estimate, c, lo, hi = best_candidate db ~table candidates in
-              let buckets =
-                Option.value ~default:1 (Encdb.range_index_nbuckets db ~table ~col:c)
-              in
-              Range_scan { col = c; lo; hi; buckets; estimate }))
+  match resolve db s with
+  | Ok r -> Planner.choose db r.rs ~join:r.join
+  | Error e -> failwith e
 
-let pp_plan ppf = function
-  | Full_scan -> Fmt.string ppf "FULL SCAN (decrypt every row)"
-  | Index_scan { col; lo; hi; estimate } ->
-      Fmt.pf ppf "INDEX SCAN on %s [%a .. %a] (est. selectivity %.2f) + residual filter" col
-        (Fmt.option ~none:(Fmt.any "-inf") Value.pp)
-        lo
-        (Fmt.option ~none:(Fmt.any "+inf") Value.pp)
-        hi estimate
-  | Range_scan { col; lo; hi; buckets; estimate } ->
-      Fmt.pf ppf
-        "RANGE BUCKET SCAN on %s [%a .. %a] over %d buckets (est. selectivity %.2f) + \
-         residual filter"
-        col
-        (Fmt.option ~none:(Fmt.any "-inf") Value.pp)
-        lo
-        (Fmt.option ~none:(Fmt.any "+inf") Value.pp)
-        hi buckets estimate
+let candidate_plans db (s : Ast.select) =
+  match resolve db s with
+  | Ok r -> Planner.candidates db r.rs ~join:r.join
+  | Error e -> failwith e
+
+let pp_plan = Plan.pp
 
 (* --- projection and aggregation ------------------------------------------ *)
 
@@ -307,17 +305,81 @@ let project schema (s : Ast.select) rows =
 
 (* --- execution ------------------------------------------------------------ *)
 
-let candidate_rows db ~mode (s : Ast.select) plan =
-  match plan with
-  | Index_scan { col; lo; hi; estimate = _ } ->
-      Encdb.select_range db ~table:s.Ast.table ~col ~mode ?lo ?hi ()
-  | Range_scan { col; lo; hi; buckets = _; estimate = _ } ->
-      Encdb.select_range_bucketed db ~table:s.Ast.table ~col ?lo ?hi ()
-  | Full_scan -> (
-      let tbl = Encdb.table db s.Ast.table in
-      match Etable.select_result tbl (fun _ -> true) with
-      | Ok rows -> Ok rows
-      | Error e -> Error e)
+(* every access path hands its candidates over in ascending row order —
+   the canonical order that makes all plans (and the snapshot fast path)
+   byte-identical before the shared filter/sort/limit tail *)
+let canonical rows = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows
+
+let access_rows db ~mode ~table access =
+  let* rows =
+    match access with
+    | Plan.Index_probe { col; lo; hi; _ } -> Encdb.select_range db ~table ~col ~mode ?lo ?hi ()
+    | Plan.Bucket_scan { col; lo; hi; _ } -> Encdb.select_range_bucketed db ~table ~col ?lo ?hi ()
+    | Plan.Seq_scan -> Etable.select_result (Encdb.table db table) (fun _ -> true)
+  in
+  Ok (canonical rows)
+
+(* inner equi-join.  Output rows are keyed (left row, right row) and the
+   values are left table's cells then right table's, whatever side the
+   plan made the outer; Null join keys match nothing on either side. *)
+let join_rows db ~mode ~outer ~outer_access ~inner ~strategy ~outer_col ~inner_col ~swapped =
+  let oschema = Etable.schema (Encdb.table db outer) in
+  let ischema = Etable.schema (Encdb.table db inner) in
+  let* oi = col_index_res oschema outer_col in
+  let* ii = col_index_res ischema inner_col in
+  let combine (orow, ovs) (irow, ivs) =
+    if swapped then ((irow, orow), Array.append ivs ovs)
+    else ((orow, irow), Array.append ovs ivs)
+  in
+  let* outer_rows = access_rows db ~mode ~table:outer outer_access in
+  let* pairs =
+    match strategy with
+    | Plan.Loop_join ->
+        (* materialize the inner once, hash it on the join key *)
+        let* inner_rows = access_rows db ~mode ~table:inner Plan.Seq_scan in
+        let buckets = Hashtbl.create 64 in
+        List.iter
+          (fun ((_, ivs) as ir) ->
+            let k = ivs.(ii) in
+            if k <> Value.Null then begin
+              match Hashtbl.find_opt buckets (Value.encode k) with
+              | Some l -> l := ir :: !l
+              | None -> Hashtbl.add buckets (Value.encode k) (ref [ ir ])
+            end)
+          (List.rev inner_rows);
+        Ok
+          (List.concat_map
+             (fun ((_, ovs) as orow) ->
+               let k = ovs.(oi) in
+               if k = Value.Null then []
+               else
+                 match Hashtbl.find_opt buckets (Value.encode k) with
+                 | None -> []
+                 | Some l ->
+                     List.filter_map
+                       (fun ((_, ivs) as ir) ->
+                         if compare_values Ast.Eq ivs.(ii) k then Some (combine orow ir)
+                         else None)
+                       !l)
+             outer_rows)
+    | Plan.Index_loop_join ->
+        (* one exact-index probe on the inner table per outer row *)
+        List.fold_left
+          (fun acc ((_, ovs) as orow) ->
+            let* acc = acc in
+            let k = ovs.(oi) in
+            if k = Value.Null then Ok acc
+            else
+              let* matches = Encdb.select_eq db ~table:inner ~col:inner_col ~mode k in
+              let matches =
+                List.filter (fun (_, ivs) -> compare_values Ast.Eq ivs.(ii) k)
+                  (canonical matches)
+              in
+              Ok (List.rev_append (List.rev_map (combine orow) matches) acc))
+          (Ok []) outer_rows
+        |> Result.map List.rev
+  in
+  Ok (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) pairs)
 
 (* residual filter, order, limit, projection — shared between the locked
    executor and the snapshot fast path, so both produce identical bytes *)
@@ -360,28 +422,68 @@ let finish_select schema (s : Ast.select) candidates =
   in
   project schema s limited
 
+(* per-plan latency histograms feed the cost model's feedback input; only
+   touched while obs is on so obs-off processes keep an empty registry *)
+let timed plan f =
+  if Obs.on () then
+    Metrics.time (Metrics.histogram ~labels:[ ("plan", Plan.name plan) ] "sql.plan_latency") f
+  else f ()
+
+let exec_resolved db ~mode (r : resolved) plan =
+  timed plan (fun () ->
+      match (plan, r.join) with
+      | Plan.Scan { table; access; _ }, None ->
+          let* rows = access_rows db ~mode ~table access in
+          finish_select r.schema r.rs rows
+      | ( Plan.Join { outer; outer_access; inner; strategy; outer_col; inner_col; swapped; _ },
+          Some _ ) ->
+          let* rows =
+            join_rows db ~mode ~outer ~outer_access ~inner ~strategy ~outer_col ~inner_col
+              ~swapped
+          in
+          finish_select r.schema r.rs rows
+      | _ -> Error "plan does not match the query's shape")
+
 let run_select db ~mode (s : Ast.select) =
-  let* tbl =
-    match Encdb.table db s.Ast.table with
-    | t -> Ok t
-    | exception Not_found -> Error (Printf.sprintf "unknown table %s" s.Ast.table)
-  in
-  let schema = Etable.schema tbl in
-  let plan = plan_of_select db s in
-  let* candidates = candidate_rows db ~mode s plan in
-  finish_select schema s candidates
+  let* r = resolve db s in
+  let plan = Planner.choose db r.rs ~join:r.join in
+  exec_resolved db ~mode r plan
+
+(* execute under a caller-chosen plan (bench and oracle tests force every
+   candidate and compare bytes) *)
+let exec_plan db ?(mode = Walker.Corrected) (s : Ast.select) plan =
+  let* r = resolve db s in
+  exec_resolved db ~mode r plan
 
 (* --- snapshot fast path ---------------------------------------------------
 
    A point lookup — SELECT with WHERE exactly [col = literal] — or a
    single-column range — [col BETWEEN lo AND hi] — can be answered from a
    shard's published {!Snapshot.t} without the shard lock.  The candidate
-   set is what the planner would produce (the exact index's entries in
-   index order when one exists, otherwise an ascending full scan — which
-   is also the visible order of a RANGE BUCKET SCAN, so range-indexed
-   columns need no snapshot mirror), and the tail is {!finish_select}
-   itself, so the bytes match the locked executor's.  Anything else
-   returns [None] and falls through. *)
+   set is canonicalized to ascending row order — the same order every
+   executor plan now presents — and the tail is {!finish_select} itself,
+   so the bytes match the locked executor's.  JOINs, and selects using
+   qualified [table.column] references (whose resolution needs the live
+   catalog), return [None] and fall through to the locked engine — a
+   structured fallback, never an exception. *)
+
+let uses_qualified_names (s : Ast.select) =
+  let qual c = String.contains c '.' in
+  let rec expr = function
+    | Ast.Col c -> qual c
+    | Ast.Lit _ -> false
+    | Ast.Cmp (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) -> expr a || expr b
+    | Ast.Between (a, lo, hi) -> expr a || expr lo || expr hi
+    | Ast.Not a -> expr a
+  in
+  let item = function
+    | Ast.Field c -> qual c
+    | Ast.Aggregate (_, col) -> Option.fold ~none:false ~some:qual col
+  in
+  (match s.Ast.items with Some items -> List.exists item items | None -> false)
+  || Option.fold ~none:false ~some:expr s.Ast.where
+  || Option.fold ~none:false ~some:qual s.Ast.group_by
+  || (match s.Ast.order_by with Some (c, _) -> qual c | None -> false)
 
 let snapshot_select snap (s : Ast.select) ~col candidates_of =
   match Snapshot.table snap s.Ast.table with
@@ -393,10 +495,11 @@ let snapshot_select snap (s : Ast.select) ~col candidates_of =
           (* unknown-column errors depend on scan order; let the executor
              report them canonically *)
           None
-      | ci -> Some (finish_select schema s (candidates_of ts ci)))
+      | ci -> Some (finish_select schema s (canonical (candidates_of ts ci))))
 
 let exec_snapshot snap stmt =
   match stmt with
+  | Ast.Select s when s.Ast.join <> None || uses_qualified_names s -> None
   | Ast.Select s -> (
       match s.Ast.where with
       | Some (Ast.Cmp (Ast.Eq, Ast.Col c, Ast.Lit v))
@@ -416,22 +519,29 @@ let exec_snapshot snap stmt =
 (* rows matching a WHERE clause, for UPDATE/DELETE *)
 let matching_rows db ~mode ~table where =
   let s =
-    { Ast.items = None; table; where; group_by = None; order_by = None; limit = None }
+    {
+      Ast.items = None;
+      table;
+      join = None;
+      where;
+      group_by = None;
+      order_by = None;
+      limit = None;
+    }
   in
-  let* tbl =
-    match Encdb.table db table with
-    | t -> Ok t
-    | exception Not_found -> Error (Printf.sprintf "unknown table %s" table)
+  let* r = resolve db s in
+  let* candidates =
+    match Planner.choose db r.rs ~join:None with
+    | Plan.Scan { table = t; access; _ } -> access_rows db ~mode ~table:t access
+    | Plan.Join _ -> assert false
   in
-  let schema = Etable.schema tbl in
-  let* candidates = candidate_rows db ~mode s (plan_of_select db s) in
-  match where with
+  match r.rs.Ast.where with
   | None -> Ok (List.map fst candidates)
   | Some w ->
       List.fold_left
         (fun acc (row, values) ->
           let* acc = acc in
-          let* keep = eval schema values w in
+          let* keep = eval r.schema values w in
           Ok (if keep then row :: acc else acc))
         (Ok []) candidates
       |> Result.map List.rev
@@ -445,7 +555,7 @@ let exec_stmt db ?(mode = Walker.Corrected) stmt =
   match stmt with
   | Ast.Select s -> protect (fun () -> run_select db ~mode s)
   | Ast.Explain s ->
-      protect (fun () -> Ok (Plan (Fmt.str "%a" pp_plan (plan_of_select db s))))
+      protect (fun () -> Ok (Plan (Fmt.str "%a" Plan.pp (plan_of_select db s))))
   | Ast.Insert { table; values } ->
       protect (fun () ->
           let _row = Encdb.insert db ~table values in

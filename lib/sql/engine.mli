@@ -1,13 +1,19 @@
 (** Planner and executor: SQL over the encrypted database.
 
-    The planner inspects the WHERE clause's top-level conjuncts for
-    sargable constraints (equality or range on a single column) on columns
-    that have an encrypted index; the first match becomes an index scan
-    through {!Secdb_query.Walker} and the full predicate is re-applied as a
-    residual filter.  Everything else decrypts and scans.
+    The cost-model planner ({!Planner}) enumerates every access path the
+    database can serve for a SELECT — full decrypt-scan, exact encrypted
+    B⁺-tree probes, bucketized range scans, and for joins both nesting
+    orders crossed with both loop strategies — prices each with {!Cost}
+    (live {!Secdb_obs.Metrics} inputs when obs is on, static fallbacks
+    otherwise) and executes the cheapest.  Every candidate hands its rows
+    over in ascending row order and shares one filter / ORDER BY / LIMIT
+    / projection tail, so all plans of a query are byte-identical — the
+    plan choice costs latency, never correctness (the perf bench's
+    [--check] gate asserts exactly that).
 
-    [EXPLAIN SELECT …] returns the chosen plan as text, which the tests pin
-    down (queries must not silently degrade to scans). *)
+    [EXPLAIN SELECT …] returns the chosen plan as text with its estimated
+    cost, which the tests pin down (queries must not silently degrade to
+    scans). *)
 
 type outcome =
   | Rows of { columns : string list; rows : Secdb_db.Value.t list list }
@@ -15,39 +21,31 @@ type outcome =
   | Created  (** table or index *)
   | Plan of string  (** EXPLAIN output *)
 
-type plan =
-  | Full_scan
-  | Index_scan of {
-      col : string;
-      lo : Secdb_db.Value.t option;
-      hi : Secdb_db.Value.t option;
-      estimate : float;
-          (** estimated selectivity from the column's histogram
-              ({!Secdb.Encdb.index_selectivity}); 1.0 = no information.
-              When several indexed columns are constrained the planner
-              picks the smallest estimate. *)
-    }
-  | Range_scan of {
-      col : string;
-      lo : Secdb_db.Value.t option;
-      hi : Secdb_db.Value.t option;
-      buckets : int;
-      estimate : float;
-    }
-      (** query through a bucketized {!Secdb_index.Range_tree} — chosen
-          only when a constrained column has a range index but no exact
-          index (the exact index answers with fewer false positives).
-          Candidates come back in ascending row order, a full scan's
-          visible order. *)
+val plan_of_select : Secdb.Encdb.t -> Ast.select -> Plan.t
+(** The plan {!exec_stmt} would execute — head of {!candidate_plans}.
+    @raise Failure on unknown tables or unresolvable column references
+    (callers inside {!exec_stmt} get the structured error). *)
 
-val plan_of_select : Secdb.Encdb.t -> Ast.select -> plan
-(** Exposed for tests. *)
+val candidate_plans : Secdb.Encdb.t -> Ast.select -> Plan.t list
+(** Every executable plan for the query, cheapest first under
+    {!Plan.compare}'s deterministic tie-break; never empty.  Each element
+    can be handed to {!exec_plan} and must return the same bytes. *)
 
-val pp_plan : Format.formatter -> plan -> unit
-(** The text EXPLAIN prints. *)
+val pp_plan : Format.formatter -> Plan.t -> unit
+(** The text EXPLAIN prints ({!Plan.pp}). *)
 
 val exec_stmt :
   Secdb.Encdb.t -> ?mode:Secdb_query.Walker.mode -> Ast.stmt -> (outcome, string) result
+
+val exec_plan :
+  Secdb.Encdb.t ->
+  ?mode:Secdb_query.Walker.mode ->
+  Ast.select ->
+  Plan.t ->
+  (outcome, string) result
+(** Execute a SELECT under a caller-chosen plan instead of the planner's
+    pick — the bench and the oracle tests force every candidate and
+    compare bytes. *)
 
 val exec_snapshot : Snapshot.t -> Ast.stmt -> (outcome, string) result option
 (** Answer a point lookup — [SELECT … WHERE col = literal] — or a range
@@ -56,8 +54,10 @@ val exec_snapshot : Snapshot.t -> Ast.stmt -> (outcome, string) result option
     lock-free read path.  The candidate set and the shared
     filter/order/limit/projection tail reproduce {!exec_stmt}'s result
     byte for byte on uncorrupted data.  [None] when the statement is not
-    of those shapes (or the snapshot has never seen the table): the caller
-    must fall back to the locked executor. *)
+    of those shapes — JOINs and qualified [table.column] references
+    included — or the snapshot has never seen the table: the caller must
+    fall back to the locked executor.  The refusal is structured ([None],
+    never an exception). *)
 
 val exec :
   Secdb.Encdb.t -> ?mode:Secdb_query.Walker.mode -> string -> (outcome, string) result

@@ -22,6 +22,7 @@ let keywords =
     "UPDATE"; "SET"; "DELETE"; "CREATE"; "TABLE"; "INDEX"; "ON"; "LIMIT"; "ORDER"; "BY";
     "ASC"; "DESC"; "TRUE"; "FALSE"; "NULL"; "INT"; "TEXT"; "BYTES"; "BOOL"; "ENCRYPTED";
     "CLEAR"; "EXPLAIN"; "COUNT"; "SUM"; "MIN"; "MAX"; "AVG"; "GROUP"; "RANGE"; "BUCKETS";
+    "JOIN";
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
@@ -65,6 +66,14 @@ let tokens input =
           let word = String.sub input i (!j - i) in
           let upper = String.uppercase_ascii word in
           if List.mem upper keywords then lex !j (Kw upper :: acc)
+          else if !j + 1 < n && input.[!j] = '.' && is_ident_start input.[!j + 1] then begin
+            (* one qualification level: [table.column] is a single identifier *)
+            let k = ref (!j + 2) in
+            while !k < n && is_ident_char input.[!k] do
+              incr k
+            done;
+            lex !k (Ident (String.lowercase_ascii (String.sub input i (!k - i))) :: acc)
+          end
           else lex !j (Ident (String.lowercase_ascii word) :: acc)
       | c -> Error (Printf.sprintf "unexpected character %C at offset %d" c i)
   and lex_string i buf acc =

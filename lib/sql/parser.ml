@@ -141,6 +141,17 @@ let select st =
   in
   expect_kw st "FROM";
   let table = expect_ident st "a table name" in
+  let join =
+    if accept_kw st "JOIN" then begin
+      let jtable = expect_ident st "a table name" in
+      expect_kw st "ON";
+      let on_left = expect_ident st "a column name" in
+      expect_sym st "=";
+      let on_right = expect_ident st "a column name" in
+      Some { Ast.jtable; on_left; on_right }
+    end
+    else None
+  in
   let where = if accept_kw st "WHERE" then Some (expr st) else None in
   let group_by =
     if accept_kw st "GROUP" then begin
@@ -165,7 +176,7 @@ let select st =
       | t -> fail "expected a non-negative LIMIT, got %s" (Fmt.str "%a" pp_token t)
     else None
   in
-  { Ast.items; table; where; group_by; order_by; limit }
+  { Ast.items; table; join; where; group_by; order_by; limit }
 
 let column_def st =
   let col_name = expect_ident st "a column name" in

@@ -1,0 +1,36 @@
+(** Cost-model-driven plan selection.
+
+    Enumerates every access path the database can serve for a (resolved)
+    SELECT — full decrypt-scan, exact B⁺-tree probes, bucketized range
+    scans, and for joins both nesting orders crossed with both loop
+    strategies — prices each with {!Cost}, and returns them cheapest
+    first under {!Plan.compare}'s deterministic tie-break. *)
+
+val candidates :
+  Secdb.Encdb.t ->
+  Ast.select ->
+  join:(string * string * string * string) option ->
+  Plan.t list
+(** All executable plans, cheapest first; never empty (a sequential scan
+    always qualifies).  [s] must be resolved: column references
+    unqualified for single-table selects, [table.column]-qualified for
+    joins.  [join] is the resolved ON clause as
+    [(left table, left col, right table, right col)]. *)
+
+val choose :
+  Secdb.Encdb.t ->
+  Ast.select ->
+  join:(string * string * string * string) option ->
+  Plan.t
+(** Head of {!candidates}. *)
+
+(**/**)
+
+val conjuncts : Ast.expr -> Ast.expr list
+
+val collect_bounds :
+  eligible:(string -> bool) ->
+  Ast.expr ->
+  (string * (Secdb_db.Value.t option * Secdb_db.Value.t option)) list
+
+val split_qual : string -> (string * string) option

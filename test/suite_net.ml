@@ -302,6 +302,66 @@ let prop_wire_range_matches_inprocess =
          let expected = List.map (fun req -> encode_result (Server.dispatch ref_db req)) stmts in
          wire = expected))
 
+(* JOIN and ORDER BY over the wire on a sharded server.  Both joined
+   tables are chosen (by the same FNV routing the server uses) to land on
+   one shard, so the shard's executor owns both; the pipelined responses
+   must be byte-identical to the in-process dispatcher on one database.
+   A JOIN whose tables live on different shards has no such executor and
+   must come back as a structured error. *)
+let test_sharded_join () =
+  let shards = 4 in
+  let slot n = Secdb_db.Shard.key_index ~shards n in
+  let rec pick i p =
+    let n = Printf.sprintf "jt%d" i in
+    if p n then n else pick (i + 1) p
+  in
+  let t1 = "jt0" in
+  let t2 = pick 1 (fun n -> slot n = slot t1) in
+  let t3 = pick 1 (fun n -> slot n <> slot t1) in
+  let stmts =
+    List.map
+      (fun s -> Wire.Sql s)
+      [
+        Printf.sprintf "CREATE TABLE %s (id INT CLEAR, v TEXT)" t1;
+        Printf.sprintf "CREATE TABLE %s (id INT CLEAR, w TEXT)" t2;
+        Printf.sprintf "INSERT INTO %s VALUES (1, 'a')" t1;
+        Printf.sprintf "INSERT INTO %s VALUES (2, 'b')" t1;
+        Printf.sprintf "INSERT INTO %s VALUES (3, 'c')" t1;
+        Printf.sprintf "INSERT INTO %s VALUES (2, 'x')" t2;
+        Printf.sprintf "INSERT INTO %s VALUES (3, 'y')" t2;
+        Printf.sprintf "INSERT INTO %s VALUES (3, 'z')" t2;
+        Printf.sprintf "CREATE INDEX ON %s (id)" t2;
+        Printf.sprintf "SELECT * FROM %s JOIN %s ON %s.id = %s.id" t1 t2 t1 t2;
+        Printf.sprintf "SELECT v, w FROM %s JOIN %s ON %s.id = %s.id ORDER BY w DESC LIMIT 2"
+          t1 t2 t1 t2;
+        (* ambiguous unqualified id: the structured error must match too *)
+        Printf.sprintf "SELECT * FROM %s JOIN %s ON id = id" t1 t2;
+        Printf.sprintf "EXPLAIN SELECT * FROM %s JOIN %s ON %s.id = %s.id" t1 t2 t1 t2;
+      ]
+  in
+  with_server ~config:(Server.config ~auth_key ~shards ()) @@ fun addr ->
+  let c = connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let wire =
+    Client.pipeline c stmts |> List.map (fun r -> encode_result (client_error_to_result r))
+  in
+  let ref_db = mkdb () in
+  let expected = List.map (fun req -> encode_result (Server.dispatch ref_db req)) stmts in
+  Alcotest.(check (list string)) "pipelined JOINs match the in-process path" expected wire;
+  (* cross-shard: refused structurally, never answered from half the data *)
+  ignore
+    (client_error_to_result
+       (Client.call c (Wire.Sql (Printf.sprintf "CREATE TABLE %s (id INT CLEAR, u TEXT)" t3))));
+  match
+    client_error_to_result
+      (Client.call c (Wire.Sql (Printf.sprintf "SELECT * FROM %s JOIN %s ON %s.id = %s.id" t1 t3 t1 t3)))
+  with
+  | Error (Wire.App, msg) ->
+      Alcotest.(check bool) "names the refusal" true (contains ~affix:"cross-shard JOIN" msg)
+  | Ok _ -> Alcotest.fail "cross-shard JOIN was answered"
+  | Error (code, msg) ->
+      Alcotest.failf "wrong error class %d: %s" (Wire.err_code_to_int code) msg
+
 (* --- snapshot fast path --------------------------------------------------- *)
 
 let counter_value dump name =
@@ -468,6 +528,8 @@ let suites =
         Alcotest.test_case "pipelined clients match across 4 shards" `Quick
           (test_pipelined_matches_inprocess ~shards:4);
         prop_wire_range_matches_inprocess;
+        Alcotest.test_case "sharded JOINs match in-process, cross-shard refused" `Quick
+          test_sharded_join;
         Alcotest.test_case "point lookups ride the snapshot fast path" `Quick
           test_snapshot_fast_path;
         Alcotest.test_case "interleaved batches match responses by id" `Quick

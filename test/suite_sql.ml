@@ -4,6 +4,7 @@ module L = Secdb_sql.Lexer
 module P = Secdb_sql.Parser
 module A = Secdb_sql.Ast
 module E = Secdb_sql.Engine
+module Pl = Secdb_sql.Plan
 
 (* --- lexer ---------------------------------------------------------------- *)
 
@@ -137,23 +138,27 @@ let test_engine_plans () =
   | _ -> Alcotest.fail "expected plan");
   (* strict bounds widen but stay on the index *)
   (match E.plan_of_select db
-           { A.items = None; group_by = None; table = "staff";
+           { A.items = None; group_by = None; table = "staff"; join = None;
              where = Some (A.And (A.Cmp (A.Gt, A.Col "salary", A.Lit (Value.Int 8800L)),
                                   A.Cmp (A.Lt, A.Col "salary", A.Lit (Value.Int 9200L))));
              order_by = None; limit = None }
    with
-  | E.Index_scan { col = "salary"; lo = Some (Value.Int 8800L); hi = Some (Value.Int 9200L); _ } -> ()
-  | E.Index_scan _ -> Alcotest.fail "wrong bounds"
-  | E.Full_scan | E.Range_scan _ -> Alcotest.fail "should use index");
+  | Pl.Scan
+      { access =
+          Pl.Index_probe
+            { col = "salary"; lo = Some (Value.Int 8800L); hi = Some (Value.Int 9200L); _ };
+        _ } -> ()
+  | Pl.Scan { access = Pl.Index_probe _; _ } -> Alcotest.fail "wrong bounds"
+  | _ -> Alcotest.fail "should use index");
   (* OR disables the sargable path (kept only under top-level AND) *)
   match E.plan_of_select db
-          { A.items = None; group_by = None; table = "staff";
+          { A.items = None; group_by = None; table = "staff"; join = None;
             where = Some (A.Or (A.Cmp (A.Eq, A.Col "salary", A.Lit (Value.Int 1L)),
                                 A.Cmp (A.Eq, A.Col "salary", A.Lit (Value.Int 2L))));
             order_by = None; limit = None }
   with
-  | E.Full_scan -> ()
-  | E.Index_scan _ | E.Range_scan _ -> Alcotest.fail "OR must not be sargable"
+  | Pl.Scan { access = Pl.Seq_scan; _ } -> ()
+  | _ -> Alcotest.fail "OR must not be sargable"
 
 let test_engine_mutations () =
   let _db, run = setup () in
@@ -204,7 +209,24 @@ let test_engine_detects_tampering () =
   | a :: b :: _ -> B.set_payload tree ~row:a.B.row ~slot:0 b.B.payloads.(0)
   | _ -> Alcotest.fail "not enough leaves");
   ignore run;
-  match E.exec db "SELECT * FROM staff WHERE salary >= 0" with
+  (* a whole-table range never beats a full scan under the cost model, so
+     force the index-probing candidate: SQL through the index must surface
+     the relocation *)
+  let s =
+    match P.parse "SELECT * FROM staff WHERE salary >= 0" with
+    | Ok (A.Select s) -> s
+    | _ -> Alcotest.fail "parse"
+  in
+  let idx =
+    match
+      List.find_opt
+        (function Pl.Scan { access = Pl.Index_probe _; _ } -> true | _ -> false)
+        (E.candidate_plans db s)
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "index candidate missing"
+  in
+  match E.exec_plan db s idx with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "tampered index answered a SQL query"
 
@@ -347,11 +369,19 @@ let gen_select =
       oneof [ return None; map Option.some (list_size (int_range 1 4) gen_sel_item) ]
     in
     let* table = gen_ident in
+    let* join =
+      let qual = oneof [ gen_ident; map2 (fun t c -> t ^ "." ^ c) gen_ident gen_ident ] in
+      option
+        (let* jtable = gen_ident in
+         let* on_left = qual in
+         let* on_right = qual in
+         return { A.jtable; on_left; on_right })
+    in
     let* where = option gen_expr in
     let* group_by = option gen_ident in
     let* order_by = option (pair gen_ident (oneofl [ A.Asc; A.Desc ])) in
     let* limit = option (int_bound 100) in
-    return { A.items; table; where; group_by; order_by; limit })
+    return { A.items; table; join; where; group_by; order_by; limit })
 
 let gen_stmt =
   QCheck2.Gen.(
@@ -458,17 +488,17 @@ let test_planner_selectivity () =
     | _ -> Alcotest.fail "parse"
   in
   (match plan "SELECT * FROM m WHERE a BETWEEN 10 AND 20 AND b = 5" with
-  | E.Index_scan { col = "a"; estimate; _ } ->
+  | Pl.Scan { access = Pl.Index_probe { col = "a"; estimate; _ }; _ } ->
       Alcotest.(check bool) "a estimated selective" true (estimate < 0.2)
-  | E.Index_scan { col; _ } -> Alcotest.fail ("picked " ^ col)
-  | E.Full_scan | E.Range_scan _ -> Alcotest.fail "wrong plan");
+  | Pl.Scan { access = Pl.Index_probe { col; _ }; _ } -> Alcotest.fail ("picked " ^ col)
+  | _ -> Alcotest.fail "wrong plan");
   (* flip: wide range on a, point value on b that is rare *)
   (match E.exec db "INSERT INTO m VALUES (999, 1, 77)" with Ok _ -> () | Error e -> Alcotest.fail e);
   (match plan "SELECT * FROM m WHERE a >= 0 AND b = 77" with
-  | E.Index_scan { col = "b"; estimate; _ } ->
+  | Pl.Scan { access = Pl.Index_probe { col = "b"; estimate; _ }; _ } ->
       Alcotest.(check bool) "b estimated selective" true (estimate < 0.5)
-  | E.Index_scan { col; _ } -> Alcotest.fail ("picked " ^ col)
-  | E.Full_scan | E.Range_scan _ -> Alcotest.fail "wrong plan");
+  | Pl.Scan { access = Pl.Index_probe { col; _ }; _ } -> Alcotest.fail ("picked " ^ col)
+  | _ -> Alcotest.fail "wrong plan");
   (* the estimate shows up in EXPLAIN *)
   match E.exec db "EXPLAIN SELECT * FROM m WHERE a BETWEEN 10 AND 20" with
   | Ok (E.Plan p) ->
@@ -590,13 +620,23 @@ let prop_range_index_oracle =
       let indexed = mk true and oracle = mk false in
       let sql = Printf.sprintf "SELECT * FROM w WHERE v BETWEEN %d AND %d" lo hi in
       let s = match P.parse sql with Ok (A.Select s) -> s | _ -> failwith "parse" in
-      (* the indexed db must actually take the bucketized path (never
-         silently degrade into the trivially-equal full scan) *)
-      (match E.plan_of_select indexed s with
-      | E.Range_scan _ -> ()
-      | p -> failwith (Fmt.str "wrong plan: %a" E.pp_plan p));
+      (* the bucketized path must stay a candidate and, forced, return the
+         same bytes the adaptive choice does (the cost model may honestly
+         prefer a full scan on wide ranges) *)
+      let bucket =
+        match
+          List.find_opt
+            (function Pl.Scan { access = Pl.Bucket_scan _; _ } -> true | _ -> false)
+            (E.candidate_plans indexed s)
+        with
+        | Some p -> p
+        | None -> failwith "bucketized candidate missing"
+      in
       let run db = match E.exec db sql with Ok r -> r | Error e -> failwith e in
       let locked = run indexed in
+      (match E.exec_plan indexed s bucket with
+      | Ok r -> if r <> locked then failwith "forced bucket plan diverges"
+      | Error e -> failwith e);
       if locked <> run oracle then false
       else
         (* and the lock-free snapshot path produces the same bytes *)

@@ -170,7 +170,8 @@ let run_diff profile ops =
           | _ -> fail_if true)
       | Op_select (where, order_by, limit) -> (
           let stmt =
-            A.Select { items = None; table = "t"; where; group_by = None; order_by; limit }
+            A.Select
+              { items = None; table = "t"; join = None; where; group_by = None; order_by; limit }
           in
           match E.exec_stmt db stmt with
           | Ok (E.Rows { rows; _ }) -> (
@@ -207,6 +208,7 @@ let run_diff profile ops =
               {
                 items = Some [ A.Aggregate (A.Count, None) ];
                 table = "t";
+                join = None;
                 where;
                 group_by = None;
                 order_by = None;
@@ -219,7 +221,7 @@ let run_diff profile ops =
           | _ -> fail_if true))
     ops;
   (* final full-table agreement *)
-  (match E.exec_stmt db (A.Select { items = None; table = "t"; where = None; group_by = None; order_by = None; limit = None }) with
+  (match E.exec_stmt db (A.Select { items = None; table = "t"; join = None; where = None; group_by = None; order_by = None; limit = None }) with
   | Ok (E.Rows { rows; _ }) ->
       fail_if
         (sorted_rows rows

@@ -18,6 +18,7 @@ let () =
          Suite_integration.suites;
          Suite_props.suites;
          Suite_sql.suites;
+         Suite_planner.suites;
          Suite_merkle.suites;
          Suite_sql_diff.suites;
          Suite_pager.suites;
